@@ -1,0 +1,60 @@
+// Ablation (paper §2.2): disaggregated prefill/decode serving (Splitwise /
+// DistServe) against a unified deployment with the same GPU budget.
+// Disaggregation removes prefill-decode interference: decode replicas never
+// pause token generation to admit a prompt, so the TBT tail collapses; the
+// price is KV-transfer latency on TTFT-to-second-token and a fixed split of
+// compute between the roles.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  const int num_requests = scaled(300, 80);
+
+  std::cout << "=== Disaggregation ablation: LLaMA2-7B on 4x A100, Chat-1M "
+               "===\n(unified = 4 vLLM replicas; disagg = 2 prefill + 2 "
+               "decode replicas)\n\n";
+
+  VidurSession session(model_by_name("llama2-7b"));
+
+  ConsoleTable table({"qps", "deployment", "throughput qps", "TTFT p90 (s)",
+                      "TBT p99 (s)", "TBT p50 (s)", "restarts"});
+
+  for (double qps : {2.0, 4.0, 6.0}) {
+    const Trace trace = generate_trace(
+        trace_by_name("chat1m"), ArrivalSpec{ArrivalKind::kPoisson, qps, 0},
+        num_requests, /*seed=*/51);
+
+    DeploymentConfig unified;
+    unified.sku_name = "a100";
+    unified.parallel = ParallelConfig{1, 1, 4};
+    unified.scheduler.kind = SchedulerKind::kVllm;
+    unified.scheduler.max_batch_size = 64;
+
+    DeploymentConfig disagg = unified;
+    disagg.disagg.num_prefill_replicas = 2;
+
+    for (const auto& [label, config] :
+         {std::pair<const char*, const DeploymentConfig&>{"unified vLLM x4",
+                                                          unified},
+          {"disagg 2P + 2D", disagg}}) {
+      const SimulationMetrics m = session.simulate(config, trace);
+      table.add_row({fmt_double(qps, 1), label,
+                     fmt_double(m.throughput_qps, 3),
+                     fmt_double(m.ttft.p90, 3), fmt_double(m.tbt.p99, 4),
+                     fmt_double(m.tbt.p50, 4), std::to_string(m.num_restarts)});
+    }
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "expected shape: disaggregation cuts the TBT p99 tail at "
+               "every load level\n(decodes never pause for prompts); the "
+               "unified deployment holds an edge in\nraw throughput "
+               "headroom because any replica can do any work (papers: "
+               "Splitwise,\nDistServe; discussed in §2.2).\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation (paper §4.4's design argument): compares the runtime-estimator
+// model families — random forest (Vidur's choice), ridge polynomial
+// regression, and 1-nearest-neighbor lookup — on held-out profiled points,
+// and sweeps the profiling-grid density to show RF's data frugality.
+//
+// Expected shape: RF dominates polynomial regression (which cannot express
+// tile/wave-quantization staircases) and degrades more gracefully than 1-NN
+// as the profiling grid gets sparser.
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "estimator/runtime_estimator.h"
+#include "operators/ground_truth.h"
+#include "profiler/profiler.h"
+
+namespace {
+
+using namespace vidur;
+
+/// Held-out evaluation points: off-grid sizes, log-uniform over each
+/// operator's input range — matching the query distribution of an actual
+/// simulation, which is dominated by small decode iterations where the
+/// tile-size cliffs of the kernel cost model live.
+ProfileDb make_holdout(const ModelSpec& model, const NodeSpec& node, int tp,
+                       int points_per_op, std::uint64_t seed) {
+  ProfileDb db(model.name, node.sku.name);
+  Rng rng(seed);
+  const OpShapes shapes(model, tp);
+  auto log_uniform = [&rng](long lo, long hi) {
+    const double v = rng.uniform(std::log(static_cast<double>(lo)),
+                                 std::log(static_cast<double>(hi)));
+    return static_cast<long>(std::lround(std::exp(v)));
+  };
+  for (OpType op : all_op_types()) {
+    if (op_class(op) == OpClass::kCommunication) continue;
+    for (int i = 0; i < points_per_op; ++i) {
+      OpInput in;
+      if (op_class(op) == OpClass::kTokenLevel) {
+        in.tokens = log_uniform(1, 8192);
+      } else if (op == OpType::kAttnPrefill) {
+        in.q_tokens = log_uniform(32, 4096);
+        in.kv_tokens = in.q_tokens + rng.uniform_int(0, 4096 - 32);
+      } else {
+        in.batch_size = static_cast<int>(log_uniform(1, 512));
+        in.kv_tokens = in.batch_size * log_uniform(16, 8192);
+      }
+      const double truth = ground_truth_op_time(node, shapes, op, in);
+      db.add({op, tp}, {in.features(op), truth});
+    }
+  }
+  return db;
+}
+
+double overall_mape(const RuntimeEstimator& est, const ProfileDb& holdout) {
+  double acc = 0.0;
+  int n = 0;
+  for (const ProfileKey& key : holdout.keys()) {
+    acc += est.evaluate_mape(key, holdout.points(key));
+    ++n;
+  }
+  return acc / n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vidur::bench;
+
+  const ModelSpec model = model_by_name("llama2-70b");
+  NodeSpec node;
+  node.sku = sku_by_name("a100");
+  const int tp = 4;
+  const ProfileDb holdout = make_holdout(model, node, tp, 200, 77);
+
+  std::cout << "=== Estimator ablation: held-out MAPE by model family and "
+               "profiling-grid density ===\n(llama2-70b, a100, tp4; 200 "
+               "held-out points per operator)\n\n";
+
+  ConsoleTable table({"grid density", "profiled points", "random forest",
+                      "ridge poly (deg 2)", "1-nearest-neighbor", "mlp"});
+
+  for (double density : {0.25, 0.5, 1.0}) {
+    ProfilerOptions popts;
+    popts.grid_density = density;
+    const ProfileDb profile = profile_model(model, node, {tp}, popts);
+
+    std::vector<std::string> row = {fmt_double(density, 2),
+                                    std::to_string(profile.total_points())};
+    for (EstimatorKind kind :
+         {EstimatorKind::kRandomForest, EstimatorKind::kRidgePoly,
+          EstimatorKind::kNearestNeighbor, EstimatorKind::kMlp}) {
+      RuntimeEstimator::Options eopts;
+      eopts.kind = kind;
+      const RuntimeEstimator est(profile, eopts);
+      row.push_back(fmt_percent(overall_mape(est, holdout)));
+    }
+    table.add_row(row);
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "expected shape: RF lowest error; polynomial regression "
+               "cannot express kernel\nnon-linearities; the MLP (the choice "
+               "of prior training simulators, e.g. Habitat)\nneeds denser "
+               "grids to close the gap; paper argues RF balances data "
+               "frugality\nand fidelity (§4.4).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation (paper §7.3's GQA-vs-MHA observation, made controlled): the
+// paper notes Qwen-72B (MHA, 64 KV heads) carries 8x the KV load of
+// LLaMA2-70B (GQA, 8 KV heads) and is ~2x as expensive to serve. Model
+// size, layer count and head dim all differ between those two; this bench
+// isolates the attention choice by serving LLaMA2-70B against a synthetic
+// MHA variant that differs *only* in num_kv_heads.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "scheduler/memory.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  const int num_requests = scaled(300, 80);
+  const double qps = 0.6;
+
+  ModelSpec gqa = model_by_name("llama2-70b");
+  ModelSpec mha = gqa;
+  mha.name = "llama2-70b-mha";
+  mha.num_kv_heads = mha.num_q_heads;  // 8 -> 64 KV heads, everything else equal
+
+  std::cout << "=== KV-load ablation: GQA (8 KV heads) vs MHA (64 KV heads) "
+               "on LLaMA2-70B (TP4, A100), BWB-4K @ "
+            << qps << " qps ===\n\n";
+  std::cout << "KV bytes/token: GQA " << gqa.kv_bytes_per_token() << "  MHA "
+            << mha.kv_bytes_per_token() << " ("
+            << mha.kv_bytes_per_token() / gqa.kv_bytes_per_token()
+            << "x, the paper's 8x)\n\n";
+
+  // BWB-4K: the decode-heavy workload where KV capacity binds hardest.
+  const Trace trace =
+      generate_trace(trace_by_name("bwb4k"),
+                     ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, num_requests,
+                     /*seed=*/41);
+
+  ConsoleTable table({"attention", "KV blocks", "throughput qps",
+                      "TTFT p90 (s)", "TBT p99 (s)", "KV util", "restarts",
+                      "norm e2e p50"});
+
+  for (const ModelSpec& model : {gqa, mha}) {
+    DeploymentConfig config;
+    config.sku_name = "a100";
+    config.parallel = ParallelConfig{4, 1, 1};
+    config.scheduler.kind = SchedulerKind::kVllm;
+    config.scheduler.max_batch_size = 128;
+
+    VidurSession session(model);
+    const SimulationMetrics m = session.simulate(config, trace);
+    NodeSpec node;
+    node.sku = sku_by_name("a100");
+    const MemoryPlan plan = plan_memory(model, node, config.parallel);
+    table.add_row({model.uses_gqa() ? "GQA (8 kv heads)" : "MHA (64 kv heads)",
+                   std::to_string(plan.num_kv_blocks),
+                   fmt_double(m.throughput_qps, 3), fmt_double(m.ttft.p90, 3),
+                   fmt_double(m.tbt.p99, 4), fmt_percent(m.mean_kv_utilization),
+                   std::to_string(m.num_restarts),
+                   fmt_double(m.normalized_e2e_latency.p50, 4)});
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "expected shape: the MHA variant has ~1/8 the KV blocks, "
+               "saturates its KV pool,\npreempts/restarts under load and "
+               "loses throughput — the mechanism behind the\npaper's "
+               "\"Qwen-72B is ~2x more costly to serve\" observation "
+               "(§7.3).\n";
+  return 0;
+}

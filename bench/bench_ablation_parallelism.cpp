@@ -1,0 +1,66 @@
+// Ablation (paper §2.2): tensor vs pipeline parallelism on a fixed GPU
+// budget, plus the asynchronous-pipeline-communication extension (paper
+// §4.5 future work). TP splits every operator (lower latency, frequent
+// collectives); PP splits layers (cheap send/recv, pipeline bubbles).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  const int num_requests = scaled(300, 80);
+  const double qps = 1.0;
+
+  std::cout << "=== Parallelism ablation: LLaMA2-70B on 4x A100, Sarathi, "
+               "Chat-1M @ "
+            << qps << " qps, " << num_requests << " requests ===\n\n";
+
+  VidurSession session(model_by_name("llama2-70b"));
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, num_requests,
+                     /*seed=*/31);
+
+  struct Layout {
+    int tp, pp;
+    bool async_comm;
+    const char* label;
+  };
+  const Layout layouts[] = {
+      {4, 1, false, "TP4"},
+      {2, 2, false, "TP2 x PP2 (sync)"},
+      {2, 2, true, "TP2 x PP2 (async comm)"},
+      {1, 4, false, "PP4 (sync)"},
+      {1, 4, true, "PP4 (async comm)"},
+  };
+
+  ConsoleTable table({"layout", "throughput qps", "TTFT p90 (s)",
+                      "TBT p99 (s)", "norm e2e p50", "MFU", "busy"});
+
+  for (const Layout& layout : layouts) {
+    DeploymentConfig config;
+    config.sku_name = "a100";
+    config.parallel = ParallelConfig{layout.tp, layout.pp, 1};
+    config.scheduler.kind = SchedulerKind::kSarathi;
+    config.scheduler.max_batch_size = 128;
+    config.scheduler.chunk_size = 512;
+    config.async_pipeline_comm = layout.async_comm;
+
+    const SimulationMetrics m = session.simulate(config, trace);
+    table.add_row({layout.label, fmt_double(m.throughput_qps, 3),
+                   fmt_double(m.ttft.p90, 3), fmt_double(m.tbt.p99, 4),
+                   fmt_double(m.normalized_e2e_latency.p50, 4),
+                   fmt_percent(m.mfu), fmt_percent(m.busy_fraction)});
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "expected shape: TP4 gives the lowest per-iteration latency "
+               "(all GPUs on every\noperator); PP variants trade latency for "
+               "cheaper communication; async comm\nrecovers part of the "
+               "send/recv time from the pipeline's critical path (never\n"
+               "slower than sync).\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation (paper §2.2 / §5): the latency-throughput tradeoff across the
+// five batching policies on one deployment. Decode-prioritizing
+// (FasterTransformer) gives low TBT but poor throughput; prefill-
+// prioritizing (Orca+, vLLM, LightLLM) the reverse, with vLLM's eager
+// prefills producing TBT stalls; Sarathi-Serve's chunked hybrid batches
+// hold TBT low at near-vLLM throughput.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  const int num_requests = scaled(400, 100);
+  const double qps = 1.2;
+
+  std::cout << "=== Scheduler ablation: LLaMA2-70B (TP4, A100), Chat-1M @ "
+            << qps << " qps, " << num_requests << " requests ===\n\n";
+
+  VidurSession session(model_by_name("llama2-70b"));
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, num_requests,
+                     /*seed=*/21);
+
+  ConsoleTable table({"scheduler", "throughput qps", "TTFT p90 (s)",
+                      "TBT p99 (s)", "norm e2e p50", "batch", "restarts"});
+
+  for (SchedulerKind kind :
+       {SchedulerKind::kFasterTransformer, SchedulerKind::kOrca,
+        SchedulerKind::kVllm, SchedulerKind::kSarathi,
+        SchedulerKind::kLightLlm}) {
+    DeploymentConfig config;
+    config.sku_name = "a100";
+    config.parallel = ParallelConfig{4, 1, 1};
+    config.scheduler.kind = kind;
+    config.scheduler.max_batch_size = 128;
+    config.scheduler.chunk_size = 512;
+
+    const SimulationMetrics m = session.simulate(config, trace);
+    table.add_row({scheduler_name(kind), fmt_double(m.throughput_qps, 3),
+                   fmt_double(m.ttft.p90, 3), fmt_double(m.tbt.p99, 4),
+                   fmt_double(m.normalized_e2e_latency.p50, 4),
+                   fmt_double(m.mean_batch_size, 1),
+                   std::to_string(m.num_restarts)});
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "expected shape: Sarathi holds the lowest TBT tail among the "
+               "continuous-batching\npolicies while matching vLLM-class "
+               "throughput; FasterTransformer pays throughput\nfor its "
+               "decode-only batches (paper §2.2).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces paper Figure 1a and Figure 6 from a single Vidur-Search sweep:
+//   * Fig 1a — the optimal deployment configuration (SKU, TP/PP, scheduler,
+//     batch size) and its QPS per dollar for each of the 12 model x trace
+//     pairs;
+//   * Fig 6 — QPS per dollar of the best SLO-compliant configuration
+//     (TTFT P90 < 2 s, TBT P99 < 200 ms) grouped by model and trace.
+//
+// Shape checks from the paper: QPS/$ ordering Chat-1M > Arxiv-4K > BWB-4K
+// for every model; 7B >> 20B > 70B; Qwen-72B roughly 2x the cost of
+// LLaMA2-70B (MHA vs GQA KV load); optimal config varies per trace.
+//
+// Also writes bench_out/search_summary.csv for downstream analysis.
+#include <filesystem>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  SearchSpace space;
+  space.batch_sizes = {64, 128, 256};
+  space.sarathi_chunk_sizes = {512, 2048};
+
+  VidurSearchOptions options;
+  options.capacity.num_requests = scaled(250, 100);
+  options.capacity.binary_search_iters = 4;
+  options.num_threads = 0;
+
+  std::cout << "=== Figure 1a / Figure 6: optimal deployment configuration "
+               "per model x trace ===\n(search space: "
+            << space.enumerate(model_by_name("llama2-7b")).size()
+            << " configs per pair; SLOs TTFT-P90 < 2s, TBT-P99 < 200ms)\n\n";
+
+  ConsoleTable fig1a({"model", "trace", "best config (Fig 1a)", "QPS/$",
+                      "SLO-best QPS/$ (Fig 6)"});
+  CsvWriter csv({"model", "trace", "config", "qps_per_dollar",
+                 "slo_qps_per_dollar", "capacity_qps", "configs_evaluated"});
+
+  for (const ModelSetup& m : paper_model_setups()) {
+    if (!model_enabled(m.model_name)) continue;
+    VidurSession session(model_by_name(m.model_name));
+    for (const TraceSetup& t : paper_trace_setups()) {
+      if (!trace_enabled(t.trace_name)) continue;
+      std::cerr << "searching " << m.model_name << " x " << t.trace_name
+                << "...\n";
+      const SearchResult result = run_search(
+          session, space, trace_by_name(t.trace_name), options);
+
+      const auto best_slo = result.best();
+      const auto best_any = result.best_unconstrained();
+      const auto& fig1a_best = best_slo ? best_slo : best_any;
+
+      std::string config_str = "(none feasible)";
+      double qps_dollar = 0.0, slo_qps_dollar = 0.0, capacity = 0.0;
+      if (fig1a_best) {
+        config_str = fig1a_best->config.to_string();
+        qps_dollar = fig1a_best->qps_per_dollar;
+        capacity = fig1a_best->capacity_qps;
+      }
+      if (best_slo) slo_qps_dollar = best_slo->qps_per_dollar;
+
+      fig1a.add_row({m.display, t.display, config_str,
+                     fmt_double(qps_dollar, 3),
+                     best_slo ? fmt_double(slo_qps_dollar, 3) : "none"});
+      csv.add_row({m.model_name, t.trace_name, config_str,
+                   fmt_double(qps_dollar, 4), fmt_double(slo_qps_dollar, 4),
+                   fmt_double(capacity, 4),
+                   std::to_string(result.evaluations.size())});
+    }
+  }
+
+  std::cout << fig1a.str() << "\n";
+  std::cout << "paper reference (Fig 1a QPS/$): 7B 1.831/0.533/0.179, "
+               "20B 0.538/0.162/0.060,\n  70B 0.201/0.046/0.026, "
+               "72B 0.091/0.027/0.012 (Chat-1M/Arxiv/BWB)\n";
+
+  std::filesystem::create_directories("bench_out");
+  csv.write_file("bench_out/search_summary.csv");
+  std::cout << "\nwrote bench_out/search_summary.csv\n";
+  return 0;
+}

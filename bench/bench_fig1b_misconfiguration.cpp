@@ -1,0 +1,79 @@
+// Reproduces paper Figure 1b: the cost of misconfiguration. For LLaMA2-70B,
+// find the optimal config on each reference trace, then serve each trace
+// with every other trace's optimal config. Cell (reference, transfer) is the
+// cost ratio QPS/$(optimal on transfer) / QPS/$(reference's optimal applied
+// to transfer) — diagonal 1.0, off-diagonal up to ~2x in the paper.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  SearchSpace space;
+  space.batch_sizes = {64, 128, 256};
+  space.sarathi_chunk_sizes = {512, 2048};
+
+  VidurSearchOptions options;
+  options.capacity.num_requests = scaled(250, 100);
+  options.capacity.binary_search_iters = 4;
+
+  std::cout << "=== Figure 1b: cost of misconfiguration (LLaMA2-70B) ===\n\n";
+
+  VidurSession session(model_by_name("llama2-70b"));
+
+  // Optimal config per trace.
+  std::map<std::string, DeploymentConfig> optimal;
+  std::map<std::string, double> optimal_value;  // QPS/$ of the trace's best
+  for (const TraceSetup& t : paper_trace_setups()) {
+    std::cerr << "searching optimal for " << t.trace_name << "...\n";
+    const SearchResult result =
+        run_search(session, space, trace_by_name(t.trace_name), options);
+    const auto best = result.best() ? result.best()
+                                    : result.best_unconstrained();
+    if (!best) {
+      std::cout << "no feasible config for " << t.display << "\n";
+      return 1;
+    }
+    optimal[t.trace_name] = best->config;
+    optimal_value[t.trace_name] = best->qps_per_dollar;
+    std::cout << t.display << " optimal: " << best->config.to_string()
+              << "  (" << fmt_double(best->qps_per_dollar, 3) << " QPS/$)\n";
+  }
+
+  // Cross matrix: run each trace's workload under the other traces' configs.
+  std::cout << "\ncost ratio matrix (rows: config taken from; columns: "
+               "trace served):\n\n";
+  ConsoleTable table({"config from \\ served", "Chat-1M", "Arxiv-4K",
+                      "BWB-4K"});
+  double max_ratio = 1.0;
+  for (const TraceSetup& source : paper_trace_setups()) {
+    std::vector<std::string> row = {source.display};
+    for (const TraceSetup& target : paper_trace_setups()) {
+      double ratio = 1.0;
+      if (source.trace_name != target.trace_name) {
+        const CapacityResult cap =
+            find_capacity(session, optimal[source.trace_name],
+                          trace_by_name(target.trace_name), options.capacity);
+        const double transferred_value =
+            cap.feasible ? cap.capacity_qps /
+                               optimal[source.trace_name].cost_per_hour()
+                         : 0.0;
+        ratio = transferred_value > 0
+                    ? optimal_value[target.trace_name] / transferred_value
+                    : std::numeric_limits<double>::infinity();
+      }
+      max_ratio = std::max(max_ratio, ratio);
+      row.push_back(fmt_double(ratio, 2));
+    }
+    table.add_row(row);
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "max overhead factor: " << fmt_double(max_ratio, 2)
+            << "x  (paper: up to 2x)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 3: fidelity of Vidur's request execution time
+// prediction on *static* (offline) workloads — median and P95 normalized
+// execution latency (s/token), Real vs Predicted with % error, for the four
+// models x three traces, vLLM scheduler.
+//
+// Paper reference: all errors within 3.33% (P95) / 3.01% (median).
+#include <cstdint>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  const int num_requests = scaled(256);
+  std::cout << "=== Figure 3: static-workload fidelity (" << num_requests
+            << " requests, vLLM scheduler) ===\n\n";
+
+  ConsoleTable table({"model", "trace", "real p50 (s/tok)", "pred p50",
+                      "err p50", "real p95", "pred p95", "err p95"});
+  double worst_median = 0.0, worst_p95 = 0.0;
+
+  for (const ModelSetup& m : paper_model_setups()) {
+    VidurSession session(model_by_name(m.model_name));
+    const DeploymentConfig config = fidelity_deployment(m);
+    std::uint64_t seed = 1000;
+    for (const TraceSetup& t : paper_trace_setups()) {
+      const FidelityPoint point = static_fidelity(
+          session, config, t.trace_name, num_requests, seed++);
+      table.add_row({m.display, t.display, fmt_double(point.real_median, 5),
+                     fmt_double(point.pred_median, 5),
+                     fmt_double(point.median_error_pct(), 2) + "%",
+                     fmt_double(point.real_p95, 5),
+                     fmt_double(point.pred_p95, 5),
+                     fmt_double(point.p95_error_pct(), 2) + "%"});
+      worst_median =
+          std::max(worst_median, std::abs(point.median_error_pct()));
+      worst_p95 = std::max(worst_p95, std::abs(point.p95_error_pct()));
+    }
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "worst |median error| = " << fmt_double(worst_median, 2)
+            << "%   (paper: <= 3.01%)\n";
+  std::cout << "worst |p95 error|    = " << fmt_double(worst_p95, 2)
+            << "%   (paper: <= 3.33%)\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces paper Figure 5: Pareto-frontier analysis for two scenarios —
+// LLaMA2-70B on LMSys-Chat-1M and Qwen-72B on Arxiv-4K. For every config in
+// the space we report capacity QPS/$ with the TTFT-P90 and TBT-P99 at the
+// capacity operating point, print both Pareto frontiers (QPS/$ vs TTFT and
+// vs TBT), flag SLO compliance, and name the best config.
+//
+// Paper reference best configs:
+//   LLaMA2-70B–Chat-1M: PP2 TP2, Sarathi chunk 512, BS 256, H100 (0.20 QPS/$)
+//   Qwen-72B–Arxiv-4K:  PP1 TP4, Sarathi chunk 512, BS 128, H100 (0.03 QPS/$)
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace vidur;
+using namespace vidur::bench;
+
+void analyze(const std::string& model_name, const std::string& trace_name,
+             const std::string& title, const std::string& paper_best) {
+  // Without pruning every config pays a full capacity search, so the space
+  // is kept tighter than Fig 1a's.
+  SearchSpace space;
+  space.pp_degrees = {1, 2};
+  space.batch_sizes = {64, 256};
+  space.sarathi_chunk_sizes = {512};
+
+  VidurSearchOptions options;
+  options.capacity.num_requests = scaled(250, 100);
+  options.capacity.binary_search_iters = 4;
+  options.prune = false;  // the frontier needs every config evaluated
+
+  std::cout << "--- " << title << " ---\n";
+  VidurSession session(model_by_name(model_name));
+  const SearchResult result =
+      run_search(session, space, trace_by_name(trace_name), options);
+
+  int feasible = 0, slo_ok = 0;
+  for (const auto& e : result.evaluations) {
+    feasible += e.feasible ? 1 : 0;
+    slo_ok += e.meets_slo ? 1 : 0;
+  }
+  std::cout << result.evaluations.size() << " configs, " << feasible
+            << " feasible, " << slo_ok << " SLO-compliant\n\n";
+
+  for (bool use_ttft : {true, false}) {
+    const auto frontier = result.pareto_frontier(use_ttft);
+    std::cout << "Pareto frontier (QPS/$ vs "
+              << (use_ttft ? "TTFT-P90" : "TBT-P99") << "):\n";
+    ConsoleTable table({use_ttft ? "TTFT p90 (s)" : "TBT p99 (s)", "QPS/$",
+                        "SLO", "config"});
+    for (const auto& e : frontier) {
+      table.add_row({fmt_double(use_ttft ? e.ttft_p90 : e.tbt_p99, 3),
+                     fmt_double(e.qps_per_dollar, 3),
+                     e.meets_slo ? "yes" : "NO", e.config.to_string()});
+    }
+    std::cout << table.str() << "\n";
+  }
+
+  const auto best = result.best();
+  if (best) {
+    std::cout << "best SLO-compliant config: " << best->config.to_string()
+              << "\n  QPS/$ = " << fmt_double(best->qps_per_dollar, 3)
+              << ", TTFT p90 = " << fmt_double(best->ttft_p90, 3)
+              << "s, TBT p99 = " << fmt_double(best->tbt_p99, 3) << "s\n";
+  } else {
+    std::cout << "no SLO-compliant config found\n";
+  }
+  std::cout << "paper best: " << paper_best << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 5: Pareto frontier analysis (SLO: TTFT-P90 < 2s, "
+               "TBT-P99 < 200ms) ===\n\n";
+  analyze("llama2-70b", "chat1m", "LLaMA2-70B x LMSys-Chat-1M",
+          "PP2 TP2 Sarathi(chunk 512, BS 256) on H100, 0.20 QPS/$");
+  analyze("qwen-72b", "arxiv4k", "Qwen-72B x Arxiv-4K",
+          "PP1 TP4 Sarathi(chunk 512, BS 128) on H100, 0.03 QPS/$");
+  return 0;
+}

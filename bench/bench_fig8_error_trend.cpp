@@ -1,0 +1,58 @@
+// Reproduces paper Figure 8 (appendix): prediction error of P95 normalized
+// end-to-end latency as the arrival rate sweeps 0.75x..0.95x of capacity.
+// The paper's trend: errors stay small at moderate load and grow (mostly
+// more negative) toward the capacity tipping point, worst for the smallest
+// model.
+#include <cstdint>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace vidur;
+  using namespace vidur::bench;
+
+  const int num_requests = scaled(256);
+  const std::vector<double> rates = {0.75, 0.80, 0.85, 0.90, 0.95};
+
+  std::cout << "=== Figure 8: P95 normalized-latency error vs arrival rate "
+               "(fraction of capacity) ===\n("
+            << num_requests << " requests, vLLM scheduler)\n\n";
+
+  ConsoleTable table({"model", "trace", "0.75", "0.80", "0.85", "0.90",
+                      "0.95"});
+
+  for (const ModelSetup& m : paper_model_setups()) {
+    if (!model_enabled(m.model_name)) continue;
+    VidurSession session(model_by_name(m.model_name));
+    const DeploymentConfig config = fidelity_deployment(m);
+    for (const TraceSetup& t : paper_trace_setups()) {
+      if (!trace_enabled(t.trace_name)) continue;
+      // One capacity search per pair, reused across rates.
+      const double capacity = find_capacity_qps(session, config,
+                                                t.trace_name, num_requests);
+      std::vector<std::string> row = {m.display, t.display};
+      std::uint64_t seed = 4000;
+      for (double rate : rates) {
+        const double qps = capacity * rate;
+        const Trace trace = generate_trace(
+            trace_by_name(t.trace_name),
+            ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, num_requests, seed++);
+        const SimulationMetrics pred = session.simulate(config, trace);
+        const SimulationMetrics real =
+            session.simulate_reference(config, trace, seed ^ 0xf00dULL);
+        const double err = (pred.normalized_e2e_latency.p95 -
+                            real.normalized_e2e_latency.p95) /
+                           real.normalized_e2e_latency.p95 * 100.0;
+        row.push_back(fmt_double(err, 2) + "%");
+      }
+      table.add_row(row);
+    }
+  }
+
+  std::cout << table.str() << "\n";
+  std::cout << "paper: errors within ~±5% at 0.75-0.85, growing to ~-12.65% "
+               "at 0.95 (LLaMA2-7B worst)\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Microbenchmarks of the simulator machinery itself: end-to-end simulation
+// throughput (events and requests per second of wall time), estimator
+// prediction latency with and without the lookup cache, and capacity-search
+// cost. These are what make the paper's "42K GPU-hours in one CPU-hour"
+// economics work.
+#include <benchmark/benchmark.h>
+
+#include "core/session.h"
+#include "search/capacity.h"
+#include "workload/trace_generator.h"
+
+namespace {
+
+using namespace vidur;
+
+VidurSession& shared_session(const std::string& model) {
+  static std::map<std::string, std::unique_ptr<VidurSession>> sessions;
+  auto it = sessions.find(model);
+  if (it == sessions.end()) {
+    it = sessions
+             .emplace(model,
+                      std::make_unique<VidurSession>(model_by_name(model)))
+             .first;
+    it->second->onboard("a100");
+  }
+  return *it->second;
+}
+
+DeploymentConfig config_for(const std::string& model, SchedulerKind kind) {
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{model == "llama2-7b" ? 1 : 4, 1, 1};
+  config.scheduler.kind = kind;
+  config.scheduler.max_batch_size = 128;
+  return config;
+}
+
+void BM_SimulateChat(benchmark::State& state, const std::string& model,
+                     SchedulerKind kind) {
+  VidurSession& session = shared_session(model);
+  const DeploymentConfig config = config_for(model, kind);
+  const int n = static_cast<int>(state.range(0));
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 1.0, 0}, n, 1);
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    const SimulationMetrics m = session.simulate(config, trace);
+    benchmark::DoNotOptimize(m.throughput_qps);
+    requests += n;
+  }
+  state.counters["requests/s"] =
+      benchmark::Counter(static_cast<double>(requests),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_OnboardModel(benchmark::State& state) {
+  for (auto _ : state) {
+    VidurSession session(model_by_name("llama2-7b"));
+    session.onboard("a100");
+    benchmark::DoNotOptimize(session.profile("a100").total_points());
+  }
+}
+
+void BM_EstimatorPredictCached(benchmark::State& state) {
+  VidurSession& session = shared_session("llama2-7b");
+  const RuntimeEstimator& est = session.estimator("a100");
+  OpInput in;
+  in.tokens = 512;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(est.predict(OpType::kMlpGateUpProj, 1, in));
+}
+
+void BM_EstimatorPredictUncached(benchmark::State& state) {
+  VidurSession& session = shared_session("llama2-7b");
+  const RuntimeEstimator& est = session.estimator("a100");
+  OpInput in;
+  in.tokens = 512;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        est.predict_uncached(OpType::kMlpGateUpProj, 1, in));
+}
+
+void BM_CapacitySearch(benchmark::State& state) {
+  VidurSession& session = shared_session("llama2-7b");
+  const DeploymentConfig config =
+      config_for("llama2-7b", SchedulerKind::kSarathi);
+  CapacitySearchOptions options;
+  options.num_requests = 150;
+  options.binary_search_iters = 4;
+  for (auto _ : state) {
+    const CapacityResult cap =
+        find_capacity(session, config, trace_by_name("chat1m"), options);
+    benchmark::DoNotOptimize(cap.capacity_qps);
+    state.counters["probes"] = cap.num_probes;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SimulateChat, llama7b_vllm, "llama2-7b",
+                  vidur::SchedulerKind::kVllm)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulateChat, llama7b_sarathi, "llama2-7b",
+                  vidur::SchedulerKind::kSarathi)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulateChat, llama70b_vllm, "llama2-70b",
+                  vidur::SchedulerKind::kVllm)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulateChat, llama70b_orca, "llama2-70b",
+                  vidur::SchedulerKind::kOrca)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnboardModel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EstimatorPredictCached);
+BENCHMARK(BM_EstimatorPredictUncached);
+BENCHMARK(BM_CapacitySearch)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "search/capacity.h"
+
+namespace vidur::bench {
+
+double bench_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("VIDUR_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+int scaled(int n, int min_n) {
+  return std::max(min_n, static_cast<int>(n * bench_scale()));
+}
+
+namespace {
+
+bool env_filter(const char* var, const std::string& value) {
+  const char* env = std::getenv(var);
+  return env == nullptr || value == env;
+}
+
+}  // namespace
+
+bool model_enabled(const std::string& model_name) {
+  return env_filter("VIDUR_BENCH_MODEL", model_name);
+}
+
+bool trace_enabled(const std::string& trace_name) {
+  return env_filter("VIDUR_BENCH_TRACE", trace_name);
+}
+
+const std::vector<ModelSetup>& paper_model_setups() {
+  static const std::vector<ModelSetup> setups = {
+      {"llama2-7b", 1, "LLaMA2-7B (TP1)"},
+      {"internlm-20b", 2, "InternLM-20B (TP2)"},
+      {"llama2-70b", 4, "LLaMA2-70B (TP4)"},
+      {"qwen-72b", 4, "Qwen-72B (TP4)"},
+  };
+  return setups;
+}
+
+const std::vector<TraceSetup>& paper_trace_setups() {
+  static const std::vector<TraceSetup> setups = {
+      {"chat1m", "Chat-1M"},
+      {"arxiv4k", "Arxiv-4K"},
+      {"bwb4k", "BWB-4K"},
+  };
+  return setups;
+}
+
+DeploymentConfig fidelity_deployment(const ModelSetup& setup) {
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{setup.tensor_parallel, 1, 1};
+  config.scheduler.kind = SchedulerKind::kVllm;  // paper: default vLLM
+  config.scheduler.max_batch_size = 128;
+  return config;
+}
+
+namespace {
+
+FidelityPoint compare(const SimulationMetrics& real,
+                      const SimulationMetrics& pred, bool execution_metric) {
+  FidelityPoint point;
+  const Summary& r = execution_metric ? real.normalized_execution_latency
+                                      : real.normalized_e2e_latency;
+  const Summary& p = execution_metric ? pred.normalized_execution_latency
+                                      : pred.normalized_e2e_latency;
+  point.real_median = r.p50;
+  point.pred_median = p.p50;
+  point.real_p95 = r.p95;
+  point.pred_p95 = p.p95;
+  return point;
+}
+
+}  // namespace
+
+FidelityPoint static_fidelity(VidurSession& session,
+                              const DeploymentConfig& config,
+                              const std::string& trace_name,
+                              int num_requests, std::uint64_t seed) {
+  const Trace trace = generate_trace(trace_by_name(trace_name),
+                                     ArrivalSpec{ArrivalKind::kStatic, 0, 0},
+                                     num_requests, seed);
+  const SimulationMetrics pred = session.simulate(config, trace);
+  const SimulationMetrics real =
+      session.simulate_reference(config, trace, seed ^ 0x5ca1ab1eULL);
+  return compare(real, pred, /*execution_metric=*/true);
+}
+
+double find_capacity_qps(VidurSession& session,
+                         const DeploymentConfig& config,
+                         const std::string& trace_name, int num_requests) {
+  CapacitySearchOptions options;
+  options.num_requests = num_requests;
+  const CapacityResult cap =
+      find_capacity(session, config, trace_by_name(trace_name), options);
+  VIDUR_CHECK_MSG(cap.feasible, "no feasible capacity for "
+                                    << config.to_string() << " on "
+                                    << trace_name);
+  return cap.capacity_qps;
+}
+
+FidelityPoint dynamic_fidelity(VidurSession& session,
+                               const DeploymentConfig& config,
+                               const std::string& trace_name,
+                               double rate_fraction, int num_requests,
+                               std::uint64_t seed) {
+  const double capacity =
+      find_capacity_qps(session, config, trace_name, num_requests);
+  const double qps = capacity * rate_fraction;
+  const Trace trace =
+      generate_trace(trace_by_name(trace_name),
+                     ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, num_requests,
+                     seed);
+  const SimulationMetrics pred = session.simulate(config, trace);
+  const SimulationMetrics real =
+      session.simulate_reference(config, trace, seed ^ 0x5ca1ab1eULL);
+  return compare(real, pred, /*execution_metric=*/false);
+}
+
+}  // namespace vidur::bench

@@ -1,0 +1,82 @@
+// Shared helpers for the benchmark harnesses: scaling via the
+// VIDUR_BENCH_SCALE env var, the paper's model/trace matrix, and fidelity
+// comparison runs (Real = reference executor, Predicted = Vidur).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "search/search.h"
+#include "workload/trace_generator.h"
+
+namespace vidur::bench {
+
+/// Global effort multiplier from VIDUR_BENCH_SCALE (default 1.0). Values
+/// below 1 shrink request counts and config spaces for quick runs.
+double bench_scale();
+
+/// n scaled by bench_scale(), floored at `min_n`.
+int scaled(int n, int min_n = 16);
+
+/// Optional filters for quick runs: when VIDUR_BENCH_MODEL /
+/// VIDUR_BENCH_TRACE are set, anything else is skipped.
+bool model_enabled(const std::string& model_name);
+bool trace_enabled(const std::string& trace_name);
+
+/// One fidelity evaluation setup from paper §7.1/§7.2.
+struct ModelSetup {
+  std::string model_name;
+  int tensor_parallel;
+  std::string display;  ///< e.g. "LLaMA2-7B (TP1)"
+};
+
+/// The paper's four models with their evaluation TP degrees.
+const std::vector<ModelSetup>& paper_model_setups();
+
+/// The paper's three workloads, display names matching the figures.
+struct TraceSetup {
+  std::string trace_name;
+  std::string display;
+};
+const std::vector<TraceSetup>& paper_trace_setups();
+
+/// Result of one fidelity comparison: the paper's "Real" and "Predicted"
+/// bars plus the % error annotation.
+struct FidelityPoint {
+  double real_median = 0.0;
+  double pred_median = 0.0;
+  double real_p95 = 0.0;
+  double pred_p95 = 0.0;
+
+  double median_error_pct() const {
+    return (pred_median - real_median) / real_median * 100.0;
+  }
+  double p95_error_pct() const {
+    return (pred_p95 - real_p95) / real_p95 * 100.0;
+  }
+};
+
+/// Fidelity of normalized *execution* latency on a static workload
+/// (paper Fig. 3): all requests at t=0, vLLM scheduler.
+FidelityPoint static_fidelity(VidurSession& session,
+                              const DeploymentConfig& config,
+                              const std::string& trace_name,
+                              int num_requests, std::uint64_t seed);
+
+/// Fidelity of normalized *end-to-end* latency on a dynamic workload at
+/// `rate_fraction` of the configuration's capacity (paper Fig. 4/7).
+FidelityPoint dynamic_fidelity(VidurSession& session,
+                               const DeploymentConfig& config,
+                               const std::string& trace_name,
+                               double rate_fraction, int num_requests,
+                               std::uint64_t seed);
+
+/// The vLLM-scheduler deployment used by the fidelity experiments.
+DeploymentConfig fidelity_deployment(const ModelSetup& setup);
+
+/// Capacity (QPS) of `config` on `trace_name` via Vidur's capacity search.
+double find_capacity_qps(VidurSession& session, const DeploymentConfig& config,
+                         const std::string& trace_name, int num_requests);
+
+}  // namespace vidur::bench

@@ -1,0 +1,55 @@
+// Capacity planning with Vidur-Search (paper §6): given a model and a
+// workload, sweep the deployment space and report the cheapest
+// SLO-compliant configuration, its capacity, and the Pareto frontier —
+// the library-API version of the paper's what-if analysis (§7.3).
+//
+// Usage: capacity_planning [model] [trace]
+#include <iostream>
+
+#include "common/table.h"
+#include "search/search.h"
+
+int main(int argc, char** argv) {
+  using namespace vidur;
+
+  const std::string model_name = argc > 1 ? argv[1] : "internlm-20b";
+  const std::string trace_name = argc > 2 ? argv[2] : "chat1m";
+
+  VidurSession session(model_by_name(model_name));
+
+  SearchSpace space;
+  space.max_total_gpus = 8;
+  space.batch_sizes = {64, 128};
+  space.sarathi_chunk_sizes = {512};
+
+  VidurSearchOptions options;
+  options.capacity.num_requests = 200;
+  options.capacity.binary_search_iters = 4;
+  options.slo = SloSpec{2.0, 0.2};  // TTFT p90 < 2s, TBT p99 < 200ms
+
+  std::cout << "searching " << space.enumerate(session.model()).size()
+            << " deployment configs for " << model_name << " on "
+            << trace_name << "...\n\n";
+  const SearchResult result =
+      run_search(session, space, trace_by_name(trace_name), options);
+
+  const auto best = result.best();
+  if (!best) {
+    std::cout << "no SLO-compliant configuration found\n";
+    return 1;
+  }
+  std::cout << "best config: " << best->config.to_string() << "\n"
+            << "  capacity:  " << fmt_double(best->capacity_qps, 2)
+            << " QPS at $" << fmt_double(best->cost_per_hour, 2) << "/hr -> "
+            << fmt_double(best->qps_per_dollar, 3) << " QPS/$\n"
+            << "  TTFT p90:  " << fmt_double(best->ttft_p90, 3) << "s, "
+            << "TBT p99: " << fmt_double(best->tbt_p99, 3) << "s\n\n";
+
+  std::cout << "TTFT Pareto frontier (latency vs value):\n";
+  ConsoleTable table({"TTFT p90 (s)", "QPS/$", "config"});
+  for (const auto& e : result.pareto_frontier(/*use_ttft=*/true))
+    table.add_row({fmt_double(e.ttft_p90, 3), fmt_double(e.qps_per_dollar, 3),
+                   e.config.to_string()});
+  std::cout << table.str();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Model onboarding for an architecture that is not in the registry
+// (paper §4.1: the declarative model spec makes adding models cheap).
+// Defines a hypothetical 13B GQA model, onboards it (profile + estimator),
+// inspects the profile database, and simulates a deployment.
+#include <iostream>
+
+#include "core/session.h"
+#include "common/table.h"
+#include "workload/trace_generator.h"
+
+int main() {
+  using namespace vidur;
+
+  // A custom 13B-class model: 40 layers, GQA with 8 KV heads.
+  const ModelSpec custom{.name = "custom-13b-gqa",
+                         .num_layers = 40,
+                         .embed_dim = 5120,
+                         .ffn_dim = 13824,
+                         .num_q_heads = 40,
+                         .num_kv_heads = 8,
+                         .vocab_size = 32000,
+                         .gated_mlp = true};
+  custom.validate();
+  std::cout << "custom model: " << custom.name << "\n  params: "
+            << fmt_double(static_cast<double>(custom.num_params()) / 1e9, 2)
+            << "B, KV bytes/token: " << custom.kv_bytes_per_token()
+            << " (GQA: " << custom.num_kv_heads << " of "
+            << custom.num_q_heads << " heads)\n\n";
+
+  // Onboard on both SKUs; profiles are CSV round-trippable like Vidur's
+  // published profiling data.
+  SessionOptions options;
+  options.tp_degrees = {1, 2};
+  VidurSession session(custom, options);
+  session.onboard("a100");
+  const ProfileDb& profile = session.profile("a100");
+  std::cout << "profiled " << profile.total_points() << " points across "
+            << profile.keys().size() << " operator variants on a100\n";
+  profile.write_file("custom_13b_a100_profile.csv");
+  std::cout << "wrote custom_13b_a100_profile.csv (reloadable with "
+               "ProfileDb::read_file)\n\n";
+
+  // Simulate a TP2 deployment against a summarization-style workload.
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{2, 1, 1};
+  config.scheduler.kind = SchedulerKind::kSarathi;
+  config.scheduler.max_batch_size = 64;
+  config.scheduler.chunk_size = 1024;
+
+  const Trace trace =
+      generate_trace(trace_by_name("arxiv4k"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 0.5, 0}, 150, 23);
+  const SimulationMetrics m = session.simulate(config, trace);
+  std::cout << "deployment " << config.to_string() << " on arxiv4k:\n"
+            << m.to_string();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Disaggregated prefill/decode serving (Splitwise / DistServe, paper §2.2):
+// splits a replica pool into prefill and decode roles, simulates both the
+// unified and the disaggregated deployment, and reports the interference
+// metrics that motivate the split.
+//
+// Usage: disaggregated_serving [model] [qps] [prefill_replicas] [replicas]
+//   model:             default llama2-7b
+//   qps:               arrival rate (default 4.0)
+//   prefill_replicas:  decode replicas are replicas - prefill (default 2)
+//   replicas:          total replica count (default 4)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/session.h"
+#include "workload/trace_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace vidur;
+
+  const std::string model_name = argc > 1 ? argv[1] : "llama2-7b";
+  const double qps = argc > 2 ? std::atof(argv[2]) : 4.0;
+  const int prefill_replicas = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int replicas = argc > 4 ? std::atoi(argv[4]) : 4;
+
+  VidurSession session(model_by_name(model_name));
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, 300,
+                     /*seed=*/7);
+
+  DeploymentConfig unified;
+  unified.sku_name = "a100";
+  unified.parallel = ParallelConfig{1, 1, replicas};
+  unified.scheduler.kind = SchedulerKind::kVllm;
+  unified.scheduler.max_batch_size = 64;
+
+  DeploymentConfig disagg = unified;
+  disagg.disagg.num_prefill_replicas = prefill_replicas;
+
+  std::cout << "=== unified: " << replicas << "x vLLM replicas ===\n"
+            << session.simulate(unified, trace).to_string() << "\n";
+
+  std::cout << "=== disaggregated: " << prefill_replicas << " prefill + "
+            << replicas - prefill_replicas << " decode replicas ===\n"
+            << "(KV transfer: " << disagg.disagg.transfer_bandwidth_gbps
+            << " GB/s + " << disagg.disagg.transfer_latency * 1e3
+            << " ms per hand-off)\n"
+            << session.simulate(disagg, trace).to_string() << "\n";
+
+  std::cout << "Decode replicas never pause generation to admit a prompt, "
+               "so the TBT tail\n(p99) drops under the disaggregated "
+               "deployment; the KV hand-off adds its\ntransfer time to each "
+               "request's second token instead.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: onboard a model, simulate one deployment on one workload, and
+// print the simulation report (the flow of paper Fig. 2).
+//
+// Usage: quickstart [model] [trace] [qps]
+//   model: llama2-7b | internlm-20b | llama2-70b | qwen-72b (default 7b)
+//   trace: chat1m | arxiv4k | bwb4k (default chat1m)
+//   qps:   request arrival rate (default 1.5)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/session.h"
+#include "search/capacity.h"
+#include "workload/trace_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace vidur;
+
+  const std::string model_name = argc > 1 ? argv[1] : "llama2-7b";
+  const std::string trace_name = argc > 2 ? argv[2] : "chat1m";
+  const double qps = argc > 3 ? std::atof(argv[3]) : 1.5;
+
+  // 1. Model onboarding: profile operators and train the runtime estimator.
+  VidurSession session(model_by_name(model_name));
+  session.onboard("a100");
+  std::cout << "onboarded " << model_name << " on a100: "
+            << session.profile("a100").total_points()
+            << " profiled points\n";
+
+  // 2. Describe the deployment.
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{model_name == "llama2-7b" ? 1 : 4, 1, 1};
+  config.scheduler.kind = SchedulerKind::kSarathi;
+  config.scheduler.max_batch_size = 128;
+  config.scheduler.chunk_size = 512;
+  std::cout << "deployment: " << config.to_string() << " ($"
+            << config.cost_per_hour() << "/hr)\n";
+
+  // 3. Generate a workload and simulate.
+  ArrivalSpec arrivals{ArrivalKind::kPoisson, qps, /*cv=*/2.0};
+  const Trace trace =
+      generate_trace(trace_by_name(trace_name), arrivals, 200, /*seed=*/7);
+  const SimulationMetrics metrics = session.simulate(config, trace);
+
+  std::cout << "\n=== simulation report (" << trace_name << " @ " << qps
+            << " qps) ===\n"
+            << metrics.to_string();
+  return 0;
+}

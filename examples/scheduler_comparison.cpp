@@ -1,0 +1,64 @@
+// Compare the five batching policies on one deployment: the
+// latency-throughput tradeoff of paper §2.2 (prefill- vs decode-
+// prioritizing vs Sarathi's hybrid chunked batches), including the effect
+// of Sarathi's chunk size.
+//
+// Usage: scheduler_comparison [model] [trace] [qps]
+#include <iostream>
+
+#include "core/session.h"
+#include "common/table.h"
+#include "workload/trace_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace vidur;
+
+  const std::string model_name = argc > 1 ? argv[1] : "llama2-7b";
+  const std::string trace_name = argc > 2 ? argv[2] : "chat1m";
+  const double qps = argc > 3 ? std::atof(argv[3]) : 2.0;
+
+  VidurSession session(model_by_name(model_name));
+  const Trace trace =
+      generate_trace(trace_by_name(trace_name),
+                     ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, 300, 17);
+
+  struct Variant {
+    SchedulerKind kind;
+    TokenCount chunk;
+    std::string label;
+  };
+  const std::vector<Variant> variants = {
+      {SchedulerKind::kFasterTransformer, 0, "faster_transformer"},
+      {SchedulerKind::kOrca, 0, "orca+"},
+      {SchedulerKind::kVllm, 0, "vllm"},
+      {SchedulerKind::kLightLlm, 0, "lightllm"},
+      {SchedulerKind::kSarathi, 512, "sarathi (chunk 512)"},
+      {SchedulerKind::kSarathi, 2048, "sarathi (chunk 2048)"},
+  };
+
+  std::cout << model_name << " on " << trace_name << " @ " << qps
+            << " qps, a100, 300 requests\n\n";
+  ConsoleTable table({"scheduler", "TTFT p90 (s)", "TBT p99 (s)",
+                      "norm e2e p50 (s/tok)", "MFU", "restarts"});
+  for (const Variant& v : variants) {
+    DeploymentConfig config;
+    config.sku_name = "a100";
+    config.parallel =
+        ParallelConfig{model_name == "llama2-7b" ? 1 : 4, 1, 1};
+    config.scheduler.kind = v.kind;
+    config.scheduler.max_batch_size = 128;
+    if (v.chunk > 0) config.scheduler.chunk_size = v.chunk;
+
+    const SimulationMetrics m = session.simulate(config, trace);
+    table.add_row({v.label, fmt_double(m.ttft.p90, 3),
+                   fmt_double(m.tbt.p99, 4),
+                   fmt_double(m.normalized_e2e_latency.p50, 4),
+                   fmt_percent(m.mfu), std::to_string(m.num_restarts)});
+  }
+  std::cout << table.str();
+  std::cout << "\nNote the paper's tradeoff: vLLM/Orca+ (prefill-\n"
+               "prioritizing) pause decodes -> high TBT tails; Sarathi's\n"
+               "chunked hybrid batches keep TBT low; FasterTransformer's\n"
+               "static batches give low TBT but poor TTFT under load.\n";
+  return 0;
+}

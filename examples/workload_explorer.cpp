@@ -1,0 +1,66 @@
+// Vidur-Bench workload exploration (paper §5): generate the three built-in
+// traces, print their Table-1 statistics, and show how arrival burstiness
+// (gamma renewal process vs Poisson) degrades tail latency at equal mean
+// load — the motivation for the stateful/deferred global scheduler.
+#include <iostream>
+
+#include "core/session.h"
+#include "common/table.h"
+#include "workload/trace_generator.h"
+
+int main() {
+  using namespace vidur;
+
+  // Part 1: trace statistics.
+  std::cout << "=== built-in workloads (20k sampled requests) ===\n\n";
+  ConsoleTable stats({"trace", "prefill mean/median/p90",
+                      "decode mean/median/p90", "P:D median"});
+  for (const std::string& name : builtin_trace_names()) {
+    const Trace trace = generate_trace(
+        trace_by_name(name), ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 20000,
+        1);
+    const TraceStats s = compute_trace_stats(trace);
+    stats.add_row({name,
+                   fmt_double(s.prefill_mean, 0) + " / " +
+                       fmt_double(s.prefill_median, 0) + " / " +
+                       fmt_double(s.prefill_p90, 0),
+                   fmt_double(s.decode_mean, 0) + " / " +
+                       fmt_double(s.decode_median, 0) + " / " +
+                       fmt_double(s.decode_p90, 0),
+                   fmt_double(s.pd_ratio_median, 2)});
+  }
+  std::cout << stats.str() << "\n";
+
+  // Part 2: burstiness vs tail latency.
+  std::cout << "=== arrival burstiness vs tails (llama2-7b, chat1m, 1.5 qps,"
+            << " vLLM + round-robin vs deferred routing) ===\n\n";
+  VidurSession session(model_by_name("llama2-7b"));
+  ConsoleTable table({"arrivals", "routing", "TTFT p90 (s)",
+                      "sched delay p99 (s)", "TBT p99 (s)"});
+  for (double cv : {1.0, 3.0, 6.0}) {
+    const ArrivalSpec arrivals =
+        cv == 1.0 ? ArrivalSpec{ArrivalKind::kPoisson, 1.5, 0}
+                  : ArrivalSpec{ArrivalKind::kGamma, 1.5, cv};
+    const Trace trace =
+        generate_trace(trace_by_name("chat1m"), arrivals, 400, 31);
+    for (GlobalSchedulerKind routing :
+         {GlobalSchedulerKind::kRoundRobin, GlobalSchedulerKind::kDeferred}) {
+      DeploymentConfig config;
+      config.sku_name = "a100";
+      config.parallel = ParallelConfig{1, 1, 2};
+      config.scheduler.kind = SchedulerKind::kVllm;
+      config.scheduler.max_batch_size = 64;
+      config.global_scheduler = routing;
+      const SimulationMetrics m = session.simulate(config, trace);
+      table.add_row({cv == 1.0 ? "poisson" : "gamma cv=" + fmt_double(cv, 0),
+                     global_scheduler_name(routing),
+                     fmt_double(m.ttft.p90, 3),
+                     fmt_double(m.scheduling_delay.p99, 3),
+                     fmt_double(m.tbt.p99, 4)});
+    }
+  }
+  std::cout << table.str();
+  std::cout << "\nBursty arrivals inflate the tails; deferred (late-binding)"
+               "\nrouting recovers part of them (paper §4.5).\n";
+  return 0;
+}

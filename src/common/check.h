@@ -1,0 +1,48 @@
+// Precondition / invariant checking.
+//
+// VIDUR_CHECK throws vidur::Error on violation; it is used for conditions
+// that depend on user-supplied configuration or on cross-module contracts.
+// It is always on (release builds included): the simulator is a research
+// tool where a wrong answer is far more expensive than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vidur {
+
+/// Exception thrown by all vidur precondition and invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "VIDUR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace vidur
+
+#define VIDUR_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::vidur::detail::check_failed(#cond, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define VIDUR_CHECK_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream vidur_check_os_;                                \
+      vidur_check_os_ << msg;                                            \
+      ::vidur::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                    vidur_check_os_.str());              \
+    }                                                                    \
+  } while (false)

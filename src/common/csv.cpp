@@ -1,0 +1,101 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(trim(field));
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw Error("CSV column not found: " + name);
+}
+
+CsvDocument parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (trim(line).empty()) continue;
+    auto fields = split_line(line);
+    if (!saw_header) {
+      doc.header = std::move(fields);
+      saw_header = true;
+      continue;
+    }
+    VIDUR_CHECK_MSG(fields.size() == doc.header.size(),
+                    "ragged CSV row: expected " << doc.header.size()
+                                                << " fields, got "
+                                                << fields.size());
+    doc.rows.push_back(std::move(fields));
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  VIDUR_CHECK_MSG(in.good(), "cannot open CSV file: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VIDUR_CHECK(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  VIDUR_CHECK_MSG(row.size() == header_.size(),
+                  "CSV row width " << row.size() << " != header width "
+                                   << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  VIDUR_CHECK_MSG(out.good(), "cannot write CSV file: " << path);
+  out << str();
+}
+
+}  // namespace vidur

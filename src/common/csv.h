@@ -1,0 +1,43 @@
+// Minimal CSV reader/writer. Used for profile databases (the analogue of
+// Vidur's published profiling data) and metric dumps. Values never contain
+// commas/quotes in our schemas, so no quoting logic is needed; the reader
+// still tolerates surrounding whitespace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vidur {
+
+/// A parsed CSV document: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws vidur::Error when missing.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parse CSV text. Throws vidur::Error on ragged rows.
+CsvDocument parse_csv(const std::string& text);
+
+/// Read and parse a CSV file. Throws vidur::Error if unreadable.
+CsvDocument read_csv_file(const std::string& path);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::string str() const;
+  void write_file(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vidur

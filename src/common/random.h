@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// The simulator must be bit-reproducible for a given seed across runs and
+// compilers, so we implement both the engine (xoshiro256++) and every
+// distribution we need (std:: distributions are not specified exactly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vidur {
+
+/// splitmix64: used to expand a single seed into engine state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Derive an independent child stream (for per-replica / per-request
+  /// streams that must not depend on consumption order elsewhere).
+  Rng fork();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+  /// Gamma(shape, scale) via Marsaglia-Tsang. Requires shape, scale > 0.
+  double gamma(double shape, double scale);
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Deterministic Fisher-Yates shuffle (std::shuffle is not specified
+  /// exactly, so it would break cross-compiler reproducibility).
+  template <typename Container>
+  void shuffle(Container& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace vidur

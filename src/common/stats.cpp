@@ -1,0 +1,127 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace vidur {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::infinity() : min_;
+}
+
+double RunningStats::max() const {
+  return count_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSeries::ensure_sorted() const {
+  if (sorted_valid_ && sorted_.size() == samples_.size()) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleSeries::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSeries::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double SampleSeries::min() const {
+  if (samples_.empty()) return std::numeric_limits<double>::infinity();
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSeries::max() const {
+  if (samples_.empty()) return -std::numeric_limits<double>::infinity();
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSeries::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleSeries::quantile(double q) const {
+  VIDUR_CHECK_MSG(!samples_.empty(), "quantile of an empty series");
+  VIDUR_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void SampleSeries::merge(const SampleSeries& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
+Summary Summary::of(const SampleSeries& s) {
+  Summary out;
+  out.count = s.count();
+  if (s.empty()) return out;
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.min = s.min();
+  out.p50 = s.quantile(0.50);
+  out.p90 = s.quantile(0.90);
+  out.p95 = s.quantile(0.95);
+  out.p99 = s.quantile(0.99);
+  out.max = s.max();
+  return out;
+}
+
+}  // namespace vidur

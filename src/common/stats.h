@@ -1,0 +1,80 @@
+// Streaming and sample-based statistics used by metric collection and the
+// trace generators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vidur {
+
+/// Welford streaming statistics: O(1) memory mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< population variance; 0 when count < 2
+  double stddev() const;
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains every sample; supports exact quantiles. Metric series in a
+/// simulation are bounded by the request count so retention is cheap.
+class SampleSeries {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+  /// Exact quantile with linear interpolation, q in [0, 1].
+  /// Requires a non-empty series.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  void merge(const SampleSeries& other);
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;      // lazily maintained cache
+  mutable bool sorted_valid_ = false;
+  void ensure_sorted() const;
+};
+
+/// Compact summary of a series, convenient for reports and CSV rows.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  static Summary of(const SampleSeries& s);
+};
+
+}  // namespace vidur

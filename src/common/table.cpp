@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vidur {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VIDUR_CHECK(!header_.empty());
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  VIDUR_CHECK_MSG(row.size() == header_.size(),
+                  "table row width " << row.size() << " != header width "
+                                     << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string ConsoleTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "| ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+      os << " | ";
+    }
+    std::string s = os.str();
+    s.pop_back();  // trailing space
+    return s;
+  };
+
+  std::ostringstream os;
+  os << render_row(header_) << '\n';
+  std::size_t total = 1;
+  for (auto w : widths) total += w + 3;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) os << render_row(row) << '\n';
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace vidur

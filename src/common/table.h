@@ -1,0 +1,30 @@
+// Console table rendering for the benchmark harnesses: every bench binary
+// prints the paper's table/figure rows through this formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vidur {
+
+/// Right-pads/aligns columns and renders an ASCII table.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with column separators and a header rule.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (fixed notation).
+std::string fmt_double(double v, int precision = 3);
+
+/// Format a fraction as a percentage string, e.g. 0.0123 -> "1.23%".
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace vidur

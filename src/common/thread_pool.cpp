@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace vidur {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) pool.submit([&fn, i] { fn(i); });
+  pool.wait_idle();
+}
+
+}  // namespace vidur

@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by Vidur-Search to evaluate deployment
+// configurations in parallel (the paper runs each capacity search on its own
+// CPU core).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vidur {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1 enforced).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; wrap fallible work yourself.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace vidur

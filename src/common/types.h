@@ -1,0 +1,43 @@
+// Core value types and units shared by every vidur subsystem.
+//
+// Simulation time is kept in double-precision seconds; LLM inference
+// iterations are O(1ms-1s), well within double resolution over multi-hour
+// simulated horizons. Token counts and byte counts are signed 64-bit so that
+// arithmetic on differences never wraps.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vidur {
+
+/// Simulation time in seconds.
+using Seconds = double;
+
+/// Number of tokens (prompt, decode, KV-cache entries, ...).
+using TokenCount = std::int64_t;
+
+/// Number of bytes (weights, KV-cache, activations, network transfers).
+using ByteCount = std::int64_t;
+
+/// Floating-point operation count.
+using FlopCount = double;
+
+/// Monotonically increasing request identifier, unique within a simulation.
+using RequestId = std::int64_t;
+
+/// Index of a model replica within the cluster, in [0, num_replicas).
+using ReplicaId = std::int32_t;
+
+/// Index of a pipeline stage within a replica, in [0, pp_degree).
+using StageId = std::int32_t;
+
+inline constexpr Seconds kInfiniteTime = std::numeric_limits<double>::infinity();
+
+/// Bytes per parameter / activation element (fp16 inference throughout).
+inline constexpr ByteCount kBytesPerElement = 2;
+
+/// Tokens per paged KV-cache block (vLLM default).
+inline constexpr TokenCount kKvBlockSize = 16;
+
+}  // namespace vidur

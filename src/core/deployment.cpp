@@ -1,0 +1,19 @@
+#include "core/deployment.h"
+
+#include <sstream>
+
+namespace vidur {
+
+std::string DeploymentConfig::to_string() const {
+  std::ostringstream os;
+  os << sku_name << " tp" << parallel.tensor_parallel << " pp"
+     << parallel.pipeline_parallel << " x" << parallel.num_replicas << " "
+     << scheduler.to_string();
+  if (async_pipeline_comm) os << " async-pp";
+  if (disagg.enabled())
+    os << " disagg(" << disagg.num_prefill_replicas << "P+"
+       << parallel.num_replicas - disagg.num_prefill_replicas << "D)";
+  return os.str();
+}
+
+}  // namespace vidur

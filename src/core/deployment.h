@@ -1,0 +1,38 @@
+// A deployment configuration: the point in the paper's configuration space
+// that Vidur-Search optimizes over (SKU x parallelism x scheduler x knobs).
+#pragma once
+
+#include <string>
+
+#include "hardware/parallel_config.h"
+#include "hardware/sku.h"
+#include "scheduler/global_scheduler.h"
+#include "scheduler/scheduler_config.h"
+#include "sim/disagg_config.h"
+
+namespace vidur {
+
+struct DeploymentConfig {
+  std::string sku_name = "a100";
+  ParallelConfig parallel;
+  SchedulerConfig scheduler;
+  GlobalSchedulerKind global_scheduler = GlobalSchedulerKind::kRoundRobin;
+  /// Overlap pipeline activation sends with the next micro-batch's compute
+  /// (paper §4.5 future work; no effect when PP = 1).
+  bool async_pipeline_comm = false;
+  /// Prefill/decode disaggregation (Splitwise / DistServe, paper §2.2).
+  DisaggConfig disagg;
+
+  int total_gpus() const { return parallel.total_gpus(); }
+
+  /// Rental cost of all GPUs, USD per hour.
+  double cost_per_hour() const {
+    return sku_by_name(sku_name).cost_per_hour * total_gpus();
+  }
+
+  /// Human-readable one-liner, e.g.
+  /// "h100 tp2 pp2 x4 sarathi(bs=256, chunk=512)".
+  std::string to_string() const;
+};
+
+}  // namespace vidur

@@ -1,0 +1,103 @@
+#include "core/session.h"
+
+#include "common/check.h"
+
+namespace vidur {
+
+VidurSession::VidurSession(ModelSpec model, SessionOptions options)
+    : model_(std::move(model)), options_(std::move(options)) {
+  model_.validate();
+  VIDUR_CHECK(!options_.tp_degrees.empty());
+}
+
+void VidurSession::onboard(const std::string& sku_name) {
+  std::lock_guard lock(mutex_);
+  if (estimators_.count(sku_name) > 0) return;
+  NodeSpec node;
+  node.sku = sku_by_name(sku_name);
+  ProfileDb db =
+      profile_model(model_, node, options_.tp_degrees, options_.profiler);
+  estimators_[sku_name] =
+      std::make_unique<RuntimeEstimator>(db, options_.estimator);
+  profiles_.emplace(sku_name, std::move(db));
+}
+
+const ProfileDb& VidurSession::profile(const std::string& sku_name) {
+  onboard(sku_name);
+  std::lock_guard lock(mutex_);
+  return profiles_.at(sku_name);
+}
+
+const RuntimeEstimator& VidurSession::estimator(const std::string& sku_name) {
+  onboard(sku_name);
+  std::lock_guard lock(mutex_);
+  return *estimators_.at(sku_name);
+}
+
+SimulationConfig VidurSession::make_sim_config(
+    const DeploymentConfig& config) const {
+  SimulationConfig sim;
+  sim.model = model_;
+  sim.node.sku = sku_by_name(config.sku_name);
+  sim.parallel = config.parallel;
+  sim.scheduler = config.scheduler;
+  sim.global_scheduler = config.global_scheduler;
+  sim.memory_utilization = options_.memory_utilization;
+  sim.async_pipeline_comm = config.async_pipeline_comm;
+  sim.collect_operator_metrics = options_.collect_operator_metrics;
+  sim.disagg = config.disagg;
+  return sim;
+}
+
+void VidurSession::account(const SimulationMetrics& metrics,
+                           const DeploymentConfig& config) {
+  std::lock_guard lock(mutex_);
+  simulated_gpu_seconds_ += metrics.makespan * config.total_gpus();
+  ++num_simulations_;
+}
+
+SimulationMetrics VidurSession::simulate(const DeploymentConfig& config,
+                                         const Trace& trace) {
+  const RuntimeEstimator& est = estimator(config.sku_name);
+  SimulationConfig sim_config = make_sim_config(config);
+  const ModelSpec& model = model_;
+  const CpuOverheadModel cpu = options_.cpu_overhead;
+  const ParallelConfig parallel = config.parallel;
+  Simulator sim(sim_config, trace, [&est, &model, parallel, cpu](ReplicaId) {
+    return std::make_unique<ExecutionTimePredictor>(&est, model, parallel,
+                                                    cpu);
+  });
+  SimulationMetrics metrics = sim.run();
+  account(metrics, config);
+  return metrics;
+}
+
+SimulationMetrics VidurSession::simulate_reference(
+    const DeploymentConfig& config, const Trace& trace, std::uint64_t seed) {
+  SimulationConfig sim_config = make_sim_config(config);
+  const ModelSpec& model = model_;
+  const CpuOverheadModel cpu = options_.cpu_overhead;
+  const ParallelConfig parallel = config.parallel;
+  const NodeSpec node = sim_config.node;
+  Simulator sim(sim_config, trace,
+                [&model, node, parallel, cpu, seed](ReplicaId replica) {
+                  return std::make_unique<ReferenceExecutor>(
+                      node, model, parallel,
+                      seed * 0x9e3779b97f4a7c15ULL + replica, cpu);
+                });
+  // Reference runs are not counted as simulated GPU time: they represent
+  // what the paper executes on the real testbed.
+  return sim.run();
+}
+
+double VidurSession::simulated_gpu_seconds() const {
+  std::lock_guard lock(mutex_);
+  return simulated_gpu_seconds_;
+}
+
+std::int64_t VidurSession::num_simulations() const {
+  std::lock_guard lock(mutex_);
+  return num_simulations_;
+}
+
+}  // namespace vidur

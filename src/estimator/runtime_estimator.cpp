@@ -1,0 +1,113 @@
+#include "estimator/runtime_estimator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+long round_to(long value, long granule) {
+  if (granule <= 1 || value <= 0) return value;
+  return ((value + granule / 2) / granule) * granule;
+}
+
+}  // namespace
+
+RuntimeEstimator::RuntimeEstimator(const ProfileDb& db, Options options)
+    : options_(options) {
+  std::uint64_t seed = options_.seed;
+  for (const ProfileKey& key : db.keys()) {
+    Dataset data;
+    for (const ProfilePoint& p : db.points(key)) data.add(p.features, p.runtime);
+    auto model = make_regression_model(options_.kind, seed++);
+    model->fit(data);
+    models_[key] = std::move(model);
+  }
+  VIDUR_CHECK_MSG(!models_.empty(), "profile database is empty");
+}
+
+bool RuntimeEstimator::has_model(OpType op, int shard) const {
+  return models_.count(ProfileKey{op, shard}) > 0;
+}
+
+OpInput RuntimeEstimator::quantize(OpType op, OpInput in) const {
+  if (op == OpType::kAttnDecode) {
+    in.kv_tokens = round_to(in.kv_tokens, options_.decode_kv_rounding);
+  } else if (op_class(op) == OpClass::kCommunication) {
+    in.bytes = round_to(in.bytes, options_.comm_bytes_rounding);
+  }
+  return in;
+}
+
+std::uint64_t RuntimeEstimator::cache_key(OpType op, int shard,
+                                          const OpInput& in) const {
+  // Layout: [op:6][shard:6][f0:28][f1:24]; inputs far exceeding the packed
+  // range would alias, so widths are chosen to cover the simulator's domain
+  // (f0 < 2^28 covers byte counts after 4K quantization).
+  const auto f = in.features(op);
+  const auto f0 = static_cast<std::uint64_t>(f[0] < 0 ? 0 : f[0]);
+  const auto f1 =
+      f.size() > 1 ? static_cast<std::uint64_t>(f[1] < 0 ? 0 : f[1]) : 0;
+  std::uint64_t key = static_cast<std::uint64_t>(op) & 0x3f;
+  key = (key << 6) | (static_cast<std::uint64_t>(shard) & 0x3f);
+  key = (key << 28) | (f0 & 0xfffffff);
+  key = (key << 24) | (f1 & 0xffffff);
+  return key;
+}
+
+double RuntimeEstimator::predict(OpType op, int shard,
+                                 const OpInput& in) const {
+  const OpInput q = quantize(op, in);
+  const std::uint64_t key = cache_key(op, shard, q);
+  {
+    std::lock_guard lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+    ++cache_misses_;
+  }
+  const double value = predict_uncached(op, shard, q);
+  {
+    std::lock_guard lock(cache_mutex_);
+    cache_.emplace(key, value);
+  }
+  return value;
+}
+
+double RuntimeEstimator::predict_uncached(OpType op, int shard,
+                                          const OpInput& in) const {
+  auto it = models_.find(ProfileKey{op, shard});
+  VIDUR_CHECK_MSG(it != models_.end(),
+                  "no trained model for op=" << op_name(op)
+                                             << " shard=" << shard
+                                             << " — was it profiled?");
+  const double value = it->second->predict(in.features(op));
+  // Regression can undershoot near zero; runtimes are physical.
+  return std::max(value, 1e-7);
+}
+
+double RuntimeEstimator::evaluate_mape(
+    const ProfileKey& key, const std::vector<ProfilePoint>& heldout) const {
+  auto it = models_.find(key);
+  VIDUR_CHECK(it != models_.end());
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : heldout) {
+    if (p.runtime <= 0.0) continue;
+    acc += std::abs(it->second->predict(p.features) - p.runtime) / p.runtime;
+    ++n;
+  }
+  VIDUR_CHECK(n > 0);
+  return acc / static_cast<double>(n);
+}
+
+std::size_t RuntimeEstimator::cache_size() const {
+  std::lock_guard lock(cache_mutex_);
+  return cache_.size();
+}
+
+}  // namespace vidur

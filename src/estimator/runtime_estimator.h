@@ -1,0 +1,71 @@
+// Runtime estimator (paper §4.4): trains one regression model per profiled
+// operator variant and serves predictions through an operation-wise lookup
+// table (a memo cache over quantized input sizes), which is what the
+// simulator queries on its hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "estimator/regression.h"
+#include "profiler/profile_db.h"
+
+namespace vidur {
+
+class RuntimeEstimator {
+ public:
+  struct Options {
+    EstimatorKind kind = EstimatorKind::kRandomForest;
+    std::uint64_t seed = 0x7e57ULL;
+    /// Quantization of decode-attention KV totals for cache keys (tokens).
+    long decode_kv_rounding = 64;
+    /// Quantization of communication byte counts for cache keys.
+    long comm_bytes_rounding = 4096;
+  };
+
+  /// Trains all per-operator models from the profile database.
+  explicit RuntimeEstimator(const ProfileDb& db) : RuntimeEstimator(db, Options{}) {}
+  RuntimeEstimator(const ProfileDb& db, Options options);
+
+  /// Predicted runtime of `op` (sharded at `shard`: TP degree for model ops,
+  /// world size for collectives) with input `in`. Thread-safe; memoized.
+  double predict(OpType op, int shard, const OpInput& in) const;
+
+  /// Prediction bypassing the cache (used by tests and the ablation bench).
+  double predict_uncached(OpType op, int shard, const OpInput& in) const;
+
+  /// Held-out accuracy of the per-op model (MAPE over the given points).
+  double evaluate_mape(const ProfileKey& key,
+                       const std::vector<ProfilePoint>& heldout) const;
+
+  bool has_model(OpType op, int shard) const;
+  std::size_t cache_size() const;
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return cache_misses_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(std::uint64_t k) const {
+      // splitmix-style finalizer.
+      k ^= k >> 33;
+      k *= 0xff51afd7ed558ccdULL;
+      k ^= k >> 33;
+      return static_cast<std::size_t>(k);
+    }
+  };
+
+  /// Quantize inputs so near-identical queries share a cache entry.
+  OpInput quantize(OpType op, OpInput in) const;
+  std::uint64_t cache_key(OpType op, int shard, const OpInput& in) const;
+
+  Options options_;
+  std::map<ProfileKey, std::unique_ptr<RegressionModel>> models_;
+  mutable std::unordered_map<std::uint64_t, double, KeyHash> cache_;
+  mutable std::mutex cache_mutex_;
+  mutable std::size_t cache_hits_ = 0;
+  mutable std::size_t cache_misses_ = 0;
+};
+
+}  // namespace vidur

@@ -1,0 +1,73 @@
+#include "execution/batch_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vidur {
+
+TokenCount BatchSpec::total_q_tokens() const {
+  TokenCount total = 0;
+  for (const auto& item : items) total += item.q_tokens;
+  return total;
+}
+
+int BatchSpec::num_decodes() const {
+  int n = 0;
+  for (const auto& item : items) n += item.is_prefill ? 0 : 1;
+  return n;
+}
+
+int BatchSpec::num_prefills() const { return size() - num_decodes(); }
+
+TokenCount BatchSpec::total_decode_kv() const {
+  TokenCount total = 0;
+  for (const auto& item : items)
+    if (!item.is_prefill) total += item.kv_context + item.q_tokens;
+  return total;
+}
+
+int BatchSpec::tokens_sampled() const {
+  int n = 0;
+  for (const auto& item : items)
+    if (!item.is_prefill || item.completes_prefill) ++n;
+  return n;
+}
+
+TokenCount BatchSpec::prefill_equivalent_length() const {
+  double acc = 0.0;
+  for (const auto& item : items) {
+    if (!item.is_prefill) continue;
+    const double kv_total =
+        static_cast<double>(item.kv_context + item.q_tokens);
+    acc += static_cast<double>(item.q_tokens) * kv_total;
+  }
+  if (acc <= 0.0) return 0;
+  return static_cast<TokenCount>(std::ceil(std::sqrt(acc)));
+}
+
+FlopCount batch_flops(const ModelSpec& model, const BatchSpec& batch) {
+  FlopCount total = 0.0;
+  for (const auto& item : batch.items)
+    total += model.flops(item.q_tokens, item.kv_context + item.q_tokens);
+  return total;
+}
+
+ByteCount batch_hbm_bytes_per_gpu(const ModelSpec& model, int tensor_parallel,
+                                  int pipeline_parallel,
+                                  const BatchSpec& batch) {
+  const int gpus = tensor_parallel * pipeline_parallel;
+  // Weight shard streamed once per iteration.
+  ByteCount bytes = model.weight_bytes() / gpus;
+  // KV reads: decode attention touches every cached token; KV heads are
+  // replicated when tp exceeds them (GQA), so the per-GPU share floors.
+  const int kv_shard =
+      std::max(1, std::min(tensor_parallel, model.num_kv_heads));
+  const ByteCount kv_per_token =
+      model.kv_bytes_per_token() / (kv_shard * pipeline_parallel);
+  bytes += batch.total_decode_kv() * kv_per_token;
+  // KV writes for the new tokens.
+  bytes += batch.total_q_tokens() * kv_per_token;
+  return bytes;
+}
+
+}  // namespace vidur

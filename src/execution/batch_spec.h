@@ -1,0 +1,59 @@
+// The unit a replica scheduler submits for execution: one iteration's batch,
+// possibly mixing prefill chunks and decodes (continuous batching).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "model/model_spec.h"
+
+namespace vidur {
+
+/// One request's contribution to an iteration.
+struct BatchItem {
+  RequestId request = -1;
+  /// New tokens processed this iteration: the prompt-chunk size during
+  /// prefill, 1 during decode.
+  TokenCount q_tokens = 0;
+  /// Tokens of this request already in the KV cache before this iteration.
+  TokenCount kv_context = 0;
+  /// True while the request is still processing its prompt.
+  bool is_prefill = false;
+  /// True when this iteration finishes the prompt (produces the 1st token).
+  bool completes_prefill = false;
+};
+
+struct BatchSpec {
+  std::vector<BatchItem> items;
+
+  bool empty() const { return items.empty(); }
+  int size() const { return static_cast<int>(items.size()); }
+
+  /// Total new tokens this iteration (drives all token-level operators).
+  TokenCount total_q_tokens() const;
+  /// Number of decode items.
+  int num_decodes() const;
+  /// Number of prefill-chunk items.
+  int num_prefills() const;
+  /// Total KV entries read by decode attention (sum of per-request context
+  /// including the current token).
+  TokenCount total_decode_kv() const;
+  /// Items that produce an output token this iteration (decodes plus
+  /// prompt-completing chunks) — the rows fed to the LM head.
+  int tokens_sampled() const;
+  /// Equivalent single-prefill length for batched prefill attention
+  /// (paper §4.3): ceil(sqrt(sum_i q_i * kv_total_i)).
+  TokenCount prefill_equivalent_length() const;
+};
+
+/// Model FLOPs consumed by one iteration of this batch (for MFU accounting).
+FlopCount batch_flops(const ModelSpec& model, const BatchSpec& batch);
+
+/// HBM bytes one GPU moves for one iteration of this batch: its weight
+/// shard (read once per iteration) plus its share of KV-cache reads and
+/// writes. Used for MBU (model bandwidth utilization) accounting.
+ByteCount batch_hbm_bytes_per_gpu(const ModelSpec& model, int tensor_parallel,
+                                  int pipeline_parallel,
+                                  const BatchSpec& batch);
+
+}  // namespace vidur

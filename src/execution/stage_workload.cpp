@@ -1,0 +1,100 @@
+#include "execution/stage_workload.h"
+
+namespace vidur {
+
+std::vector<OpInvocation> decompose_stage(const OpShapes& shapes,
+                                          const ParallelConfig& parallel,
+                                          const BatchSpec& batch,
+                                          StageId stage, AttentionMode mode) {
+  VIDUR_CHECK(stage >= 0 && stage < parallel.pipeline_parallel);
+  VIDUR_CHECK(!batch.empty());
+
+  const ModelSpec& model = shapes.model();
+  const int layers = parallel.layers_per_stage(model, stage);
+  const int tp = parallel.tensor_parallel;
+  const TokenCount t = batch.total_q_tokens();
+  VIDUR_CHECK(t > 0);
+
+  std::vector<OpInvocation> ops;
+  ops.reserve(16 + (mode == AttentionMode::kPerRequest
+                        ? batch.items.size()
+                        : std::size_t{1}));
+
+  auto token_op = [&](OpType op, int count) {
+    OpInput in;
+    in.tokens = t;
+    ops.push_back({op, in, count});
+  };
+
+  const bool first_stage = stage == 0;
+  const bool last_stage = stage == parallel.pipeline_parallel - 1;
+
+  if (first_stage) token_op(OpType::kEmbedLookup, 1);
+
+  // Per-layer token-level operators.
+  token_op(OpType::kRmsNorm, 2 * layers);
+  token_op(OpType::kAttnQkvProj, layers);
+  token_op(OpType::kRotaryEmbed, layers);
+  token_op(OpType::kKvCacheSave, layers);
+  token_op(OpType::kAttnOutProj, layers);
+  token_op(OpType::kMlpGateUpProj, layers);
+  token_op(OpType::kActMul, layers);
+  token_op(OpType::kMlpDownProj, layers);
+  token_op(OpType::kResidualAdd, 2 * layers);
+
+  // Sequence-level attention.
+  if (mode == AttentionMode::kEquivalentPrefill) {
+    const TokenCount eq = batch.prefill_equivalent_length();
+    if (eq > 0) {
+      OpInput in;
+      in.q_tokens = eq;
+      in.kv_tokens = eq;
+      ops.push_back({OpType::kAttnPrefill, in, layers});
+    }
+  } else {
+    for (const auto& item : batch.items) {
+      if (!item.is_prefill) continue;
+      OpInput in;
+      in.q_tokens = item.q_tokens;
+      in.kv_tokens = item.kv_context + item.q_tokens;
+      ops.push_back({OpType::kAttnPrefill, in, layers});
+    }
+  }
+  const int decodes = batch.num_decodes();
+  if (decodes > 0) {
+    OpInput in;
+    in.kv_tokens = batch.total_decode_kv();
+    in.batch_size = decodes;
+    ops.push_back({OpType::kAttnDecode, in, layers});
+  }
+
+  // TP collectives: one all-reduce after attention and one after the MLP.
+  if (tp > 1) {
+    OpInput in;
+    in.bytes = shapes.allreduce_bytes(t);
+    in.world = tp;
+    ops.push_back(
+        {OpType::kAllReduce, in, OpShapes::kAllReducesPerLayer * layers});
+  }
+
+  if (last_stage) {
+    const int sampled = batch.tokens_sampled();
+    if (sampled > 0) {
+      OpInput norm_in;
+      norm_in.tokens = sampled;
+      ops.push_back({OpType::kRmsNorm, norm_in, 1});
+      OpInput head_in;
+      head_in.tokens = sampled;
+      ops.push_back({OpType::kLmHead, head_in, 1});
+    }
+  } else {
+    // Synchronous pipeline: ship activations to the next stage.
+    OpInput in;
+    in.bytes = shapes.send_recv_bytes(t);
+    ops.push_back({OpType::kSendRecv, in, 1});
+  }
+
+  return ops;
+}
+
+}  // namespace vidur

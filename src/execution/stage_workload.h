@@ -1,0 +1,40 @@
+// Decomposition of a (micro)batch into per-stage operator invocations.
+//
+// Both execution backends (runtime-estimator predictions and the
+// ground-truth reference executor) walk the same invocation list, so the
+// structure of an iteration — which operators run, how many times, with
+// which input sizes — is shared; only the per-operator timing source
+// differs. The one structural difference is batched prefill attention:
+// the simulator uses the paper's single-equivalent-prefill approximation,
+// the reference executes each request's attention individually.
+#pragma once
+
+#include <vector>
+
+#include "execution/batch_spec.h"
+#include "hardware/parallel_config.h"
+#include "operators/op_shapes.h"
+#include "operators/op_type.h"
+
+namespace vidur {
+
+struct OpInvocation {
+  OpType op;
+  OpInput input;
+  int count = 1;  ///< consecutive identical invocations (e.g. once per layer)
+};
+
+enum class AttentionMode {
+  kEquivalentPrefill,  ///< simulator: one sqrt(sum q_i*kv_i) prefill kernel
+  kPerRequest,         ///< reference: one kernel per prefill item
+};
+
+/// Operator invocations executed by `stage` of a replica for one iteration
+/// of `batch`. Includes TP collectives and (for non-final stages) the
+/// pipeline send of output activations.
+std::vector<OpInvocation> decompose_stage(const OpShapes& shapes,
+                                          const ParallelConfig& parallel,
+                                          const BatchSpec& batch,
+                                          StageId stage, AttentionMode mode);
+
+}  // namespace vidur

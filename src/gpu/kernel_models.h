@@ -1,0 +1,83 @@
+// Ground-truth GPU kernel cost models.
+//
+// This module is the substitute for the physical A100/H100 devices the paper
+// profiles with CUPTI. Each model is a roofline (max of compute time and
+// memory time) augmented with the non-idealities that make real kernel
+// runtimes hard to fit with simple regression:
+//
+//   * tile quantization  — GEMM output is computed in fixed-size tiles, so
+//     runtime is a staircase in M and N;
+//   * wave quantization  — tiles are scheduled in waves across the SMs, so
+//     runtime jumps when the tile count crosses a multiple of the SM count;
+//   * kernel launch overhead — a fixed per-kernel cost that dominates tiny
+//     kernels (decode iterations of small models).
+//
+// Everything downstream (profiler, estimator, reference executor) treats
+// these functions as an opaque device: the estimator never sees the closed
+// form, only noisy samples — exactly the information a real profiling run
+// provides.
+#pragma once
+
+#include <vector>
+
+#include "hardware/sku.h"
+
+namespace vidur::gpu {
+
+/// Fraction of peak tensor-core throughput a well-tuned GEMM reaches.
+inline constexpr double kGemmComputeEfficiency = 0.82;
+/// Fraction of peak HBM bandwidth streaming kernels reach.
+inline constexpr double kMemoryEfficiency = 0.78;
+/// Fraction of peak compute reached by FlashAttention-style prefill kernels.
+inline constexpr double kAttnPrefillEfficiency = 0.55;
+/// Fraction of peak HBM bandwidth reached by paged decode-attention kernels.
+inline constexpr double kAttnDecodeEfficiency = 0.65;
+/// Fixed kernel launch overhead, seconds.
+inline constexpr double kKernelLaunchOverhead = 4.0e-6;
+
+/// Number of streaming multiprocessors (wave quantization granularity).
+int sm_count(const SkuSpec& sku);
+
+/// Runtime of C[m,n] = A[m,k] x B[k,n] at fp16.
+double gemm_time(const SkuSpec& sku, long m, long k, long n);
+
+/// Runtime of a pointwise/reduction kernel that moves `bytes` through HBM.
+double elementwise_time(const SkuSpec& sku, long bytes);
+
+/// FlashAttention-style prefill: `q_tokens` query tokens attending over
+/// `kv_tokens` context, on the given per-GPU head slice. Quadratic when
+/// q == kv (self-attention over the whole prompt).
+double attention_prefill_time(const SkuSpec& sku, long q_tokens,
+                              long kv_tokens, int num_q_heads, int head_dim);
+
+/// One (q_tokens, kv_tokens) segment of a variable-length prefill batch.
+struct PrefillSegment {
+  long q_tokens = 0;
+  long kv_tokens = 0;
+};
+
+/// Fused variable-length prefill attention over several requests' segments
+/// in one kernel (the varlen mode of FlashAttention): occupancy is set by
+/// the combined query length, and one launch overhead is paid.
+double attention_prefill_varlen_time(const SkuSpec& sku,
+                                     const std::vector<PrefillSegment>& segs,
+                                     int num_q_heads, int head_dim);
+
+/// Paged decode attention: dominated by reading `kv_tokens` total KV-cache
+/// entries (summed over the batch) for the per-GPU head slice (paper §4.3:
+/// runtime is determined by total KV-cache data volume).
+double attention_decode_time(const SkuSpec& sku, long kv_tokens,
+                             int batch_size, int num_kv_heads, int head_dim);
+
+/// Ring all-reduce of `bytes` across `world` GPUs on a node with pairwise
+/// NVLink: collectives that span more than one NVLink pair fall back to a
+/// slower effective bandwidth.
+double allreduce_time(const NodeSpec& node, long bytes, int world);
+
+/// Ring all-gather of `bytes` (total gathered size) across `world` GPUs.
+double allgather_time(const NodeSpec& node, long bytes, int world);
+
+/// Point-to-point activation transfer between adjacent pipeline stages.
+double send_recv_time(const NodeSpec& node, long bytes);
+
+}  // namespace vidur::gpu

@@ -1,0 +1,46 @@
+#include "hardware/sku.h"
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+SkuSpec make_a100() {
+  return SkuSpec{.name = "a100",
+                 .peak_fp16_tflops = 312.0,
+                 .hbm_bandwidth_gbps = 2039.0,
+                 .memory_bytes = 80LL * 1024 * 1024 * 1024,
+                 .nvlink_bandwidth_gbps = 300.0,
+                 .pcie_bandwidth_gbps = 32.0,
+                 .cost_per_hour = 3.67,
+                 .idle_watts = 80.0,
+                 .peak_watts = 400.0};
+}
+
+SkuSpec make_h100() {
+  return SkuSpec{.name = "h100",
+                 .peak_fp16_tflops = 989.0,
+                 .hbm_bandwidth_gbps = 3350.0,
+                 .memory_bytes = 80LL * 1024 * 1024 * 1024,
+                 .nvlink_bandwidth_gbps = 450.0,
+                 .pcie_bandwidth_gbps = 64.0,
+                 .cost_per_hour = 6.98,
+                 .idle_watts = 100.0,
+                 .peak_watts = 700.0};
+}
+
+}  // namespace
+
+SkuSpec sku_by_name(const std::string& name) {
+  if (name == "a100") return make_a100();
+  if (name == "h100") return make_h100();
+  throw Error("unknown SKU: " + name);
+}
+
+const std::vector<std::string>& builtin_sku_names() {
+  static const std::vector<std::string> names = {"a100", "h100"};
+  return names;
+}
+
+}  // namespace vidur

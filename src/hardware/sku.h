@@ -1,0 +1,47 @@
+// GPU SKU and node descriptions. Numbers follow the published datasheets for
+// the two SKUs evaluated in the paper (A100 80GB, H100 80GB) and
+// Azure-equivalent rental pricing, which Vidur-Search uses for its
+// QPS-per-dollar objective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vidur {
+
+/// A single GPU device type.
+struct SkuSpec {
+  std::string name;
+
+  double peak_fp16_tflops = 0.0;    ///< dense fp16 tensor-core peak
+  double hbm_bandwidth_gbps = 0.0;  ///< GB/s
+  ByteCount memory_bytes = 0;       ///< device memory capacity
+  double nvlink_bandwidth_gbps = 0.0;  ///< per-direction link bandwidth, GB/s
+  double pcie_bandwidth_gbps = 0.0;    ///< fallback interconnect, GB/s
+  double cost_per_hour = 0.0;          ///< USD per GPU-hour
+  double idle_watts = 0.0;             ///< device draw when idle
+  double peak_watts = 0.0;             ///< TDP (draw at full utilization)
+
+  double peak_flops() const { return peak_fp16_tflops * 1e12; }
+  double hbm_bytes_per_sec() const { return hbm_bandwidth_gbps * 1e9; }
+};
+
+/// A node: several GPUs with pairwise NVLink (the paper's Azure VMs have
+/// 4 GPUs with *pairwise* NVLink, so collectives spanning more than one
+/// NVLink pair take a topology penalty).
+struct NodeSpec {
+  SkuSpec sku;
+  int gpus_per_node = 4;
+  int nvlink_pair_size = 2;  ///< GPUs fully connected by NVLink
+};
+
+/// Built-in SKU registry. Recognized: "a100", "h100".
+/// Throws vidur::Error for unknown names.
+SkuSpec sku_by_name(const std::string& name);
+
+/// All built-in SKU names.
+const std::vector<std::string>& builtin_sku_names();
+
+}  // namespace vidur

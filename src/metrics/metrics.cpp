@@ -1,0 +1,193 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace vidur {
+
+MetricsCollector::MetricsCollector(ClusterResources cluster)
+    : cluster_(cluster) {
+  VIDUR_CHECK(cluster_.num_replicas >= 1);
+  VIDUR_CHECK(cluster_.peak_flops_per_gpu > 0);
+  VIDUR_CHECK(cluster_.gpus_per_replica >= 1);
+  VIDUR_CHECK(cluster_.hbm_bytes_per_sec_per_gpu >= 0);
+  VIDUR_CHECK(cluster_.idle_watts_per_gpu >= 0);
+  VIDUR_CHECK(cluster_.peak_watts_per_gpu >= cluster_.idle_watts_per_gpu);
+}
+
+MetricsCollector::MetricsCollector(int num_replicas,
+                                   double peak_flops_per_gpu,
+                                   int gpus_per_replica,
+                                   double hbm_bytes_per_sec_per_gpu)
+    : MetricsCollector(ClusterResources{
+          .num_replicas = num_replicas,
+          .gpus_per_replica = gpus_per_replica,
+          .peak_flops_per_gpu = peak_flops_per_gpu,
+          .hbm_bytes_per_sec_per_gpu = hbm_bytes_per_sec_per_gpu}) {}
+
+void MetricsCollector::record_batch(const BatchRecord& record) {
+  const double duration = record.end_time - record.start_time;
+  VIDUR_CHECK(duration >= 0);
+  total_flops_ += record.flops;
+  total_hbm_bytes_ += static_cast<double>(record.hbm_bytes_per_gpu);
+  total_busy_time_ += duration;
+  weighted_kv_util_ += record.kv_utilization * duration;
+  weighted_batch_size_ += static_cast<double>(record.batch_size) * duration;
+  total_q_tokens_ += record.q_tokens;
+  ++total_batches_;
+
+  if (cluster_.peak_watts_per_gpu > 0 && duration > 0) {
+    // Linear power model: intensity is the batch's per-GPU FLOP or bandwidth
+    // utilization, whichever dominates (roofline-style).
+    const double flop_util =
+        record.flops / (duration * cluster_.peak_flops_per_gpu *
+                        cluster_.gpus_per_replica);
+    const double bw_util =
+        cluster_.hbm_bytes_per_sec_per_gpu > 0
+            ? static_cast<double>(record.hbm_bytes_per_gpu) /
+                  (duration * cluster_.hbm_bytes_per_sec_per_gpu)
+            : 0.0;
+    const double intensity = std::clamp(std::max(flop_util, bw_util), 0.0, 1.0);
+    const double watts_per_gpu =
+        cluster_.idle_watts_per_gpu +
+        (cluster_.peak_watts_per_gpu - cluster_.idle_watts_per_gpu) * intensity;
+    busy_energy_joules_ += duration * cluster_.gpus_per_replica * watts_per_gpu;
+  }
+}
+
+void MetricsCollector::record_request(const RequestRecord& record) {
+  requests_.push_back(record);
+}
+
+void MetricsCollector::record_operators(
+    const std::map<OpType, Seconds>& per_op) {
+  for (const auto& [op, seconds] : per_op) {
+    auto& stats = operator_stats_[op];
+    ++stats.invocations;
+    stats.total_seconds += seconds;
+  }
+}
+
+SimulationMetrics MetricsCollector::finalize(Seconds now) const {
+  SimulationMetrics m;
+  m.num_requests = requests_.size();
+  m.makespan = now;
+
+  SampleSeries delay, ttft, tbt, norm_e2e, norm_exec;
+  TokenCount output_tokens = 0;
+  for (const auto& r : requests_) {
+    if (!r.completed()) continue;
+    ++m.num_completed;
+    m.num_restarts += r.num_restarts;
+    delay.add(r.scheduling_delay());
+    ttft.add(r.ttft());
+    norm_e2e.add(r.normalized_e2e_latency());
+    norm_exec.add(r.normalized_execution_latency());
+    output_tokens += r.decode_tokens;
+    for (std::size_t i = 1; i < r.token_times.size(); ++i)
+      tbt.add(r.token_times[i] - r.token_times[i - 1]);
+  }
+  m.scheduling_delay = Summary::of(delay);
+  m.ttft = Summary::of(ttft);
+  m.tbt = Summary::of(tbt);
+  m.normalized_e2e_latency = Summary::of(norm_e2e);
+  m.normalized_execution_latency = Summary::of(norm_exec);
+
+  if (now > 0) {
+    m.throughput_qps = static_cast<double>(m.num_completed) / now;
+    m.output_tokens_per_sec = static_cast<double>(output_tokens) / now;
+    const double cluster_flops = cluster_.peak_flops_per_gpu *
+                                 cluster_.gpus_per_replica *
+                                 cluster_.num_replicas;
+    m.mfu = total_flops_ / (now * cluster_flops);
+    // hbm bytes are recorded per GPU, and each replica's GPUs move them in
+    // parallel, so normalize by replica count only.
+    if (cluster_.hbm_bytes_per_sec_per_gpu > 0)
+      m.mbu = total_hbm_bytes_ /
+              (now * cluster_.num_replicas * cluster_.hbm_bytes_per_sec_per_gpu);
+    m.busy_fraction = total_busy_time_ / (now * cluster_.num_replicas);
+
+    if (cluster_.peak_watts_per_gpu > 0) {
+      const double total_gpus =
+          static_cast<double>(cluster_.num_replicas) * cluster_.gpus_per_replica;
+      const double idle_gpu_seconds = std::max(
+          0.0, now * total_gpus - total_busy_time_ * cluster_.gpus_per_replica);
+      m.total_energy_joules =
+          busy_energy_joules_ + idle_gpu_seconds * cluster_.idle_watts_per_gpu;
+      if (output_tokens > 0)
+        m.energy_per_output_token =
+            m.total_energy_joules / static_cast<double>(output_tokens);
+      m.mean_cluster_power_watts = m.total_energy_joules / now;
+    }
+  }
+  if (total_busy_time_ > 0) {
+    m.mean_kv_utilization = weighted_kv_util_ / total_busy_time_;
+    m.mean_batch_size = weighted_batch_size_ / total_busy_time_;
+  }
+  m.operator_stats = operator_stats_;
+  return m;
+}
+
+std::string SimulationMetrics::operator_table() const {
+  if (operator_stats.empty()) return {};
+  Seconds grand_total = 0.0;
+  for (const auto& [op, stats] : operator_stats)
+    grand_total += stats.total_seconds;
+
+  std::vector<std::pair<OpType, OperatorStats>> rows(operator_stats.begin(),
+                                                     operator_stats.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+
+  ConsoleTable table(
+      {"operator", "class", "stage execs", "total time (s)", "share"});
+  for (const auto& [op, stats] : rows) {
+    const char* cls = op_class(op) == OpClass::kTokenLevel      ? "token"
+                      : op_class(op) == OpClass::kSequenceLevel ? "sequence"
+                                                                : "comm";
+    table.add_row({op_name(op), cls, std::to_string(stats.invocations),
+                   fmt_double(stats.total_seconds, 4),
+                   fmt_percent(grand_total > 0
+                                   ? stats.total_seconds / grand_total
+                                   : 0.0)});
+  }
+  return table.str();
+}
+
+std::string SimulationMetrics::to_string() const {
+  std::ostringstream os;
+  os << "requests: " << num_completed << "/" << num_requests
+     << " completed, makespan " << fmt_double(makespan, 2) << "s\n";
+  os << "  throughput:      " << fmt_double(throughput_qps, 3) << " qps, "
+     << fmt_double(output_tokens_per_sec, 1) << " output tok/s\n";
+  os << "  sched delay:     p50 " << fmt_double(scheduling_delay.p50, 4)
+     << "s  p99 " << fmt_double(scheduling_delay.p99, 4) << "s\n";
+  os << "  TTFT:            p50 " << fmt_double(ttft.p50, 4) << "s  p90 "
+     << fmt_double(ttft.p90, 4) << "s\n";
+  os << "  TBT:             p50 " << fmt_double(tbt.p50, 5) << "s  p99 "
+     << fmt_double(tbt.p99, 5) << "s\n";
+  os << "  norm e2e:        p50 " << fmt_double(normalized_e2e_latency.p50, 5)
+     << "  p95 " << fmt_double(normalized_e2e_latency.p95, 5)
+     << " s/token\n";
+  os << "  norm exec:       p50 "
+     << fmt_double(normalized_execution_latency.p50, 5) << "  p95 "
+     << fmt_double(normalized_execution_latency.p95, 5) << " s/token\n";
+  os << "  MFU: " << fmt_percent(mfu) << "  MBU: " << fmt_percent(mbu)
+     << "  mean batch "
+     << fmt_double(mean_batch_size, 1) << "  KV util "
+     << fmt_percent(mean_kv_utilization) << "  busy "
+     << fmt_percent(busy_fraction) << "  restarts " << num_restarts << "\n";
+  if (total_energy_joules > 0) {
+    os << "  energy:          " << fmt_double(total_energy_joules / 1e3, 1)
+       << " kJ total, " << fmt_double(energy_per_output_token, 2)
+       << " J/token, mean draw "
+       << fmt_double(mean_cluster_power_watts, 0) << " W\n";
+  }
+  return os.str();
+}
+
+}  // namespace vidur

@@ -1,0 +1,151 @@
+// Metric collection (Vidur-Bench, paper §5.2): request-level, replica-level
+// and cluster-level performance metrics gathered during a simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "execution/batch_spec.h"
+#include "model/model_spec.h"
+#include "operators/op_type.h"
+
+namespace vidur {
+
+/// Per-request lifecycle timestamps, filled in by the scheduler stack.
+struct RequestRecord {
+  RequestId id = -1;
+  Seconds arrival_time = 0.0;
+  Seconds first_scheduled_time = -1.0;
+  Seconds prefill_completed_time = -1.0;  ///< first output token (TTFT end)
+  Seconds completed_time = -1.0;
+  TokenCount prefill_tokens = 0;
+  TokenCount decode_tokens = 0;
+  int num_restarts = 0;  ///< vLLM-style preempt-and-restart events
+  std::vector<Seconds> token_times;  ///< decode-token emission times (TBT)
+
+  bool completed() const { return completed_time >= 0.0; }
+  Seconds scheduling_delay() const {
+    return first_scheduled_time - arrival_time;
+  }
+  Seconds ttft() const { return prefill_completed_time - arrival_time; }
+  Seconds e2e_latency() const { return completed_time - arrival_time; }
+  /// End-to-end latency per output token (the paper's normalized latency).
+  Seconds normalized_e2e_latency() const {
+    return e2e_latency() / static_cast<double>(decode_tokens);
+  }
+  /// Execution-only latency per output token (static-workload metric,
+  /// paper §7.2: excludes scheduling delay).
+  Seconds normalized_execution_latency() const {
+    return (completed_time - first_scheduled_time) /
+           static_cast<double>(decode_tokens);
+  }
+};
+
+/// One executed iteration (replica-level accounting).
+struct BatchRecord {
+  ReplicaId replica = 0;
+  Seconds start_time = 0.0;
+  Seconds end_time = 0.0;
+  TokenCount q_tokens = 0;
+  int batch_size = 0;
+  FlopCount flops = 0.0;
+  ByteCount hbm_bytes_per_gpu = 0;  ///< HBM traffic per GPU (MBU accounting)
+  double kv_utilization = 0.0;  ///< blocks in use / total, at submission
+};
+
+/// Static description of the cluster the collector accounts against.
+/// Power draw follows a linear utilization model: a GPU running a batch at
+/// intensity u (its FLOP or bandwidth utilization, whichever is higher)
+/// draws idle + (peak - idle) * u watts; an idle GPU draws idle watts.
+struct ClusterResources {
+  int num_replicas = 1;
+  int gpus_per_replica = 1;
+  double peak_flops_per_gpu = 0.0;
+  double hbm_bytes_per_sec_per_gpu = 0.0;
+  double idle_watts_per_gpu = 0.0;
+  double peak_watts_per_gpu = 0.0;  ///< 0 disables energy accounting
+};
+
+/// Aggregated output of one simulation.
+struct SimulationMetrics {
+  // Request-level.
+  Summary scheduling_delay;
+  Summary ttft;
+  Summary tbt;
+  Summary normalized_e2e_latency;
+  Summary normalized_execution_latency;
+  std::size_t num_requests = 0;
+  std::size_t num_completed = 0;
+  std::int64_t num_restarts = 0;
+
+  // Replica/cluster-level.
+  Seconds makespan = 0.0;
+  double throughput_qps = 0.0;     ///< completed requests / makespan
+  double output_tokens_per_sec = 0.0;
+  double mfu = 0.0;                ///< model FLOPs utilization
+  double mbu = 0.0;                ///< model bandwidth utilization
+  double mean_batch_size = 0.0;
+  double mean_kv_utilization = 0.0;
+  double busy_fraction = 0.0;      ///< replica busy time / makespan
+
+  // Energy (zero when the cluster spec carries no power model).
+  double total_energy_joules = 0.0;        ///< cluster GPU energy, whole run
+  double energy_per_output_token = 0.0;    ///< joules per generated token
+  double mean_cluster_power_watts = 0.0;   ///< total energy / makespan
+
+  // Operator-level (paper §5.2; only filled when the simulation opts in via
+  // SimulationConfig::collect_operator_metrics).
+  struct OperatorStats {
+    std::int64_t invocations = 0;  ///< stage executions including this op
+    Seconds total_seconds = 0.0;   ///< summed per-stage time attribution
+  };
+  std::map<OpType, OperatorStats> operator_stats;
+
+  /// Rendered operator time table, heaviest first (empty when no operator
+  /// metrics were collected).
+  std::string operator_table() const;
+
+  std::string to_string() const;
+};
+
+/// Collects raw samples during a run and aggregates them at the end.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(ClusterResources cluster);
+  /// Convenience overload used widely by tests; no power model.
+  MetricsCollector(int num_replicas, double peak_flops_per_gpu,
+                   int gpus_per_replica,
+                   double hbm_bytes_per_sec_per_gpu = 0.0);
+
+  void record_batch(const BatchRecord& record);
+  void record_request(const RequestRecord& record);
+  /// Accumulate one stage execution's per-operator time attribution.
+  void record_operators(const std::map<OpType, Seconds>& per_op);
+
+  /// Aggregate. `now` is the simulation end time (makespan).
+  SimulationMetrics finalize(Seconds now) const;
+
+  const std::vector<RequestRecord>& request_records() const {
+    return requests_;
+  }
+
+ private:
+  ClusterResources cluster_;
+  std::vector<RequestRecord> requests_;
+  // Streaming replica-level accumulators (batch records are not retained).
+  double total_flops_ = 0.0;
+  double total_hbm_bytes_ = 0.0;
+  double total_busy_time_ = 0.0;
+  double weighted_kv_util_ = 0.0;
+  double weighted_batch_size_ = 0.0;
+  double busy_energy_joules_ = 0.0;
+  std::int64_t total_batches_ = 0;
+  TokenCount total_q_tokens_ = 0;
+  std::map<OpType, SimulationMetrics::OperatorStats> operator_stats_;
+};
+
+}  // namespace vidur

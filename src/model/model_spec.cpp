@@ -1,0 +1,138 @@
+#include "model/model_spec.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace vidur {
+
+ByteCount ModelSpec::num_params() const {
+  const auto d = static_cast<ByteCount>(embed_dim);
+  const auto f = static_cast<ByteCount>(ffn_dim);
+  const auto v = static_cast<ByteCount>(vocab_size);
+  const auto kv_dim = static_cast<ByteCount>(num_kv_heads) * head_dim();
+
+  // Attention: Q and output projections are d x d; K and V are d x kv_dim.
+  const ByteCount attn = d * d * 2 + d * kv_dim * 2;
+  // MLP: gated (gate+up+down) or plain (up+down).
+  const ByteCount mlp = gated_mlp ? 3 * d * f : 2 * d * f;
+  // Norms: two per block.
+  const ByteCount norms = 2 * d;
+  const ByteCount per_block = attn + mlp + norms;
+
+  // Token embeddings + final norm + LM head.
+  return per_block * num_layers + v * d + d + v * d;
+}
+
+ByteCount ModelSpec::kv_bytes_per_token() const {
+  // K and V, per layer: num_kv_heads * head_dim elements each.
+  return static_cast<ByteCount>(2) * num_layers * num_kv_heads * head_dim() *
+         kBytesPerElement;
+}
+
+FlopCount ModelSpec::flops(TokenCount num_tokens,
+                           TokenCount context_tokens) const {
+  const double d = embed_dim;
+  const double f = ffn_dim;
+  const double kv_dim = static_cast<double>(num_kv_heads) * head_dim();
+  const double t = static_cast<double>(num_tokens);
+
+  // Per-layer matmul FLOPs (2 * M * K * N with M = tokens).
+  const double qo = 2.0 * t * d * d * 2.0;
+  const double kv = 2.0 * t * d * kv_dim * 2.0;
+  const double mlp = (gated_mlp ? 3.0 : 2.0) * 2.0 * t * d * f;
+  // Attention score + value FLOPs: each new token attends over the context.
+  const double attn = 4.0 * t * static_cast<double>(context_tokens) * d;
+  const double per_layer = qo + kv + mlp + attn;
+
+  const double lm_head = 2.0 * t * d * static_cast<double>(vocab_size);
+  return per_layer * num_layers + lm_head;
+}
+
+void ModelSpec::validate() const {
+  VIDUR_CHECK_MSG(num_layers > 0, "model " << name);
+  VIDUR_CHECK_MSG(embed_dim > 0, "model " << name);
+  VIDUR_CHECK_MSG(ffn_dim > 0, "model " << name);
+  VIDUR_CHECK_MSG(num_q_heads > 0, "model " << name);
+  VIDUR_CHECK_MSG(num_kv_heads > 0, "model " << name);
+  VIDUR_CHECK_MSG(vocab_size > 0, "model " << name);
+  VIDUR_CHECK_MSG(embed_dim % num_q_heads == 0,
+                  "embed_dim must be divisible by num_q_heads in " << name);
+  VIDUR_CHECK_MSG(num_q_heads % num_kv_heads == 0,
+                  "num_q_heads must be divisible by num_kv_heads in " << name);
+}
+
+namespace {
+
+ModelSpec make_llama2_7b() {
+  return ModelSpec{.name = "llama2-7b",
+                   .num_layers = 32,
+                   .embed_dim = 4096,
+                   .ffn_dim = 11008,
+                   .num_q_heads = 32,
+                   .num_kv_heads = 32,
+                   .vocab_size = 32000,
+                   .gated_mlp = true};
+}
+
+ModelSpec make_internlm_20b() {
+  return ModelSpec{.name = "internlm-20b",
+                   .num_layers = 60,
+                   .embed_dim = 5120,
+                   .ffn_dim = 13824,
+                   .num_q_heads = 40,
+                   .num_kv_heads = 40,
+                   .vocab_size = 103168,
+                   .gated_mlp = true};
+}
+
+ModelSpec make_llama2_70b() {
+  // Group-query attention: 8 KV heads (the paper highlights the 8x KV-load
+  // difference vs Qwen-72B's MHA).
+  return ModelSpec{.name = "llama2-70b",
+                   .num_layers = 80,
+                   .embed_dim = 8192,
+                   .ffn_dim = 28672,
+                   .num_q_heads = 64,
+                   .num_kv_heads = 8,
+                   .vocab_size = 32000,
+                   .gated_mlp = true};
+}
+
+ModelSpec make_qwen_72b() {
+  return ModelSpec{.name = "qwen-72b",
+                   .num_layers = 80,
+                   .embed_dim = 8192,
+                   .ffn_dim = 24576,
+                   .num_q_heads = 64,
+                   .num_kv_heads = 64,
+                   .vocab_size = 151851,
+                   .gated_mlp = true};
+}
+
+}  // namespace
+
+ModelSpec model_by_name(const std::string& name) {
+  ModelSpec spec;
+  if (name == "llama2-7b") {
+    spec = make_llama2_7b();
+  } else if (name == "internlm-20b") {
+    spec = make_internlm_20b();
+  } else if (name == "llama2-70b") {
+    spec = make_llama2_70b();
+  } else if (name == "qwen-72b") {
+    spec = make_qwen_72b();
+  } else {
+    throw Error("unknown model: " + name);
+  }
+  spec.validate();
+  return spec;
+}
+
+const std::vector<std::string>& builtin_model_names() {
+  static const std::vector<std::string> names = {
+      "llama2-7b", "internlm-20b", "llama2-70b", "qwen-72b"};
+  return names;
+}
+
+}  // namespace vidur

@@ -1,0 +1,56 @@
+// Declarative LLM model specification (paper §4.1: "common declarative model
+// specification format"). A spec captures the architectural parameters that
+// determine per-operator tensor shapes; everything downstream (profiling
+// grids, runtime prediction, memory planning, MFU accounting) derives from it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vidur {
+
+/// Transformer decoder architecture description.
+struct ModelSpec {
+  std::string name;
+
+  int num_layers = 0;       ///< transformer blocks
+  int embed_dim = 0;        ///< model (hidden) dimension
+  int ffn_dim = 0;          ///< MLP intermediate dimension
+  int num_q_heads = 0;      ///< attention query heads
+  int num_kv_heads = 0;     ///< key/value heads (== q heads for MHA, fewer for GQA)
+  int vocab_size = 0;
+  bool gated_mlp = true;    ///< LLaMA-style gate+up+down vs GPT-style up+down
+
+  int head_dim() const { return embed_dim / num_q_heads; }
+  bool uses_gqa() const { return num_kv_heads < num_q_heads; }
+
+  /// Total parameter count (embeddings + blocks + lm head).
+  ByteCount num_params() const;
+
+  /// Weight bytes at fp16.
+  ByteCount weight_bytes() const { return num_params() * kBytesPerElement; }
+
+  /// KV-cache bytes per token across all layers (both K and V, fp16).
+  ByteCount kv_bytes_per_token() const;
+
+  /// Model FLOPs for processing `num_tokens` new tokens whose attention spans
+  /// `context_tokens` total context (prefill quadratic term included). Used
+  /// for MFU accounting, matching the usual 2*params + attention convention.
+  FlopCount flops(TokenCount num_tokens, TokenCount context_tokens) const;
+
+  /// Throws vidur::Error unless every field is consistent (positive dims,
+  /// heads divide embed_dim, kv heads divide q heads).
+  void validate() const;
+};
+
+/// Built-in model registry (the four models evaluated in the paper).
+/// Recognized names: "llama2-7b", "internlm-20b", "llama2-70b", "qwen-72b".
+/// Throws vidur::Error for unknown names.
+ModelSpec model_by_name(const std::string& name);
+
+/// All built-in model names, in paper order (7B, 20B, 70B, 72B).
+const std::vector<std::string>& builtin_model_names();
+
+}  // namespace vidur

@@ -1,0 +1,38 @@
+#include "operators/ground_truth.h"
+
+#include "gpu/kernel_models.h"
+
+namespace vidur {
+
+double ground_truth_op_time(const NodeSpec& node, const OpShapes& shapes,
+                            OpType op, const OpInput& in) {
+  const SkuSpec& sku = node.sku;
+  switch (op_class(op)) {
+    case OpClass::kTokenLevel: {
+      if (is_gemm(op)) {
+        const GemmShape g = shapes.gemm_shape(op, in.tokens);
+        return gpu::gemm_time(sku, g.m, g.k, g.n);
+      }
+      return gpu::elementwise_time(sku,
+                                   shapes.elementwise_bytes(op, in.tokens));
+    }
+    case OpClass::kSequenceLevel: {
+      if (op == OpType::kAttnPrefill) {
+        return gpu::attention_prefill_time(sku, in.q_tokens, in.kv_tokens,
+                                           shapes.q_heads_per_gpu(),
+                                           shapes.model().head_dim());
+      }
+      return gpu::attention_decode_time(sku, in.kv_tokens, in.batch_size,
+                                        shapes.kv_heads_per_gpu(),
+                                        shapes.model().head_dim());
+    }
+    case OpClass::kCommunication: {
+      if (op == OpType::kAllReduce)
+        return gpu::allreduce_time(node, in.bytes, in.world);
+      return gpu::send_recv_time(node, in.bytes);
+    }
+  }
+  throw Error("unhandled OpClass");
+}
+
+}  // namespace vidur

@@ -1,0 +1,18 @@
+// Bridge from the operator taxonomy to the ground-truth GPU kernel models:
+// evaluates the true runtime of one operator invocation on a given device.
+// Only the profiler (sampling) and the reference executor ("real" system)
+// call this; the simulator proper sees only estimator predictions.
+#pragma once
+
+#include "hardware/sku.h"
+#include "operators/op_shapes.h"
+#include "operators/op_type.h"
+
+namespace vidur {
+
+/// True runtime of `op` with input sizes `in` on `node`, for the model/TP
+/// sharding described by `shapes`. Deterministic (no measurement noise).
+double ground_truth_op_time(const NodeSpec& node, const OpShapes& shapes,
+                            OpType op, const OpInput& in);
+
+}  // namespace vidur

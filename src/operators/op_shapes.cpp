@@ -1,0 +1,89 @@
+#include "operators/op_shapes.h"
+
+#include <algorithm>
+
+namespace vidur {
+
+OpShapes::OpShapes(const ModelSpec& model, int tp) : model_(model), tp_(tp) {
+  model_.validate();
+  VIDUR_CHECK_MSG(tp >= 1, "tensor parallel degree must be >= 1");
+  VIDUR_CHECK_MSG(model.num_q_heads % tp == 0,
+                  "tp=" << tp << " must divide q heads of " << model.name);
+  VIDUR_CHECK_MSG(model.ffn_dim % tp == 0,
+                  "tp=" << tp << " must divide ffn dim of " << model.name);
+}
+
+int OpShapes::kv_heads_per_gpu() const {
+  // Megatron-style sharding replicates KV heads when tp > num_kv_heads.
+  return std::max(1, model_.num_kv_heads / tp_);
+}
+
+GemmShape OpShapes::gemm_shape(OpType op, long tokens) const {
+  VIDUR_CHECK(is_gemm(op));
+  VIDUR_CHECK(tokens > 0);
+  const long d = model_.embed_dim;
+  const long f = model_.ffn_dim;
+  const long v = model_.vocab_size;
+  const long q_dim = static_cast<long>(q_heads_per_gpu()) * model_.head_dim();
+
+  switch (op) {
+    case OpType::kAttnQkvProj:
+      // Column-parallel: fused Q, K, V projection shard.
+      return {tokens, d, q_dim + 2 * kv_dim_per_gpu()};
+    case OpType::kAttnOutProj:
+      // Row-parallel: input is the local head slice.
+      return {tokens, q_dim, d};
+    case OpType::kMlpGateUpProj:
+      // Column-parallel: fused gate+up (or up only for non-gated MLP).
+      return {tokens, d, (model_.gated_mlp ? 2 : 1) * (f / tp_)};
+    case OpType::kMlpDownProj:
+      // Row-parallel.
+      return {tokens, f / tp_, d};
+    case OpType::kLmHead:
+      // Vocab-parallel.
+      return {tokens, d, (v + tp_ - 1) / tp_};
+    default:
+      throw Error("not a GEMM op: " + op_name(op));
+  }
+}
+
+long OpShapes::elementwise_bytes(OpType op, long tokens) const {
+  VIDUR_CHECK(op_class(op) == OpClass::kTokenLevel && !is_gemm(op));
+  VIDUR_CHECK(tokens >= 0);
+  const long d = model_.embed_dim;
+  const long f_shard = model_.ffn_dim / tp_;
+  const long q_dim = static_cast<long>(q_heads_per_gpu()) * model_.head_dim();
+
+  switch (op) {
+    case OpType::kRmsNorm:
+      // read activations + write normalized output.
+      return 2 * tokens * d * kBytesPerElement;
+    case OpType::kActMul:
+      // read gate + up, write product.
+      return 3 * tokens * f_shard * kBytesPerElement;
+    case OpType::kResidualAdd:
+      // read both operands, write sum.
+      return 3 * tokens * d * kBytesPerElement;
+    case OpType::kRotaryEmbed:
+      // read+write Q and K shards.
+      return 2 * tokens * (q_dim + kv_dim_per_gpu()) * kBytesPerElement;
+    case OpType::kKvCacheSave:
+      // write K and V of the new tokens into the paged cache.
+      return 2 * tokens * kv_dim_per_gpu() * kBytesPerElement;
+    case OpType::kEmbedLookup:
+      // gather embedding rows + write output.
+      return 2 * tokens * d * kBytesPerElement;
+    default:
+      throw Error("not an elementwise op: " + op_name(op));
+  }
+}
+
+long OpShapes::allreduce_bytes(long tokens) const {
+  return tokens * static_cast<long>(model_.embed_dim) * kBytesPerElement;
+}
+
+long OpShapes::send_recv_bytes(long tokens) const {
+  return tokens * static_cast<long>(model_.embed_dim) * kBytesPerElement;
+}
+
+}  // namespace vidur

@@ -1,0 +1,60 @@
+// Tensor shapes of each operator for a (model, tensor-parallel degree) pair.
+//
+// The paper's "Automatic Profiling for Parallelism Strategies" (§4.1): given
+// the declarative model spec, the tensor sharding of every operator under
+// any TP degree is derived analytically, so all parallelism variants can be
+// profiled on a single GPU. This class is that derivation.
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+#include "model/model_spec.h"
+#include "operators/op_type.h"
+
+namespace vidur {
+
+/// GEMM problem dimensions (row-major: out[m,n] = in[m,k] * w[k,n]).
+struct GemmShape {
+  long m = 0;
+  long k = 0;
+  long n = 0;
+};
+
+class OpShapes {
+ public:
+  /// `tp` must divide the head counts and ffn dim of `model`.
+  OpShapes(const ModelSpec& model, int tp);
+
+  const ModelSpec& model() const { return model_; }
+  int tp() const { return tp_; }
+
+  int q_heads_per_gpu() const { return model_.num_q_heads / tp_; }
+  /// KV heads are replicated when tp exceeds the KV head count (GQA).
+  int kv_heads_per_gpu() const;
+  long kv_dim_per_gpu() const {
+    return static_cast<long>(kv_heads_per_gpu()) * model_.head_dim();
+  }
+
+  /// GEMM dims for a token-level GEMM op processing `tokens` rows.
+  /// Requires is_gemm(op).
+  GemmShape gemm_shape(OpType op, long tokens) const;
+
+  /// HBM bytes moved by a token-level pointwise op over `tokens` tokens.
+  /// Requires a non-GEMM token-level op.
+  long elementwise_bytes(OpType op, long tokens) const;
+
+  /// Bytes all-reduced per TP sync point for `tokens` tokens (activations).
+  long allreduce_bytes(long tokens) const;
+
+  /// Bytes sent between adjacent pipeline stages for `tokens` tokens.
+  long send_recv_bytes(long tokens) const;
+
+  /// Number of TP all-reduces per transformer layer (attention + MLP).
+  static constexpr int kAllReducesPerLayer = 2;
+
+ private:
+  ModelSpec model_;
+  int tp_;
+};
+
+}  // namespace vidur

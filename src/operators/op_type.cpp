@@ -1,0 +1,112 @@
+#include "operators/op_type.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace vidur {
+
+OpClass op_class(OpType op) {
+  switch (op) {
+    case OpType::kAttnQkvProj:
+    case OpType::kAttnOutProj:
+    case OpType::kMlpGateUpProj:
+    case OpType::kMlpDownProj:
+    case OpType::kLmHead:
+    case OpType::kRmsNorm:
+    case OpType::kActMul:
+    case OpType::kResidualAdd:
+    case OpType::kRotaryEmbed:
+    case OpType::kKvCacheSave:
+    case OpType::kEmbedLookup:
+      return OpClass::kTokenLevel;
+    case OpType::kAttnPrefill:
+    case OpType::kAttnDecode:
+      return OpClass::kSequenceLevel;
+    case OpType::kAllReduce:
+    case OpType::kSendRecv:
+      return OpClass::kCommunication;
+  }
+  throw Error("unhandled OpType");
+}
+
+bool is_gemm(OpType op) {
+  switch (op) {
+    case OpType::kAttnQkvProj:
+    case OpType::kAttnOutProj:
+    case OpType::kMlpGateUpProj:
+    case OpType::kMlpDownProj:
+    case OpType::kLmHead:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+const std::vector<std::pair<OpType, std::string>>& op_names() {
+  static const std::vector<std::pair<OpType, std::string>> names = {
+      {OpType::kAttnQkvProj, "attn_qkv_proj"},
+      {OpType::kAttnOutProj, "attn_out_proj"},
+      {OpType::kMlpGateUpProj, "mlp_gate_up_proj"},
+      {OpType::kMlpDownProj, "mlp_down_proj"},
+      {OpType::kLmHead, "lm_head"},
+      {OpType::kRmsNorm, "rms_norm"},
+      {OpType::kActMul, "act_mul"},
+      {OpType::kResidualAdd, "residual_add"},
+      {OpType::kRotaryEmbed, "rotary_embed"},
+      {OpType::kKvCacheSave, "kv_cache_save"},
+      {OpType::kEmbedLookup, "embed_lookup"},
+      {OpType::kAttnPrefill, "attn_prefill"},
+      {OpType::kAttnDecode, "attn_decode"},
+      {OpType::kAllReduce, "all_reduce"},
+      {OpType::kSendRecv, "send_recv"},
+  };
+  return names;
+}
+
+}  // namespace
+
+const std::string& op_name(OpType op) {
+  for (const auto& [type, name] : op_names())
+    if (type == op) return name;
+  throw Error("unhandled OpType");
+}
+
+OpType op_from_name(const std::string& name) {
+  for (const auto& [type, n] : op_names())
+    if (n == name) return type;
+  throw Error("unknown operator name: " + name);
+}
+
+const std::vector<OpType>& all_op_types() {
+  static const std::vector<OpType> types = [] {
+    std::vector<OpType> out;
+    for (const auto& [type, name] : op_names()) out.push_back(type);
+    return out;
+  }();
+  return types;
+}
+
+std::vector<double> OpInput::features(OpType op) const {
+  switch (op_class(op)) {
+    case OpClass::kTokenLevel:
+      return {static_cast<double>(tokens)};
+    case OpClass::kSequenceLevel:
+      if (op == OpType::kAttnPrefill) {
+        // The attention-work product q*kv is supplied as an engineered
+        // feature (domain knowledge, paper §4.4): it is the main runtime
+        // determinant, so regression splits stay tight along it.
+        return {static_cast<double>(q_tokens), static_cast<double>(kv_tokens),
+                static_cast<double>(q_tokens) *
+                    static_cast<double>(kv_tokens) * 1e-6};
+      }
+      return {static_cast<double>(kv_tokens), static_cast<double>(batch_size)};
+    case OpClass::kCommunication:
+      return {static_cast<double>(bytes)};
+  }
+  throw Error("unhandled OpClass");
+}
+
+}  // namespace vidur

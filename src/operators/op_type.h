@@ -1,0 +1,76 @@
+// Operator taxonomy (paper §4.3, "Operator Triaging").
+//
+// Every LLM in the supported family decomposes into this small set of
+// operators. Each is placed in one of three buckets that determine both its
+// profiling grid and its runtime-prediction features:
+//   * token-level     — runtime depends only on the number of tokens in the
+//                       current iteration (GEMMs, norms, activations);
+//   * sequence-level  — runtime also depends on per-request context lengths
+//                       (attention prefill/decode);
+//   * communication   — runtime depends only on bytes moved and topology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vidur {
+
+enum class OpType {
+  // Token-level GEMMs.
+  kAttnQkvProj,
+  kAttnOutProj,
+  kMlpGateUpProj,
+  kMlpDownProj,
+  kLmHead,
+  // Token-level pointwise / reduction kernels.
+  kRmsNorm,
+  kActMul,
+  kResidualAdd,
+  kRotaryEmbed,
+  kKvCacheSave,
+  kEmbedLookup,
+  // Sequence-level attention kernels.
+  kAttnPrefill,
+  kAttnDecode,
+  // Communication collectives.
+  kAllReduce,
+  kSendRecv,
+};
+
+enum class OpClass { kTokenLevel, kSequenceLevel, kCommunication };
+
+/// Bucket for an operator (see paper §4.3).
+OpClass op_class(OpType op);
+
+/// True for the GEMM-shaped token-level operators.
+bool is_gemm(OpType op);
+
+/// Stable human-readable name, e.g. "attn_qkv_proj".
+const std::string& op_name(OpType op);
+
+/// Inverse of op_name. Throws vidur::Error on unknown names.
+OpType op_from_name(const std::string& name);
+
+/// All operator types, in declaration order.
+const std::vector<OpType>& all_op_types();
+
+/// Input-size descriptor for one operator invocation. Which fields are
+/// meaningful depends on the operator class:
+///   token-level:    tokens
+///   attn prefill:   q_tokens, kv_tokens (kv >= q; kv > q under chunking);
+///                   the feature vector adds the engineered product q*kv
+///   attn decode:    kv_tokens (batch total), batch_size
+///   communication:  bytes, world
+struct OpInput {
+  long tokens = 0;
+  long q_tokens = 0;
+  long kv_tokens = 0;
+  int batch_size = 0;
+  long bytes = 0;
+  int world = 1;
+
+  /// Feature vector used by the runtime estimator for this op class.
+  std::vector<double> features(OpType op) const;
+};
+
+}  // namespace vidur

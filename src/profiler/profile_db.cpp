@@ -1,0 +1,106 @@
+#include "profiler/profile_db.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace vidur {
+
+void ProfileDb::add(const ProfileKey& key, ProfilePoint point) {
+  VIDUR_CHECK(!point.features.empty());
+  VIDUR_CHECK(point.runtime >= 0.0);
+  points_[key].push_back(std::move(point));
+}
+
+const std::vector<ProfilePoint>& ProfileDb::points(
+    const ProfileKey& key) const {
+  auto it = points_.find(key);
+  VIDUR_CHECK_MSG(it != points_.end(),
+                  "no profile data for op=" << op_name(key.op)
+                                            << " shard=" << key.shard);
+  return it->second;
+}
+
+bool ProfileDb::contains(const ProfileKey& key) const {
+  return points_.count(key) > 0;
+}
+
+std::vector<ProfileKey> ProfileDb::keys() const {
+  std::vector<ProfileKey> out;
+  out.reserve(points_.size());
+  for (const auto& [key, pts] : points_) out.push_back(key);
+  return out;
+}
+
+std::size_t ProfileDb::total_points() const {
+  std::size_t n = 0;
+  for (const auto& [key, pts] : points_) n += pts.size();
+  return n;
+}
+
+std::string ProfileDb::to_csv() const {
+  CsvWriter writer(
+      {"model", "sku", "op", "shard", "f0", "f1", "f2", "runtime"});
+  auto fmt = [](double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  };
+  for (const auto& [key, pts] : points_) {
+    for (const auto& p : pts) {
+      writer.add_row({model_name_, sku_name_, op_name(key.op),
+                      std::to_string(key.shard), fmt(p.features[0]),
+                      p.features.size() > 1 ? fmt(p.features[1]) : "",
+                      p.features.size() > 2 ? fmt(p.features[2]) : "",
+                      fmt(p.runtime)});
+    }
+  }
+  return writer.str();
+}
+
+ProfileDb ProfileDb::from_csv(const std::string& text) {
+  const CsvDocument doc = parse_csv(text);
+  const auto c_model = doc.column("model");
+  const auto c_sku = doc.column("sku");
+  const auto c_op = doc.column("op");
+  const auto c_shard = doc.column("shard");
+  const auto c_f0 = doc.column("f0");
+  const auto c_f1 = doc.column("f1");
+  const auto c_f2 = doc.column("f2");
+  const auto c_rt = doc.column("runtime");
+
+  ProfileDb db;
+  for (const auto& row : doc.rows) {
+    if (db.model_name_.empty()) {
+      db.model_name_ = row[c_model];
+      db.sku_name_ = row[c_sku];
+    }
+    ProfileKey key{op_from_name(row[c_op]), std::stoi(row[c_shard])};
+    ProfilePoint point;
+    point.features.push_back(std::stod(row[c_f0]));
+    if (!row[c_f1].empty()) point.features.push_back(std::stod(row[c_f1]));
+    if (!row[c_f2].empty()) point.features.push_back(std::stod(row[c_f2]));
+    point.runtime = std::stod(row[c_rt]);
+    db.add(key, std::move(point));
+  }
+  return db;
+}
+
+void ProfileDb::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  VIDUR_CHECK_MSG(out.good(), "cannot write profile file: " << path);
+  out << to_csv();
+}
+
+ProfileDb ProfileDb::read_file(const std::string& path) {
+  std::ifstream in(path);
+  VIDUR_CHECK_MSG(in.good(), "cannot read profile file: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv(buffer.str());
+}
+
+}  // namespace vidur

@@ -1,0 +1,64 @@
+// Profile database: the set of (operator, input-size) -> measured-runtime
+// points collected by the profiler. This is the C++ analogue of Vidur's
+// published per-SKU profiling data; it round-trips through CSV so profiles
+// can be shipped, inspected, and reloaded without re-profiling.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "operators/op_type.h"
+
+namespace vidur {
+
+/// Identifies one profiled operator variant: the op plus its sharding degree
+/// (tensor-parallel degree for model ops, world size for collectives).
+struct ProfileKey {
+  OpType op;
+  int shard = 1;
+
+  auto operator<=>(const ProfileKey&) const = default;
+};
+
+/// One measurement: input-size features (see OpInput::features) and the
+/// measured runtime in seconds (median over the profiler's repeat samples).
+struct ProfilePoint {
+  std::vector<double> features;
+  double runtime = 0.0;
+};
+
+class ProfileDb {
+ public:
+  ProfileDb() = default;
+  ProfileDb(std::string model_name, std::string sku_name)
+      : model_name_(std::move(model_name)), sku_name_(std::move(sku_name)) {}
+
+  const std::string& model_name() const { return model_name_; }
+  const std::string& sku_name() const { return sku_name_; }
+
+  void add(const ProfileKey& key, ProfilePoint point);
+
+  /// Measurements for a key; throws vidur::Error when the key was never
+  /// profiled (a model-onboarding bug).
+  const std::vector<ProfilePoint>& points(const ProfileKey& key) const;
+
+  bool contains(const ProfileKey& key) const;
+  std::vector<ProfileKey> keys() const;
+  std::size_t total_points() const;
+
+  /// CSV round-trip. Columns: model,sku,op,shard,f0,f1,runtime (f1 empty for
+  /// 1-feature ops).
+  std::string to_csv() const;
+  static ProfileDb from_csv(const std::string& text);
+
+  void write_file(const std::string& path) const;
+  static ProfileDb read_file(const std::string& path);
+
+ private:
+  std::string model_name_;
+  std::string sku_name_;
+  std::map<ProfileKey, std::vector<ProfilePoint>> points_;
+};
+
+}  // namespace vidur

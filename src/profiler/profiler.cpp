@@ -1,0 +1,200 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "operators/ground_truth.h"
+#include "operators/op_shapes.h"
+
+namespace vidur {
+
+namespace {
+
+/// One noisy "measurement": median of k lognormal-jittered true runtimes.
+double measure(double truth, int samples, double sigma, Rng& rng) {
+  std::vector<double> runs(static_cast<std::size_t>(samples));
+  for (auto& r : runs) r = truth * std::exp(sigma * rng.normal());
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
+
+void add_grid_dimension(std::vector<long>& grid, long from, long to,
+                        long step) {
+  for (long v = from; v <= to; v += step) grid.push_back(v);
+}
+
+std::vector<long> bytes_grid(long max_bytes) {
+  std::vector<long> grid;
+  for (long b = 4096; b <= max_bytes; b *= 2) grid.push_back(b);
+  // Off-power-of-two points so the estimator sees mid-interval behaviour.
+  for (long b = 4096 * 3; b <= max_bytes; b *= 2) grid.push_back(b);
+  for (long b = 4096 * 5; b <= max_bytes; b *= 2) grid.push_back(b);
+  for (long b = 4096 * 7; b <= max_bytes; b *= 2) grid.push_back(b);
+  std::sort(grid.begin(), grid.end());
+  return grid;
+}
+
+}  // namespace
+
+std::vector<long> token_grid(long max_tokens, double density) {
+  VIDUR_CHECK(max_tokens >= 1);
+  VIDUR_CHECK(density > 0);
+  std::vector<long> grid;
+  const auto stride = [&](long base) {
+    return std::max<long>(1, static_cast<long>(std::lround(base / density)));
+  };
+  add_grid_dimension(grid, 1, std::min<long>(16, max_tokens), stride(1));
+  add_grid_dimension(grid, 16, std::min<long>(128, max_tokens), stride(8));
+  add_grid_dimension(grid, 128, std::min<long>(512, max_tokens), stride(32));
+  add_grid_dimension(grid, 512, std::min<long>(2048, max_tokens), stride(64));
+  add_grid_dimension(grid, 2048, std::min<long>(8192, max_tokens),
+                     stride(256));
+  add_grid_dimension(grid, 8192, max_tokens, stride(512));
+
+  // Domain knowledge (paper §4.1: the profiler knows the kernel structure):
+  // GEMM runtimes step at tile boundaries, i.e. just past multiples of the
+  // 32-row minimum tile. Drop markers right after each boundary so the
+  // estimator can pin every plateau edge; tripled markers keep the plateau
+  // visible in (almost) every bootstrap resample of the forest.
+  std::vector<long> markers;
+  for (long v : grid) {
+    if (v >= 32 && v % 32 == 0 && v < max_tokens) {
+      markers.push_back(std::min(max_tokens, v + 1));
+      markers.push_back(std::min(max_tokens, v + 2));
+      markers.push_back(std::min(max_tokens, v + 3));
+    }
+  }
+  grid.insert(grid.end(), markers.begin(), markers.end());
+
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+ProfileDb profile_model(const ModelSpec& model, const NodeSpec& node,
+                        const std::vector<int>& tp_degrees,
+                        const ProfilerOptions& options) {
+  VIDUR_CHECK(!tp_degrees.empty());
+  VIDUR_CHECK(options.samples_per_point >= 1);
+
+  ProfileDb db(model.name, node.sku.name);
+  Rng rng(options.seed);
+
+  const auto tokens = token_grid(options.max_tokens, options.grid_density);
+
+  for (int tp : tp_degrees) {
+    const OpShapes shapes(model, tp);
+
+    // --- Token-level operators: 1-D grid over iteration token count. ---
+    for (OpType op : all_op_types()) {
+      if (op_class(op) != OpClass::kTokenLevel) continue;
+      for (long t : tokens) {
+        OpInput in;
+        in.tokens = t;
+        const double truth = ground_truth_op_time(node, shapes, op, in);
+        db.add({op, tp},
+               {in.features(op), measure(truth, options.samples_per_point,
+                                         options.noise_sigma, rng)});
+      }
+    }
+
+    // --- Prefill attention: 2-D (q, kv) grid with kv >= q (kv > q arises
+    //     under chunked prefill where a chunk attends over its prefix).
+    //     Prefill cost is quadratic in q, so the q axis is densely spaced
+    //     (~2^(1/3) multiplicative steps) to bound the forest's staircase
+    //     interpolation error. ---
+    std::vector<long> q_grid;
+    for (double q = 32.0; q <= static_cast<double>(options.max_prefill_kv);
+         q *= 1.26)
+      q_grid.push_back(static_cast<long>(std::lround(q / 8.0)) * 8);
+    q_grid.push_back(options.max_prefill_kv);
+    std::sort(q_grid.begin(), q_grid.end());
+    q_grid.erase(std::unique(q_grid.begin(), q_grid.end()), q_grid.end());
+    for (long q : q_grid) {
+      std::vector<long> kv_values = {q};
+      for (long extra : {128L, 256L, 512L, 1024L, 2048L, 4096L}) {
+        if (q + extra <= options.max_prefill_kv)
+          kv_values.push_back(q + extra);
+      }
+      for (long kv : kv_values) {
+        OpInput in;
+        in.q_tokens = q;
+        in.kv_tokens = kv;
+        const double truth =
+            ground_truth_op_time(node, shapes, OpType::kAttnPrefill, in);
+        db.add({OpType::kAttnPrefill, tp},
+               {in.features(OpType::kAttnPrefill),
+                measure(truth, options.samples_per_point, options.noise_sigma,
+                        rng)});
+      }
+    }
+
+    // --- Decode attention: 2-D (total KV tokens, batch size) grid.
+    //     Powers of two plus 1.5x intermediates on the batch axis keep the
+    //     forest's splits tight between the octaves. ---
+    std::vector<int> batch_grid;
+    for (int b = 1; b <= options.max_batch_size; b *= 2) {
+      batch_grid.push_back(b);
+      if (b * 3 / 2 <= options.max_batch_size && b > 1)
+        batch_grid.push_back(b * 3 / 2);
+    }
+    std::sort(batch_grid.begin(), batch_grid.end());
+    for (int batch : batch_grid) {
+      const long kv_min = batch * 16L;
+      const long kv_max =
+          std::min<long>(options.max_decode_kv, batch * 8192L);
+      // Log-spaced KV totals between the per-batch extremes.
+      const int steps = 16;
+      for (int i = 0; i <= steps; ++i) {
+        const double frac = static_cast<double>(i) / steps;
+        const long kv = static_cast<long>(
+            std::lround(kv_min * std::pow(static_cast<double>(kv_max) / kv_min,
+                                          frac)));
+        OpInput in;
+        in.kv_tokens = kv;
+        in.batch_size = batch;
+        const double truth =
+            ground_truth_op_time(node, shapes, OpType::kAttnDecode, in);
+        db.add({OpType::kAttnDecode, tp},
+               {in.features(OpType::kAttnDecode),
+                measure(truth, options.samples_per_point, options.noise_sigma,
+                        rng)});
+      }
+    }
+  }
+
+  // --- Collectives: model-agnostic, per world size (paper §4.3). ---
+  const OpShapes shapes_tp1(model, 1);
+  const long max_bytes = static_cast<long>(options.max_tokens) *
+                         model.embed_dim * kBytesPerElement;
+  for (int world : tp_degrees) {
+    if (world < 2) continue;
+    for (long bytes : bytes_grid(max_bytes)) {
+      OpInput in;
+      in.bytes = bytes;
+      in.world = world;
+      const double truth =
+          ground_truth_op_time(node, shapes_tp1, OpType::kAllReduce, in);
+      db.add({OpType::kAllReduce, world},
+             {in.features(OpType::kAllReduce),
+              measure(truth, options.samples_per_point, options.noise_sigma,
+                      rng)});
+    }
+  }
+  for (long bytes : bytes_grid(max_bytes)) {
+    OpInput in;
+    in.bytes = bytes;
+    const double truth =
+        ground_truth_op_time(node, shapes_tp1, OpType::kSendRecv, in);
+    db.add({OpType::kSendRecv, 1},
+           {in.features(OpType::kSendRecv),
+            measure(truth, options.samples_per_point, options.noise_sigma,
+                    rng)});
+  }
+
+  return db;
+}
+
+}  // namespace vidur

@@ -1,0 +1,50 @@
+// Offline profiler (paper §4.3).
+//
+// Samples the ground-truth device at a sparse grid of input sizes per
+// operator — with measurement noise, taking the median over repeat runs,
+// exactly like a CUPTI-based profiling pass — and fills a ProfileDb.
+//
+// Key properties mirrored from the paper:
+//   * token-level ops are profiled once per tensor-parallel sharding variant,
+//     derived automatically from the model spec (single-GPU profiling);
+//   * attention prefill/decode are profiled separately on 2-D grids;
+//   * collectives are profiled model-agnostically over transfer sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hardware/sku.h"
+#include "model/model_spec.h"
+#include "profiler/profile_db.h"
+
+namespace vidur {
+
+struct ProfilerOptions {
+  /// Repeat measurements per grid point; the median is recorded.
+  int samples_per_point = 3;
+  /// Multiplicative lognormal measurement noise (sigma of log-runtime).
+  double noise_sigma = 0.015;
+  /// Largest iteration token count profiled for token-level ops.
+  long max_tokens = 16384;
+  /// Largest single-request context profiled for prefill attention.
+  long max_prefill_kv = 8192;
+  /// Largest total batch KV profiled for decode attention.
+  long max_decode_kv = 2'000'000;
+  /// Largest batch size profiled for decode attention.
+  int max_batch_size = 512;
+  /// Grid density multiplier (1.0 = paper-like sparse grid; larger = denser).
+  double grid_density = 1.0;
+  std::uint64_t seed = 0x51d07ULL;
+};
+
+/// Profile every operator of `model` on `node` for each TP degree in
+/// `tp_degrees` (plus collectives for those world sizes).
+ProfileDb profile_model(const ModelSpec& model, const NodeSpec& node,
+                        const std::vector<int>& tp_degrees,
+                        const ProfilerOptions& options = {});
+
+/// The token-count grid the profiler uses (exposed for tests/ablations).
+std::vector<long> token_grid(long max_tokens, double density = 1.0);
+
+}  // namespace vidur

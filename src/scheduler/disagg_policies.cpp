@@ -1,0 +1,82 @@
+#include "scheduler/disagg_policies.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vidur {
+
+// ----------------------------------------------------------- prefill role
+
+void DisaggPrefillScheduler::fill_batch(BatchSpec& batch, Seconds now) {
+  TokenCount budget = config_.chunk_size;
+
+  // Continue partially-prefilled requests first (FIFO progress).
+  for (RequestState* r : running_) {
+    if (budget <= 0 ||
+        static_cast<int>(batch.items.size()) >= config_.max_batch_size)
+      break;
+    if (r->in_flight || r->prefill_complete()) continue;
+    const TokenCount chunk =
+        std::min<TokenCount>(budget, r->remaining_prefill());
+    if (!ensure_prefill_memory(r, r->kv_context + chunk)) continue;
+    add_prefill_item(batch, r, chunk, now);
+    budget -= chunk;
+  }
+
+  // Admit new prompts with their first chunk. Prefill replicas only ever
+  // hold prompt KV, which is released at hand-off, so a watermark adds
+  // nothing here.
+  while (budget > 0 &&
+         static_cast<int>(running_.size()) < config_.max_batch_size &&
+         static_cast<int>(batch.items.size()) < config_.max_batch_size) {
+    RequestState* r = peek_waiting();
+    if (r == nullptr) break;
+    const TokenCount chunk =
+        std::min<TokenCount>(budget, r->remaining_prefill());
+    if (admit_front(chunk, /*respect_watermark=*/false) == nullptr) break;
+    add_prefill_item(batch, r, chunk, now);
+    budget -= chunk;
+  }
+}
+
+// ------------------------------------------------------------ decode role
+
+long DisaggDecodeScheduler::peak_blocks_of_running() const {
+  long peak = 0;
+  for (const RequestState* r : running_)
+    peak += block_manager_.blocks_for_tokens(r->request.total_tokens());
+  return peak;
+}
+
+void DisaggDecodeScheduler::fill_batch(BatchSpec& batch, Seconds now) {
+  // Admit migrated requests: allocate their already-transferred prompt KV
+  // plus the next token, only while the pool can hold every admitted
+  // request at its maximum length (no preemption ever).
+  while (static_cast<int>(running_.size()) < config_.max_batch_size) {
+    RequestState* r = peek_waiting();
+    if (r == nullptr) break;
+    VIDUR_CHECK_MSG(r->prefill_complete(),
+                    "request " << r->request.id
+                               << " reached a decode replica before its "
+                                  "prefill completed");
+    const long peak_after =
+        peak_blocks_of_running() +
+        block_manager_.blocks_for_tokens(r->request.total_tokens());
+    if (peak_after > block_manager_.total_blocks()) break;
+    if (admit_front(r->kv_context + 1, /*respect_watermark=*/false) == nullptr)
+      break;
+  }
+
+  // Batch every runnable decode; admission guarantees memory.
+  for (RequestState* r : running_) {
+    if (static_cast<int>(batch.items.size()) >= config_.max_batch_size) break;
+    if (r->in_flight || r->finished()) continue;
+    VIDUR_CHECK_MSG(ensure_decode_memory(r, /*allow_preemption=*/false),
+                    "disaggregated decode ran out of KV blocks despite "
+                    "conservative admission");
+    add_decode_item(batch, r, now);
+  }
+}
+
+}  // namespace vidur

@@ -1,0 +1,78 @@
+#include "scheduler/global_scheduler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+const std::vector<std::pair<GlobalSchedulerKind, std::string>>& names() {
+  static const std::vector<std::pair<GlobalSchedulerKind, std::string>>
+      table = {
+          {GlobalSchedulerKind::kRoundRobin, "round_robin"},
+          {GlobalSchedulerKind::kLeastOutstanding, "least_outstanding"},
+          {GlobalSchedulerKind::kDeferred, "deferred"},
+      };
+  return table;
+}
+
+}  // namespace
+
+const std::string& global_scheduler_name(GlobalSchedulerKind kind) {
+  for (const auto& [k, n] : names())
+    if (k == kind) return n;
+  throw Error("unhandled GlobalSchedulerKind");
+}
+
+GlobalSchedulerKind global_scheduler_from_name(const std::string& name) {
+  for (const auto& [k, n] : names())
+    if (n == name) return k;
+  throw Error("unknown global scheduler: " + name);
+}
+
+GlobalScheduler::GlobalScheduler(GlobalSchedulerKind kind, int num_replicas)
+    : kind_(kind), num_replicas_(num_replicas) {
+  VIDUR_CHECK(num_replicas >= 1);
+}
+
+ReplicaId GlobalScheduler::route(RequestState* request,
+                                 const std::vector<int>& outstanding) {
+  VIDUR_CHECK(request != nullptr);
+  VIDUR_CHECK(static_cast<int>(outstanding.size()) == num_replicas_);
+  switch (kind_) {
+    case GlobalSchedulerKind::kRoundRobin: {
+      const ReplicaId r = next_replica_;
+      next_replica_ = (next_replica_ + 1) % num_replicas_;
+      return r;
+    }
+    case GlobalSchedulerKind::kLeastOutstanding: {
+      ReplicaId best = 0;
+      for (int r = 1; r < num_replicas_; ++r)
+        if (outstanding[static_cast<std::size_t>(r)] <
+            outstanding[static_cast<std::size_t>(best)])
+          best = r;
+      return best;
+    }
+    case GlobalSchedulerKind::kDeferred:
+      central_queue_.push_back(request);
+      return -1;
+  }
+  throw Error("unhandled GlobalSchedulerKind");
+}
+
+std::vector<RequestState*> GlobalScheduler::pull(ReplicaId replica,
+                                                 int max_requests) {
+  (void)replica;
+  std::vector<RequestState*> out;
+  if (kind_ != GlobalSchedulerKind::kDeferred) return out;
+  while (!central_queue_.empty() &&
+         static_cast<int>(out.size()) < max_requests) {
+    out.push_back(central_queue_.front());
+    central_queue_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace vidur

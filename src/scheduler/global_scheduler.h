@@ -1,0 +1,50 @@
+// Global scheduler (paper §4.5, first tier): routes arriving requests to
+// replicas. Supports classic load balancing (round-robin, least outstanding
+// requests) and a stateful policy that defers binding: requests sit in a
+// central queue until some replica actually has room, which helps under
+// bursty arrivals where early binding hurts.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "scheduler/request_state.h"
+
+namespace vidur {
+
+enum class GlobalSchedulerKind {
+  kRoundRobin,
+  kLeastOutstanding,
+  kDeferred,  ///< stateful: central queue, replicas pull when they have room
+};
+
+const std::string& global_scheduler_name(GlobalSchedulerKind kind);
+GlobalSchedulerKind global_scheduler_from_name(const std::string& name);
+
+class GlobalScheduler {
+ public:
+  GlobalScheduler(GlobalSchedulerKind kind, int num_replicas);
+
+  /// Route an arriving request. Returns the target replica, or -1 when the
+  /// policy defers the decision (request parked in the central queue).
+  /// `outstanding` holds each replica's current outstanding request count.
+  ReplicaId route(RequestState* request,
+                  const std::vector<int>& outstanding);
+
+  /// Deferred policy: hand over up to `max_requests` parked requests to a
+  /// replica that signalled spare capacity. Empty for binding policies.
+  std::vector<RequestState*> pull(ReplicaId replica, int max_requests);
+
+  bool has_parked_requests() const { return !central_queue_.empty(); }
+  GlobalSchedulerKind kind() const { return kind_; }
+
+ private:
+  GlobalSchedulerKind kind_;
+  int num_replicas_;
+  int next_replica_ = 0;  // round-robin cursor
+  std::deque<RequestState*> central_queue_;
+};
+
+}  // namespace vidur

@@ -1,0 +1,67 @@
+// KV-cache memory planning and block-level management (paper §4.5: the
+// replica scheduler's "memory planner" and "memory manager").
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+#include "hardware/parallel_config.h"
+#include "hardware/sku.h"
+#include "model/model_spec.h"
+
+namespace vidur {
+
+/// Static memory budget of one replica under a parallelism config.
+struct MemoryPlan {
+  ByteCount weight_bytes_per_gpu = 0;
+  /// KV bytes one token occupies on the most loaded GPU of the replica.
+  ByteCount kv_bytes_per_token_per_gpu = 0;
+  /// Paged KV blocks available to the replica (bottleneck stage).
+  long num_kv_blocks = 0;
+  TokenCount block_size = kKvBlockSize;
+
+  TokenCount max_kv_tokens() const { return num_kv_blocks * block_size; }
+};
+
+/// Computes the replica memory plan. Throws vidur::Error when the model does
+/// not fit (weights + workspace exceed device memory).
+MemoryPlan plan_memory(const ModelSpec& model, const NodeSpec& node,
+                       const ParallelConfig& parallel,
+                       double memory_utilization = 0.9,
+                       ByteCount workspace_bytes = 2LL * 1024 * 1024 * 1024);
+
+/// Paged KV-cache block allocator for one replica (vLLM-style).
+class BlockManager {
+ public:
+  BlockManager(long total_blocks, TokenCount block_size);
+
+  long total_blocks() const { return total_blocks_; }
+  long free_blocks() const { return total_blocks_ - used_blocks_; }
+  long used_blocks() const { return used_blocks_; }
+  double utilization() const {
+    return static_cast<double>(used_blocks_) /
+           static_cast<double>(total_blocks_);
+  }
+
+  /// Blocks needed to hold `tokens` KV entries.
+  long blocks_for_tokens(TokenCount tokens) const;
+
+  bool can_allocate(long blocks) const { return blocks <= free_blocks(); }
+
+  /// Grow `request`'s allocation to cover `total_tokens` KV entries.
+  /// Returns false (and changes nothing) if the blocks are unavailable.
+  bool grow_to(RequestId request, TokenCount total_tokens);
+
+  /// Release all blocks held by `request` (no-op if it holds none).
+  void release(RequestId request);
+
+  long allocated_to(RequestId request) const;
+
+ private:
+  long total_blocks_;
+  TokenCount block_size_;
+  long used_blocks_ = 0;
+  std::unordered_map<RequestId, long> allocations_;
+};
+
+}  // namespace vidur

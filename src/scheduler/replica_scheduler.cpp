@@ -1,0 +1,176 @@
+#include "scheduler/replica_scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vidur {
+
+ReplicaScheduler::ReplicaScheduler(SchedulerConfig config, MemoryPlan plan)
+    : config_(config),
+      plan_(plan),
+      block_manager_(plan.num_kv_blocks, plan.block_size) {
+  config.validate();
+}
+
+void ReplicaScheduler::enqueue(RequestState* request) {
+  VIDUR_CHECK(request != nullptr);
+  // A request that could never fit would deadlock the replica; surface the
+  // misconfiguration instead (the capacity search treats it as infeasible).
+  const long needed =
+      block_manager_.blocks_for_tokens(request->request.total_tokens());
+  VIDUR_CHECK_MSG(needed <= block_manager_.total_blocks(),
+                  "request " << request->request.id << " ("
+                             << request->request.total_tokens()
+                             << " tokens) exceeds the replica KV pool of "
+                             << plan_.max_kv_tokens() << " tokens");
+  waiting_.push_back(request);
+  by_id_[request->request.id] = request;
+}
+
+BatchSpec ReplicaScheduler::schedule(Seconds now) {
+  BatchSpec batch;
+  fill_batch(batch, now);
+  return batch;
+}
+
+std::vector<RequestState*> ReplicaScheduler::on_batch_end(
+    const BatchSpec& batch, Seconds now) {
+  std::vector<RequestState*> finished;
+  for (const BatchItem& item : batch.items) {
+    auto it = by_id_.find(item.request);
+    VIDUR_CHECK_MSG(it != by_id_.end(),
+                    "batch completed for unknown request " << item.request);
+    RequestState* r = it->second;
+    r->in_flight = false;
+    // A preempted-and-restarted request may see its old batch complete after
+    // the restart; that stale completion carries no progress.
+    if (!r->admitted) continue;
+
+    if (item.is_prefill) {
+      r->prefill_done += item.q_tokens;
+      r->kv_context += item.q_tokens;
+      if (item.completes_prefill) {
+        VIDUR_CHECK(r->prefill_complete());
+        if (r->record.prefill_completed_time < 0)
+          r->record.prefill_completed_time = now;
+        r->decode_done = 1;  // prefill emits the first output token
+        r->record.token_times.push_back(now);
+      }
+    } else {
+      r->decode_done += 1;
+      r->kv_context += 1;
+      r->record.token_times.push_back(now);
+    }
+
+    if (r->finished()) {
+      r->record.completed_time = now;
+      block_manager_.release(r->request.id);
+      r->admitted = false;
+      running_.erase(std::find(running_.begin(), running_.end(), r));
+      by_id_.erase(r->request.id);
+      finished.push_back(r);
+    }
+  }
+  return finished;
+}
+
+void ReplicaScheduler::extract(RequestState* request) {
+  VIDUR_CHECK(request != nullptr);
+  VIDUR_CHECK_MSG(request->admitted && !request->in_flight,
+                  "extract() requires an admitted request that is not "
+                  "currently executing");
+  block_manager_.release(request->request.id);
+  request->admitted = false;
+  running_.erase(std::find(running_.begin(), running_.end(), request));
+  by_id_.erase(request->request.id);
+}
+
+RequestState* ReplicaScheduler::admit_front(TokenCount tokens,
+                                            bool respect_watermark) {
+  RequestState* r = peek_waiting();
+  if (r == nullptr) return nullptr;
+  const long needed = block_manager_.blocks_for_tokens(tokens) -
+                      block_manager_.allocated_to(r->request.id);
+  if (!block_manager_.can_allocate(needed)) return nullptr;
+  if (respect_watermark && !watermark_ok(needed)) return nullptr;
+  VIDUR_CHECK(block_manager_.grow_to(r->request.id, tokens));
+  waiting_.pop_front();
+  running_.push_back(r);
+  r->admitted = true;
+  return r;
+}
+
+bool ReplicaScheduler::watermark_ok(long blocks_needed) const {
+  const auto watermark = static_cast<long>(
+      config_.watermark_fraction *
+      static_cast<double>(block_manager_.total_blocks()));
+  return block_manager_.free_blocks() - blocks_needed >= watermark;
+}
+
+bool ReplicaScheduler::ensure_decode_memory(RequestState* r,
+                                            bool allow_preemption) {
+  const TokenCount target = r->kv_context + 1;
+  if (block_manager_.grow_to(r->request.id, target)) return true;
+  if (!allow_preemption) return false;
+  while (RequestState* victim = preempt_one()) {
+    // The victim released its blocks; it may have been `r` itself, in which
+    // case `r` no longer runs this iteration.
+    if (victim == r) return false;
+    if (block_manager_.grow_to(r->request.id, target)) return true;
+  }
+  return false;
+}
+
+bool ReplicaScheduler::ensure_prefill_memory(RequestState* r,
+                                             TokenCount target_tokens) {
+  return block_manager_.grow_to(r->request.id, target_tokens);
+}
+
+void ReplicaScheduler::add_prefill_item(BatchSpec& batch, RequestState* r,
+                                        TokenCount chunk, Seconds now) {
+  VIDUR_CHECK(chunk > 0 && chunk <= r->remaining_prefill());
+  BatchItem item;
+  item.request = r->request.id;
+  item.q_tokens = chunk;
+  item.kv_context = r->kv_context;
+  item.is_prefill = true;
+  item.completes_prefill = chunk == r->remaining_prefill();
+  batch.items.push_back(item);
+  r->in_flight = true;
+  if (r->record.first_scheduled_time < 0)
+    r->record.first_scheduled_time = now;
+}
+
+void ReplicaScheduler::add_decode_item(BatchSpec& batch, RequestState* r,
+                                       Seconds now) {
+  VIDUR_CHECK(r->prefill_complete() && !r->finished());
+  BatchItem item;
+  item.request = r->request.id;
+  item.q_tokens = 1;
+  item.kv_context = r->kv_context;
+  item.is_prefill = false;
+  batch.items.push_back(item);
+  r->in_flight = true;
+  if (r->record.first_scheduled_time < 0)
+    r->record.first_scheduled_time = now;
+}
+
+RequestState* ReplicaScheduler::preempt_one() {
+  // Lowest priority = latest arrival (highest id) among running requests
+  // that are not currently executing.
+  RequestState* victim = nullptr;
+  for (RequestState* r : running_) {
+    if (r->in_flight) continue;
+    if (victim == nullptr || r->request.id > victim->request.id) victim = r;
+  }
+  if (victim == nullptr) return nullptr;
+  block_manager_.release(victim->request.id);
+  victim->restart();
+  running_.erase(std::find(running_.begin(), running_.end(), victim));
+  // Recomputed from scratch, at the head of the queue (vLLM semantics).
+  waiting_.push_front(victim);
+  return victim;
+}
+
+}  // namespace vidur

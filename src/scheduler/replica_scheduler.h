@@ -1,0 +1,109 @@
+// Replica scheduler (paper §4.5, second tier): owns batching and memory
+// management for one model replica. Concrete policies (FasterTransformer,
+// Orca+, vLLM, Sarathi-Serve, LightLLM) override the batch-formation hook;
+// admission, preemption and accounting helpers live here, which is what
+// keeps each policy small (the paper notes every policy fits in ~150 lines).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "execution/batch_spec.h"
+#include "scheduler/memory.h"
+#include "scheduler/request_state.h"
+#include "scheduler/scheduler_config.h"
+
+namespace vidur {
+
+class ReplicaScheduler {
+ public:
+  ReplicaScheduler(SchedulerConfig config, MemoryPlan plan);
+  virtual ~ReplicaScheduler() = default;
+
+  ReplicaScheduler(const ReplicaScheduler&) = delete;
+  ReplicaScheduler& operator=(const ReplicaScheduler&) = delete;
+
+  /// A new (or re-routed) request enters this replica's waiting queue.
+  /// Throws vidur::Error if the request can never fit in the KV pool.
+  void enqueue(RequestState* request);
+
+  /// Form the next iteration's batch: performs admission/allocation, marks
+  /// chosen requests in-flight and stamps first-schedule times. An empty
+  /// batch means no runnable work right now.
+  BatchSpec schedule(Seconds now);
+
+  /// A batch finished its final pipeline stage: advance request states,
+  /// release memory of finished requests. Returns the finished requests.
+  std::vector<RequestState*> on_batch_end(const BatchSpec& batch,
+                                          Seconds now);
+
+  /// Remove an unfinished, admitted request from this replica, releasing its
+  /// KV blocks (disaggregated serving: the simulator extracts a request once
+  /// its prefill completes, then hands it to a decode replica).
+  void extract(RequestState* request);
+
+  /// Request currently enqueued or running here, or nullptr.
+  RequestState* find(RequestId id) const {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+  }
+
+  int num_waiting() const { return static_cast<int>(waiting_.size()); }
+  int num_running() const { return static_cast<int>(running_.size()); }
+  /// Requests routed here and not yet completed (for LOR routing).
+  int outstanding() const { return num_waiting() + num_running(); }
+  bool has_work() const { return outstanding() > 0; }
+
+  const BlockManager& blocks() const { return block_manager_; }
+  const SchedulerConfig& config() const { return config_; }
+
+ protected:
+  /// Policy hook: append items to `batch` (and perform allocations).
+  virtual void fill_batch(BatchSpec& batch, Seconds now) = 0;
+
+  // ---- helpers shared by the policies ----
+
+  /// Next waiting request, or nullptr.
+  RequestState* peek_waiting() const {
+    return waiting_.empty() ? nullptr : waiting_.front();
+  }
+
+  /// Admit the front waiting request with KV space for `tokens` entries,
+  /// honoring an optional watermark. Returns nullptr when blocked.
+  RequestState* admit_front(TokenCount tokens, bool respect_watermark);
+
+  /// Grow `r`'s KV allocation for its next decode token, preempting
+  /// lower-priority requests if `allow_preemption`. Returns success.
+  bool ensure_decode_memory(RequestState* r, bool allow_preemption);
+
+  /// Grow `r`'s KV allocation to cover a prefill chunk ending at
+  /// `target_tokens` cached entries. No preemption.
+  bool ensure_prefill_memory(RequestState* r, TokenCount target_tokens);
+
+  /// Append a prefill-chunk item for `r` (marks in-flight, stamps times).
+  void add_prefill_item(BatchSpec& batch, RequestState* r, TokenCount chunk,
+                        Seconds now);
+  /// Append a decode item for `r`.
+  void add_decode_item(BatchSpec& batch, RequestState* r, Seconds now);
+
+  /// vLLM-style preempt-and-restart of the lowest-priority (latest-arrival)
+  /// running request that is not in flight. Returns the victim or nullptr.
+  RequestState* preempt_one();
+
+  bool watermark_ok(long blocks_needed) const;
+
+  SchedulerConfig config_;
+  MemoryPlan plan_;
+  BlockManager block_manager_;
+  std::deque<RequestState*> waiting_;
+  std::vector<RequestState*> running_;  ///< admitted, unfinished
+  std::unordered_map<RequestId, RequestState*> by_id_;
+};
+
+/// Factory: constructs the policy named by `config.kind`.
+std::unique_ptr<ReplicaScheduler> make_replica_scheduler(
+    const SchedulerConfig& config, const MemoryPlan& plan);
+
+}  // namespace vidur

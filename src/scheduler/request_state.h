@@ -1,0 +1,43 @@
+// Mutable per-request serving state, owned by the simulator and manipulated
+// by the scheduler stack.
+#pragma once
+
+#include "common/types.h"
+#include "metrics/metrics.h"
+#include "workload/request.h"
+
+namespace vidur {
+
+struct RequestState {
+  Request request;
+  ReplicaId replica = -1;
+
+  TokenCount prefill_done = 0;  ///< prompt tokens processed so far
+  TokenCount decode_done = 0;   ///< output tokens produced so far
+  TokenCount kv_context = 0;    ///< tokens currently resident in KV cache
+  bool in_flight = false;       ///< member of a batch currently executing
+  bool admitted = false;        ///< holds KV-cache memory on its replica
+
+  RequestRecord record;  ///< metric timestamps (filled by the scheduler)
+
+  bool prefill_complete() const {
+    return prefill_done >= request.prefill_tokens;
+  }
+  bool finished() const {
+    return prefill_complete() && decode_done >= request.decode_tokens;
+  }
+  TokenCount remaining_prefill() const {
+    return request.prefill_tokens - prefill_done;
+  }
+
+  /// Reset to the unprocessed state (vLLM preempt-and-restart).
+  void restart() {
+    prefill_done = 0;
+    decode_done = 0;
+    kv_context = 0;
+    admitted = false;
+    ++record.num_restarts;
+  }
+};
+
+}  // namespace vidur

@@ -1,0 +1,52 @@
+#include "scheduler/scheduler_config.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+const std::vector<std::pair<SchedulerKind, std::string>>& names() {
+  static const std::vector<std::pair<SchedulerKind, std::string>> table = {
+      {SchedulerKind::kFasterTransformer, "faster_transformer"},
+      {SchedulerKind::kOrca, "orca+"},
+      {SchedulerKind::kVllm, "vllm"},
+      {SchedulerKind::kSarathi, "sarathi"},
+      {SchedulerKind::kLightLlm, "lightllm"},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::string& scheduler_name(SchedulerKind kind) {
+  for (const auto& [k, n] : names())
+    if (k == kind) return n;
+  throw Error("unhandled SchedulerKind");
+}
+
+SchedulerKind scheduler_from_name(const std::string& name) {
+  for (const auto& [k, n] : names())
+    if (n == name) return k;
+  throw Error("unknown scheduler: " + name);
+}
+
+void SchedulerConfig::validate() const {
+  VIDUR_CHECK(max_batch_size >= 1);
+  VIDUR_CHECK(max_tokens_per_iteration >= 1);
+  VIDUR_CHECK(chunk_size >= 1);
+  VIDUR_CHECK(watermark_fraction >= 0 && watermark_fraction < 1.0);
+}
+
+std::string SchedulerConfig::to_string() const {
+  std::ostringstream os;
+  os << scheduler_name(kind) << "(bs=" << max_batch_size;
+  if (kind == SchedulerKind::kSarathi) os << ", chunk=" << chunk_size;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace vidur

@@ -1,0 +1,38 @@
+// Batching-policy selection and tuning knobs (the paper's scheduler portion
+// of the deployment configuration space, §6).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace vidur {
+
+enum class SchedulerKind {
+  kFasterTransformer,  ///< request-level (static) batching, decode-prioritizing
+  kOrca,               ///< Orca+ : iteration-level, whole-prompt prefills
+  kVllm,               ///< eager prefills that pause decodes, preempt on OOM
+  kSarathi,            ///< hybrid chunked-prefill batches, fixed token budget
+  kLightLlm,           ///< token-level memory, conservative no-preempt admission
+};
+
+/// Stable name, e.g. "vllm", "sarathi". Inverse: scheduler_from_name.
+const std::string& scheduler_name(SchedulerKind kind);
+SchedulerKind scheduler_from_name(const std::string& name);
+
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kVllm;
+  /// Max sequences per iteration (the paper's "BS" knob: 32..512).
+  int max_batch_size = 128;
+  /// Max tokens per iteration for vLLM / Orca+ (paper: 4096).
+  TokenCount max_tokens_per_iteration = 4096;
+  /// Sarathi-Serve chunk size (paper: 512 / 1024 / 2048).
+  TokenCount chunk_size = 512;
+  /// vLLM watermark: fraction of blocks kept free when admitting prefills.
+  double watermark_fraction = 0.01;
+
+  void validate() const;
+  std::string to_string() const;
+};
+
+}  // namespace vidur

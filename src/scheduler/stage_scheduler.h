@@ -1,0 +1,54 @@
+// Replica-stage scheduler (paper §4.5, third tier): serializes micro-batches
+// through one pipeline stage. Synchronous pipeline parallelism: a stage runs
+// one micro-batch at a time; arrivals queue FIFO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace vidur {
+
+class StageScheduler {
+ public:
+  using BatchHandle = std::int64_t;
+
+  /// Offer a micro-batch to the stage. Returns true when the stage was idle
+  /// and the batch starts immediately; otherwise it is queued.
+  bool submit(BatchHandle batch) {
+    if (busy_) {
+      queue_.push_back(batch);
+      return false;
+    }
+    busy_ = true;
+    current_ = batch;
+    return true;
+  }
+
+  /// The running micro-batch finished. Returns the next queued batch to
+  /// start (and keeps the stage busy), or -1 when the stage goes idle.
+  BatchHandle complete() {
+    VIDUR_CHECK_MSG(busy_, "StageScheduler::complete() on an idle stage");
+    if (queue_.empty()) {
+      busy_ = false;
+      current_ = -1;
+      return -1;
+    }
+    current_ = queue_.front();
+    queue_.pop_front();
+    return current_;
+  }
+
+  bool busy() const { return busy_; }
+  BatchHandle current() const { return current_; }
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  bool busy_ = false;
+  BatchHandle current_ = -1;
+  std::deque<BatchHandle> queue_;
+};
+
+}  // namespace vidur

@@ -1,0 +1,43 @@
+#include "search/config_space.h"
+
+namespace vidur {
+
+std::vector<DeploymentConfig> SearchSpace::enumerate(
+    const ModelSpec& model) const {
+  std::vector<DeploymentConfig> out;
+  for (const std::string& sku : skus) {
+    for (int tp : tp_degrees) {
+      if (model.num_q_heads % tp != 0 || model.ffn_dim % tp != 0) continue;
+      for (int pp : pp_degrees) {
+        if (model.num_layers % pp != 0) continue;
+        const int gpus_per_replica = tp * pp;
+        if (gpus_per_replica > max_total_gpus) continue;
+        const int replicas = max_total_gpus / gpus_per_replica;
+        for (SchedulerKind kind : schedulers) {
+          const auto& chunks = kind == SchedulerKind::kSarathi
+                                   ? sarathi_chunk_sizes
+                                   : std::vector<TokenCount>{0};
+          for (TokenCount chunk : chunks) {
+            for (int bs : batch_sizes) {
+              DeploymentConfig config;
+              config.sku_name = sku;
+              config.parallel = ParallelConfig{tp, pp, replicas};
+              config.scheduler.kind = kind;
+              // The paper divides the batch size across PP micro-batches.
+              config.scheduler.max_batch_size = std::max(1, bs / pp);
+              config.scheduler.max_tokens_per_iteration =
+                  max_tokens_per_iteration;
+              if (kind == SchedulerKind::kSarathi)
+                config.scheduler.chunk_size = chunk;
+              config.global_scheduler = global_scheduler;
+              out.push_back(config);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vidur

@@ -1,0 +1,31 @@
+// Deployment configuration space enumeration (Vidur-Search input, paper §6).
+#pragma once
+
+#include <vector>
+
+#include "core/deployment.h"
+#include "model/model_spec.h"
+
+namespace vidur {
+
+struct SearchSpace {
+  std::vector<std::string> skus = {"a100", "h100"};
+  std::vector<int> tp_degrees = {1, 2, 4};
+  std::vector<int> pp_degrees = {1, 2, 4};
+  /// Total GPU budget; replicas = max_total_gpus / (tp * pp) (paper: 16).
+  int max_total_gpus = 16;
+  std::vector<SchedulerKind> schedulers = {
+      SchedulerKind::kVllm, SchedulerKind::kOrca, SchedulerKind::kSarathi};
+  std::vector<int> batch_sizes = {32, 64, 128, 256, 512};
+  std::vector<TokenCount> sarathi_chunk_sizes = {512, 1024, 2048};
+  TokenCount max_tokens_per_iteration = 4096;
+  GlobalSchedulerKind global_scheduler = GlobalSchedulerKind::kRoundRobin;
+
+  /// Enumerate every valid deployment of `model`: skips TP degrees that do
+  /// not divide the model's heads/FFN and parallelism products exceeding the
+  /// GPU budget. (Memory-infeasible configs are filtered later, during
+  /// evaluation, where the failure is observable.)
+  std::vector<DeploymentConfig> enumerate(const ModelSpec& model) const;
+};
+
+}  // namespace vidur

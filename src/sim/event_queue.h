@@ -1,0 +1,62 @@
+// Discrete-event engine: a time-ordered queue of callbacks with stable FIFO
+// ordering for simultaneous events (deterministic replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace vidur {
+
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `time` (>= now).
+  void schedule(Seconds time, std::function<void()> action) {
+    VIDUR_CHECK_MSG(time >= now_, "event scheduled in the past");
+    heap_.push(Event{time, next_seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  Seconds now() const { return now_; }
+
+  /// Pop and execute the earliest event; advances now().
+  void run_next() {
+    VIDUR_CHECK_MSG(!heap_.empty(), "run_next() on an empty queue");
+    // Moving out of the priority queue requires a const_cast; the element is
+    // popped immediately afterwards so the ordering invariant is unharmed.
+    auto& top = const_cast<Event&>(heap_.top());
+    now_ = top.time;
+    auto action = std::move(top.action);
+    heap_.pop();
+    action();
+  }
+
+  /// Time of the earliest pending event.
+  Seconds next_time() const {
+    VIDUR_CHECK(!heap_.empty());
+    return heap_.top().time;
+  }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    std::function<void()> action;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace vidur

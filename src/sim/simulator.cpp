@@ -1,0 +1,270 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "scheduler/disagg_policies.h"
+
+namespace vidur {
+
+Simulator::Simulator(SimulationConfig config, Trace trace,
+                     BackendFactory factory)
+    : config_(std::move(config)),
+      trace_(std::move(trace)),
+      // Under disaggregation, arrivals are only routed among the prefill
+      // replicas; decode replicas receive work via KV-transfer hand-off.
+      global_(config_.global_scheduler,
+              config_.disagg.enabled() ? config_.disagg.num_prefill_replicas
+                                       : config_.parallel.num_replicas),
+      memory_plan_(plan_memory(config_.model, config_.node, config_.parallel,
+                               config_.memory_utilization)),
+      metrics_(ClusterResources{
+          .num_replicas = config_.parallel.num_replicas,
+          .gpus_per_replica = config_.parallel.gpus_per_replica(),
+          .peak_flops_per_gpu = config_.node.sku.peak_flops(),
+          .hbm_bytes_per_sec_per_gpu = config_.node.sku.hbm_bytes_per_sec(),
+          .idle_watts_per_gpu = config_.node.sku.idle_watts,
+          .peak_watts_per_gpu = config_.node.sku.peak_watts}) {
+  config_.model.validate();
+  config_.parallel.validate();
+  config_.scheduler.validate();
+  VIDUR_CHECK(factory != nullptr);
+  if (config_.disagg.enabled()) {
+    VIDUR_CHECK_MSG(
+        config_.disagg.num_prefill_replicas < config_.parallel.num_replicas,
+        "disaggregation requires at least one decode replica");
+    VIDUR_CHECK(config_.disagg.transfer_bandwidth_gbps > 0);
+    VIDUR_CHECK(config_.disagg.transfer_latency >= 0);
+  }
+
+  replicas_.reserve(static_cast<std::size_t>(config_.parallel.num_replicas));
+  for (ReplicaId r = 0; r < config_.parallel.num_replicas; ++r) {
+    Replica replica;
+    if (!config_.disagg.enabled()) {
+      replica.scheduler =
+          make_replica_scheduler(config_.scheduler, memory_plan_);
+    } else if (is_prefill_replica(r)) {
+      replica.scheduler = std::make_unique<DisaggPrefillScheduler>(
+          config_.scheduler, memory_plan_);
+    } else {
+      replica.scheduler = std::make_unique<DisaggDecodeScheduler>(
+          config_.scheduler, memory_plan_);
+    }
+    replica.backend = factory(r);
+    VIDUR_CHECK(replica.backend != nullptr);
+    replica.stages.resize(
+        static_cast<std::size_t>(config_.parallel.pipeline_parallel));
+    replicas_.push_back(std::move(replica));
+  }
+
+  // Request states must never reallocate: schedulers hold raw pointers.
+  states_.reserve(trace_.size());
+  for (const Request& req : trace_) {
+    RequestState state;
+    state.request = req;
+    state.record.id = req.id;
+    state.record.arrival_time = req.arrival_time;
+    state.record.prefill_tokens = req.prefill_tokens;
+    state.record.decode_tokens = req.decode_tokens;
+    states_.push_back(std::move(state));
+  }
+}
+
+SimulationMetrics Simulator::run() {
+  VIDUR_CHECK_MSG(!ran_, "Simulator::run() may only be called once");
+  ran_ = true;
+
+  for (RequestState& state : states_) {
+    RequestState* r = &state;
+    events_.schedule(state.request.arrival_time, [this, r] { on_arrival(r); });
+  }
+
+  while (!events_.empty()) {
+    if (events_.next_time() > config_.max_sim_time) break;
+    events_.run_next();
+  }
+
+  for (const RequestState& state : states_)
+    metrics_.record_request(state.record);
+  return metrics_.finalize(events_.now());
+}
+
+void Simulator::on_arrival(RequestState* request) {
+  const int routable = config_.disagg.enabled()
+                           ? config_.disagg.num_prefill_replicas
+                           : config_.parallel.num_replicas;
+  const ReplicaId target =
+      global_.route(request, outstanding_counts(routable));
+  if (target >= 0) {
+    request->replica = target;
+    replicas_[static_cast<std::size_t>(target)].scheduler->enqueue(request);
+    try_schedule(target);
+  } else {
+    // Deferred binding: every routable replica with room may pull it.
+    for (ReplicaId r = 0; r < routable; ++r) try_schedule(r);
+  }
+}
+
+void Simulator::pull_deferred(ReplicaId replica_id) {
+  if (!global_.has_parked_requests()) return;
+  // Decode replicas never pull arrivals; their work comes via hand-off.
+  if (config_.disagg.enabled() && !is_prefill_replica(replica_id)) return;
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+  // Keep at most one request staged locally; binding happens as late as
+  // possible so a faster replica can take the next arrival.
+  if (replica.scheduler->num_waiting() > 0) return;
+  for (RequestState* r : global_.pull(replica_id, 1)) {
+    r->replica = replica_id;
+    replica.scheduler->enqueue(r);
+  }
+}
+
+void Simulator::try_schedule(ReplicaId replica_id) {
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+  // Synchronous pipeline: at most one micro-batch per stage in flight.
+  while (replica.batches_in_flight < config_.parallel.pipeline_parallel) {
+    pull_deferred(replica_id);
+    BatchSpec batch = replica.scheduler->schedule(events_.now());
+    if (batch.empty()) return;
+
+    const auto handle = next_handle_++;
+    InFlightBatch record;
+    record.replica = replica_id;
+    record.start_time = events_.now();
+    record.flops = batch_flops(config_.model, batch);
+    record.kv_utilization = replica.scheduler->blocks().utilization();
+    record.spec = std::move(batch);
+    in_flight_.emplace(handle, std::move(record));
+
+    ++replica.batches_in_flight;
+    if (replica.stages[0].submit(handle)) start_stage(replica_id, 0, handle);
+  }
+}
+
+void Simulator::start_stage(ReplicaId replica_id, StageId stage,
+                            StageScheduler::BatchHandle handle) {
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+  const InFlightBatch& batch = in_flight_.at(handle);
+  const StageTiming timing = replica.backend->stage_timing(batch.spec, stage);
+  VIDUR_CHECK(timing.compute >= 0 && timing.comm >= 0);
+  // Synchronous pipeline: the send occupies the stage. Asynchronous: the
+  // stage frees after compute; the send delays only the downstream hand-off.
+  Seconds busy = config_.async_pipeline_comm ? timing.compute : timing.total();
+  const Seconds handoff_lag = config_.async_pipeline_comm ? timing.comm : 0.0;
+  if (stage == 0) busy += replica.backend->cpu_overhead(batch.spec);
+  if (config_.collect_operator_metrics)
+    metrics_.record_operators(
+        replica.backend->stage_breakdown(batch.spec, stage).per_op);
+  events_.schedule(events_.now() + busy,
+                   [this, replica_id, stage, handle, handoff_lag] {
+                     on_stage_end(replica_id, stage, handle, handoff_lag);
+                   });
+}
+
+void Simulator::on_stage_end(ReplicaId replica_id, StageId stage,
+                             StageScheduler::BatchHandle handle,
+                             Seconds comm_time) {
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+
+  // Advance this stage's queue.
+  const auto next = replica.stages[static_cast<std::size_t>(stage)].complete();
+  if (next >= 0) start_stage(replica_id, stage, next);
+
+  if (stage + 1 < config_.parallel.pipeline_parallel) {
+    if (comm_time > 0) {
+      // Asynchronous send: activations arrive downstream after the wire
+      // delay, while this stage is already free for its next micro-batch.
+      events_.schedule(events_.now() + comm_time,
+                       [this, replica_id, stage, handle] {
+                         deliver_to_stage(replica_id, stage + 1, handle);
+                       });
+    } else {
+      deliver_to_stage(replica_id, stage + 1, handle);
+    }
+  } else {
+    finish_batch(replica_id, handle);
+  }
+  // Stage 0 freeing up or a batch completing can unblock scheduling.
+  try_schedule(replica_id);
+}
+
+void Simulator::deliver_to_stage(ReplicaId replica_id, StageId stage,
+                                 StageScheduler::BatchHandle handle) {
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+  if (replica.stages[static_cast<std::size_t>(stage)].submit(handle))
+    start_stage(replica_id, stage, handle);
+}
+
+void Simulator::finish_batch(ReplicaId replica_id,
+                             StageScheduler::BatchHandle handle) {
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+  auto it = in_flight_.find(handle);
+  VIDUR_CHECK(it != in_flight_.end());
+  const InFlightBatch& batch = it->second;
+
+  BatchRecord record;
+  record.replica = replica_id;
+  record.start_time = batch.start_time;
+  record.end_time = events_.now();
+  record.q_tokens = batch.spec.total_q_tokens();
+  record.batch_size = batch.spec.size();
+  record.flops = batch.flops;
+  record.hbm_bytes_per_gpu = batch_hbm_bytes_per_gpu(
+      config_.model, config_.parallel.tensor_parallel,
+      config_.parallel.pipeline_parallel, batch.spec);
+  record.kv_utilization = batch.kv_utilization;
+  metrics_.record_batch(record);
+
+  replica.scheduler->on_batch_end(batch.spec, events_.now());
+  if (is_prefill_replica(replica_id)) migrate_prefilled(replica_id, batch.spec);
+  --replica.batches_in_flight;
+  in_flight_.erase(it);
+}
+
+void Simulator::migrate_prefilled(ReplicaId replica_id,
+                                  const BatchSpec& batch) {
+  ReplicaScheduler& scheduler =
+      *replicas_[static_cast<std::size_t>(replica_id)].scheduler;
+  for (const BatchItem& item : batch.items) {
+    if (!item.completes_prefill) continue;
+    RequestState* r = scheduler.find(item.request);
+    // Requests that finished at prefill (single output token) or were
+    // restarted concurrently are not migrated.
+    if (r == nullptr || !r->prefill_complete() || r->finished()) continue;
+    scheduler.extract(r);
+    events_.schedule(events_.now() + kv_transfer_time(*r),
+                     [this, r] { on_migrated(r); });
+  }
+}
+
+void Simulator::on_migrated(RequestState* request) {
+  // Least-outstanding routing among decode replicas.
+  ReplicaId best = config_.disagg.num_prefill_replicas;
+  for (ReplicaId r = best + 1; r < config_.parallel.num_replicas; ++r) {
+    const auto outstanding = [&](ReplicaId id) {
+      return replicas_[static_cast<std::size_t>(id)].scheduler->outstanding();
+    };
+    if (outstanding(r) < outstanding(best)) best = r;
+  }
+  request->replica = best;
+  replicas_[static_cast<std::size_t>(best)].scheduler->enqueue(request);
+  try_schedule(best);
+}
+
+Seconds Simulator::kv_transfer_time(const RequestState& request) const {
+  const auto bytes = static_cast<double>(request.kv_context) *
+                     static_cast<double>(config_.model.kv_bytes_per_token());
+  return bytes / (config_.disagg.transfer_bandwidth_gbps * 1e9) +
+         config_.disagg.transfer_latency;
+}
+
+std::vector<int> Simulator::outstanding_counts(int count) const {
+  std::vector<int> counts;
+  counts.reserve(static_cast<std::size_t>(count));
+  for (int r = 0; r < count; ++r)
+    counts.push_back(
+        replicas_[static_cast<std::size_t>(r)].scheduler->outstanding());
+  return counts;
+}
+
+}  // namespace vidur

@@ -1,0 +1,121 @@
+// The Vidur event-driven simulator core (paper Fig. 2, component 4).
+//
+// Wires together the three-tier scheduler stack, an execution backend (the
+// runtime-estimator predictor, or the ground-truth reference executor), and
+// metric collection, then plays a request trace to completion.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "execution/execution_backend.h"
+#include "hardware/parallel_config.h"
+#include "hardware/sku.h"
+#include "metrics/metrics.h"
+#include "model/model_spec.h"
+#include "scheduler/global_scheduler.h"
+#include "scheduler/replica_scheduler.h"
+#include "scheduler/stage_scheduler.h"
+#include "sim/disagg_config.h"
+#include "sim/event_queue.h"
+#include "workload/request.h"
+
+namespace vidur {
+
+struct SimulationConfig {
+  ModelSpec model;
+  NodeSpec node;
+  ParallelConfig parallel;
+  SchedulerConfig scheduler;
+  GlobalSchedulerKind global_scheduler = GlobalSchedulerKind::kRoundRobin;
+  double memory_utilization = 0.9;
+  /// Safety cutoff; events beyond this simulated time are not executed.
+  Seconds max_sim_time = kInfiniteTime;
+  /// Collect per-operator time attribution (paper §5.2). Costs one extra
+  /// backend decomposition per stage execution; off by default.
+  bool collect_operator_metrics = false;
+  /// Overlap inter-stage activation sends with the sending stage's next
+  /// micro-batch (paper §4.5 future work: asynchronous-communication
+  /// pipeline scheduling). The send still delays the downstream stage; it
+  /// just no longer occupies the upstream one. No effect when PP = 1.
+  bool async_pipeline_comm = false;
+  /// Prefill/decode disaggregation; when enabled, `scheduler.kind` is
+  /// ignored (each role runs its dedicated policy) and
+  /// parallel.num_replicas counts both roles together.
+  DisaggConfig disagg;
+};
+
+/// Creates the per-replica timing backend (a predictor shared across
+/// replicas, or per-replica reference executors with forked RNG streams).
+using BackendFactory =
+    std::function<std::unique_ptr<ExecutionBackend>(ReplicaId)>;
+
+class Simulator {
+ public:
+  /// Throws vidur::Error on invalid configuration (model does not fit,
+  /// inconsistent parallelism, ...).
+  Simulator(SimulationConfig config, Trace trace, BackendFactory factory);
+
+  /// Play the trace to completion and aggregate metrics.
+  SimulationMetrics run();
+
+  const std::vector<RequestState>& request_states() const { return states_; }
+  const MemoryPlan& memory_plan() const { return memory_plan_; }
+
+ private:
+  struct InFlightBatch {
+    BatchSpec spec;
+    ReplicaId replica = 0;
+    Seconds start_time = 0.0;
+    FlopCount flops = 0.0;
+    double kv_utilization = 0.0;
+  };
+
+  struct Replica {
+    std::unique_ptr<ReplicaScheduler> scheduler;
+    std::unique_ptr<ExecutionBackend> backend;
+    std::vector<StageScheduler> stages;
+    int batches_in_flight = 0;
+  };
+
+  void on_arrival(RequestState* request);
+  void try_schedule(ReplicaId replica_id);
+  void start_stage(ReplicaId replica_id, StageId stage,
+                   StageScheduler::BatchHandle handle);
+  void on_stage_end(ReplicaId replica_id, StageId stage,
+                    StageScheduler::BatchHandle handle, Seconds comm_time);
+  /// Micro-batch (activations included) arrives at `stage`.
+  void deliver_to_stage(ReplicaId replica_id, StageId stage,
+                        StageScheduler::BatchHandle handle);
+  void finish_batch(ReplicaId replica_id,
+                    StageScheduler::BatchHandle handle);
+  void pull_deferred(ReplicaId replica_id);
+  /// Outstanding request counts of the first `count` replicas.
+  std::vector<int> outstanding_counts(int count) const;
+
+  // ---- disaggregated serving ----
+  bool is_prefill_replica(ReplicaId r) const {
+    return config_.disagg.enabled() && r < config_.disagg.num_prefill_replicas;
+  }
+  /// Hand prefilled requests of a completed batch to decode replicas.
+  void migrate_prefilled(ReplicaId replica_id, const BatchSpec& batch);
+  /// KV transfer finished: route to the least-loaded decode replica.
+  void on_migrated(RequestState* request);
+  Seconds kv_transfer_time(const RequestState& request) const;
+
+  SimulationConfig config_;
+  Trace trace_;
+  EventQueue events_;
+  GlobalScheduler global_;
+  MemoryPlan memory_plan_;
+  std::vector<Replica> replicas_;
+  std::vector<RequestState> states_;
+  MetricsCollector metrics_;
+  std::unordered_map<StageScheduler::BatchHandle, InFlightBatch> in_flight_;
+  StageScheduler::BatchHandle next_handle_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace vidur

@@ -1,0 +1,21 @@
+// Inference request: the unit of work flowing through the serving system.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace vidur {
+
+struct Request {
+  RequestId id = -1;
+  Seconds arrival_time = 0.0;
+  TokenCount prefill_tokens = 0;  ///< prompt length
+  TokenCount decode_tokens = 0;   ///< output length (including first token)
+
+  TokenCount total_tokens() const { return prefill_tokens + decode_tokens; }
+};
+
+using Trace = std::vector<Request>;
+
+}  // namespace vidur

@@ -1,0 +1,106 @@
+#include "workload/trace_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace vidur {
+
+namespace {
+
+// Round-trippable double formatting (std::to_string keeps only 6 digits).
+std::string fmt_exact(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+long parse_long(const std::string& text, const char* what) {
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    throw Error(std::string("trace CSV: bad ") + what + " value '" + text +
+                "'");
+  return value;
+}
+
+double parse_double(const std::string& text, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw Error(std::string("trace CSV: bad ") + what + " value '" + text +
+                "'");
+  }
+}
+
+CsvWriter trace_writer(const Trace& trace) {
+  CsvWriter writer(
+      {"request_id", "arrival_time", "prefill_tokens", "decode_tokens"});
+  for (const Request& r : trace) {
+    writer.add_row({std::to_string(r.id), fmt_exact(r.arrival_time),
+                    std::to_string(r.prefill_tokens),
+                    std::to_string(r.decode_tokens)});
+  }
+  return writer;
+}
+
+Trace trace_from_doc(const CsvDocument& doc) {
+  const std::size_t id_col = doc.column("request_id");
+  const std::size_t arrival_col = doc.column("arrival_time");
+  const std::size_t prefill_col = doc.column("prefill_tokens");
+  const std::size_t decode_col = doc.column("decode_tokens");
+
+  Trace trace;
+  trace.reserve(doc.rows.size());
+  std::unordered_set<RequestId> seen;
+  seen.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    Request r;
+    r.id = parse_long(row[id_col], "request_id");
+    r.arrival_time = parse_double(row[arrival_col], "arrival_time");
+    r.prefill_tokens = parse_long(row[prefill_col], "prefill_tokens");
+    r.decode_tokens = parse_long(row[decode_col], "decode_tokens");
+    if (r.arrival_time < 0)
+      throw Error("trace CSV: negative arrival_time for request " +
+                  std::to_string(r.id));
+    if (r.prefill_tokens <= 0 || r.decode_tokens <= 0)
+      throw Error("trace CSV: non-positive token count for request " +
+                  std::to_string(r.id));
+    if (!seen.insert(r.id).second)
+      throw Error("trace CSV: duplicate request_id " + std::to_string(r.id));
+    trace.push_back(r);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  return trace;
+}
+
+}  // namespace
+
+std::string trace_to_csv(const Trace& trace) {
+  return trace_writer(trace).str();
+}
+
+Trace trace_from_csv(const std::string& text) {
+  return trace_from_doc(parse_csv(text));
+}
+
+void save_trace_csv(const std::string& path, const Trace& trace) {
+  trace_writer(trace).write_file(path);
+}
+
+Trace load_trace_csv(const std::string& path) {
+  return trace_from_doc(read_csv_file(path));
+}
+
+}  // namespace vidur

@@ -1,0 +1,295 @@
+// Tests for src/common: RNG determinism and distribution moments, streaming
+// stats, quantiles, CSV round-trips, table formatting, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace vidur {
+namespace {
+
+// ------------------------------------------------------------------ check
+
+TEST(Check, ThrowsWithExpressionAndMessage) {
+  try {
+    VIDUR_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "expected vidur::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("custom context 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(VIDUR_CHECK(2 + 2 == 4));
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng a(7);
+  Rng child = a.fork();
+  const auto first = child();
+  // Consuming more of the parent must not affect an already-forked child.
+  Rng b(7);
+  Rng child2 = b.fork();
+  (void)b();
+  (void)b();
+  EXPECT_EQ(child2(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(17);
+  SampleSeries s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.lognormal(2.0, 0.7));
+  EXPECT_NEAR(s.median(), std::exp(2.0), 0.15);
+}
+
+TEST(Rng, GammaMomentsMatch) {
+  Rng rng(19);
+  RunningStats stats;
+  const double shape = 2.5, scale = 1.5;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gamma(shape, scale));
+  EXPECT_NEAR(stats.mean(), shape * scale, 0.05);
+  EXPECT_NEAR(stats.variance(), shape * scale * scale, 0.2);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(23);
+  RunningStats stats;
+  const double shape = 0.4, scale = 2.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double g = rng.gamma(shape, scale);
+    EXPECT_GT(g, 0.0);
+    stats.add(g);
+  }
+  EXPECT_NEAR(stats.mean(), shape * scale, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(31);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal();
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleSeries, ExactQuantiles) {
+  SampleSeries s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.quantile(0.90), 90.1, 1e-9);
+}
+
+TEST(SampleSeries, QuantileOfSingleElement) {
+  SampleSeries s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 7.0);
+}
+
+TEST(SampleSeries, QuantileEmptyThrows) {
+  SampleSeries s;
+  EXPECT_THROW(s.quantile(0.5), Error);
+}
+
+TEST(SampleSeries, QuantileCacheInvalidatedByAdd) {
+  SampleSeries s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 2.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+}
+
+TEST(SampleSeries, SummaryFields) {
+  SampleSeries s;
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  const Summary sum = Summary::of(s);
+  EXPECT_EQ(sum.count, 1000u);
+  EXPECT_NEAR(sum.mean, 500.5, 1e-9);
+  EXPECT_NEAR(sum.p50, 500.5, 1e-9);
+  EXPECT_NEAR(sum.p99, 990.01, 0.1);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 1000.0);
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Csv, RoundTrip) {
+  CsvWriter w({"a", "b", "c"});
+  w.add_row({"1", "x", "2.5"});
+  w.add_row({"2", "y", "3.5"});
+  const CsvDocument doc = parse_csv(w.str());
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.column("b"), 1u);
+  EXPECT_EQ(doc.rows[1][doc.column("c")], "3.5");
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), Error);
+}
+
+TEST(Csv, RejectsWrongWidthRow) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), Error);
+}
+
+TEST(Csv, MissingColumnThrows) {
+  const CsvDocument doc = parse_csv("a,b\n1,2\n");
+  EXPECT_THROW(doc.column("zzz"), Error);
+}
+
+TEST(Csv, EmptyTrailingFieldParsed) {
+  const CsvDocument doc = parse_csv("a,b\n1,\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "");
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(ConsoleTable, AlignsColumns) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowWidthMismatchThrows) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), Error);
+}
+
+TEST(Format, Percent) { EXPECT_EQ(fmt_percent(0.0123), "1.23%"); }
+
+TEST(Format, Double) { EXPECT_EQ(fmt_double(1.23456, 2), "1.23"); }
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vidur

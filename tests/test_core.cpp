@@ -1,0 +1,180 @@
+// Tests for src/core: VidurSession (model onboarding, simulation facade,
+// fidelity between predictor and reference) and DeploymentConfig.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/session.h"
+#include "workload/trace_generator.h"
+
+namespace vidur {
+namespace {
+
+SessionOptions fast_options() {
+  SessionOptions options;
+  options.profiler.max_tokens = 8192;
+  options.tp_degrees = {1, 2};
+  return options;
+}
+
+DeploymentConfig small_deployment() {
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{1, 1, 1};
+  config.scheduler.kind = SchedulerKind::kVllm;
+  config.scheduler.max_batch_size = 32;
+  return config;
+}
+
+TEST(DeploymentConfig, CostAndDescription) {
+  DeploymentConfig config = small_deployment();
+  config.sku_name = "h100";
+  config.parallel = ParallelConfig{2, 2, 4};
+  EXPECT_EQ(config.total_gpus(), 16);
+  EXPECT_NEAR(config.cost_per_hour(), 16 * 6.98, 1e-9);
+  const std::string s = config.to_string();
+  EXPECT_NE(s.find("h100"), std::string::npos);
+  EXPECT_NE(s.find("tp2"), std::string::npos);
+  EXPECT_NE(s.find("pp2"), std::string::npos);
+  EXPECT_NE(s.find("vllm"), std::string::npos);
+}
+
+TEST(VidurSession, OnboardingIsIdempotent) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  session.onboard("a100");
+  const std::size_t points = session.profile("a100").total_points();
+  session.onboard("a100");
+  EXPECT_EQ(session.profile("a100").total_points(), points);
+  EXPECT_GT(points, 500u);
+}
+
+TEST(VidurSession, EstimatorCoversConfiguredTpDegrees) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  const RuntimeEstimator& est = session.estimator("a100");
+  EXPECT_TRUE(est.has_model(OpType::kMlpDownProj, 1));
+  EXPECT_TRUE(est.has_model(OpType::kMlpDownProj, 2));
+  EXPECT_FALSE(est.has_model(OpType::kMlpDownProj, 4));
+}
+
+TEST(VidurSession, SimulateIsDeterministic) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 1.0, 0}, 50, 3);
+  const SimulationMetrics a = session.simulate(small_deployment(), trace);
+  const SimulationMetrics b = session.simulate(small_deployment(), trace);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.ttft.p90, b.ttft.p90);
+}
+
+TEST(VidurSession, ReferenceIsSeededAndDistinct) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 1.0, 0}, 50, 3);
+  const SimulationMetrics a =
+      session.simulate_reference(small_deployment(), trace, 1);
+  const SimulationMetrics a2 =
+      session.simulate_reference(small_deployment(), trace, 1);
+  const SimulationMetrics b =
+      session.simulate_reference(small_deployment(), trace, 2);
+  EXPECT_DOUBLE_EQ(a.makespan, a2.makespan);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(VidurSession, FidelityPredictorVsReference) {
+  // The core promise of the system (paper Fig. 3/4): request-level
+  // percentile metrics from the estimator-backed simulation track the
+  // ground-truth execution within ~10%.
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 1.5, 0}, 150, 5);
+  const SimulationMetrics pred = session.simulate(small_deployment(), trace);
+  const SimulationMetrics real =
+      session.simulate_reference(small_deployment(), trace, 9);
+  EXPECT_EQ(pred.num_completed, real.num_completed);
+  EXPECT_NEAR(pred.normalized_e2e_latency.p50 /
+                  real.normalized_e2e_latency.p50,
+              1.0, 0.10);
+  EXPECT_NEAR(pred.normalized_e2e_latency.p95 /
+                  real.normalized_e2e_latency.p95,
+              1.0, 0.10);
+  EXPECT_NEAR(pred.ttft.p90 / real.ttft.p90, 1.0, 0.15);
+}
+
+TEST(VidurSession, AccountsSimulatedGpuSeconds) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  EXPECT_DOUBLE_EQ(session.simulated_gpu_seconds(), 0.0);
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 20, 3);
+  const SimulationMetrics m = session.simulate(small_deployment(), trace);
+  EXPECT_NEAR(session.simulated_gpu_seconds(), m.makespan, 1e-9);
+  EXPECT_EQ(session.num_simulations(), 1);
+  // Reference runs represent real-testbed time, not simulated GPU time.
+  session.simulate_reference(small_deployment(), trace, 1);
+  EXPECT_EQ(session.num_simulations(), 1);
+}
+
+TEST(VidurSession, SimulatesDisaggregatedDeployment) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  DeploymentConfig config = small_deployment();
+  config.parallel = ParallelConfig{1, 1, 2};
+  config.disagg.num_prefill_replicas = 1;
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 1.0, 0}, 40, 3);
+  const SimulationMetrics m = session.simulate(config, trace);
+  EXPECT_EQ(m.num_completed, 40u);
+  const std::string s = config.to_string();
+  EXPECT_NE(s.find("disagg(1P+1D)"), std::string::npos);
+}
+
+TEST(VidurSession, AsyncPipelineCommNeverSlowerThroughFacade) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 32, 3);
+  DeploymentConfig sync = small_deployment();
+  sync.parallel = ParallelConfig{1, 2, 1};
+  DeploymentConfig async = sync;
+  async.async_pipeline_comm = true;
+  const SimulationMetrics m_sync = session.simulate(sync, trace);
+  const SimulationMetrics m_async = session.simulate(async, trace);
+  // The predictor backend is deterministic, so dominance is exact here.
+  EXPECT_LE(m_async.makespan, m_sync.makespan);
+  EXPECT_NE(async.to_string().find("async-pp"), std::string::npos);
+}
+
+TEST(VidurSession, OperatorMetricsFollowSessionOptions) {
+  SessionOptions options = fast_options();
+  options.collect_operator_metrics = true;
+  VidurSession session(model_by_name("llama2-7b"), options);
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 10, 3);
+  const SimulationMetrics m = session.simulate(small_deployment(), trace);
+  EXPECT_FALSE(m.operator_stats.empty());
+
+  VidurSession off(model_by_name("llama2-7b"), fast_options());
+  EXPECT_TRUE(off.simulate(small_deployment(), trace).operator_stats.empty());
+}
+
+TEST(VidurSession, UnknownSkuThrows) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  EXPECT_THROW(session.onboard("tpu-v5"), Error);
+}
+
+TEST(VidurSession, SimulatingUnprofiledTpThrows) {
+  VidurSession session(model_by_name("llama2-7b"), fast_options());
+  DeploymentConfig config = small_deployment();
+  config.parallel = ParallelConfig{4, 1, 1};  // tp=4 not in tp_degrees
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 5, 3);
+  EXPECT_THROW(session.simulate(config, trace), Error);
+}
+
+}  // namespace
+}  // namespace vidur

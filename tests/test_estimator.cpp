@@ -1,0 +1,381 @@
+// Tests for src/estimator: the regression models (CART tree, random forest,
+// ridge polynomial, 1-NN) and the caching RuntimeEstimator facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimator/regression.h"
+#include "estimator/runtime_estimator.h"
+#include "profiler/profiler.h"
+
+namespace vidur {
+namespace {
+
+Dataset make_1d(const std::vector<std::pair<double, double>>& xy) {
+  Dataset d;
+  for (const auto& [x, y] : xy) d.add({x}, y);
+  return d;
+}
+
+// ------------------------------------------------------------------ tree
+
+TEST(DecisionTree, FitsTrainingDataExactly) {
+  // With min_samples_leaf = 1 and distinct x, a deep tree memorizes.
+  const Dataset d = make_1d({{1, 10}, {2, 20}, {3, 15}, {4, 40}, {5, 5}});
+  DecisionTree tree;
+  tree.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_DOUBLE_EQ(tree.predict({d.x[i]}), d.y[i]);
+}
+
+TEST(DecisionTree, PredictsStepFunction) {
+  Dataset d;
+  for (double x = 0; x < 100; ++x) d.add({x}, x < 50 ? 1.0 : 2.0);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict({10.0}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict({90.0}), 2.0);
+  // A step function needs exactly one split.
+  EXPECT_EQ(tree.num_nodes(), 3u);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Dataset d;
+  for (double x = 0; x < 64; ++x) d.add({x}, x);
+  DecisionTree shallow(DecisionTree::Options{.max_depth = 2,
+                                             .min_samples_leaf = 1});
+  shallow.fit(d);
+  EXPECT_LE(shallow.num_nodes(), 7u);  // depth-2 binary tree
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  Dataset d;
+  for (double x = 0; x < 20; ++x) d.add({x}, x);
+  DecisionTree tree(DecisionTree::Options{.max_depth = 20,
+                                          .min_samples_leaf = 5});
+  tree.fit(d);
+  // Leaves average >= 5 samples -> prediction is a coarse staircase.
+  EXPECT_NEAR(tree.predict({0.0}), 2.0, 2.01);
+}
+
+TEST(DecisionTree, HandlesConstantTarget) {
+  const Dataset d = make_1d({{1, 7}, {2, 7}, {3, 7}});
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict({2.5}), 7.0);
+  EXPECT_EQ(tree.num_nodes(), 1u);  // pure leaf, no splits
+}
+
+TEST(DecisionTree, TwoFeatureSplit) {
+  Dataset d;
+  for (double x = 0; x < 10; ++x)
+    for (double y = 0; y < 10; ++y) d.add({x, y}, y >= 5 ? 3.0 : 1.0);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict({0.0, 9.0}), 3.0);
+  EXPECT_DOUBLE_EQ(tree.predict({9.0, 0.0}), 1.0);
+}
+
+TEST(DecisionTree, ErrorsOnMisuse) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), Error);  // predict before fit
+  Dataset empty;
+  EXPECT_THROW(tree.fit(empty), Error);
+  const Dataset d = make_1d({{1, 1}});
+  tree.fit(d);
+  EXPECT_THROW(tree.predict({1.0, 2.0}), Error);  // wrong width
+}
+
+// ---------------------------------------------------------------- forest
+
+TEST(RandomForest, ApproximatesSmoothFunction) {
+  Dataset d;
+  for (double x = 0; x <= 200; x += 2) d.add({x}, 5.0 + 3.0 * x);
+  RandomForest forest;
+  forest.fit(d);
+  // Interior points interpolate within a few percent (edges are coarser
+  // because bootstrapped trees cannot extrapolate past their split range).
+  for (double x = 25; x < 180; x += 17) {
+    const double truth = 5.0 + 3.0 * x;
+    EXPECT_NEAR(forest.predict({x}), truth, truth * 0.07) << x;
+  }
+}
+
+TEST(RandomForest, CapturesStaircaseUnlikePolynomial) {
+  // A quantization-style staircase: y jumps at multiples of 32.
+  Dataset d;
+  for (double x = 1; x <= 256; ++x)
+    d.add({x}, std::ceil(x / 32.0));
+  RandomForest forest;
+  forest.fit(d);
+  RidgePolyRegression poly;
+  poly.fit(d);
+  const double rf_mape = mean_absolute_percentage_error(forest, d);
+  const double poly_mape = mean_absolute_percentage_error(poly, d);
+  EXPECT_LT(rf_mape, 0.03);
+  EXPECT_GT(poly_mape, rf_mape * 2);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  Dataset d;
+  for (double x = 0; x < 50; ++x) d.add({x}, x * x);
+  RandomForest a(RandomForest::Options{.num_trees = 8, .tree = {}, .seed = 5});
+  RandomForest b(RandomForest::Options{.num_trees = 8, .tree = {}, .seed = 5});
+  a.fit(d);
+  b.fit(d);
+  for (double x = 0.5; x < 50; x += 3.3)
+    EXPECT_DOUBLE_EQ(a.predict({x}), b.predict({x}));
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest forest;
+  EXPECT_THROW(forest.predict({1.0}), Error);
+}
+
+// ----------------------------------------------------------------- ridge
+
+TEST(RidgePoly, ExactOnQuadratic) {
+  Dataset d;
+  for (double x = -10; x <= 10; x += 0.5) d.add({x}, 2.0 + 3.0 * x + 0.5 * x * x);
+  RidgePolyRegression model;
+  model.fit(d);
+  for (double x = -9.3; x < 10; x += 2.1) {
+    const double truth = 2.0 + 3.0 * x + 0.5 * x * x;
+    EXPECT_NEAR(model.predict({x}), truth, std::abs(truth) * 0.01 + 0.01);
+  }
+}
+
+TEST(RidgePoly, CrossTermsCaptured) {
+  Dataset d;
+  for (double x = 0; x <= 8; ++x)
+    for (double y = 0; y <= 8; ++y) d.add({x, y}, x * y);
+  RidgePolyRegression model;
+  model.fit(d);
+  EXPECT_NEAR(model.predict({3.0, 5.0}), 15.0, 0.3);
+}
+
+TEST(RidgePoly, Degree3) {
+  Dataset d;
+  for (double x = 0; x <= 20; ++x) d.add({x}, x * x * x);
+  RidgePolyRegression model(RidgePolyRegression::Options{.degree = 3,
+                                                         .lambda = 1e-9});
+  model.fit(d);
+  EXPECT_NEAR(model.predict({10.5}), 10.5 * 10.5 * 10.5, 40.0);
+}
+
+TEST(RidgePoly, InvalidDegreeThrows) {
+  RidgePolyRegression model(RidgePolyRegression::Options{.degree = 4,
+                                                         .lambda = 1e-6});
+  const Dataset d = make_1d({{1, 1}, {2, 2}});
+  EXPECT_THROW(model.fit(d), Error);
+}
+
+// ------------------------------------------------------------------- 1nn
+
+TEST(NearestNeighbor, ExactOnTrainingPoints) {
+  const Dataset d = make_1d({{1, 10}, {5, 50}, {9, 90}});
+  NearestNeighbor nn;
+  nn.fit(d);
+  EXPECT_DOUBLE_EQ(nn.predict({5.0}), 50.0);
+  EXPECT_DOUBLE_EQ(nn.predict({5.9}), 50.0);  // nearest is 5
+  EXPECT_DOUBLE_EQ(nn.predict({8.0}), 90.0);
+}
+
+TEST(NearestNeighbor, ScaleNormalizationMatters) {
+  // Feature 2 has a huge range; without normalization it would dominate.
+  Dataset d;
+  d.add({1.0, 1000.0}, 1.0);
+  d.add({2.0, 1000000.0}, 2.0);
+  NearestNeighbor nn;
+  nn.fit(d);
+  EXPECT_DOUBLE_EQ(nn.predict({1.1, 900000.0}), 2.0);
+}
+
+// ----------------------------------------------------------- facade/MAPE
+
+// -------------------------------------------------------------------- mlp
+
+TEST(Mlp, FitsSmoothFunctionWithAmpleData) {
+  Dataset d;
+  for (double x = 1; x <= 200; ++x) d.add({x}, 5.0 + 3.0 * x);
+  MlpRegression mlp;
+  mlp.fit(d);
+  EXPECT_LT(mean_absolute_percentage_error(mlp, d), 0.10);
+}
+
+TEST(Mlp, PredictionsAlwaysPositive) {
+  // Log-space regression guarantees positive runtimes even extrapolating.
+  Dataset d;
+  for (double x = 1; x <= 50; ++x) d.add({x}, 1e-4 * x);
+  MlpRegression mlp;
+  mlp.fit(d);
+  for (double x : {-10.0, 0.0, 25.0, 500.0}) EXPECT_GT(mlp.predict({x}), 0.0);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  Dataset d;
+  for (double x = 1; x <= 60; ++x) d.add({x}, x * x);
+  MlpRegression::Options o;
+  o.epochs = 50;
+  o.seed = 17;
+  MlpRegression a(o), b(o);
+  a.fit(d);
+  b.fit(d);
+  for (double x = 1.5; x < 60; x += 7.7)
+    EXPECT_DOUBLE_EQ(a.predict({x}), b.predict({x}));
+}
+
+TEST(Mlp, DataHungryComparedToForestOnSmallSamples) {
+  // The paper's §4.4 rationale for random forests: on the small profiled
+  // grids Vidur collects, an MLP generalizes worse than a forest. Train
+  // both on a sparse sample of a tile-quantized runtime curve and evaluate
+  // densely.
+  auto quantized = [](double x) { return 1e-3 * std::ceil(x / 32.0); };
+  Dataset sparse;  // 32 training points: two per quantization bin
+  for (double x = 8; x <= 512; x += 16) sparse.add({x}, quantized(x));
+  Dataset dense;  // held-out evaluation
+  for (double x = 4; x <= 500; x += 7) dense.add({x}, quantized(x));
+
+  RandomForest forest;
+  forest.fit(sparse);
+  MlpRegression mlp;
+  mlp.fit(sparse);
+  const double forest_mape = mean_absolute_percentage_error(forest, dense);
+  const double mlp_mape = mean_absolute_percentage_error(mlp, dense);
+  // The forest snaps to the plateaus it has seen; the MLP smooths through
+  // them and needs far more data to recover the staircase.
+  EXPECT_LT(forest_mape, mlp_mape * 0.75);
+}
+
+TEST(Mlp, LearnsTwoFeatureInteraction) {
+  // Runtime-like target: product of two inputs (as GEMM time ~ m*n). The
+  // log-space MLP sees log(x1*x2) = log x1 + log x2... but features are fed
+  // raw, so the net must learn the interaction itself.
+  Dataset d;
+  for (double a = 1; a <= 12; ++a)
+    for (double b = 1; b <= 12; ++b) d.add({a, b}, 1e-4 * a * b);
+  MlpRegression mlp;
+  mlp.fit(d);
+  EXPECT_LT(mean_absolute_percentage_error(mlp, d), 0.15);
+  // Interior generalization point.
+  EXPECT_NEAR(mlp.predict({6.5, 6.5}), 1e-4 * 6.5 * 6.5,
+              1e-4 * 6.5 * 6.5 * 0.25);
+}
+
+TEST(Mlp, ErrorsOnMisuse) {
+  MlpRegression mlp;
+  EXPECT_THROW(mlp.predict({1.0}), Error);
+  EXPECT_THROW(mlp.fit(Dataset{}), Error);
+  Dataset negative;
+  negative.add({1.0}, -1.0);
+  EXPECT_THROW(mlp.fit(negative), Error);
+}
+
+TEST(Factory, MakesAllKinds) {
+  for (EstimatorKind kind :
+       {EstimatorKind::kRandomForest, EstimatorKind::kRidgePoly,
+        EstimatorKind::kNearestNeighbor, EstimatorKind::kMlp}) {
+    auto model = make_regression_model(kind);
+    const Dataset d = make_1d({{1, 1}, {2, 2}, {3, 3}});
+    model->fit(d);
+    EXPECT_GT(model->predict({2.0}), 0.0);
+  }
+}
+
+TEST(Mape, ComputesMeanRelativeError) {
+  const Dataset d = make_1d({{1, 100}, {2, 200}});
+  NearestNeighbor nn;
+  nn.fit(make_1d({{1, 110}, {2, 180}}));
+  EXPECT_NEAR(mean_absolute_percentage_error(nn, d), 0.1, 1e-9);
+}
+
+class RuntimeEstimatorTest : public ::testing::Test {
+ protected:
+  static const ProfileDb& db() {
+    static const ProfileDb instance = [] {
+      NodeSpec node;
+      node.sku = sku_by_name("a100");
+      ProfilerOptions opts;
+      opts.max_tokens = 4096;
+      opts.max_prefill_kv = 4096;
+      return profile_model(model_by_name("llama2-7b"), node, {1, 2}, opts);
+    }();
+    return instance;
+  }
+};
+
+TEST_F(RuntimeEstimatorTest, PredictsCloseToProfiledPoints) {
+  const RuntimeEstimator est(db());
+  double mape = 0.0;
+  int n = 0;
+  for (const ProfilePoint& p : db().points({OpType::kAttnQkvProj, 1})) {
+    OpInput in;
+    in.tokens = static_cast<long>(p.features[0]);
+    const double pred = est.predict_uncached(OpType::kAttnQkvProj, 1, in);
+    // Individual points near quantization cliffs can deviate; bound each
+    // point loosely and the aggregate tightly.
+    EXPECT_NEAR(pred, p.runtime, p.runtime * 0.30);
+    mape += std::abs(pred - p.runtime) / p.runtime;
+    ++n;
+  }
+  EXPECT_LT(mape / n, 0.05);
+}
+
+TEST_F(RuntimeEstimatorTest, CacheHitsOnRepeatedQueries) {
+  const RuntimeEstimator est(db());
+  OpInput in;
+  in.tokens = 333;
+  const double first = est.predict(OpType::kMlpDownProj, 1, in);
+  const auto misses = est.cache_misses();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(est.predict(OpType::kMlpDownProj, 1, in), first);
+  EXPECT_EQ(est.cache_misses(), misses);
+  EXPECT_GE(est.cache_hits(), 10u);
+}
+
+TEST_F(RuntimeEstimatorTest, DecodeKvQuantizationSharesCacheEntries) {
+  const RuntimeEstimator est(db());
+  OpInput a, b;
+  a.kv_tokens = 10000;
+  a.batch_size = 16;
+  b.kv_tokens = 10010;  // rounds to the same 64-token bucket
+  b.batch_size = 16;
+  const double pa = est.predict(OpType::kAttnDecode, 1, a);
+  const std::size_t size_after_first = est.cache_size();
+  const double pb = est.predict(OpType::kAttnDecode, 1, b);
+  EXPECT_DOUBLE_EQ(pa, pb);
+  EXPECT_EQ(est.cache_size(), size_after_first);
+}
+
+TEST_F(RuntimeEstimatorTest, MissingModelThrows) {
+  const RuntimeEstimator est(db());
+  OpInput in;
+  in.tokens = 10;
+  EXPECT_THROW(est.predict_uncached(OpType::kMlpDownProj, 8, in), Error);
+  EXPECT_FALSE(est.has_model(OpType::kMlpDownProj, 8));
+  EXPECT_TRUE(est.has_model(OpType::kMlpDownProj, 2));
+}
+
+TEST_F(RuntimeEstimatorTest, PredictionsArePositive) {
+  const RuntimeEstimator est(db());
+  OpInput in;
+  in.tokens = 1;
+  for (OpType op : {OpType::kRmsNorm, OpType::kLmHead, OpType::kActMul})
+    EXPECT_GT(est.predict_uncached(op, 1, in), 0.0) << op_name(op);
+}
+
+TEST_F(RuntimeEstimatorTest, HeldOutMapeSmall) {
+  const RuntimeEstimator est(db());
+  // Evaluate on the profile points themselves (in-sample, smoke-level).
+  double mape = est.evaluate_mape({OpType::kAttnDecode, 1},
+                                  db().points({OpType::kAttnDecode, 1}));
+  EXPECT_LT(mape, 0.10);
+}
+
+TEST(EmptyProfile, EstimatorRejectsEmptyDb) {
+  ProfileDb empty;
+  EXPECT_THROW(RuntimeEstimator{empty}, Error);
+}
+
+}  // namespace
+}  // namespace vidur

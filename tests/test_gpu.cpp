@@ -1,0 +1,160 @@
+// Tests for src/gpu: the ground-truth kernel cost models. These check the
+// physical properties the rest of the system relies on: monotonicity,
+// roofline bounds, quantization staircases, and communication scaling.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "gpu/kernel_models.h"
+
+namespace vidur {
+namespace {
+
+NodeSpec node_of(const std::string& sku) {
+  NodeSpec node;
+  node.sku = sku_by_name(sku);
+  return node;
+}
+
+class GpuModelTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  NodeSpec node = node_of(GetParam());
+  const SkuSpec& sku() const { return node.sku; }
+};
+
+TEST_P(GpuModelTest, GemmMonotoneInEachDimension) {
+  const double base = gpu::gemm_time(sku(), 512, 4096, 4096);
+  EXPECT_GE(gpu::gemm_time(sku(), 1024, 4096, 4096), base);
+  EXPECT_GE(gpu::gemm_time(sku(), 512, 8192, 4096), base);
+  EXPECT_GE(gpu::gemm_time(sku(), 512, 4096, 8192), base);
+}
+
+TEST_P(GpuModelTest, GemmNeverFasterThanRoofline) {
+  // max(compute-at-peak, memory-at-peak) is a hard lower bound.
+  const long m = 2048, k = 4096, n = 4096;
+  const double flop_bound = 2.0 * m * k * n / sku().peak_flops();
+  const double byte_bound = 2.0 * (m * k + k * n + m * n) /
+                            sku().hbm_bytes_per_sec();
+  EXPECT_GE(gpu::gemm_time(sku(), m, k, n),
+            std::max(flop_bound, byte_bound));
+}
+
+TEST_P(GpuModelTest, GemmLaunchOverheadFloorsTinyKernels) {
+  EXPECT_GE(gpu::gemm_time(sku(), 1, 64, 64), gpu::kKernelLaunchOverhead);
+}
+
+TEST_P(GpuModelTest, GemmHasTileQuantizationStaircase) {
+  // Crossing a 128-row tile boundary (m: 768 -> 769) pushes the tile count
+  // over a wave boundary on both SM counts (108 and 132), so it costs
+  // disproportionately more than staying inside a tile (m: 767 -> 768),
+  // for a compute-bound shape.
+  const double at767 = gpu::gemm_time(sku(), 767, 8192, 8192);
+  const double at768 = gpu::gemm_time(sku(), 768, 8192, 8192);
+  const double at769 = gpu::gemm_time(sku(), 769, 8192, 8192);
+  EXPECT_NEAR(at767, at768, at768 * 0.02);
+  EXPECT_GT(at769, at768 * 1.05);
+}
+
+TEST_P(GpuModelTest, ElementwiseLinearInBytes) {
+  const double t1 = gpu::elementwise_time(sku(), 1 << 20);
+  const double t2 = gpu::elementwise_time(sku(), 2 << 20);
+  const double marginal = t2 - t1;  // slope without the launch overhead
+  EXPECT_NEAR(gpu::elementwise_time(sku(), 3 << 20), t2 + marginal,
+              t1 * 0.01);
+}
+
+TEST_P(GpuModelTest, PrefillAttentionQuadraticInSequenceLength) {
+  const double t1k = gpu::attention_prefill_time(sku(), 1024, 1024, 32, 128);
+  const double t4k = gpu::attention_prefill_time(sku(), 4096, 4096, 32, 128);
+  // 4x tokens -> ~16x work (allow slack for occupancy ramp + overheads).
+  EXPECT_GT(t4k / t1k, 8.0);
+  EXPECT_LT(t4k / t1k, 32.0);
+}
+
+TEST_P(GpuModelTest, PrefillAttentionGrowsWithKvContext) {
+  const double self_only = gpu::attention_prefill_time(sku(), 512, 512, 32, 128);
+  const double with_prefix =
+      gpu::attention_prefill_time(sku(), 512, 4096, 32, 128);
+  EXPECT_GT(with_prefix, self_only * 2.0);
+}
+
+TEST_P(GpuModelTest, DecodeAttentionLinearInTotalKv) {
+  // Paper §4.3: decode attention is KV-read bound; runtime is determined by
+  // the total KV volume, not the per-request split.
+  const double t1 = gpu::attention_decode_time(sku(), 100000, 32, 32, 128);
+  const double t2 = gpu::attention_decode_time(sku(), 200000, 32, 32, 128);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.1);
+}
+
+TEST_P(GpuModelTest, DecodeAttentionSmallBatchUnderutilizesBandwidth) {
+  // The same KV volume takes longer when fetched by fewer sequences.
+  const double small_batch =
+      gpu::attention_decode_time(sku(), 100000, 1, 8, 128);
+  const double big_batch =
+      gpu::attention_decode_time(sku(), 100000, 64, 8, 128);
+  EXPECT_GT(small_batch, big_batch * 1.2);
+}
+
+TEST_P(GpuModelTest, DecodeAttentionZeroKvIsJustOverhead) {
+  EXPECT_DOUBLE_EQ(gpu::attention_decode_time(sku(), 0, 4, 8, 128),
+                   gpu::kKernelLaunchOverhead);
+}
+
+TEST_P(GpuModelTest, AllReduceFreeForSingleGpu) {
+  EXPECT_DOUBLE_EQ(gpu::allreduce_time(node, 1 << 20, 1), 0.0);
+  EXPECT_DOUBLE_EQ(gpu::allreduce_time(node, 0, 4), 0.0);
+}
+
+TEST_P(GpuModelTest, AllReduceMonotoneInBytesAndWorld) {
+  const double t2 = gpu::allreduce_time(node, 8 << 20, 2);
+  const double t4 = gpu::allreduce_time(node, 8 << 20, 4);
+  EXPECT_GT(t4, t2);  // pairwise-NVLink topology penalty beyond a pair
+  EXPECT_GT(gpu::allreduce_time(node, 16 << 20, 2), t2);
+}
+
+TEST_P(GpuModelTest, AllReducePairStaysOnNvlink) {
+  // Within an NVLink pair the ring transfer tracks the NVLink bandwidth.
+  const long bytes = 64 << 20;
+  const double t = gpu::allreduce_time(node, bytes, 2);
+  const double ideal = 2.0 * 0.5 * bytes /
+                       (node.sku.nvlink_bandwidth_gbps * 1e9);
+  EXPECT_NEAR(t, ideal + 6e-6, ideal * 0.05);
+}
+
+TEST_P(GpuModelTest, AllGatherCheaperThanAllReduce) {
+  EXPECT_LT(gpu::allgather_time(node, 8 << 20, 4),
+            gpu::allreduce_time(node, 8 << 20, 4));
+}
+
+TEST_P(GpuModelTest, SendRecvLinearWithLatencyFloor) {
+  EXPECT_DOUBLE_EQ(gpu::send_recv_time(node, 0), 0.0);
+  const double t1 = gpu::send_recv_time(node, 1 << 20);
+  const double t2 = gpu::send_recv_time(node, 2 << 20);
+  EXPECT_GT(t1, 8e-6);  // latency floor
+  EXPECT_GT(t2, t1);
+}
+
+TEST_P(GpuModelTest, InvalidInputsThrow) {
+  EXPECT_THROW(gpu::gemm_time(sku(), 0, 1, 1), Error);
+  EXPECT_THROW(gpu::attention_prefill_time(sku(), 128, 64, 32, 128), Error);
+  EXPECT_THROW(gpu::attention_decode_time(sku(), 100, 0, 8, 128), Error);
+  EXPECT_THROW(gpu::allreduce_time(node, -1, 2), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skus, GpuModelTest,
+                         ::testing::Values("a100", "h100"));
+
+TEST(GpuModelCross, H100FasterThanA100) {
+  const NodeSpec a = node_of("a100"), h = node_of("h100");
+  EXPECT_LT(gpu::gemm_time(h.sku, 4096, 8192, 8192),
+            gpu::gemm_time(a.sku, 4096, 8192, 8192));
+  EXPECT_LT(gpu::attention_decode_time(h.sku, 500000, 64, 8, 128),
+            gpu::attention_decode_time(a.sku, 500000, 64, 8, 128));
+}
+
+TEST(GpuModelCross, SmCounts) {
+  EXPECT_EQ(gpu::sm_count(sku_by_name("a100")), 108);
+  EXPECT_EQ(gpu::sm_count(sku_by_name("h100")), 132);
+}
+
+}  // namespace
+}  // namespace vidur

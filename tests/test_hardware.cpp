@@ -1,0 +1,78 @@
+// Tests for src/hardware: SKU registry and parallel-config arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "hardware/parallel_config.h"
+#include "hardware/sku.h"
+
+namespace vidur {
+namespace {
+
+TEST(SkuRegistry, KnowsA100AndH100) {
+  const SkuSpec a100 = sku_by_name("a100");
+  const SkuSpec h100 = sku_by_name("h100");
+  EXPECT_GT(h100.peak_fp16_tflops, a100.peak_fp16_tflops);
+  EXPECT_GT(h100.hbm_bandwidth_gbps, a100.hbm_bandwidth_gbps);
+  EXPECT_GT(h100.cost_per_hour, a100.cost_per_hour);
+  EXPECT_EQ(a100.memory_bytes, h100.memory_bytes);  // both 80 GB
+  EXPECT_EQ(builtin_sku_names().size(), 2u);
+}
+
+TEST(SkuRegistry, UnknownSkuThrows) { EXPECT_THROW(sku_by_name("tpu"), Error); }
+
+TEST(SkuSpec, DerivedUnits) {
+  const SkuSpec a100 = sku_by_name("a100");
+  EXPECT_DOUBLE_EQ(a100.peak_flops(), 312.0e12);
+  EXPECT_DOUBLE_EQ(a100.hbm_bytes_per_sec(), 2039.0e9);
+}
+
+TEST(SkuSpec, EveryBuiltinHasConsistentPowerModel) {
+  for (const std::string& name : builtin_sku_names()) {
+    const SkuSpec sku = sku_by_name(name);
+    EXPECT_GT(sku.idle_watts, 0.0) << name;
+    EXPECT_GT(sku.peak_watts, sku.idle_watts) << name;
+    // Sanity bracket for datacenter GPUs: idle well under 200 W, TDP under
+    // 1 kW — catches unit slips (kW vs W) in future registry edits.
+    EXPECT_LT(sku.idle_watts, 200.0) << name;
+    EXPECT_LT(sku.peak_watts, 1000.0) << name;
+  }
+}
+
+TEST(ParallelConfig, GpuCounts) {
+  const ParallelConfig p{4, 2, 3};
+  EXPECT_EQ(p.gpus_per_replica(), 8);
+  EXPECT_EQ(p.total_gpus(), 24);
+}
+
+TEST(ParallelConfig, ValidationRejectsZero) {
+  ParallelConfig p{0, 1, 1};
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(ParallelConfig, LayersPerStageSumsToModelLayers) {
+  const ModelSpec m = model_by_name("internlm-20b");  // 60 layers
+  for (int pp : {1, 2, 3, 4}) {
+    const ParallelConfig p{1, pp, 1};
+    int total = 0;
+    for (StageId s = 0; s < pp; ++s) total += p.layers_per_stage(m, s);
+    EXPECT_EQ(total, m.num_layers) << "pp=" << pp;
+  }
+}
+
+TEST(ParallelConfig, LastStageAbsorbsRemainder) {
+  ModelSpec m = model_by_name("llama2-7b");  // 32 layers
+  const ParallelConfig p{1, 3, 1};
+  EXPECT_EQ(p.layers_per_stage(m, 0), 10);
+  EXPECT_EQ(p.layers_per_stage(m, 1), 10);
+  EXPECT_EQ(p.layers_per_stage(m, 2), 12);
+}
+
+TEST(ParallelConfig, StageOutOfRangeThrows) {
+  const ModelSpec m = model_by_name("llama2-7b");
+  const ParallelConfig p{1, 2, 1};
+  EXPECT_THROW(p.layers_per_stage(m, 2), Error);
+  EXPECT_THROW(p.layers_per_stage(m, -1), Error);
+}
+
+}  // namespace
+}  // namespace vidur

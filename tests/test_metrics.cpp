@@ -1,0 +1,312 @@
+// Tests for src/metrics: request-record derived metrics and collector
+// aggregation (throughput, MFU, utilization accounting).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "metrics/metrics.h"
+
+namespace vidur {
+namespace {
+
+RequestRecord sample_record() {
+  RequestRecord r;
+  r.id = 1;
+  r.arrival_time = 10.0;
+  r.first_scheduled_time = 10.5;
+  r.prefill_completed_time = 11.0;
+  r.completed_time = 15.0;
+  r.prefill_tokens = 100;
+  r.decode_tokens = 10;
+  r.token_times = {11.0, 11.5, 12.0, 12.6, 13.0, 13.4, 13.8, 14.2, 14.6, 15.0};
+  return r;
+}
+
+TEST(RequestRecord, DerivedMetrics) {
+  const RequestRecord r = sample_record();
+  EXPECT_TRUE(r.completed());
+  EXPECT_DOUBLE_EQ(r.scheduling_delay(), 0.5);
+  EXPECT_DOUBLE_EQ(r.ttft(), 1.0);
+  EXPECT_DOUBLE_EQ(r.e2e_latency(), 5.0);
+  EXPECT_DOUBLE_EQ(r.normalized_e2e_latency(), 0.5);
+  EXPECT_DOUBLE_EQ(r.normalized_execution_latency(), 0.45);
+}
+
+TEST(RequestRecord, IncompleteRequest) {
+  RequestRecord r = sample_record();
+  r.completed_time = -1.0;
+  EXPECT_FALSE(r.completed());
+}
+
+TEST(MetricsCollector, AggregatesRequestLevelMetrics) {
+  MetricsCollector collector(1, 312e12, 1);
+  collector.record_request(sample_record());
+  RequestRecord r2 = sample_record();
+  r2.id = 2;
+  r2.completed_time = 20.0;  // norm e2e = 1.0
+  r2.token_times = {11.0, 20.0};
+  collector.record_request(r2);
+
+  const SimulationMetrics m = collector.finalize(20.0);
+  EXPECT_EQ(m.num_requests, 2u);
+  EXPECT_EQ(m.num_completed, 2u);
+  EXPECT_DOUBLE_EQ(m.throughput_qps, 0.1);
+  // TBT samples: 9 gaps from r1 + 1 gap from r2.
+  EXPECT_EQ(m.tbt.count, 10u);
+  EXPECT_DOUBLE_EQ(m.tbt.max, 9.0);
+}
+
+TEST(MetricsCollector, IncompleteRequestsCountedButNotAggregated) {
+  MetricsCollector collector(1, 312e12, 1);
+  collector.record_request(sample_record());
+  RequestRecord incomplete = sample_record();
+  incomplete.id = 3;
+  incomplete.completed_time = -1.0;
+  collector.record_request(incomplete);
+  const SimulationMetrics m = collector.finalize(20.0);
+  EXPECT_EQ(m.num_requests, 2u);
+  EXPECT_EQ(m.num_completed, 1u);
+}
+
+TEST(MetricsCollector, MfuAccountsForClusterPeak) {
+  // One batch doing 1e12 FLOPs over 1s on a 312 TFLOPs GPU ~ 0.32% MFU.
+  MetricsCollector collector(1, 312e12, 1);
+  BatchRecord batch;
+  batch.start_time = 0.0;
+  batch.end_time = 1.0;
+  batch.flops = 1e12;
+  batch.batch_size = 4;
+  batch.kv_utilization = 0.5;
+  collector.record_batch(batch);
+  const SimulationMetrics m = collector.finalize(1.0);
+  EXPECT_NEAR(m.mfu, 1e12 / 312e12, 1e-9);
+  EXPECT_DOUBLE_EQ(m.busy_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_kv_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_batch_size, 4.0);
+}
+
+TEST(MetricsCollector, MfuDividesAcrossGpus) {
+  MetricsCollector collector(2, 312e12, 4);  // 8 GPUs in the cluster
+  BatchRecord batch;
+  batch.end_time = 1.0;
+  batch.flops = 312e12;
+  collector.record_batch(batch);
+  const SimulationMetrics m = collector.finalize(1.0);
+  EXPECT_NEAR(m.mfu, 1.0 / 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.busy_fraction, 0.5);  // 1 of 2 replicas busy
+}
+
+TEST(MetricsCollector, TimeWeightedAverages) {
+  MetricsCollector collector(1, 1e12, 1);
+  BatchRecord slow;
+  slow.start_time = 0.0;
+  slow.end_time = 9.0;  // 9s at batch size 10
+  slow.batch_size = 10;
+  slow.kv_utilization = 1.0;
+  BatchRecord fast;
+  fast.start_time = 9.0;
+  fast.end_time = 10.0;  // 1s at batch size 0
+  fast.batch_size = 0;
+  fast.kv_utilization = 0.0;
+  collector.record_batch(slow);
+  collector.record_batch(fast);
+  const SimulationMetrics m = collector.finalize(10.0);
+  EXPECT_DOUBLE_EQ(m.mean_batch_size, 9.0);
+  EXPECT_DOUBLE_EQ(m.mean_kv_utilization, 0.9);
+}
+
+TEST(MetricsCollector, RestartsSummed) {
+  MetricsCollector collector(1, 1e12, 1);
+  RequestRecord r = sample_record();
+  r.num_restarts = 2;
+  collector.record_request(r);
+  RequestRecord r2 = sample_record();
+  r2.num_restarts = 1;
+  collector.record_request(r2);
+  EXPECT_EQ(collector.finalize(20.0).num_restarts, 3);
+}
+
+TEST(MetricsCollector, ToStringContainsKeyFields) {
+  MetricsCollector collector(1, 1e12, 1);
+  collector.record_request(sample_record());
+  const std::string s = collector.finalize(20.0).to_string();
+  EXPECT_NE(s.find("TTFT"), std::string::npos);
+  EXPECT_NE(s.find("TBT"), std::string::npos);
+  EXPECT_NE(s.find("MFU"), std::string::npos);
+}
+
+TEST(MetricsCollector, InvalidConstructionThrows) {
+  EXPECT_THROW(MetricsCollector(0, 1e12, 1), Error);
+  EXPECT_THROW(MetricsCollector(1, 0.0, 1), Error);
+  EXPECT_THROW(MetricsCollector(1, 1e12, 0), Error);
+}
+
+TEST(MetricsCollector, NegativeBatchDurationThrows) {
+  MetricsCollector collector(1, 1e12, 1);
+  BatchRecord bad;
+  bad.start_time = 2.0;
+  bad.end_time = 1.0;
+  EXPECT_THROW(collector.record_batch(bad), Error);
+}
+
+}  // namespace
+}  // namespace vidur
+
+// Appended coverage: MBU (model bandwidth utilization) accounting.
+namespace vidur {
+namespace {
+
+TEST(MetricsCollectorMbu, ComputedAgainstPerGpuBandwidth) {
+  MetricsCollector collector(1, 1e12, 4, /*hbm=*/1e12);
+  BatchRecord batch;
+  batch.end_time = 2.0;
+  batch.hbm_bytes_per_gpu = 1e12;  // 1e12 bytes over 2s on 1e12 B/s -> 50%
+  collector.record_batch(batch);
+  const SimulationMetrics m = collector.finalize(2.0);
+  EXPECT_NEAR(m.mbu, 0.5, 1e-9);
+}
+
+TEST(MetricsCollectorMbu, ZeroBandwidthDisablesMbu) {
+  MetricsCollector collector(1, 1e12, 1);
+  BatchRecord batch;
+  batch.end_time = 1.0;
+  batch.hbm_bytes_per_gpu = 1e12;
+  collector.record_batch(batch);
+  EXPECT_DOUBLE_EQ(collector.finalize(1.0).mbu, 0.0);
+}
+
+// ------------------------------------------------------------------ energy
+
+ClusterResources one_gpu_cluster() {
+  return ClusterResources{.num_replicas = 1,
+                          .gpus_per_replica = 1,
+                          .peak_flops_per_gpu = 1e12,
+                          .hbm_bytes_per_sec_per_gpu = 1e12,
+                          .idle_watts_per_gpu = 100.0,
+                          .peak_watts_per_gpu = 500.0};
+}
+
+RequestRecord one_token_request() {
+  RequestRecord r = sample_record();
+  r.decode_tokens = 1;
+  r.token_times = {r.prefill_completed_time};
+  return r;
+}
+
+TEST(MetricsEnergy, FullyUtilizedBatchDrawsPeakPower) {
+  MetricsCollector collector(one_gpu_cluster());
+  BatchRecord batch;
+  batch.start_time = 0.0;
+  batch.end_time = 2.0;
+  batch.flops = 2e12;  // 1e12 FLOP/s over 2s on a 1e12-peak GPU: 100%
+  collector.record_batch(batch);
+  collector.record_request(one_token_request());
+  const SimulationMetrics m = collector.finalize(2.0);
+  EXPECT_NEAR(m.total_energy_joules, 2.0 * 500.0, 1e-6);
+  EXPECT_NEAR(m.mean_cluster_power_watts, 500.0, 1e-6);
+}
+
+TEST(MetricsEnergy, IdleClusterDrawsIdlePower) {
+  MetricsCollector collector(one_gpu_cluster());
+  collector.record_request(one_token_request());
+  const SimulationMetrics m = collector.finalize(10.0);
+  EXPECT_NEAR(m.total_energy_joules, 10.0 * 100.0, 1e-6);
+  EXPECT_NEAR(m.mean_cluster_power_watts, 100.0, 1e-6);
+}
+
+TEST(MetricsEnergy, HalfUtilizedBatchInterpolatesLinearly) {
+  MetricsCollector collector(one_gpu_cluster());
+  BatchRecord batch;
+  batch.start_time = 0.0;
+  batch.end_time = 1.0;
+  batch.flops = 5e11;  // 50% FLOP utilization, no HBM traffic
+  collector.record_batch(batch);
+  collector.record_request(one_token_request());
+  // 1s busy at idle + 0.5*(peak-idle) = 300 W.
+  EXPECT_NEAR(collector.finalize(1.0).total_energy_joules, 300.0, 1e-6);
+}
+
+TEST(MetricsEnergy, IntensityUsesDominantRooflineAxis) {
+  // A memory-bound batch: low FLOP utilization but saturated bandwidth must
+  // be billed as fully utilized (decode iterations look exactly like this).
+  MetricsCollector collector(one_gpu_cluster());
+  BatchRecord batch;
+  batch.start_time = 0.0;
+  batch.end_time = 1.0;
+  batch.flops = 1e10;             // 1% of peak
+  batch.hbm_bytes_per_gpu = 1e12;  // 100% of bandwidth
+  collector.record_batch(batch);
+  collector.record_request(one_token_request());
+  EXPECT_NEAR(collector.finalize(1.0).total_energy_joules, 500.0, 1e-6);
+}
+
+TEST(MetricsEnergy, EnergyPerTokenDividesByOutputTokens) {
+  MetricsCollector collector(one_gpu_cluster());
+  RequestRecord r = sample_record();  // 10 decode tokens
+  collector.record_request(r);
+  const SimulationMetrics m = collector.finalize(1.0);
+  EXPECT_NEAR(m.energy_per_output_token, m.total_energy_joules / 10.0, 1e-9);
+}
+
+TEST(MetricsEnergy, DisabledWithoutPowerModel) {
+  MetricsCollector collector(1, 1e12, 1);
+  BatchRecord batch;
+  batch.end_time = 1.0;
+  batch.flops = 1e12;
+  collector.record_batch(batch);
+  const SimulationMetrics m = collector.finalize(1.0);
+  EXPECT_DOUBLE_EQ(m.total_energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_cluster_power_watts, 0.0);
+}
+
+TEST(MetricsEnergy, InvalidPowerModelThrows) {
+  ClusterResources cluster = one_gpu_cluster();
+  cluster.peak_watts_per_gpu = 50.0;  // below idle
+  EXPECT_THROW(MetricsCollector{cluster}, Error);
+}
+
+// --------------------------------------------------------------- operators
+
+TEST(MetricsOperators, AccumulatesAcrossStages) {
+  MetricsCollector collector(one_gpu_cluster());
+  collector.record_operators(
+      {{OpType::kAttnDecode, 0.002}, {OpType::kMlpDownProj, 0.001}});
+  collector.record_operators({{OpType::kAttnDecode, 0.003}});
+  const SimulationMetrics m = collector.finalize(1.0);
+  ASSERT_EQ(m.operator_stats.size(), 2u);
+  EXPECT_EQ(m.operator_stats.at(OpType::kAttnDecode).invocations, 2);
+  EXPECT_NEAR(m.operator_stats.at(OpType::kAttnDecode).total_seconds, 0.005,
+              1e-12);
+  EXPECT_EQ(m.operator_stats.at(OpType::kMlpDownProj).invocations, 1);
+}
+
+TEST(MetricsOperators, TableSortsHeaviestFirst) {
+  MetricsCollector collector(one_gpu_cluster());
+  collector.record_operators(
+      {{OpType::kRmsNorm, 0.001}, {OpType::kMlpGateUpProj, 0.010}});
+  const std::string table = collector.finalize(1.0).operator_table();
+  const auto heavy = table.find("mlp_gate_up_proj");
+  const auto light = table.find("rms_norm");
+  ASSERT_NE(heavy, std::string::npos);
+  ASSERT_NE(light, std::string::npos);
+  EXPECT_LT(heavy, light);
+}
+
+TEST(MetricsOperators, EmptyTableWhenNotCollected) {
+  MetricsCollector collector(one_gpu_cluster());
+  EXPECT_TRUE(collector.finalize(1.0).operator_table().empty());
+}
+
+TEST(MetricsCollector, ZeroMakespanProducesNoRates) {
+  // finalize(0) must not divide by zero: all rate/utilization metrics stay
+  // at their zero defaults.
+  MetricsCollector collector(one_gpu_cluster());
+  collector.record_request(one_token_request());
+  const SimulationMetrics m = collector.finalize(0.0);
+  EXPECT_DOUBLE_EQ(m.throughput_qps, 0.0);
+  EXPECT_DOUBLE_EQ(m.mfu, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_energy_joules, 0.0);
+  EXPECT_EQ(m.num_completed, 1u);
+}
+
+}  // namespace
+}  // namespace vidur

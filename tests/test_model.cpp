@@ -1,0 +1,135 @@
+// Tests for src/model: registry, architecture arithmetic (parameters,
+// KV-cache bytes, FLOPs) and spec validation.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "model/model_spec.h"
+
+namespace vidur {
+namespace {
+
+TEST(ModelRegistry, KnowsAllFourPaperModels) {
+  for (const auto& name : builtin_model_names()) {
+    const ModelSpec spec = model_by_name(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_NO_THROW(spec.validate());
+  }
+  EXPECT_EQ(builtin_model_names().size(), 4u);
+}
+
+TEST(ModelRegistry, UnknownModelThrows) {
+  EXPECT_THROW(model_by_name("gpt-17"), Error);
+}
+
+TEST(ModelSpec, ParameterCountsMatchNominalSizes) {
+  // Within 10% of the nominal parameter counts the models are named after.
+  EXPECT_NEAR(static_cast<double>(model_by_name("llama2-7b").num_params()),
+              6.7e9, 0.7e9);
+  EXPECT_NEAR(static_cast<double>(model_by_name("internlm-20b").num_params()),
+              20e9, 2e9);
+  EXPECT_NEAR(static_cast<double>(model_by_name("llama2-70b").num_params()),
+              69e9, 7e9);
+  EXPECT_NEAR(static_cast<double>(model_by_name("qwen-72b").num_params()),
+              72e9, 7e9);
+}
+
+TEST(ModelSpec, WeightBytesAreTwoPerParam) {
+  const ModelSpec m = model_by_name("llama2-7b");
+  EXPECT_EQ(m.weight_bytes(), m.num_params() * 2);
+}
+
+TEST(ModelSpec, GqaFlagsAndHeadDims) {
+  const ModelSpec l70 = model_by_name("llama2-70b");
+  EXPECT_TRUE(l70.uses_gqa());
+  EXPECT_EQ(l70.head_dim(), 128);
+  const ModelSpec q72 = model_by_name("qwen-72b");
+  EXPECT_FALSE(q72.uses_gqa());
+  EXPECT_EQ(q72.head_dim(), 128);
+}
+
+TEST(ModelSpec, QwenHas8xKvLoadOfLlama70b) {
+  // The paper's explanation for Qwen-72B being ~2x as costly to serve:
+  // MHA (64 KV heads) vs GQA (8 KV heads) at equal layer count.
+  const ModelSpec l70 = model_by_name("llama2-70b");
+  const ModelSpec q72 = model_by_name("qwen-72b");
+  EXPECT_EQ(q72.kv_bytes_per_token(), 8 * l70.kv_bytes_per_token());
+}
+
+TEST(ModelSpec, KvBytesPerTokenFormula) {
+  const ModelSpec m = model_by_name("llama2-7b");
+  // 2 (K,V) * 32 layers * 32 kv heads * 128 head dim * 2 bytes.
+  EXPECT_EQ(m.kv_bytes_per_token(), 2LL * 32 * 32 * 128 * 2);
+}
+
+TEST(ModelSpec, FlopsScaleWithTokens) {
+  const ModelSpec m = model_by_name("llama2-7b");
+  const FlopCount one = m.flops(1, 1);
+  const FlopCount hundred = m.flops(100, 100);
+  EXPECT_GT(one, 0);
+  // More tokens and more context -> strictly more FLOPs, superlinear
+  // because of the quadratic attention term.
+  EXPECT_GT(hundred, 100 * one * 0.99);
+}
+
+TEST(ModelSpec, FlopsRoughlyTwoParamsPerToken) {
+  // For a short context, forward FLOPs/token ~ 2 * params.
+  const ModelSpec m = model_by_name("llama2-7b");
+  const double per_token = m.flops(1, 1);
+  EXPECT_NEAR(per_token / static_cast<double>(m.num_params()), 2.0, 0.3);
+}
+
+TEST(ModelSpec, FlopsGrowWithContext) {
+  const ModelSpec m = model_by_name("llama2-70b");
+  EXPECT_GT(m.flops(1, 4096), m.flops(1, 16));
+}
+
+TEST(ModelSpecValidation, RejectsNonDividingHeads) {
+  ModelSpec bad = model_by_name("llama2-7b");
+  bad.num_q_heads = 31;  // does not divide embed_dim
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(ModelSpecValidation, RejectsKvHeadsNotDividingQHeads) {
+  ModelSpec bad = model_by_name("llama2-70b");
+  bad.num_kv_heads = 7;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(ModelSpecValidation, RejectsZeroFields) {
+  ModelSpec bad = model_by_name("llama2-7b");
+  bad.num_layers = 0;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(ModelSpec, CustomModelSupported) {
+  // The declarative spec format works for arbitrary architectures
+  // (paper §4.1: model onboarding from a spec, not from code).
+  const ModelSpec tiny{.name = "tiny-125m",
+                       .num_layers = 12,
+                       .embed_dim = 768,
+                       .ffn_dim = 3072,
+                       .num_q_heads = 12,
+                       .num_kv_heads = 12,
+                       .vocab_size = 50257,
+                       .gated_mlp = false};
+  EXPECT_NO_THROW(tiny.validate());
+  EXPECT_NEAR(static_cast<double>(tiny.num_params()), 125e6, 40e6);
+}
+
+class AllModelsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllModelsTest, InternallyConsistent) {
+  const ModelSpec m = model_by_name(GetParam());
+  EXPECT_GT(m.num_params(), 0);
+  EXPECT_GT(m.kv_bytes_per_token(), 0);
+  EXPECT_EQ(m.embed_dim % m.num_q_heads, 0);
+  EXPECT_EQ(m.num_q_heads % m.num_kv_heads, 0);
+  EXPECT_GT(m.flops(16, 64), m.flops(8, 64) * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModelsTest,
+                         ::testing::Values("llama2-7b", "internlm-20b",
+                                           "llama2-70b", "qwen-72b"));
+
+}  // namespace
+}  // namespace vidur

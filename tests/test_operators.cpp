@@ -1,0 +1,176 @@
+// Tests for src/operators: the taxonomy (paper §4.3), TP sharding shape
+// arithmetic, and the ground-truth dispatch.
+#include <gtest/gtest.h>
+
+#include "operators/ground_truth.h"
+#include "operators/op_shapes.h"
+#include "operators/op_type.h"
+
+namespace vidur {
+namespace {
+
+TEST(OpTaxonomy, EveryOpHasAClassAndName) {
+  for (OpType op : all_op_types()) {
+    EXPECT_NO_THROW(op_class(op));
+    EXPECT_EQ(op_from_name(op_name(op)), op);
+  }
+  EXPECT_EQ(all_op_types().size(), 15u);
+}
+
+TEST(OpTaxonomy, ClassificationMatchesPaper) {
+  // Paper §4.3: linear/activation ops are token-level, attention is
+  // sequence-level, collectives are communication.
+  EXPECT_EQ(op_class(OpType::kMlpGateUpProj), OpClass::kTokenLevel);
+  EXPECT_EQ(op_class(OpType::kRmsNorm), OpClass::kTokenLevel);
+  EXPECT_EQ(op_class(OpType::kAttnPrefill), OpClass::kSequenceLevel);
+  EXPECT_EQ(op_class(OpType::kAttnDecode), OpClass::kSequenceLevel);
+  EXPECT_EQ(op_class(OpType::kAllReduce), OpClass::kCommunication);
+  EXPECT_EQ(op_class(OpType::kSendRecv), OpClass::kCommunication);
+}
+
+TEST(OpTaxonomy, GemmFlags) {
+  EXPECT_TRUE(is_gemm(OpType::kAttnQkvProj));
+  EXPECT_TRUE(is_gemm(OpType::kLmHead));
+  EXPECT_FALSE(is_gemm(OpType::kRmsNorm));
+  EXPECT_FALSE(is_gemm(OpType::kAttnPrefill));
+}
+
+TEST(OpTaxonomy, UnknownNameThrows) {
+  EXPECT_THROW(op_from_name("conv2d"), Error);
+}
+
+TEST(OpInput, FeatureVectorsPerClass) {
+  OpInput in;
+  in.tokens = 128;
+  in.q_tokens = 64;
+  in.kv_tokens = 512;
+  in.batch_size = 8;
+  in.bytes = 1 << 20;
+  EXPECT_EQ(in.features(OpType::kMlpDownProj),
+            (std::vector<double>{128.0}));
+  EXPECT_EQ(in.features(OpType::kAttnPrefill),
+            (std::vector<double>{64.0, 512.0, 64.0 * 512.0 * 1e-6}));
+  EXPECT_EQ(in.features(OpType::kAttnDecode),
+            (std::vector<double>{512.0, 8.0}));
+  EXPECT_EQ(in.features(OpType::kAllReduce),
+            (std::vector<double>{1048576.0}));
+}
+
+// ---------------------------------------------------------------- shapes
+
+TEST(OpShapes, QkvProjShapeLlama7bTp1) {
+  const OpShapes s(model_by_name("llama2-7b"), 1);
+  const GemmShape g = s.gemm_shape(OpType::kAttnQkvProj, 100);
+  EXPECT_EQ(g.m, 100);
+  EXPECT_EQ(g.k, 4096);
+  EXPECT_EQ(g.n, 4096 + 2 * 4096);  // MHA: q dim + k + v
+}
+
+TEST(OpShapes, QkvProjShapeLlama70bGqa) {
+  const OpShapes s(model_by_name("llama2-70b"), 1);
+  const GemmShape g = s.gemm_shape(OpType::kAttnQkvProj, 10);
+  EXPECT_EQ(g.k, 8192);
+  EXPECT_EQ(g.n, 8192 + 2 * 8 * 128);  // 8 KV heads only
+}
+
+TEST(OpShapes, TensorParallelShardsColumnsAndRows) {
+  const ModelSpec m = model_by_name("llama2-7b");
+  const OpShapes tp1(m, 1), tp4(m, 4);
+  EXPECT_EQ(tp4.gemm_shape(OpType::kMlpGateUpProj, 7).n,
+            tp1.gemm_shape(OpType::kMlpGateUpProj, 7).n / 4);
+  EXPECT_EQ(tp4.gemm_shape(OpType::kMlpDownProj, 7).k,
+            tp1.gemm_shape(OpType::kMlpDownProj, 7).k / 4);
+  EXPECT_EQ(tp4.gemm_shape(OpType::kAttnOutProj, 7).k,
+            tp1.gemm_shape(OpType::kAttnOutProj, 7).k / 4);
+}
+
+TEST(OpShapes, GqaKvHeadsReplicateWhenTpExceedsThem) {
+  // LLaMA2-70B has 8 KV heads; at TP4 each GPU holds 2, and the KV shard
+  // stops shrinking once tp > kv heads.
+  const ModelSpec m = model_by_name("llama2-70b");
+  EXPECT_EQ(OpShapes(m, 4).kv_heads_per_gpu(), 2);
+  EXPECT_EQ(OpShapes(m, 8).kv_heads_per_gpu(), 1);
+  EXPECT_EQ(OpShapes(m, 16).kv_heads_per_gpu(), 1);
+}
+
+TEST(OpShapes, LmHeadIsVocabParallel) {
+  const ModelSpec m = model_by_name("llama2-7b");
+  const OpShapes tp2(m, 2);
+  EXPECT_EQ(tp2.gemm_shape(OpType::kLmHead, 3).n, 16000);
+}
+
+TEST(OpShapes, ElementwiseBytesScaleWithTokens) {
+  const OpShapes s(model_by_name("llama2-7b"), 1);
+  for (OpType op : {OpType::kRmsNorm, OpType::kActMul, OpType::kResidualAdd,
+                    OpType::kRotaryEmbed, OpType::kKvCacheSave,
+                    OpType::kEmbedLookup}) {
+    EXPECT_EQ(s.elementwise_bytes(op, 20), 2 * s.elementwise_bytes(op, 10))
+        << op_name(op);
+  }
+}
+
+TEST(OpShapes, KvCacheSaveScalesWithKvShard) {
+  // GQA: at TP1, LLaMA2-70B writes only 8 heads of KV per token.
+  const OpShapes l70(model_by_name("llama2-70b"), 1);
+  EXPECT_EQ(l70.elementwise_bytes(OpType::kKvCacheSave, 1),
+            2 * 8 * 128 * 2);
+}
+
+TEST(OpShapes, WrongOpKindThrows) {
+  const OpShapes s(model_by_name("llama2-7b"), 1);
+  EXPECT_THROW(s.gemm_shape(OpType::kRmsNorm, 1), Error);
+  EXPECT_THROW(s.elementwise_bytes(OpType::kAttnQkvProj, 1), Error);
+}
+
+TEST(OpShapes, InvalidTpThrows) {
+  EXPECT_THROW(OpShapes(model_by_name("llama2-7b"), 3), Error);  // 32 % 3
+  EXPECT_THROW(OpShapes(model_by_name("llama2-7b"), 0), Error);
+}
+
+TEST(OpShapes, CommunicationBytes) {
+  const OpShapes s(model_by_name("llama2-7b"), 2);
+  EXPECT_EQ(s.allreduce_bytes(10), 10 * 4096 * 2);
+  EXPECT_EQ(s.send_recv_bytes(10), 10 * 4096 * 2);
+}
+
+// ----------------------------------------------------------- ground truth
+
+class GroundTruthTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GroundTruthTest, AllOpsProducePositiveTimes) {
+  NodeSpec node;
+  node.sku = sku_by_name("a100");
+  const OpShapes shapes(model_by_name(GetParam()), 2);
+  for (OpType op : all_op_types()) {
+    OpInput in;
+    in.tokens = 64;
+    in.q_tokens = 64;
+    in.kv_tokens = 256;
+    in.batch_size = 4;
+    in.bytes = 1 << 20;
+    in.world = 2;
+    EXPECT_GT(ground_truth_op_time(node, shapes, op, in), 0.0)
+        << op_name(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, GroundTruthTest,
+                         ::testing::Values("llama2-7b", "internlm-20b",
+                                           "llama2-70b", "qwen-72b"));
+
+TEST(GroundTruth, TokenOpsIndependentOfHistory) {
+  // Paper §4.3: token-level operator runtime depends only on token count.
+  NodeSpec node;
+  node.sku = sku_by_name("a100");
+  const OpShapes shapes(model_by_name("llama2-7b"), 1);
+  OpInput a, b;
+  a.tokens = b.tokens = 77;
+  a.kv_tokens = 10;
+  b.kv_tokens = 100000;  // ignored by token-level ops
+  EXPECT_DOUBLE_EQ(
+      ground_truth_op_time(node, shapes, OpType::kMlpDownProj, a),
+      ground_truth_op_time(node, shapes, OpType::kMlpDownProj, b));
+}
+
+}  // namespace
+}  // namespace vidur

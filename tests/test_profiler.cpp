@@ -1,0 +1,166 @@
+// Tests for src/profiler: grid construction, profiling coverage, noise
+// behaviour, and the CSV round-trip that stands in for Vidur's published
+// profiling data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "operators/ground_truth.h"
+#include "profiler/profiler.h"
+
+namespace vidur {
+namespace {
+
+NodeSpec a100_node() {
+  NodeSpec node;
+  node.sku = sku_by_name("a100");
+  return node;
+}
+
+ProfilerOptions fast_options() {
+  ProfilerOptions opts;
+  opts.max_tokens = 4096;
+  opts.max_prefill_kv = 4096;
+  opts.grid_density = 0.5;
+  return opts;
+}
+
+TEST(TokenGrid, SortedUniqueAndCoversRange) {
+  const auto grid = token_grid(16384);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_EQ(grid.front(), 1);
+  EXPECT_EQ(grid.back(), 16384);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+}
+
+TEST(TokenGrid, DenserGridHasMorePoints) {
+  EXPECT_GT(token_grid(8192, 2.0).size(), token_grid(8192, 1.0).size());
+  EXPECT_GT(token_grid(8192, 1.0).size(), token_grid(8192, 0.25).size());
+}
+
+TEST(TokenGrid, SmallTokenRegionIsDense) {
+  // Decode iterations live at small token counts; every value up to 16 must
+  // be on the default grid (tile-size cliffs are here).
+  const auto grid = token_grid(4096);
+  for (long t = 1; t <= 16; ++t)
+    EXPECT_TRUE(std::find(grid.begin(), grid.end(), t) != grid.end()) << t;
+}
+
+TEST(TokenGrid, InvalidArgsThrow) {
+  EXPECT_THROW(token_grid(0), Error);
+  EXPECT_THROW(token_grid(100, 0.0), Error);
+}
+
+TEST(Profiler, CoversEveryOperatorForEveryTpDegree) {
+  const ModelSpec model = model_by_name("llama2-7b");
+  const ProfileDb db = profile_model(model, a100_node(), {1, 2}, fast_options());
+  for (int tp : {1, 2}) {
+    for (OpType op : all_op_types()) {
+      if (op_class(op) == OpClass::kCommunication) continue;
+      EXPECT_TRUE(db.contains({op, tp}))
+          << op_name(op) << " tp=" << tp << " missing";
+    }
+  }
+  // Collectives: all-reduce per world size >= 2, send-recv model-agnostic.
+  EXPECT_TRUE(db.contains({OpType::kAllReduce, 2}));
+  EXPECT_FALSE(db.contains({OpType::kAllReduce, 1}));
+  EXPECT_TRUE(db.contains({OpType::kSendRecv, 1}));
+}
+
+TEST(Profiler, MeasurementsTrackGroundTruth) {
+  const ModelSpec model = model_by_name("llama2-7b");
+  NodeSpec node = a100_node();
+  const ProfileDb db = profile_model(model, node, {1}, fast_options());
+  const OpShapes shapes(model, 1);
+  for (const ProfilePoint& p : db.points({OpType::kMlpGateUpProj, 1})) {
+    OpInput in;
+    in.tokens = static_cast<long>(p.features[0]);
+    const double truth =
+        ground_truth_op_time(node, shapes, OpType::kMlpGateUpProj, in);
+    EXPECT_NEAR(p.runtime, truth, truth * 0.10);  // noise is small
+  }
+}
+
+TEST(Profiler, NoiseMakesRunsDiffer) {
+  const ModelSpec model = model_by_name("llama2-7b");
+  ProfilerOptions opts = fast_options();
+  opts.seed = 1;
+  const ProfileDb a = profile_model(model, a100_node(), {1}, opts);
+  opts.seed = 2;
+  const ProfileDb b = profile_model(model, a100_node(), {1}, opts);
+  const auto& pa = a.points({OpType::kMlpGateUpProj, 1});
+  const auto& pb = b.points({OpType::kMlpGateUpProj, 1});
+  ASSERT_EQ(pa.size(), pb.size());
+  int differing = 0;
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    differing += pa[i].runtime != pb[i].runtime ? 1 : 0;
+  EXPECT_GT(differing, static_cast<int>(pa.size()) / 2);
+}
+
+TEST(Profiler, SameSeedReproduces) {
+  const ModelSpec model = model_by_name("llama2-7b");
+  const ProfileDb a = profile_model(model, a100_node(), {1}, fast_options());
+  const ProfileDb b = profile_model(model, a100_node(), {1}, fast_options());
+  const auto& pa = a.points({OpType::kAttnDecode, 1});
+  const auto& pb = b.points({OpType::kAttnDecode, 1});
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_DOUBLE_EQ(pa[i].runtime, pb[i].runtime);
+}
+
+TEST(Profiler, PrefillGridRespectsKvGeqQ) {
+  const ModelSpec model = model_by_name("llama2-7b");
+  const ProfileDb db = profile_model(model, a100_node(), {1}, fast_options());
+  for (const ProfilePoint& p : db.points({OpType::kAttnPrefill, 1})) {
+    ASSERT_EQ(p.features.size(), 3u);
+    EXPECT_GE(p.features[1], p.features[0]);  // kv >= q
+    EXPECT_NEAR(p.features[2], p.features[0] * p.features[1] * 1e-6, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- ProfileDb
+
+TEST(ProfileDb, CsvRoundTripPreservesEverything) {
+  const ModelSpec model = model_by_name("llama2-7b");
+  const ProfileDb db = profile_model(model, a100_node(), {1}, fast_options());
+  const ProfileDb restored = ProfileDb::from_csv(db.to_csv());
+  EXPECT_EQ(restored.model_name(), db.model_name());
+  EXPECT_EQ(restored.sku_name(), db.sku_name());
+  EXPECT_EQ(restored.total_points(), db.total_points());
+  ASSERT_EQ(restored.keys().size(), db.keys().size());
+  for (const ProfileKey& key : db.keys()) {
+    const auto& original = db.points(key);
+    const auto& round = restored.points(key);
+    ASSERT_EQ(original.size(), round.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].features, round[i].features);
+      EXPECT_DOUBLE_EQ(original[i].runtime, round[i].runtime);
+    }
+  }
+}
+
+TEST(ProfileDb, FileRoundTrip) {
+  ProfileDb db("m", "s");
+  db.add({OpType::kRmsNorm, 1}, {{64.0}, 1.5e-5});
+  const std::string path = ::testing::TempDir() + "/profile_test.csv";
+  db.write_file(path);
+  const ProfileDb restored = ProfileDb::read_file(path);
+  EXPECT_EQ(restored.total_points(), 1u);
+  EXPECT_DOUBLE_EQ(restored.points({OpType::kRmsNorm, 1})[0].runtime, 1.5e-5);
+}
+
+TEST(ProfileDb, MissingKeyThrows) {
+  ProfileDb db;
+  EXPECT_THROW(db.points({OpType::kRmsNorm, 1}), Error);
+}
+
+TEST(ProfileDb, RejectsBadPoints) {
+  ProfileDb db;
+  EXPECT_THROW(db.add({OpType::kRmsNorm, 1}, {{}, 1.0}), Error);
+  EXPECT_THROW(db.add({OpType::kRmsNorm, 1}, {{1.0}, -1.0}), Error);
+}
+
+}  // namespace
+}  // namespace vidur

@@ -1,0 +1,144 @@
+// Tests for src/scheduler memory planning and the paged block manager.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "scheduler/memory.h"
+
+namespace vidur {
+namespace {
+
+NodeSpec a100_node() {
+  NodeSpec node;
+  node.sku = sku_by_name("a100");
+  return node;
+}
+
+TEST(MemoryPlanner, SevenBFitsOnOneA100) {
+  const MemoryPlan plan =
+      plan_memory(model_by_name("llama2-7b"), a100_node(), {1, 1, 1});
+  EXPECT_GT(plan.num_kv_blocks, 0);
+  // ~13.5 GB of weights.
+  EXPECT_NEAR(static_cast<double>(plan.weight_bytes_per_gpu), 13.5e9, 1.5e9);
+  // KV pool should hold on the order of 100K tokens.
+  EXPECT_GT(plan.max_kv_tokens(), 50000);
+  EXPECT_LT(plan.max_kv_tokens(), 300000);
+}
+
+TEST(MemoryPlanner, SeventyBDoesNotFitOnOneA100) {
+  EXPECT_THROW(plan_memory(model_by_name("llama2-70b"), a100_node(),
+                           {1, 1, 1}),
+               Error);
+}
+
+TEST(MemoryPlanner, SeventyBFitsAtTp4) {
+  const MemoryPlan plan =
+      plan_memory(model_by_name("llama2-70b"), a100_node(), {4, 1, 1});
+  EXPECT_GT(plan.num_kv_blocks, 0);
+  EXPECT_NEAR(static_cast<double>(plan.weight_bytes_per_gpu), 35e9, 4e9);
+}
+
+TEST(MemoryPlanner, GqaGivesLlamaFarMoreKvThanQwen) {
+  // The paper's Qwen-72B observation: 8x KV load => much smaller KV pool.
+  const MemoryPlan llama =
+      plan_memory(model_by_name("llama2-70b"), a100_node(), {4, 1, 1});
+  const MemoryPlan qwen =
+      plan_memory(model_by_name("qwen-72b"), a100_node(), {4, 1, 1});
+  EXPECT_GT(llama.max_kv_tokens(), 4 * qwen.max_kv_tokens());
+}
+
+TEST(MemoryPlanner, PipelineSplitsWeightsAndKv) {
+  const ModelSpec model = model_by_name("llama2-70b");
+  const MemoryPlan tp4 = plan_memory(model, a100_node(), {4, 1, 1});
+  const MemoryPlan tp2pp2 = plan_memory(model, a100_node(), {2, 2, 1});
+  EXPECT_EQ(tp4.weight_bytes_per_gpu, tp2pp2.weight_bytes_per_gpu);
+  // Same GPUs per replica -> comparable pools (not exact: sharding differs).
+  EXPECT_GT(tp2pp2.num_kv_blocks, 0);
+}
+
+TEST(MemoryPlanner, HigherUtilizationGivesMoreBlocks) {
+  const ModelSpec model = model_by_name("llama2-7b");
+  const MemoryPlan low = plan_memory(model, a100_node(), {1, 1, 1}, 0.8);
+  const MemoryPlan high = plan_memory(model, a100_node(), {1, 1, 1}, 0.95);
+  EXPECT_GT(high.num_kv_blocks, low.num_kv_blocks);
+}
+
+TEST(MemoryPlanner, InvalidUtilizationThrows) {
+  EXPECT_THROW(plan_memory(model_by_name("llama2-7b"), a100_node(),
+                           {1, 1, 1}, 0.0),
+               Error);
+  EXPECT_THROW(plan_memory(model_by_name("llama2-7b"), a100_node(),
+                           {1, 1, 1}, 1.2),
+               Error);
+}
+
+// ------------------------------------------------------------ BlockManager
+
+TEST(BlockManager, BlocksForTokensCeilDivision) {
+  BlockManager mgr(100, 16);
+  EXPECT_EQ(mgr.blocks_for_tokens(0), 0);
+  EXPECT_EQ(mgr.blocks_for_tokens(1), 1);
+  EXPECT_EQ(mgr.blocks_for_tokens(16), 1);
+  EXPECT_EQ(mgr.blocks_for_tokens(17), 2);
+}
+
+TEST(BlockManager, GrowAndRelease) {
+  BlockManager mgr(10, 16);
+  EXPECT_TRUE(mgr.grow_to(1, 50));  // 4 blocks
+  EXPECT_EQ(mgr.used_blocks(), 4);
+  EXPECT_EQ(mgr.allocated_to(1), 4);
+  EXPECT_TRUE(mgr.grow_to(1, 60));  // still 4 blocks
+  EXPECT_EQ(mgr.used_blocks(), 4);
+  EXPECT_TRUE(mgr.grow_to(1, 65));  // 5 blocks
+  EXPECT_EQ(mgr.used_blocks(), 5);
+  mgr.release(1);
+  EXPECT_EQ(mgr.used_blocks(), 0);
+  EXPECT_EQ(mgr.allocated_to(1), 0);
+}
+
+TEST(BlockManager, GrowToNeverShrinks) {
+  BlockManager mgr(10, 16);
+  EXPECT_TRUE(mgr.grow_to(1, 160));  // 10 blocks
+  EXPECT_TRUE(mgr.grow_to(1, 16));   // no-op, keeps 10
+  EXPECT_EQ(mgr.allocated_to(1), 10);
+}
+
+TEST(BlockManager, FailedGrowLeavesStateUntouched) {
+  BlockManager mgr(4, 16);
+  EXPECT_TRUE(mgr.grow_to(1, 48));   // 3 blocks
+  EXPECT_FALSE(mgr.grow_to(2, 48));  // needs 3, only 1 free
+  EXPECT_EQ(mgr.allocated_to(2), 0);
+  EXPECT_EQ(mgr.used_blocks(), 3);
+  EXPECT_TRUE(mgr.grow_to(2, 16));  // 1 block fits
+}
+
+TEST(BlockManager, UtilizationFraction) {
+  BlockManager mgr(10, 16);
+  EXPECT_DOUBLE_EQ(mgr.utilization(), 0.0);
+  mgr.grow_to(1, 80);
+  EXPECT_DOUBLE_EQ(mgr.utilization(), 0.5);
+}
+
+TEST(BlockManager, ReleaseUnknownIsNoop) {
+  BlockManager mgr(10, 16);
+  mgr.release(42);
+  EXPECT_EQ(mgr.used_blocks(), 0);
+}
+
+TEST(BlockManager, MultipleRequestsShareThePool) {
+  BlockManager mgr(10, 16);
+  EXPECT_TRUE(mgr.grow_to(1, 64));  // 4
+  EXPECT_TRUE(mgr.grow_to(2, 64));  // 4
+  EXPECT_FALSE(mgr.grow_to(3, 64)); // only 2 free
+  EXPECT_TRUE(mgr.grow_to(3, 32));  // 2 fit
+  EXPECT_EQ(mgr.free_blocks(), 0);
+  mgr.release(2);
+  EXPECT_EQ(mgr.free_blocks(), 4);
+}
+
+TEST(BlockManager, InvalidConstructionThrows) {
+  EXPECT_THROW(BlockManager(0, 16), Error);
+  EXPECT_THROW(BlockManager(10, 0), Error);
+}
+
+}  // namespace
+}  // namespace vidur

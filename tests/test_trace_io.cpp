@@ -1,0 +1,146 @@
+// Tests for src/workload/trace_io: CSV round trips and replay validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/trace_generator.h"
+#include "workload/trace_io.h"
+
+namespace vidur {
+namespace {
+
+TEST(TraceIo, TextRoundTripPreservesEveryField) {
+  const Trace original = generate_trace(
+      trace_by_name("chat1m"), ArrivalSpec{ArrivalKind::kPoisson, 2.0, 0}, 50,
+      42);
+  const Trace loaded = trace_from_csv(trace_to_csv(original));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_DOUBLE_EQ(loaded[i].arrival_time, original[i].arrival_time);
+    EXPECT_EQ(loaded[i].prefill_tokens, original[i].prefill_tokens);
+    EXPECT_EQ(loaded[i].decode_tokens, original[i].decode_tokens);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = generate_trace(
+      trace_by_name("bwb4k"), ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 20, 7);
+  const std::string path = ::testing::TempDir() + "/vidur_trace_io_test.csv";
+  save_trace_csv(path, original);
+  const Trace loaded = load_trace_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i].prefill_tokens, original[i].prefill_tokens);
+}
+
+TEST(TraceIo, SortsByArrivalTime) {
+  const std::string csv =
+      "request_id,arrival_time,prefill_tokens,decode_tokens\n"
+      "0,5.0,10,5\n"
+      "1,1.0,20,5\n"
+      "2,3.0,30,5\n";
+  const Trace trace = trace_from_csv(csv);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].id, 1);
+  EXPECT_EQ(trace[1].id, 2);
+  EXPECT_EQ(trace[2].id, 0);
+}
+
+TEST(TraceIo, SortIsStableForTiedArrivals) {
+  const std::string csv =
+      "request_id,arrival_time,prefill_tokens,decode_tokens\n"
+      "7,0.0,10,5\n"
+      "3,0.0,20,5\n"
+      "9,0.0,30,5\n";
+  const Trace trace = trace_from_csv(csv);
+  EXPECT_EQ(trace[0].id, 7);
+  EXPECT_EQ(trace[1].id, 3);
+  EXPECT_EQ(trace[2].id, 9);
+}
+
+TEST(TraceIo, ColumnOrderIsFree) {
+  const std::string csv =
+      "decode_tokens,request_id,arrival_time,prefill_tokens\n"
+      "5,0,0.0,17\n";
+  const Trace trace = trace_from_csv(csv);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].prefill_tokens, 17);
+  EXPECT_EQ(trace[0].decode_tokens, 5);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const Trace loaded = trace_from_csv(trace_to_csv(Trace{}));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIo, MissingColumnThrows) {
+  EXPECT_THROW(trace_from_csv("request_id,arrival_time,prefill_tokens\n"
+                              "0,0.0,10\n"),
+               Error);
+}
+
+TEST(TraceIo, DuplicateIdThrows) {
+  EXPECT_THROW(
+      trace_from_csv("request_id,arrival_time,prefill_tokens,decode_tokens\n"
+                     "0,0.0,10,5\n"
+                     "0,1.0,10,5\n"),
+      Error);
+}
+
+TEST(TraceIo, NegativeArrivalThrows) {
+  EXPECT_THROW(
+      trace_from_csv("request_id,arrival_time,prefill_tokens,decode_tokens\n"
+                     "0,-1.0,10,5\n"),
+      Error);
+}
+
+TEST(TraceIo, NonPositiveTokensThrow) {
+  EXPECT_THROW(
+      trace_from_csv("request_id,arrival_time,prefill_tokens,decode_tokens\n"
+                     "0,0.0,0,5\n"),
+      Error);
+  EXPECT_THROW(
+      trace_from_csv("request_id,arrival_time,prefill_tokens,decode_tokens\n"
+                     "0,0.0,10,-2\n"),
+      Error);
+}
+
+TEST(TraceIo, MalformedNumberThrows) {
+  EXPECT_THROW(
+      trace_from_csv("request_id,arrival_time,prefill_tokens,decode_tokens\n"
+                     "zero,0.0,10,5\n"),
+      Error);
+  EXPECT_THROW(
+      trace_from_csv("request_id,arrival_time,prefill_tokens,decode_tokens\n"
+                     "0,abc,10,5\n"),
+      Error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv("/nonexistent/vidur_trace.csv"), Error);
+}
+
+TEST(TraceIo, ToleratesSurroundingWhitespace) {
+  const Trace trace = trace_from_csv(
+      "request_id, arrival_time, prefill_tokens, decode_tokens\n"
+      " 3 , 1.5 , 42 , 7 \n");
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].id, 3);
+  EXPECT_DOUBLE_EQ(trace[0].arrival_time, 1.5);
+  EXPECT_EQ(trace[0].prefill_tokens, 42);
+  EXPECT_EQ(trace[0].decode_tokens, 7);
+}
+
+TEST(TraceIo, LargeTokenCountsSurviveRoundTrip) {
+  Trace original;
+  original.push_back(Request{0, 0.0, 1'000'000'000LL, 2'000'000'000LL});
+  const Trace loaded = trace_from_csv(trace_to_csv(original));
+  EXPECT_EQ(loaded[0].prefill_tokens, 1'000'000'000LL);
+  EXPECT_EQ(loaded[0].decode_tokens, 2'000'000'000LL);
+}
+
+}  // namespace
+}  // namespace vidur

@@ -1,0 +1,172 @@
+// Tests for src/workload: trace generators (Table 1 statistics), arrival
+// processes, and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "workload/trace_generator.h"
+
+namespace vidur {
+namespace {
+
+TEST(TraceRegistry, KnowsAllThreeWorkloads) {
+  EXPECT_EQ(builtin_trace_names().size(), 3u);
+  for (const auto& name : builtin_trace_names())
+    EXPECT_EQ(trace_by_name(name).name, name);
+}
+
+TEST(TraceRegistry, UnknownTraceThrows) {
+  EXPECT_THROW(trace_by_name("sharegpt"), Error);
+  EXPECT_THROW(published_trace_stats("sharegpt"), Error);
+}
+
+class TraceStatsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceStatsTest, MatchesPublishedTable1Within15Percent) {
+  const Trace trace =
+      generate_trace(trace_by_name(GetParam()),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 20000, 7);
+  const TraceStats ours = compute_trace_stats(trace);
+  const TraceStats paper = published_trace_stats(GetParam());
+  EXPECT_NEAR(ours.prefill_mean / paper.prefill_mean, 1.0, 0.15);
+  EXPECT_NEAR(ours.prefill_median / paper.prefill_median, 1.0, 0.15);
+  EXPECT_NEAR(ours.decode_median / paper.decode_median, 1.0, 0.15);
+  EXPECT_NEAR(ours.prefill_p90 / paper.prefill_p90, 1.0, 0.15);
+}
+
+TEST_P(TraceStatsTest, RespectsTokenCapAndMinimums) {
+  const TraceSpec spec = trace_by_name(GetParam());
+  const Trace trace = generate_trace(
+      spec, ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 5000, 11);
+  for (const Request& r : trace) {
+    EXPECT_LE(r.total_tokens(), spec.max_total_tokens);
+    EXPECT_GE(r.prefill_tokens, spec.min_prefill_tokens);
+    EXPECT_GE(r.decode_tokens, spec.min_decode_tokens);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, TraceStatsTest,
+                         ::testing::Values("chat1m", "arxiv4k", "bwb4k"));
+
+TEST(TraceStats, BwbDecodeDominatesPrefill) {
+  // BWB: P:D ratio 0.65 — decode-heavy (the paper's high-KV-load workload).
+  const Trace trace =
+      generate_trace(trace_by_name("bwb4k"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 5000, 3);
+  const TraceStats s = compute_trace_stats(trace);
+  EXPECT_LT(s.pd_ratio_median, 1.0);
+  EXPECT_GT(s.decode_mean, s.prefill_mean);
+}
+
+TEST(TraceStats, BwbRatioTightDueToCorrelation) {
+  const Trace trace =
+      generate_trace(trace_by_name("bwb4k"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 5000, 3);
+  const TraceStats s = compute_trace_stats(trace);
+  EXPECT_LT(s.pd_ratio_stddev, 1.0);  // paper: 0.37
+}
+
+TEST(TraceStats, ArxivIsPrefillHeavy) {
+  const Trace trace =
+      generate_trace(trace_by_name("arxiv4k"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 5000, 3);
+  EXPECT_GT(compute_trace_stats(trace).pd_ratio_median, 8.0);
+}
+
+TEST(TraceStats, EmptyTraceThrows) {
+  EXPECT_THROW(compute_trace_stats({}), Error);
+}
+
+// ---------------------------------------------------------------- arrivals
+
+TEST(Arrivals, StaticAllAtZero) {
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 100, 5);
+  for (const Request& r : trace) EXPECT_EQ(r.arrival_time, 0.0);
+}
+
+TEST(Arrivals, PoissonMeanRateMatches) {
+  const double qps = 4.0;
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, qps, 0}, 20000, 5);
+  const double span = trace.back().arrival_time;
+  EXPECT_NEAR(20000.0 / span, qps, qps * 0.05);
+  // Arrival times are sorted.
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i].arrival_time, trace[i - 1].arrival_time);
+}
+
+TEST(Arrivals, GammaBurstierThanPoisson) {
+  auto interarrival_cv = [](const Trace& t) {
+    SampleSeries gaps;
+    for (std::size_t i = 1; i < t.size(); ++i)
+      gaps.add(t[i].arrival_time - t[i - 1].arrival_time);
+    return gaps.stddev() / gaps.mean();
+  };
+  const Trace poisson =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 2.0, 0}, 20000, 5);
+  const Trace bursty = generate_trace(
+      trace_by_name("chat1m"),
+      ArrivalSpec{ArrivalKind::kGamma, 2.0, /*cv=*/3.0}, 20000, 5);
+  EXPECT_NEAR(interarrival_cv(poisson), 1.0, 0.05);
+  EXPECT_NEAR(interarrival_cv(bursty), 3.0, 0.3);
+}
+
+TEST(Arrivals, InvalidSpecsThrow) {
+  EXPECT_THROW(generate_trace(trace_by_name("chat1m"),
+                              ArrivalSpec{ArrivalKind::kPoisson, 0.0, 0}, 10,
+                              1),
+               Error);
+  EXPECT_THROW(generate_trace(trace_by_name("chat1m"),
+                              ArrivalSpec{ArrivalKind::kGamma, 1.0, 0.0}, 10,
+                              1),
+               Error);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(Determinism, SameSeedSameTrace) {
+  const ArrivalSpec arrivals{ArrivalKind::kPoisson, 2.0, 0};
+  const Trace a = generate_trace(trace_by_name("bwb4k"), arrivals, 500, 99);
+  const Trace b = generate_trace(trace_by_name("bwb4k"), arrivals, 500, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prefill_tokens, b[i].prefill_tokens);
+    EXPECT_EQ(a[i].decode_tokens, b[i].decode_tokens);
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const ArrivalSpec arrivals{ArrivalKind::kStatic, 0, 0};
+  const Trace a = generate_trace(trace_by_name("chat1m"), arrivals, 200, 1);
+  const Trace b = generate_trace(trace_by_name("chat1m"), arrivals, 200, 2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    differing += a[i].prefill_tokens != b[i].prefill_tokens ? 1 : 0;
+  EXPECT_GT(differing, 150);
+}
+
+TEST(Generate, RequestIdsSequential) {
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 50, 1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(trace[static_cast<size_t>(i)].id, i);
+}
+
+TEST(SampleRequest, ImpossibleCapThrows) {
+  TraceSpec impossible = trace_by_name("chat1m");
+  impossible.min_prefill_tokens = 3000;
+  impossible.min_decode_tokens = 3000;
+  impossible.max_total_tokens = 4096;  // 3000 + 3000 > 4096, always rejected
+  Rng rng(1);
+  EXPECT_THROW(sample_request(impossible, rng), Error);
+}
+
+}  // namespace
+}  // namespace vidur
