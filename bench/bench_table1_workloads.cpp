@@ -18,6 +18,7 @@ int main() {
                       "prefill p90", "decode mean", "decode median",
                       "decode p90", "P:D median"});
 
+  Json rows = Json::array();
   for (const TraceSetup& t : paper_trace_setups()) {
     const Trace trace =
         generate_trace(trace_by_name(t.trace_name),
@@ -25,6 +26,18 @@ int main() {
                        /*seed=*/42);
     const TraceStats ours = compute_trace_stats(trace);
     const TraceStats paper = published_trace_stats(t.trace_name);
+
+    Json row = Json::object();
+    row.set("trace", t.trace_name);
+    row.set("prefill_mean", ours.prefill_mean);
+    row.set("prefill_mean_published", paper.prefill_mean);
+    row.set("prefill_median", ours.prefill_median);
+    row.set("prefill_median_published", paper.prefill_median);
+    row.set("decode_median", ours.decode_median);
+    row.set("decode_median_published", paper.decode_median);
+    row.set("pd_ratio_median", ours.pd_ratio_median);
+    row.set("pd_ratio_median_published", paper.pd_ratio_median);
+    rows.push(row);
 
     table.add_row({t.display, "paper", fmt_double(paper.prefill_mean, 0),
                    fmt_double(paper.prefill_median, 0),
@@ -46,5 +59,9 @@ int main() {
   std::cout << "Trace generators are lognormal fits to the published "
                "full-dataset statistics,\nfiltered to max 4096 total tokens "
                "(the paper's construction); see DESIGN.md.\n";
+
+  Json doc = Json::object();
+  doc.set("workloads", rows);
+  write_bench_json("table1_workloads", doc);
   return 0;
 }

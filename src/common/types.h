@@ -29,6 +29,10 @@ using RequestId = std::int64_t;
 /// Index of a model replica within the cluster, in [0, num_replicas).
 using ReplicaId = std::int32_t;
 
+/// Index of a tenant within a multi-tenant scenario, in [0, num_tenants).
+/// Single-tenant workloads leave every request at tenant 0.
+using TenantId = std::int32_t;
+
 /// Index of a pipeline stage within a replica, in [0, pp_degree).
 using StageId = std::int32_t;
 

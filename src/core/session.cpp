@@ -56,10 +56,12 @@ void VidurSession::account(const SimulationMetrics& metrics,
   ++num_simulations_;
 }
 
-SimulationMetrics VidurSession::simulate(const DeploymentConfig& config,
-                                         const Trace& trace) {
+SimulationMetrics VidurSession::simulate(
+    const DeploymentConfig& config, const Trace& trace,
+    const std::vector<TenantInfo>& tenants) {
   const RuntimeEstimator& est = estimator(config.sku_name);
   SimulationConfig sim_config = make_sim_config(config);
+  sim_config.tenants = tenants;
   const ModelSpec& model = model_;
   const CpuOverheadModel cpu = options_.cpu_overhead;
   const ParallelConfig parallel = config.parallel;
@@ -73,8 +75,10 @@ SimulationMetrics VidurSession::simulate(const DeploymentConfig& config,
 }
 
 SimulationMetrics VidurSession::simulate_reference(
-    const DeploymentConfig& config, const Trace& trace, std::uint64_t seed) {
+    const DeploymentConfig& config, const Trace& trace, std::uint64_t seed,
+    const std::vector<TenantInfo>& tenants) {
   SimulationConfig sim_config = make_sim_config(config);
+  sim_config.tenants = tenants;
   const ModelSpec& model = model_;
   const CpuOverheadModel cpu = options_.cpu_overhead;
   const ParallelConfig parallel = config.parallel;

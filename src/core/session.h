@@ -58,14 +58,17 @@ class VidurSession {
   const ProfileDb& profile(const std::string& sku_name);
   const RuntimeEstimator& estimator(const std::string& sku_name);
 
-  /// Vidur simulation: runtime-estimator backend. Thread-safe.
+  /// Vidur simulation: runtime-estimator backend. Thread-safe. Pass the
+  /// scenario's tenant identities to get per-tenant metric breakdowns for a
+  /// tenant-tagged trace (see src/scenario/).
   SimulationMetrics simulate(const DeploymentConfig& config,
-                             const Trace& trace);
+                             const Trace& trace,
+                             const std::vector<TenantInfo>& tenants = {});
 
   /// Ground-truth replay of the same deployment ("Real" bars in Fig. 3/4).
-  SimulationMetrics simulate_reference(const DeploymentConfig& config,
-                                       const Trace& trace,
-                                       std::uint64_t seed);
+  SimulationMetrics simulate_reference(
+      const DeploymentConfig& config, const Trace& trace, std::uint64_t seed,
+      const std::vector<TenantInfo>& tenants = {});
 
   /// Total simulated GPU time across every simulate() call (used by the
   /// Table 2 cost-savings accounting: this is what the runs would have cost

@@ -58,9 +58,33 @@ void MetricsCollector::record_batch(const BatchRecord& record) {
   }
 }
 
+void MetricsCollector::set_tenants(std::vector<TenantInfo> tenants) {
+  for (const TenantInfo& t : tenants) VIDUR_CHECK(t.id >= 0);
+  tenants_ = std::move(tenants);
+}
+
 void MetricsCollector::record_request(const RequestRecord& record) {
   requests_.push_back(record);
 }
+
+namespace {
+
+/// Worst inter-token gap of one request (0 when fewer than two tokens).
+Seconds max_tbt(const RequestRecord& r) {
+  Seconds worst = 0.0;
+  for (std::size_t i = 1; i < r.token_times.size(); ++i)
+    worst = std::max(worst, r.token_times[i] - r.token_times[i - 1]);
+  return worst;
+}
+
+bool meets_slo(const RequestRecord& r, const SloSpec& slo) {
+  if (!r.completed()) return false;
+  if (slo.ttft_target > 0 && r.ttft() > slo.ttft_target) return false;
+  if (slo.tbt_target > 0 && max_tbt(r) > slo.tbt_target) return false;
+  return true;
+}
+
+}  // namespace
 
 void MetricsCollector::record_operators(
     const std::map<OpType, Seconds>& per_op) {
@@ -128,7 +152,80 @@ SimulationMetrics MetricsCollector::finalize(Seconds now) const {
     m.mean_batch_size = weighted_batch_size_ / total_busy_time_;
   }
   m.operator_stats = operator_stats_;
+
+  // ---- per-tenant breakdown ----
+  bool tagged = !tenants_.empty();
+  for (const auto& r : requests_) tagged = tagged || r.tenant != 0;
+  if (tagged) {
+    struct TenantAcc {
+      SampleSeries delay, ttft, tbt;
+      std::size_t num_requests = 0, num_completed = 0, num_slo_met = 0;
+      TokenCount output_tokens = 0;
+    };
+    std::map<TenantId, TenantAcc> accs;
+    std::map<TenantId, const TenantInfo*> infos;
+    for (const TenantInfo& t : tenants_) {
+      infos[t.id] = &t;
+      accs[t.id];  // SLO-carrying tenants get a row even with no traffic
+    }
+    for (const auto& r : requests_) {
+      TenantAcc& acc = accs[r.tenant];
+      ++acc.num_requests;
+      const auto it = infos.find(r.tenant);
+      const SloSpec* slo = it != infos.end() ? &it->second->slo : nullptr;
+      if (slo != nullptr && slo->enabled() && meets_slo(r, *slo))
+        ++acc.num_slo_met;
+      if (!r.completed()) continue;
+      ++acc.num_completed;
+      acc.delay.add(r.scheduling_delay());
+      acc.ttft.add(r.ttft());
+      acc.output_tokens += r.decode_tokens;
+      for (std::size_t i = 1; i < r.token_times.size(); ++i)
+        acc.tbt.add(r.token_times[i] - r.token_times[i - 1]);
+    }
+    for (const auto& [id, acc] : accs) {
+      SimulationMetrics::TenantMetrics tm;
+      const auto it = infos.find(id);
+      if (it != infos.end()) {
+        tm.info = *it->second;
+      } else {
+        tm.info.id = id;
+        tm.info.name = "tenant" + std::to_string(id);
+      }
+      tm.num_requests = acc.num_requests;
+      tm.num_completed = acc.num_completed;
+      tm.scheduling_delay = Summary::of(acc.delay);
+      tm.ttft = Summary::of(acc.ttft);
+      tm.tbt = Summary::of(acc.tbt);
+      if (now > 0) {
+        tm.throughput_qps = static_cast<double>(acc.num_completed) / now;
+        tm.output_tokens_per_sec =
+            static_cast<double>(acc.output_tokens) / now;
+      }
+      if (tm.info.slo.enabled() && acc.num_requests > 0)
+        tm.slo_attainment = static_cast<double>(acc.num_slo_met) /
+                            static_cast<double>(acc.num_requests);
+      m.tenant_metrics.push_back(std::move(tm));
+    }
+  }
   return m;
+}
+
+std::string SimulationMetrics::tenant_table() const {
+  if (tenant_metrics.empty()) return {};
+  ConsoleTable table({"tenant", "prio", "requests", "completed", "TTFT p90",
+                      "TBT p99", "tok/s", "SLO attainment"});
+  for (const auto& t : tenant_metrics) {
+    table.add_row({t.info.name, std::to_string(t.info.priority),
+                   std::to_string(t.num_requests),
+                   std::to_string(t.num_completed),
+                   fmt_double(t.ttft.p90, 4) + "s",
+                   fmt_double(t.tbt.p99, 5) + "s",
+                   fmt_double(t.output_tokens_per_sec, 1),
+                   t.slo_attainment < 0 ? std::string("-")
+                                        : fmt_percent(t.slo_attainment)});
+  }
+  return table.str();
 }
 
 std::string SimulationMetrics::operator_table() const {
@@ -187,6 +284,7 @@ std::string SimulationMetrics::to_string() const {
        << " J/token, mean draw "
        << fmt_double(mean_cluster_power_watts, 0) << " W\n";
   }
+  if (!tenant_metrics.empty()) os << tenant_table();
   return os.str();
 }
 

@@ -15,9 +15,30 @@
 
 namespace vidur {
 
+/// Latency targets for one tenant's traffic. A request meets its SLO when it
+/// completes and every enabled target holds: TTFT within `ttft_target`, and
+/// the worst inter-token gap within `tbt_target`. Zero disables a target.
+struct SloSpec {
+  Seconds ttft_target = 0.0;
+  Seconds tbt_target = 0.0;
+
+  bool enabled() const { return ttft_target > 0.0 || tbt_target > 0.0; }
+};
+
+/// Identity of one tenant for metric attribution (name, priority, SLO).
+/// The scenario engine builds these; hand-rolled simulations may pass their
+/// own to get per-tenant breakdowns on any tagged trace.
+struct TenantInfo {
+  TenantId id = 0;
+  std::string name;
+  int priority = 0;
+  SloSpec slo;
+};
+
 /// Per-request lifecycle timestamps, filled in by the scheduler stack.
 struct RequestRecord {
   RequestId id = -1;
+  TenantId tenant = 0;
   Seconds arrival_time = 0.0;
   Seconds first_scheduled_time = -1.0;
   Seconds prefill_completed_time = -1.0;  ///< first output token (TTFT end)
@@ -105,9 +126,30 @@ struct SimulationMetrics {
   };
   std::map<OpType, OperatorStats> operator_stats;
 
+  // Per-tenant breakdown (only filled when the trace carries tenant tags or
+  // tenant infos were registered; single-tenant runs leave it empty unless
+  // infos were provided for tenant 0).
+  struct TenantMetrics {
+    TenantInfo info;
+    std::size_t num_requests = 0;
+    std::size_t num_completed = 0;
+    Summary scheduling_delay;
+    Summary ttft;
+    Summary tbt;
+    double throughput_qps = 0.0;
+    double output_tokens_per_sec = 0.0;
+    /// Fraction of this tenant's requests meeting their SLO (incomplete
+    /// requests count as misses). -1 when the tenant carries no SLO.
+    double slo_attainment = -1.0;
+  };
+  std::vector<TenantMetrics> tenant_metrics;  ///< sorted by tenant id
+
   /// Rendered operator time table, heaviest first (empty when no operator
   /// metrics were collected).
   std::string operator_table() const;
+
+  /// Rendered per-tenant breakdown table (empty when single-tenant).
+  std::string tenant_table() const;
 
   std::string to_string() const;
 };
@@ -120,6 +162,11 @@ class MetricsCollector {
   MetricsCollector(int num_replicas, double peak_flops_per_gpu,
                    int gpus_per_replica,
                    double hbm_bytes_per_sec_per_gpu = 0.0);
+
+  /// Register tenant identities for per-tenant attribution. Records tagged
+  /// with an unregistered tenant id still get a breakdown row under a
+  /// generated name. May be called at any time before finalize().
+  void set_tenants(std::vector<TenantInfo> tenants);
 
   void record_batch(const BatchRecord& record);
   void record_request(const RequestRecord& record);
@@ -135,6 +182,7 @@ class MetricsCollector {
 
  private:
   ClusterResources cluster_;
+  std::vector<TenantInfo> tenants_;
   std::vector<RequestRecord> requests_;
   // Streaming replica-level accumulators (batch records are not retained).
   double total_flops_ = 0.0;

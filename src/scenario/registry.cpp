@@ -1,0 +1,195 @@
+#include "scenario/registry.h"
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+// Built-in scenarios are sized for the fidelity deployment the benches use
+// (LLaMA2-7B, TP1, one A100 replica): baseline rates sit near that
+// configuration's capacity so the time-varying profiles actually push the
+// system into and out of overload. SLO targets follow the interactive /
+// batch split: interactive tenants want sub-second TTFT and smooth token
+// cadence; batch tenants only care about eventual completion.
+
+SloSpec interactive_slo() {
+  return SloSpec{.ttft_target = 2.0, .tbt_target = 0.5};
+}
+
+SloSpec batch_slo() {
+  return SloSpec{.ttft_target = 30.0, .tbt_target = 2.0};
+}
+
+Scenario make_diurnal_chat() {
+  Scenario s;
+  s.name = "diurnal-chat";
+  s.description =
+      "Single chat tenant under a day/night sinusoid: load swings from 40% "
+      "to 160% of the baseline rate over a 10-minute period.";
+  s.tenants = {TenantSpec{.name = "chat",
+                          .trace = trace_by_name("chat1m"),
+                          .share = 1.0,
+                          .priority = 0,
+                          .slo = interactive_slo()}};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/3.0, /*cv=*/0};
+  s.profile = RateProfile::diurnal(/*period=*/600.0, /*low=*/0.4,
+                                   /*high=*/1.6);
+  s.num_requests = 800;
+  return s;
+}
+
+Scenario make_ramp_surge() {
+  Scenario s;
+  s.name = "ramp-surge";
+  s.description =
+      "Single chat tenant with traffic ramping linearly from half to double "
+      "the baseline rate over five minutes, then holding (launch-day ramp).";
+  s.tenants = {TenantSpec{.name = "chat",
+                          .trace = trace_by_name("chat1m"),
+                          .share = 1.0,
+                          .priority = 0,
+                          .slo = interactive_slo()}};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/2.5, /*cv=*/0};
+  s.profile = RateProfile::ramp(/*start=*/0.5, /*end=*/2.0,
+                                /*duration=*/300.0);
+  s.num_requests = 800;
+  return s;
+}
+
+Scenario make_flash_crowd_mixed() {
+  Scenario s;
+  s.name = "flash-crowd-mixed";
+  s.description =
+      "Interactive chat (priority 1) sharing the cluster with background "
+      "summarization; a 2-minute flash crowd quadruples the bursty baseline "
+      "rate and overloads the cluster.";
+  s.tenants = {TenantSpec{.name = "interactive",
+                          .trace = trace_by_name("chat1m"),
+                          .share = 0.7,
+                          .priority = 1,
+                          .slo = interactive_slo()},
+               TenantSpec{.name = "batch",
+                          .trace = trace_by_name("arxiv4k"),
+                          .share = 0.3,
+                          .priority = 0,
+                          .slo = batch_slo()}};
+  s.arrival = ArrivalSpec{ArrivalKind::kGamma, /*qps=*/2.0, /*cv=*/2.0};
+  s.profile = RateProfile::spike(/*baseline=*/1.0, /*spike=*/4.0,
+                                 /*spike_start=*/60.0,
+                                 /*spike_duration=*/120.0);
+  s.num_requests = 600;
+  return s;
+}
+
+Scenario make_batch_over_interactive() {
+  Scenario s;
+  s.name = "batch-over-interactive";
+  s.description =
+      "A minority interactive tenant (priority 1) competing with "
+      "decode-heavy translation batch traffic at a rate just above "
+      "capacity: the case priority-aware routing exists for.";
+  s.tenants = {TenantSpec{.name = "interactive",
+                          .trace = trace_by_name("chat1m"),
+                          .share = 0.35,
+                          .priority = 1,
+                          .slo = interactive_slo()},
+               TenantSpec{.name = "batch",
+                          .trace = trace_by_name("bwb4k"),
+                          .share = 0.65,
+                          .priority = 0,
+                          .slo = batch_slo()}};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/1.5, /*cv=*/0};
+  s.profile = RateProfile::constant();
+  s.num_requests = 500;
+  return s;
+}
+
+Scenario make_stepload_mixed() {
+  Scenario s;
+  s.name = "stepload-mixed";
+  s.description =
+      "Two tenants under an explicit piecewise schedule: quiet start, "
+      "sustained plateau at 3x, then a cool-down tail.";
+  s.tenants = {TenantSpec{.name = "chat",
+                          .trace = trace_by_name("chat1m"),
+                          .share = 0.5,
+                          .priority = 1,
+                          .slo = interactive_slo()},
+               TenantSpec{.name = "summarize",
+                          .trace = trace_by_name("arxiv4k"),
+                          .share = 0.5,
+                          .priority = 0,
+                          .slo = batch_slo()}};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/1.5, /*cv=*/0};
+  s.profile = RateProfile::piecewise({RateStep{0.0, 0.5},
+                                      RateStep{120.0, 3.0},
+                                      RateStep{360.0, 1.0}});
+  s.num_requests = 600;
+  return s;
+}
+
+std::vector<Scenario> make_builtins() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(make_diurnal_chat());
+  scenarios.push_back(make_ramp_surge());
+  scenarios.push_back(make_flash_crowd_mixed());
+  scenarios.push_back(make_batch_over_interactive());
+  scenarios.push_back(make_stepload_mixed());
+  return scenarios;
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    for (Scenario& s : make_builtins()) r->add(std::move(s));
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  scenario.validate();
+  VIDUR_CHECK_MSG(!contains(scenario.name),
+                  "scenario '" << scenario.name << "' is already registered");
+  scenarios_.push_back(std::move(scenario));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  for (const Scenario& s : scenarios_)
+    if (s.name == name) return true;
+  return false;
+}
+
+const Scenario& ScenarioRegistry::get(const std::string& name) const {
+  for (const Scenario& s : scenarios_)
+    if (s.name == name) return s;
+  throw Error("unknown scenario: " + name);
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const Scenario& s : scenarios_) out.push_back(s.name);
+  return out;
+}
+
+const Scenario& scenario_by_name(const std::string& name) {
+  return ScenarioRegistry::instance().get(name);
+}
+
+const std::vector<std::string>& builtin_scenario_names() {
+  // Derived from the built-in set itself, not from a registry snapshot:
+  // scenarios registered by users must never appear as "built-in"
+  // regardless of call order.
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Scenario& s : make_builtins()) out.push_back(s.name);
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace vidur

@@ -1,0 +1,40 @@
+// Named-scenario registry: built-in serving scenarios plus programmatic
+// registration, so benches, examples and downstream users can reference
+// reproducible workload compositions by name.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace vidur {
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in scenarios.
+  static ScenarioRegistry& instance();
+
+  /// Register a scenario. Throws vidur::Error when the scenario is invalid
+  /// or the name is already taken.
+  void add(Scenario scenario);
+
+  bool contains(const std::string& name) const;
+  /// Throws vidur::Error for unknown names. The reference stays valid
+  /// across later add() calls (deque storage never relocates elements).
+  const Scenario& get(const std::string& name) const;
+  /// Registered names, in registration order (built-ins first).
+  std::vector<std::string> names() const;
+
+ private:
+  std::deque<Scenario> scenarios_;
+};
+
+/// Convenience: ScenarioRegistry::instance().get(name).
+const Scenario& scenario_by_name(const std::string& name);
+
+/// Names of the built-in scenarios, in registration order.
+const std::vector<std::string>& builtin_scenario_names();
+
+}  // namespace vidur

@@ -1,0 +1,166 @@
+#include "scenario/scenario.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vidur {
+
+void Scenario::validate() const {
+  VIDUR_CHECK_MSG(!name.empty(), "scenario needs a name");
+  VIDUR_CHECK_MSG(!tenants.empty(),
+                  "scenario '" << name << "' needs at least one tenant");
+  VIDUR_CHECK_MSG(num_requests > 0,
+                  "scenario '" << name << "': num_requests must be > 0");
+  VIDUR_CHECK_MSG(std::isfinite(max_duration) && max_duration >= 0,
+                  "scenario '" << name << "': invalid max_duration");
+  std::set<std::string> seen;
+  for (const TenantSpec& t : tenants) {
+    VIDUR_CHECK_MSG(!t.name.empty(),
+                    "scenario '" << name << "': tenant needs a name");
+    VIDUR_CHECK_MSG(seen.insert(t.name).second,
+                    "scenario '" << name << "': duplicate tenant '" << t.name
+                                 << "'");
+    VIDUR_CHECK_MSG(std::isfinite(t.share) && t.share > 0,
+                    "scenario '" << name << "': tenant '" << t.name
+                                 << "' share must be > 0");
+    t.trace.validate();
+  }
+  arrival.validate();
+  profile.validate();
+  if (arrival.kind == ArrivalKind::kStatic)
+    VIDUR_CHECK_MSG(profile.kind() == RateProfileKind::kConstant,
+                    "scenario '" << name
+                                 << "': static arrivals have no timeline for "
+                                    "a time-varying rate profile");
+}
+
+std::vector<TenantInfo> Scenario::tenant_infos() const {
+  std::vector<TenantInfo> infos;
+  infos.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i)
+    infos.push_back(TenantInfo{.id = static_cast<TenantId>(i),
+                               .name = tenants[i].name,
+                               .priority = tenants[i].priority,
+                               .slo = tenants[i].slo});
+  return infos;
+}
+
+double Scenario::expected_requests(Seconds horizon) const {
+  VIDUR_CHECK_MSG(arrival.kind != ArrivalKind::kStatic,
+                  "static arrivals have no rate to integrate");
+  return arrival.qps * profile.mean_factor(horizon) * horizon;
+}
+
+std::string Scenario::to_string() const {
+  std::ostringstream os;
+  os << name << ": " << tenants.size() << " tenant"
+     << (tenants.size() == 1 ? "" : "s") << " (";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << tenants[i].name << " " << tenants[i].trace.name;
+  }
+  os << "), ";
+  switch (arrival.kind) {
+    case ArrivalKind::kStatic:
+      os << "static";
+      break;
+    case ArrivalKind::kPoisson:
+      os << "poisson @ " << arrival.qps << " qps";
+      break;
+    case ArrivalKind::kGamma:
+      os << "gamma(cv=" << arrival.cv << ") @ " << arrival.qps << " qps";
+      break;
+  }
+  os << " x " << profile.to_string() << ", " << num_requests << " requests";
+  return os.str();
+}
+
+namespace {
+
+/// One inter-arrival gap of the baseline renewal process at rate `qps`.
+Seconds next_gap(Rng& rng, const ArrivalSpec& arrival, double qps) {
+  if (arrival.kind == ArrivalKind::kGamma) {
+    const double shape = 1.0 / (arrival.cv * arrival.cv);
+    const double scale = arrival.cv * arrival.cv / qps;
+    return rng.gamma(shape, scale);
+  }
+  return rng.exponential(qps);
+}
+
+}  // namespace
+
+Trace generate_scenario_trace(const Scenario& scenario, std::uint64_t seed) {
+  scenario.validate();
+
+  Rng master(seed);
+  // Per-tenant length streams, forked so each tenant's sampled lengths are
+  // independent of how the other tenants consume randomness.
+  std::vector<Rng> tenant_rngs;
+  tenant_rngs.reserve(scenario.tenants.size());
+  for (std::size_t i = 0; i < scenario.tenants.size(); ++i)
+    tenant_rngs.push_back(master.fork());
+
+  double total_share = 0.0;
+  for (const TenantSpec& t : scenario.tenants) total_share += t.share;
+
+  const auto pick_tenant = [&]() -> std::size_t {
+    double u = master.uniform() * total_share;
+    for (std::size_t i = 0; i + 1 < scenario.tenants.size(); ++i) {
+      u -= scenario.tenants[i].share;
+      if (u < 0) return i;
+    }
+    return scenario.tenants.size() - 1;
+  };
+
+  Trace out;
+  out.reserve(static_cast<std::size_t>(scenario.num_requests));
+
+  const auto emit = [&](Seconds arrival_time) {
+    const std::size_t i = pick_tenant();
+    Request r = sample_request(scenario.tenants[i].trace, tenant_rngs[i]);
+    r.id = static_cast<RequestId>(out.size());
+    r.arrival_time = arrival_time;
+    r.tenant = static_cast<TenantId>(i);
+    r.priority = scenario.tenants[i].priority;
+    out.push_back(r);
+  };
+
+  if (scenario.arrival.kind == ArrivalKind::kStatic) {
+    for (int n = 0; n < scenario.num_requests; ++n) emit(0.0);
+    return out;
+  }
+
+  // Thinning: candidates from the baseline process at the profile's peak
+  // rate, accepted with probability factor(t) / peak.
+  const double peak = scenario.profile.peak_factor();
+  VIDUR_CHECK_MSG(peak > 0, "scenario '" << scenario.name
+                                         << "': rate profile peak is zero");
+  const double peak_qps = scenario.arrival.qps * peak;
+  // A profile that is ~zero from some point on would spin forever when no
+  // max_duration bounds the horizon; cap the candidate budget well above
+  // any plausible thinning rejection rate.
+  const std::int64_t max_candidates =
+      1'000'000 + 10'000 * static_cast<std::int64_t>(scenario.num_requests);
+
+  Seconds clock = 0.0;
+  for (std::int64_t candidates = 0;
+       static_cast<int>(out.size()) < scenario.num_requests; ++candidates) {
+    VIDUR_CHECK_MSG(candidates < max_candidates,
+                    "scenario '"
+                        << scenario.name
+                        << "': rate profile starves arrivals (accepted "
+                        << out.size() << " of " << scenario.num_requests
+                        << " requests); set max_duration or raise the "
+                           "profile's floor");
+    clock += next_gap(master, scenario.arrival, peak_qps);
+    if (scenario.max_duration > 0 && clock > scenario.max_duration) break;
+    const double accept = scenario.profile.factor_at(clock) / peak;
+    if (master.bernoulli(accept)) emit(clock);
+  }
+  return out;
+}
+
+}  // namespace vidur

@@ -1,0 +1,76 @@
+// Scenario engine: composes workloads into named, reproducible multi-tenant
+// serving scenarios.
+//
+// A Scenario is (a) a set of tenants, each with its own length distribution
+// (TraceSpec), share of traffic, priority and SLO, and (b) an arrival
+// process — a baseline ArrivalSpec modulated by a time-varying RateProfile.
+// generate_scenario_trace() merges everything into one tenant-tagged Trace
+// that the existing Simulator plays unchanged; pass
+// Scenario::tenant_infos() to the metrics layer to get per-tenant TTFT /
+// TBT / throughput / SLO-attainment breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "scenario/rate_profile.h"
+#include "workload/trace_generator.h"
+
+namespace vidur {
+
+/// One tenant's contribution to a scenario.
+struct TenantSpec {
+  std::string name;
+  TraceSpec trace;
+  /// Relative traffic weight; normalized over the scenario's tenants.
+  double share = 1.0;
+  /// Higher is more important (GlobalSchedulerKind::kPriority routing).
+  int priority = 0;
+  SloSpec slo;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<TenantSpec> tenants;
+  /// Baseline arrival process; the profile multiplies `arrival.qps` over
+  /// time. kStatic requires a constant profile (there is no timeline to
+  /// modulate).
+  ArrivalSpec arrival;
+  RateProfile profile;
+  /// Total requests across tenants (generation may stop earlier when
+  /// `max_duration` is hit).
+  int num_requests = 1000;
+  /// Optional horizon; 0 means unlimited (stop at num_requests).
+  Seconds max_duration = 0.0;
+
+  /// Throws vidur::Error on empty/duplicate tenant names, non-positive
+  /// shares, degenerate tenant traces, or an invalid arrival/profile combo.
+  void validate() const;
+
+  /// Tenant identities (id = index into `tenants`) for MetricsCollector.
+  std::vector<TenantInfo> tenant_infos() const;
+
+  /// Requests expected from the modulated arrival process over
+  /// [0, horizon] — qps x mean profile factor x horizon. Use it to budget
+  /// `num_requests` so a trace covers a wanted timespan (and vice versa).
+  /// Requires a non-static arrival kind.
+  double expected_requests(Seconds horizon) const;
+
+  /// Human-readable one-liner for reports.
+  std::string to_string() const;
+};
+
+/// Generate the merged tenant-tagged trace of `scenario`.
+///
+/// Deterministic: the same (scenario, seed) yields the identical trace.
+/// Arrivals come from the baseline renewal process run at the profile's
+/// peak rate, thinned by factor(t) / peak_factor; each accepted arrival is
+/// assigned a tenant by share, and its lengths are drawn from that tenant's
+/// TraceSpec using a per-tenant forked RNG stream, so one tenant's length
+/// sequence does not depend on the other tenants' sampling.
+Trace generate_scenario_trace(const Scenario& scenario, std::uint64_t seed);
+
+}  // namespace vidur

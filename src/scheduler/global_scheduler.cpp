@@ -14,6 +14,7 @@ const std::vector<std::pair<GlobalSchedulerKind, std::string>>& names() {
           {GlobalSchedulerKind::kRoundRobin, "round_robin"},
           {GlobalSchedulerKind::kLeastOutstanding, "least_outstanding"},
           {GlobalSchedulerKind::kDeferred, "deferred"},
+          {GlobalSchedulerKind::kPriority, "priority"},
       };
   return table;
 }
@@ -58,6 +59,18 @@ ReplicaId GlobalScheduler::route(RequestState* request,
     case GlobalSchedulerKind::kDeferred:
       central_queue_.push_back(request);
       return -1;
+    case GlobalSchedulerKind::kPriority: {
+      // Keep the central queue ordered by priority (descending), FIFO
+      // within a level: insert after every parked request of equal or
+      // higher priority. Pulls — which happen far more often than
+      // arrivals under overload — then just pop the front.
+      auto it = central_queue_.end();
+      while (it != central_queue_.begin() &&
+             (*std::prev(it))->request.priority < request->request.priority)
+        --it;
+      central_queue_.insert(it, request);
+      return -1;
+    }
   }
   throw Error("unhandled GlobalSchedulerKind");
 }
@@ -66,7 +79,9 @@ std::vector<RequestState*> GlobalScheduler::pull(ReplicaId replica,
                                                  int max_requests) {
   (void)replica;
   std::vector<RequestState*> out;
-  if (kind_ != GlobalSchedulerKind::kDeferred) return out;
+  if (kind_ != GlobalSchedulerKind::kDeferred &&
+      kind_ != GlobalSchedulerKind::kPriority)
+    return out;
   while (!central_queue_.empty() &&
          static_cast<int>(out.size()) < max_requests) {
     out.push_back(central_queue_.front());

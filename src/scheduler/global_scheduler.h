@@ -18,6 +18,10 @@ enum class GlobalSchedulerKind {
   kRoundRobin,
   kLeastOutstanding,
   kDeferred,  ///< stateful: central queue, replicas pull when they have room
+  /// Deferred binding with priority ordering: replicas pull the
+  /// highest-priority parked request first (FIFO within a priority level),
+  /// so high-priority tenants jump the queue under overload.
+  kPriority,
 };
 
 const std::string& global_scheduler_name(GlobalSchedulerKind kind);

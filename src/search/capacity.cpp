@@ -31,6 +31,7 @@ struct ProbeTrace {
 ProbeTrace make_probe_trace(const TraceSpec& workload, int num_requests,
                             std::uint64_t seed) {
   ProbeTrace probe;
+  workload.validate();
   Rng length_rng(seed);
   Rng arrival_rng(seed ^ 0xabcdef0123456789ULL);
   double clock = 0.0;

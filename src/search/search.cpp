@@ -71,8 +71,11 @@ ConfigEvaluation evaluate_config(VidurSession& session,
     eval.qps_per_dollar = cap.capacity_qps / eval.cost_per_hour;
     eval.ttft_p90 = cap.metrics_at_capacity.ttft.p90;
     eval.tbt_p99 = cap.metrics_at_capacity.tbt.p99;
-    eval.meets_slo = eval.ttft_p90 < options.slo.ttft_p90 &&
-                     eval.tbt_p99 < options.slo.tbt_p99;
+    // A zero target is disabled (see SloSpec), not an unmeetable bound.
+    eval.meets_slo = (options.slo.ttft_target <= 0 ||
+                      eval.ttft_p90 < options.slo.ttft_target) &&
+                     (options.slo.tbt_target <= 0 ||
+                      eval.tbt_p99 < options.slo.tbt_target);
   }
   return eval;
 }

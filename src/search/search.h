@@ -12,13 +12,6 @@
 
 namespace vidur {
 
-/// Latency service-level objectives (paper §7.3: TTFT P90 < 2 s,
-/// TBT P99 < 200 ms).
-struct SloSpec {
-  Seconds ttft_p90 = 2.0;
-  Seconds tbt_p99 = 0.2;
-};
-
 /// Evaluation outcome for one deployment configuration.
 struct ConfigEvaluation {
   DeploymentConfig config;
@@ -48,7 +41,10 @@ struct SearchResult {
 
 struct VidurSearchOptions {
   CapacitySearchOptions capacity;
-  SloSpec slo;
+  /// Paper §7.3 defaults: TTFT P90 < 2 s, TBT P99 < 200 ms. The shared
+  /// SloSpec (metrics.h) is applied here to the fleet-level percentiles at
+  /// the capacity operating point.
+  SloSpec slo{2.0, 0.2};
   /// Worker threads (the paper parallelizes per-config searches across
   /// 96 CPU cores). 0 = hardware concurrency.
   int num_threads = 0;

@@ -57,12 +57,15 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
     replicas_.push_back(std::move(replica));
   }
 
+  metrics_.set_tenants(config_.tenants);
+
   // Request states must never reallocate: schedulers hold raw pointers.
   states_.reserve(trace_.size());
   for (const Request& req : trace_) {
     RequestState state;
     state.request = req;
     state.record.id = req.id;
+    state.record.tenant = req.tenant;
     state.record.arrival_time = req.arrival_time;
     state.record.prefill_tokens = req.prefill_tokens;
     state.record.decode_tokens = req.decode_tokens;

@@ -45,6 +45,9 @@ struct SimulationConfig {
   /// ignored (each role runs its dedicated policy) and
   /// parallel.num_replicas counts both roles together.
   DisaggConfig disagg;
+  /// Tenant identities for per-tenant metric attribution (scenario engine).
+  /// Empty for single-tenant runs.
+  std::vector<TenantInfo> tenants;
 };
 
 /// Creates the per-replica timing backend (a predictor shared across

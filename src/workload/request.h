@@ -12,6 +12,10 @@ struct Request {
   Seconds arrival_time = 0.0;
   TokenCount prefill_tokens = 0;  ///< prompt length
   TokenCount decode_tokens = 0;   ///< output length (including first token)
+  /// Multi-tenant scenarios tag each request with its originating tenant;
+  /// single-tenant traces leave both fields at their defaults.
+  TenantId tenant = 0;
+  int priority = 0;  ///< higher is more important (priority-aware routing)
 
   TokenCount total_tokens() const { return prefill_tokens + decode_tokens; }
 };

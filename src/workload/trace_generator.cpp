@@ -78,8 +78,38 @@ const std::vector<std::string>& builtin_trace_names() {
   return names;
 }
 
+void TraceSpec::validate() const {
+  VIDUR_CHECK_MSG(std::isfinite(prefill_log_mu) &&
+                      std::isfinite(decode_log_mu),
+                  "trace '" << name << "': non-finite lognormal mu");
+  VIDUR_CHECK_MSG(std::isfinite(prefill_log_sigma) && prefill_log_sigma >= 0,
+                  "trace '" << name << "': invalid prefill sigma");
+  VIDUR_CHECK_MSG(std::isfinite(decode_log_sigma) && decode_log_sigma >= 0,
+                  "trace '" << name << "': invalid decode sigma");
+  VIDUR_CHECK_MSG(length_correlation >= -1.0 && length_correlation <= 1.0,
+                  "trace '" << name << "': invalid length correlation");
+  VIDUR_CHECK_MSG(min_prefill_tokens >= 1 && min_decode_tokens >= 1,
+                  "trace '" << name << "': minimum lengths must be >= 1");
+  VIDUR_CHECK_MSG(
+      min_prefill_tokens + min_decode_tokens <= max_total_tokens,
+      "trace '" << name << "': minimum lengths ("
+                << min_prefill_tokens << " + " << min_decode_tokens
+                << ") exceed the total-token cap " << max_total_tokens);
+}
+
+void ArrivalSpec::validate() const {
+  if (kind == ArrivalKind::kStatic) return;
+  VIDUR_CHECK_MSG(std::isfinite(qps) && qps > 0,
+                  "arrival qps must be finite and > 0, got " << qps);
+  if (kind == ArrivalKind::kGamma)
+    VIDUR_CHECK_MSG(std::isfinite(cv) && cv > 0,
+                    "arrival cv must be finite and > 0, got " << cv);
+}
+
 Request sample_request(const TraceSpec& spec, Rng& rng) {
   constexpr int kMaxAttempts = 100000;
+  // Callers validate() the spec once before their sampling loops; only the
+  // correlation is re-checked here because it feeds sqrt() below.
   const double rho = spec.length_correlation;
   VIDUR_CHECK_MSG(rho >= -1.0 && rho <= 1.0, "invalid length correlation");
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
@@ -103,7 +133,8 @@ Request sample_request(const TraceSpec& spec, Rng& rng) {
 Trace generate_trace(const TraceSpec& trace, const ArrivalSpec& arrival,
                      int num_requests, std::uint64_t seed) {
   VIDUR_CHECK(num_requests >= 0);
-  if (arrival.kind != ArrivalKind::kStatic) VIDUR_CHECK(arrival.qps > 0);
+  trace.validate();
+  arrival.validate();
 
   Rng rng(seed);
   Trace out;
@@ -121,7 +152,6 @@ Trace generate_trace(const TraceSpec& trace, const ArrivalSpec& arrival,
         r.arrival_time = clock;
         break;
       case ArrivalKind::kGamma: {
-        VIDUR_CHECK(arrival.cv > 0);
         const double shape = 1.0 / (arrival.cv * arrival.cv);
         const double scale = arrival.cv * arrival.cv / arrival.qps;
         clock += rng.gamma(shape, scale);

@@ -34,6 +34,11 @@ struct TraceSpec {
   /// Requests whose total exceeds this are rejected and re-sampled
   /// (the paper's "with max 4k total tokens" construction).
   TokenCount max_total_tokens = 4096;
+
+  /// Throws vidur::Error on degenerate parameters: non-finite or negative
+  /// sigmas, correlation outside [-1, 1], non-positive minimum lengths, or
+  /// minimums that cannot fit under the total-token cap.
+  void validate() const;
 };
 
 /// Built-in workloads: "chat1m", "arxiv4k", "bwb4k".
@@ -54,6 +59,10 @@ struct ArrivalSpec {
   ArrivalKind kind = ArrivalKind::kStatic;
   double qps = 1.0;  ///< mean arrival rate for kPoisson / kGamma
   double cv = 2.0;   ///< coefficient of variation for kGamma
+
+  /// Throws vidur::Error on a non-finite or non-positive rate (kPoisson /
+  /// kGamma) or coefficient of variation (kGamma).
+  void validate() const;
 };
 
 /// Sample lengths for one request (arrival time left at 0).

@@ -1,0 +1,106 @@
+// Direct unit tests of the first-tier GlobalScheduler: round-robin and
+// least-outstanding binding, deferred central-queue pulls, and the
+// priority-aware routing mode.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "scheduler/global_scheduler.h"
+
+namespace vidur {
+namespace {
+
+std::vector<RequestState> make_requests(int n) {
+  std::vector<RequestState> states(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    states[static_cast<std::size_t>(i)].request.id = i;
+    states[static_cast<std::size_t>(i)].request.arrival_time = i * 0.1;
+  }
+  return states;
+}
+
+TEST(GlobalSchedulerNames, RoundTrip) {
+  for (const auto kind :
+       {GlobalSchedulerKind::kRoundRobin, GlobalSchedulerKind::kLeastOutstanding,
+        GlobalSchedulerKind::kDeferred, GlobalSchedulerKind::kPriority})
+    EXPECT_EQ(global_scheduler_from_name(global_scheduler_name(kind)), kind);
+  EXPECT_THROW(global_scheduler_from_name("fifo"), Error);
+}
+
+TEST(GlobalScheduler, RoundRobinCycles) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kRoundRobin, 3);
+  auto requests = make_requests(7);
+  const std::vector<int> outstanding = {0, 0, 0};
+  std::vector<ReplicaId> routed;
+  for (auto& r : requests) routed.push_back(scheduler.route(&r, outstanding));
+  EXPECT_EQ(routed, (std::vector<ReplicaId>{0, 1, 2, 0, 1, 2, 0}));
+  EXPECT_FALSE(scheduler.has_parked_requests());
+}
+
+TEST(GlobalScheduler, LeastOutstandingPicksMinimum) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kLeastOutstanding, 3);
+  auto requests = make_requests(3);
+  EXPECT_EQ(scheduler.route(&requests[0], {5, 2, 9}), 1);
+  EXPECT_EQ(scheduler.route(&requests[1], {0, 0, 0}), 0);  // ties go left
+  EXPECT_EQ(scheduler.route(&requests[2], {3, 3, 1}), 2);
+}
+
+TEST(GlobalScheduler, BindingPoliciesNeverPark) {
+  for (const auto kind : {GlobalSchedulerKind::kRoundRobin,
+                          GlobalSchedulerKind::kLeastOutstanding}) {
+    GlobalScheduler scheduler(kind, 2);
+    auto requests = make_requests(4);
+    for (auto& r : requests) scheduler.route(&r, {0, 0});
+    EXPECT_FALSE(scheduler.has_parked_requests());
+    EXPECT_TRUE(scheduler.pull(0, 10).empty());
+  }
+}
+
+TEST(GlobalScheduler, DeferredParksAndPullsFifo) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kDeferred, 2);
+  auto requests = make_requests(4);
+  for (auto& r : requests)
+    EXPECT_EQ(scheduler.route(&r, {0, 0}), -1);  // always parked
+  EXPECT_TRUE(scheduler.has_parked_requests());
+
+  const auto first = scheduler.pull(0, 1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0]->request.id, 0);
+
+  const auto rest = scheduler.pull(1, 10);  // bounded by queue length
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0]->request.id, 1);
+  EXPECT_EQ(rest[1]->request.id, 2);
+  EXPECT_EQ(rest[2]->request.id, 3);
+  EXPECT_FALSE(scheduler.has_parked_requests());
+}
+
+TEST(GlobalScheduler, PriorityPullsHighestPriorityFirst) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kPriority, 1);
+  auto requests = make_requests(5);
+  requests[0].request.priority = 0;
+  requests[1].request.priority = 2;
+  requests[2].request.priority = 1;
+  requests[3].request.priority = 2;
+  requests[4].request.priority = 0;
+  for (auto& r : requests) EXPECT_EQ(scheduler.route(&r, {0}), -1);
+
+  std::vector<RequestId> order;
+  while (scheduler.has_parked_requests())
+    order.push_back(scheduler.pull(0, 1)[0]->request.id);
+  // Priority 2 first (FIFO within the level), then 1, then 0.
+  EXPECT_EQ(order, (std::vector<RequestId>{1, 3, 2, 0, 4}));
+}
+
+TEST(GlobalScheduler, PriorityWithUniformPrioritiesIsFifo) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kPriority, 1);
+  auto requests = make_requests(4);
+  for (auto& r : requests) scheduler.route(&r, {0});
+  const auto pulled = scheduler.pull(0, 4);
+  ASSERT_EQ(pulled.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(pulled[static_cast<std::size_t>(i)]->request.id, i);
+}
+
+}  // namespace
+}  // namespace vidur

@@ -212,8 +212,8 @@ TEST(Search, SloFilteringSelectsCompliantBest) {
   VidurSearchOptions options;
   options.capacity = fast_capacity();
   options.prune = false;
-  options.slo.ttft_p90 = 1e9;  // permissive
-  options.slo.tbt_p99 = 1e9;
+  options.slo.ttft_target = 1e9;  // permissive
+  options.slo.tbt_target = 1e9;
   const SearchResult result = run_search(shared_session(), tiny_space(),
                                          trace_by_name("chat1m"), options);
   ASSERT_TRUE(result.best().has_value());

@@ -2,8 +2,10 @@
 // schedulers, parallelism configs and global routing policies.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
+#include "common/random.h"
 #include "core/session.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -55,6 +57,28 @@ TEST(EventQueue, SchedulingInThePastThrows) {
 TEST(EventQueue, RunNextOnEmptyThrows) {
   EventQueue q;
   EXPECT_THROW(q.run_next(), Error);
+}
+
+TEST(EventQueue, NowIsMonotonicAcrossInterleavedSchedules) {
+  EventQueue q;
+  Rng rng(17);
+  Seconds last = -1.0;
+  int executed = 0;
+  // Events re-schedule future events at random offsets; now() must never
+  // move backwards no matter how the heap interleaves them.
+  std::function<void()> chain = [&] {
+    EXPECT_GE(q.now(), last);
+    last = q.now();
+    ++executed;
+    if (executed < 200) {
+      q.schedule(q.now() + rng.uniform(0.0, 2.0), chain);
+      q.schedule(q.now() + rng.uniform(0.0, 2.0), chain);
+    }
+  };
+  q.schedule(0.5, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_GE(executed, 200);
+  EXPECT_DOUBLE_EQ(q.now(), last);
 }
 
 // -------------------------------------------------------------- simulator

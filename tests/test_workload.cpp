@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/stats.h"
@@ -126,6 +127,68 @@ TEST(Arrivals, InvalidSpecsThrow) {
                               ArrivalSpec{ArrivalKind::kGamma, 1.0, 0.0}, 10,
                               1),
                Error);
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(generate_trace(trace_by_name("chat1m"),
+                              ArrivalSpec{ArrivalKind::kPoisson, -2.0, 0}, 10,
+                              1),
+               Error);
+  EXPECT_THROW(generate_trace(trace_by_name("chat1m"),
+                              ArrivalSpec{ArrivalKind::kPoisson, nan, 0}, 10,
+                              1),
+               Error);
+  EXPECT_THROW(generate_trace(trace_by_name("chat1m"),
+                              ArrivalSpec{ArrivalKind::kGamma, inf, 2.0}, 10,
+                              1),
+               Error);
+  EXPECT_THROW(generate_trace(trace_by_name("chat1m"),
+                              ArrivalSpec{ArrivalKind::kGamma, 1.0, -1.0}, 10,
+                              1),
+               Error);
+  EXPECT_THROW(generate_trace(trace_by_name("chat1m"),
+                              ArrivalSpec{ArrivalKind::kGamma, 1.0, nan}, 10,
+                              1),
+               Error);
+  // Static arrivals ignore qps/cv entirely.
+  EXPECT_NO_THROW(generate_trace(trace_by_name("chat1m"),
+                                 ArrivalSpec{ArrivalKind::kStatic, -1.0, 0},
+                                 10, 1));
+}
+
+TEST(TraceSpecValidation, RejectsDegenerateSpecs) {
+  // Minimum lengths that cannot fit under the cap fail fast, before any
+  // sampling loop runs.
+  TraceSpec spec = trace_by_name("chat1m");
+  spec.min_prefill_tokens = 3000;
+  spec.min_decode_tokens = 2000;
+  EXPECT_THROW(spec.validate(), Error);
+  EXPECT_THROW(generate_trace(spec, ArrivalSpec{ArrivalKind::kStatic, 0, 0},
+                              10, 1),
+               Error);
+
+  spec = trace_by_name("chat1m");
+  spec.prefill_log_sigma = -0.5;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = trace_by_name("chat1m");
+  spec.decode_log_sigma = std::nan("");
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = trace_by_name("chat1m");
+  spec.prefill_log_mu = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = trace_by_name("chat1m");
+  spec.length_correlation = 1.5;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = trace_by_name("chat1m");
+  spec.min_decode_tokens = 0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  EXPECT_NO_THROW(trace_by_name("chat1m").validate());
+  EXPECT_NO_THROW(trace_by_name("arxiv4k").validate());
+  EXPECT_NO_THROW(trace_by_name("bwb4k").validate());
 }
 
 // ------------------------------------------------------------- determinism
