@@ -1,0 +1,191 @@
+#include "cluster/cluster_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace vidur {
+
+ClusterManager::ClusterManager(AutoscalerConfig config, int fleet_size,
+                               EventQueue* events, Hooks hooks)
+    : config_(std::move(config)),
+      fleet_size_(fleet_size),
+      events_(events),
+      hooks_(std::move(hooks)),
+      policy_(make_autoscaler_policy(config_)),
+      states_(static_cast<std::size_t>(fleet_size),
+              ReplicaState::kDecommissioned),
+      routable_(static_cast<std::size_t>(fleet_size), false),
+      up_since_(static_cast<std::size_t>(fleet_size), -1.0) {
+  VIDUR_CHECK_MSG(config_.enabled(),
+                  "ClusterManager requires an autoscaling policy");
+  VIDUR_CHECK(events_ != nullptr);
+  VIDUR_CHECK(hooks_.replica_load && hooks_.parked_requests &&
+              hooks_.work_remaining && hooks_.on_activated);
+  VIDUR_CHECK_MSG(config_.min_replicas <= fleet_size_,
+                  "autoscaler: min_replicas exceeds the fleet size");
+  const int initial = config_.initial_replicas == 0 ? config_.min_replicas
+                                                    : config_.initial_replicas;
+  VIDUR_CHECK_MSG(initial <= fleet_size_,
+                  "autoscaler: initial_replicas exceeds the fleet size");
+}
+
+void ClusterManager::start() {
+  const int initial = config_.initial_replicas == 0 ? config_.min_replicas
+                                                    : config_.initial_replicas;
+  // Initial replicas are warm at t=0: the deployment existed before the
+  // simulated window opened, so no cold start applies.
+  for (ReplicaId r = 0; r < initial; ++r) {
+    up_since_[static_cast<std::size_t>(r)] = 0.0;
+    transition(r, ReplicaState::kActive, 0.0);
+  }
+  events_->schedule(config_.decision_interval, [this] { evaluate(); });
+}
+
+int ClusterManager::count(ReplicaState s) const {
+  return static_cast<int>(std::count(states_.begin(), states_.end(), s));
+}
+
+void ClusterManager::evaluate() {
+  const Seconds now = events_->now();
+  ClusterSample sample;
+  sample.now = now;
+  sample.active = num_active();
+  sample.pending = num_pending();
+  sample.draining = num_draining();
+  sample.min_replicas = config_.min_replicas;
+  sample.max_replicas = fleet_size_;
+  sample.outstanding = hooks_.parked_requests();
+  for (ReplicaId r = 0; r < fleet_size_; ++r) {
+    const ReplicaState s = state(r);
+    if (s == ReplicaState::kActive || s == ReplicaState::kDraining)
+      sample.outstanding += hooks_.replica_load(r);
+  }
+
+  const int desired = std::clamp(policy_->desired_replicas(sample),
+                                 config_.min_replicas, fleet_size_);
+  const int effective = sample.active + sample.pending;
+  if (desired > effective) {
+    if (now - last_scale_up_ >= config_.scale_up_cooldown)
+      scale_up(desired - effective, now);
+  } else if (desired < sample.active && sample.pending == 0) {
+    // Scale-downs wait for in-flight cold starts to land (draining active
+    // replicas while ordered capacity is still warming would overshoot
+    // below desired and then pay for the surplus), and wait out recent
+    // scale-ups: capacity just added gets a chance to absorb the backlog
+    // before the fleet shrinks again.
+    if (now - std::max(last_scale_up_, last_scale_down_) >=
+        config_.scale_down_cooldown)
+      scale_down(sample.active - desired, now);
+  }
+
+  if (hooks_.work_remaining())
+    events_->schedule(now + config_.decision_interval, [this] { evaluate(); });
+}
+
+void ClusterManager::scale_up(int n, Seconds now) {
+  if (config_.max_scale_step > 0) n = std::min(n, config_.max_scale_step);
+  for (ReplicaId r = 0; r < fleet_size_ && n > 0; ++r) {
+    if (state(r) != ReplicaState::kDecommissioned) continue;
+    --n;
+    ++num_ups_;
+    last_scale_up_ = now;
+    up_since_[static_cast<std::size_t>(r)] = now;
+    transition(r, ReplicaState::kProvisioning, now);
+    // The provisioning -> warming -> active chain is never interrupted:
+    // only active replicas are ever drained, so these callbacks cannot
+    // observe a stale slot.
+    events_->schedule(now + config_.provision_delay, [this, r] {
+      transition(r, ReplicaState::kWarming, events_->now());
+      events_->schedule(events_->now() + config_.warmup_delay, [this, r] {
+        transition(r, ReplicaState::kActive, events_->now());
+        hooks_.on_activated(r);
+      });
+    });
+  }
+}
+
+void ClusterManager::scale_down(int n, Seconds now) {
+  if (config_.max_scale_step > 0) n = std::min(n, config_.max_scale_step);
+  // Drain the highest-id active replicas: the surviving fleet stays packed
+  // at the low ids, matching the deterministic lowest-id-wins tie-breaking
+  // of least-outstanding routing.
+  for (ReplicaId r = fleet_size_ - 1; r >= 0 && n > 0; --r) {
+    if (state(r) != ReplicaState::kActive) continue;
+    if (num_active() <= config_.min_replicas) return;
+    --n;
+    ++num_downs_;
+    last_scale_down_ = now;
+    transition(r, ReplicaState::kDraining, now);
+    // A replica with nothing in flight decommissions immediately; the
+    // simulator reports the idle transition for busy ones.
+    if (hooks_.replica_load(r) == 0) notify_idle(r);
+  }
+}
+
+void ClusterManager::notify_idle(ReplicaId replica) {
+  if (state(replica) != ReplicaState::kDraining) return;
+  const Seconds now = events_->now();
+  auto& since = up_since_[static_cast<std::size_t>(replica)];
+  paid_intervals_.emplace_back(since, now);
+  since = -1.0;
+  transition(replica, ReplicaState::kDecommissioned, now);
+}
+
+void ClusterManager::transition(ReplicaId replica, ReplicaState to,
+                                Seconds now) {
+  auto& slot = states_[static_cast<std::size_t>(replica)];
+  log_.push_back(ScalingEvent{now, replica, slot, to});
+  slot = to;
+  routable_[static_cast<std::size_t>(replica)] = to == ReplicaState::kActive;
+  const int active = num_active();
+  peak_active_ = std::max(peak_active_, active);
+  if (!timeline_.empty() && timeline_.back().time == now)
+    timeline_.back().active = active;
+  else
+    timeline_.push_back(ReplicaCountSample{now, active});
+}
+
+ClusterScalingReport ClusterManager::report(Seconds end_time,
+                                            int gpus_per_replica,
+                                            double cost_per_gpu_hour) const {
+  ClusterScalingReport report;
+  report.enabled = true;
+  report.fleet_size = fleet_size_;
+  report.min_replicas = config_.min_replicas;
+  report.initial_replicas = config_.initial_replicas == 0
+                                ? config_.min_replicas
+                                : config_.initial_replicas;
+  report.peak_active = peak_active_;
+  report.num_scale_up_events = num_ups_;
+  report.num_scale_down_events = num_downs_;
+  report.events = log_;
+  report.active_timeline = timeline_;
+
+  // Everything past end_time is clamped off: the trailing decision tick
+  // (and any drain it triggers) must not bill the elastic fleet beyond the
+  // accounting horizon the simulator settled on.
+  double paid = 0.0;
+  for (const auto& [begin, end] : paid_intervals_)
+    paid += std::max(0.0, std::min(end, end_time) - begin);
+  for (const Seconds since : up_since_)
+    if (since >= 0.0) paid += std::max(0.0, end_time - since);
+  report.replica_hours = paid / 3600.0;
+  report.gpu_hours = report.replica_hours * gpus_per_replica;
+  report.cost_usd = report.gpu_hours * cost_per_gpu_hour;
+
+  // Time-weighted mean of the active-count step function over [0, end].
+  double integral = 0.0;
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    const Seconds begin = timeline_[i].time;
+    const Seconds end =
+        i + 1 < timeline_.size() ? timeline_[i + 1].time : end_time;
+    integral += timeline_[i].active *
+                std::max(0.0, std::min(end, end_time) - begin);
+  }
+  report.mean_active_replicas = end_time > 0 ? integral / end_time : 0.0;
+  return report;
+}
+
+}  // namespace vidur

@@ -1,0 +1,106 @@
+// ClusterManager: owns the dynamic replica fleet of an elastic simulation.
+//
+// Sits between the scenario engine (whose time-varying traffic motivates
+// elasticity) and the simulator core (which owns the replica schedulers):
+// the manager tracks each replica slot's lifecycle state, periodically asks
+// its AutoscalerPolicy for a desired fleet size, and turns the difference
+// into provisioning / draining transitions scheduled on the simulation's
+// event queue. Cold starts are explicit (provisioning + warming delays);
+// scale-downs drain — the replica finishes every request already routed to
+// it before the slot is released.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/autoscaler.h"
+#include "cluster/replica_state.h"
+#include "sim/event_queue.h"
+
+namespace vidur {
+
+class ClusterManager {
+ public:
+  /// Callbacks into the simulator. All must be set.
+  struct Hooks {
+    /// Outstanding work bound to a replica (waiting + running requests).
+    std::function<int(ReplicaId)> replica_load;
+    /// Requests parked in the global scheduler's central queue.
+    std::function<int()> parked_requests;
+    /// Any request not yet completed? Decision ticks stop rescheduling
+    /// once this turns false, so the event queue can drain.
+    std::function<bool()> work_remaining;
+    /// A replica finished warming and became routable (pull parked work).
+    std::function<void(ReplicaId)> on_activated;
+  };
+
+  /// `fleet_size` is the number of replica slots the simulator built (the
+  /// scale-up ceiling). Throws vidur::Error on invalid configuration.
+  ClusterManager(AutoscalerConfig config, int fleet_size, EventQueue* events,
+                 Hooks hooks);
+
+  /// Activate the initial replicas (warm at t=0, no cold-start delay) and
+  /// schedule the first decision tick. Call once, before the run starts.
+  void start();
+
+  ReplicaState state(ReplicaId replica) const {
+    return states_[static_cast<std::size_t>(replica)];
+  }
+  bool is_routable(ReplicaId replica) const {
+    return state(replica) == ReplicaState::kActive;
+  }
+  /// Per-slot routability, in the shape GlobalScheduler::route expects.
+  /// Maintained incrementally — cheap to read on every arrival.
+  const std::vector<bool>& routable_mask() const { return routable_; }
+
+  int fleet_size() const { return fleet_size_; }
+  int num_active() const { return count(ReplicaState::kActive); }
+  /// Capacity in flight: provisioning + warming replicas.
+  int num_pending() const {
+    return count(ReplicaState::kProvisioning) + count(ReplicaState::kWarming);
+  }
+  int num_draining() const { return count(ReplicaState::kDraining); }
+
+  /// Simulator notification: `replica` has no outstanding work and no batch
+  /// in flight. Completes a pending drain; a no-op in any other state.
+  void notify_idle(ReplicaId replica);
+
+  /// Capacity/cost accounting up to `end_time` (replicas still up accrue
+  /// until then).
+  ClusterScalingReport report(Seconds end_time, int gpus_per_replica,
+                              double cost_per_gpu_hour) const;
+
+ private:
+  void evaluate();  ///< one decision tick
+  void scale_up(int count, Seconds now);
+  void scale_down(int count, Seconds now);
+  void transition(ReplicaId replica, ReplicaState to, Seconds now);
+  int count(ReplicaState s) const;
+
+  AutoscalerConfig config_;
+  int fleet_size_;
+  EventQueue* events_;
+  Hooks hooks_;
+  std::unique_ptr<AutoscalerPolicy> policy_;
+
+  std::vector<ReplicaState> states_;
+  std::vector<bool> routable_;  ///< states_[r] == kActive, kept in sync
+  /// Provisioning start of the current paid up-interval; -1 when down.
+  std::vector<Seconds> up_since_;
+  /// Closed paid up-intervals [provisioning start, decommission). Kept as
+  /// intervals (not a running sum) so report(end_time) can clamp activity
+  /// past the accounting horizon (e.g. the trailing decision tick).
+  std::vector<std::pair<Seconds, Seconds>> paid_intervals_;
+  Seconds last_scale_up_ = -kInfiniteTime;
+  Seconds last_scale_down_ = -kInfiniteTime;
+
+  std::vector<ScalingEvent> log_;
+  std::vector<ReplicaCountSample> timeline_;
+  int peak_active_ = 0;
+  int num_ups_ = 0;
+  int num_downs_ = 0;
+};
+
+}  // namespace vidur

@@ -1,0 +1,44 @@
+#include "cluster/replica_state.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vidur {
+
+const std::string& replica_state_name(ReplicaState state) {
+  static const std::vector<std::string> names = {
+      "decommissioned", "provisioning", "warming", "active", "draining"};
+  const auto index = static_cast<std::size_t>(state);
+  VIDUR_CHECK_MSG(index < names.size(), "unhandled ReplicaState");
+  return names[index];
+}
+
+std::string ClusterScalingReport::to_string() const {
+  std::ostringstream os;
+  os << (enabled ? "elastic" : "static") << " fleet: " << fleet_size
+     << " slots, mean active " << mean_active_replicas << ", peak "
+     << peak_active << ", +" << num_scale_up_events << "/-"
+     << num_scale_down_events << " scale events, " << gpu_hours
+     << " GPU-hours ($" << cost_usd << ")";
+  return os.str();
+}
+
+ClusterScalingReport static_fleet_report(int num_replicas, Seconds makespan,
+                                         int gpus_per_replica,
+                                         double cost_per_gpu_hour) {
+  VIDUR_CHECK(num_replicas >= 1 && gpus_per_replica >= 1 && makespan >= 0);
+  ClusterScalingReport report;
+  report.fleet_size = num_replicas;
+  report.min_replicas = num_replicas;
+  report.initial_replicas = num_replicas;
+  report.peak_active = num_replicas;
+  report.mean_active_replicas = num_replicas;
+  report.replica_hours = num_replicas * makespan / 3600.0;
+  report.gpu_hours = report.replica_hours * gpus_per_replica;
+  report.cost_usd = report.gpu_hours * cost_per_gpu_hour;
+  report.active_timeline = {ReplicaCountSample{0.0, num_replicas}};
+  return report;
+}
+
+}  // namespace vidur

@@ -27,10 +27,16 @@ std::vector<std::string> split_line(const std::string& line) {
 
 }  // namespace
 
-std::size_t CsvDocument::column(const std::string& name) const {
+std::size_t CsvDocument::try_column(const std::string& name) const {
   for (std::size_t i = 0; i < header.size(); ++i)
     if (header[i] == name) return i;
-  throw Error("CSV column not found: " + name);
+  return npos;
+}
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  const std::size_t index = try_column(name);
+  if (index == npos) throw Error("CSV column not found: " + name);
+  return index;
 }
 
 CsvDocument parse_csv(const std::string& text) {

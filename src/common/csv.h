@@ -11,11 +11,15 @@ namespace vidur {
 
 /// A parsed CSV document: a header row plus data rows of equal width.
 struct CsvDocument {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
 
   /// Index of a named column; throws vidur::Error when missing.
   std::size_t column(const std::string& name) const;
+  /// Index of a named column, or npos when absent (optional columns).
+  std::size_t try_column(const std::string& name) const;
 };
 
 /// Parse CSV text. Throws vidur::Error on ragged rows.

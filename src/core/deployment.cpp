@@ -13,6 +13,9 @@ std::string DeploymentConfig::to_string() const {
   if (disagg.enabled())
     os << " disagg(" << disagg.num_prefill_replicas << "P+"
        << parallel.num_replicas - disagg.num_prefill_replicas << "D)";
+  if (autoscale.enabled())
+    os << " autoscale(" << autoscaler_name(autoscale.kind) << ", "
+       << autoscale.min_replicas << ".." << parallel.num_replicas << ")";
   return os.str();
 }
 

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "cluster/autoscaler.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
 #include "scheduler/global_scheduler.h"
@@ -22,6 +23,9 @@ struct DeploymentConfig {
   bool async_pipeline_comm = false;
   /// Prefill/decode disaggregation (Splitwise / DistServe, paper §2.2).
   DisaggConfig disagg;
+  /// Elastic fleet (src/cluster/): when enabled, parallel.num_replicas is
+  /// the slot ceiling and the autoscaler drives the active replica count.
+  AutoscalerConfig autoscale;
 
   int total_gpus() const { return parallel.total_gpus(); }
 

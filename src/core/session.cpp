@@ -46,6 +46,7 @@ SimulationConfig VidurSession::make_sim_config(
   sim.async_pipeline_comm = config.async_pipeline_comm;
   sim.collect_operator_metrics = options_.collect_operator_metrics;
   sim.disagg = config.disagg;
+  sim.autoscale = config.autoscale;
   return sim;
 }
 

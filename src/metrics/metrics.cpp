@@ -211,6 +211,17 @@ SimulationMetrics MetricsCollector::finalize(Seconds now) const {
   return m;
 }
 
+double SimulationMetrics::aggregate_slo_attainment() const {
+  double met = 0.0;
+  std::size_t requests = 0;
+  for (const auto& t : tenant_metrics) {
+    if (t.slo_attainment < 0) continue;
+    met += t.slo_attainment * static_cast<double>(t.num_requests);
+    requests += t.num_requests;
+  }
+  return requests > 0 ? met / static_cast<double>(requests) : -1.0;
+}
+
 std::string SimulationMetrics::tenant_table() const {
   if (tenant_metrics.empty()) return {};
   ConsoleTable table({"tenant", "prio", "requests", "completed", "TTFT p90",
@@ -284,6 +295,8 @@ std::string SimulationMetrics::to_string() const {
        << " J/token, mean draw "
        << fmt_double(mean_cluster_power_watts, 0) << " W\n";
   }
+  if (scaling.enabled) os << "  fleet:           " << scaling.to_string()
+                          << "\n";
   if (!tenant_metrics.empty()) os << tenant_table();
   return os.str();
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/replica_state.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "execution/batch_spec.h"
@@ -143,6 +144,16 @@ struct SimulationMetrics {
     double slo_attainment = -1.0;
   };
   std::vector<TenantMetrics> tenant_metrics;  ///< sorted by tenant id
+
+  /// Replica-count and GPU-hour/cost accounting of the run's fleet. Filled
+  /// by the simulator: a flat fixed-fleet report normally, the full scaling
+  /// timeline when an autoscaler managed the replicas (src/cluster/).
+  ClusterScalingReport scaling;
+
+  /// Cluster-wide SLO attainment: the fraction of all requests (across
+  /// every SLO-carrying tenant, weighted by traffic) that met their
+  /// tenant's SLO. -1 when no tenant carries an SLO.
+  double aggregate_slo_attainment() const;
 
   /// Rendered operator time table, heaviest first (empty when no operator
   /// metrics were collected).

@@ -39,21 +39,35 @@ GlobalScheduler::GlobalScheduler(GlobalSchedulerKind kind, int num_replicas)
 }
 
 ReplicaId GlobalScheduler::route(RequestState* request,
-                                 const std::vector<int>& outstanding) {
+                                 const std::vector<int>& outstanding,
+                                 const std::vector<bool>& routable) {
   VIDUR_CHECK(request != nullptr);
   VIDUR_CHECK(static_cast<int>(outstanding.size()) == num_replicas_);
+  VIDUR_CHECK(routable.empty() ||
+              static_cast<int>(routable.size()) == num_replicas_);
+  const auto ok = [&](int r) {
+    return routable.empty() || routable[static_cast<std::size_t>(r)];
+  };
   switch (kind_) {
     case GlobalSchedulerKind::kRoundRobin: {
-      const ReplicaId r = next_replica_;
-      next_replica_ = (next_replica_ + 1) % num_replicas_;
-      return r;
+      for (int step = 0; step < num_replicas_; ++step) {
+        const ReplicaId r = next_replica_;
+        next_replica_ = (next_replica_ + 1) % num_replicas_;
+        if (ok(r)) return r;
+      }
+      throw Error("global scheduler: no routable replica");
     }
     case GlobalSchedulerKind::kLeastOutstanding: {
-      ReplicaId best = 0;
-      for (int r = 1; r < num_replicas_; ++r)
-        if (outstanding[static_cast<std::size_t>(r)] <
-            outstanding[static_cast<std::size_t>(best)])
+      // Deterministic: strictly-lower outstanding wins, so the lowest
+      // routable replica id takes every tie.
+      ReplicaId best = -1;
+      for (int r = 0; r < num_replicas_; ++r) {
+        if (!ok(r)) continue;
+        if (best < 0 || outstanding[static_cast<std::size_t>(r)] <
+                            outstanding[static_cast<std::size_t>(best)])
           best = r;
+      }
+      if (best < 0) throw Error("global scheduler: no routable replica");
       return best;
     }
     case GlobalSchedulerKind::kDeferred:

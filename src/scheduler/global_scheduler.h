@@ -34,14 +34,20 @@ class GlobalScheduler {
   /// Route an arriving request. Returns the target replica, or -1 when the
   /// policy defers the decision (request parked in the central queue).
   /// `outstanding` holds each replica's current outstanding request count.
-  ReplicaId route(RequestState* request,
-                  const std::vector<int>& outstanding);
+  /// `routable` optionally masks replicas out of consideration (elastic
+  /// clusters: only kActive replicas take new work); empty means every
+  /// replica is routable. Binding policies skip non-routable replicas with
+  /// deterministic tie-breaking (lowest replica id wins) and throw
+  /// vidur::Error when no replica is routable.
+  ReplicaId route(RequestState* request, const std::vector<int>& outstanding,
+                  const std::vector<bool>& routable = {});
 
   /// Deferred policy: hand over up to `max_requests` parked requests to a
   /// replica that signalled spare capacity. Empty for binding policies.
   std::vector<RequestState*> pull(ReplicaId replica, int max_requests);
 
   bool has_parked_requests() const { return !central_queue_.empty(); }
+  std::size_t num_parked() const { return central_queue_.size(); }
   GlobalSchedulerKind kind() const { return kind_; }
 
  private:

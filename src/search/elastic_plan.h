@@ -1,0 +1,88 @@
+// Elastic capacity planning: static peak provisioning vs. an autoscaled
+// fleet on the same scenario, at the same SLO target.
+//
+// Static provisioning must size for the scenario's peak — the fleet that
+// keeps SLO attainment at the target during the worst traffic window runs,
+// fully paid, through every trough. An autoscaler rides the RateProfile
+// instead, so the comparison of interest is: for the same SLO target, what
+// does each deployment mode cost in GPU-hours? plan_elastic_capacity()
+// answers by sweeping static fleet sizes to find the smallest one meeting
+// the target, then replaying the identical trace under the autoscaling
+// policy with the same slot budget (plus optional burst headroom).
+#pragma once
+
+#include <string>
+
+#include "cluster/autoscaler.h"
+#include "core/session.h"
+#include "scenario/scenario.h"
+
+namespace vidur {
+
+struct ElasticPlanOptions {
+  /// Required cluster-wide SLO attainment (weighted across tenants).
+  double slo_target = 0.95;
+  /// Ceiling of the static fleet-size sweep.
+  int max_replicas = 8;
+  /// Extra replica slots the autoscaler may burst into beyond the static
+  /// fleet size — catching up on a backlog after a cold start takes more
+  /// instantaneous capacity than steady-state peak service does.
+  int burst_slots = 2;
+  std::uint64_t trace_seed = 42;
+};
+
+/// Cost/SLO summary of one deployment mode on the scenario.
+struct ElasticPlanPoint {
+  int fleet_size = 0;  ///< replica slots (static: all always on)
+  double gpu_hours = 0.0;
+  double cost_usd = 0.0;
+  double slo_attainment = -1.0;  ///< aggregate, weighted across tenants
+  double mean_active_replicas = 0.0;
+  Seconds makespan = 0.0;
+  int num_scale_ups = 0;
+  int num_scale_downs = 0;
+
+  /// Summarize one simulation's scaling report + SLO attainment.
+  static ElasticPlanPoint from_metrics(const SimulationMetrics& metrics);
+};
+
+struct ElasticPlanResult {
+  /// Some static fleet within options.max_replicas met the SLO target.
+  /// When false, static_peak holds the best-attaining fleet instead.
+  bool static_feasible = false;
+  ElasticPlanPoint static_peak;
+  ElasticPlanPoint autoscaled;
+  /// GPU-hour savings of the autoscaled fleet vs. static peak, percent.
+  double cost_savings_pct = 0.0;
+  int num_simulations = 0;
+
+  std::string to_string() const;
+};
+
+/// Derive a predictive policy from an existing (typically reactive) tuning
+/// plus the scenario's arrival shape. The per-replica capacity estimate
+/// comes from a static sweep result: the scenario's peak arrival rate that
+/// `static_fleet_size` always-on replicas absorbed at the SLO target —
+/// which prices in the scenario's actual prefill/decode blend. `headroom`
+/// is the safety margin on the predicted requirement.
+AutoscalerConfig derive_predictive_policy(AutoscalerConfig base,
+                                          const Scenario& scenario,
+                                          int static_fleet_size,
+                                          double headroom = 0.25);
+
+/// Compare static peak provisioning against `autoscale` on `scenario`.
+///
+/// `base.parallel.num_replicas` is ignored (the sweep owns it); every run
+/// plays the identical scenario trace. The scenario must carry at least
+/// one SLO-enabled tenant (there is no target to plan against otherwise).
+/// A predictive policy inherits forecast inputs from the scenario,
+/// independently: baseline_qps when unset (<= 0), and the profile when
+/// left at the constant default (a constant forecast predicts nothing).
+/// The autoscaler's warm floor is capped at the static fleet size.
+ElasticPlanResult plan_elastic_capacity(VidurSession& session,
+                                        DeploymentConfig base,
+                                        const Scenario& scenario,
+                                        AutoscalerConfig autoscale,
+                                        const ElasticPlanOptions& options);
+
+}  // namespace vidur

@@ -29,6 +29,12 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
   config_.parallel.validate();
   config_.scheduler.validate();
   VIDUR_CHECK(factory != nullptr);
+  if (config_.autoscale.enabled()) {
+    config_.autoscale.validate();
+    VIDUR_CHECK_MSG(!config_.disagg.enabled(),
+                    "autoscaling is not supported with disaggregated "
+                    "serving yet");
+  }
   if (config_.disagg.enabled()) {
     VIDUR_CHECK_MSG(
         config_.disagg.num_prefill_replicas < config_.parallel.num_replicas,
@@ -59,6 +65,24 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
 
   metrics_.set_tenants(config_.tenants);
 
+  if (config_.autoscale.enabled()) {
+    ClusterManager::Hooks hooks;
+    // outstanding() already covers requests inside in-flight batches (they
+    // stay in the running set until their batch ends), so it serves both
+    // as the sizing signal and as the drain-idle predicate.
+    hooks.replica_load = [this](ReplicaId r) {
+      return replicas_[static_cast<std::size_t>(r)].scheduler->outstanding();
+    };
+    hooks.parked_requests = [this] {
+      return static_cast<int>(global_.num_parked());
+    };
+    hooks.work_remaining = [this] { return remaining_requests_ > 0; };
+    hooks.on_activated = [this](ReplicaId r) { try_schedule(r); };
+    cluster_ = std::make_unique<ClusterManager>(
+        config_.autoscale, config_.parallel.num_replicas, &events_,
+        std::move(hooks));
+  }
+
   // Request states must never reallocate: schedulers hold raw pointers.
   states_.reserve(trace_.size());
   for (const Request& req : trace_) {
@@ -77,6 +101,9 @@ SimulationMetrics Simulator::run() {
   VIDUR_CHECK_MSG(!ran_, "Simulator::run() may only be called once");
   ran_ = true;
 
+  remaining_requests_ = states_.size();
+  if (cluster_) cluster_->start();
+
   for (RequestState& state : states_) {
     RequestState* r = &state;
     events_.schedule(state.request.arrival_time, [this, r] { on_arrival(r); });
@@ -89,15 +116,31 @@ SimulationMetrics Simulator::run() {
 
   for (const RequestState& state : states_)
     metrics_.record_request(state.record);
-  return metrics_.finalize(events_.now());
+  // Elastic runs leave one trailing autoscaler tick behind the last batch
+  // end; account the run up to the last real progress instead so the
+  // static-vs-autoscaled makespan/cost comparison stays apples-to-apples.
+  const Seconds end_time = cluster_ && remaining_requests_ == 0
+                               ? last_batch_end_
+                               : events_.now();
+  SimulationMetrics metrics = metrics_.finalize(end_time);
+  metrics.scaling =
+      cluster_ ? cluster_->report(end_time,
+                                  config_.parallel.gpus_per_replica(),
+                                  config_.node.sku.cost_per_hour)
+               : static_fleet_report(config_.parallel.num_replicas, end_time,
+                                     config_.parallel.gpus_per_replica(),
+                                     config_.node.sku.cost_per_hour);
+  return metrics;
 }
 
 void Simulator::on_arrival(RequestState* request) {
   const int routable = config_.disagg.enabled()
                            ? config_.disagg.num_prefill_replicas
                            : config_.parallel.num_replicas;
+  static const std::vector<bool> kEveryReplica;  // empty mask = all routable
   const ReplicaId target =
-      global_.route(request, outstanding_counts(routable));
+      global_.route(request, outstanding_counts(routable),
+                    cluster_ ? cluster_->routable_mask() : kEveryReplica);
   if (target >= 0) {
     request->replica = target;
     replicas_[static_cast<std::size_t>(target)].scheduler->enqueue(request);
@@ -112,6 +155,9 @@ void Simulator::pull_deferred(ReplicaId replica_id) {
   if (!global_.has_parked_requests()) return;
   // Decode replicas never pull arrivals; their work comes via hand-off.
   if (config_.disagg.enabled() && !is_prefill_replica(replica_id)) return;
+  // Elastic fleets: only active replicas take new work (draining replicas
+  // finish what they already own; cold replicas have nothing to run on).
+  if (cluster_ && !cluster_->is_routable(replica_id)) return;
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
   // Keep at most one request staged locally; binding happens as late as
   // possible so a faster replica can take the next arrival.
@@ -218,10 +264,17 @@ void Simulator::finish_batch(ReplicaId replica_id,
   record.kv_utilization = batch.kv_utilization;
   metrics_.record_batch(record);
 
-  replica.scheduler->on_batch_end(batch.spec, events_.now());
+  const auto finished = replica.scheduler->on_batch_end(batch.spec,
+                                                        events_.now());
+  remaining_requests_ -= finished.size();
+  last_batch_end_ = events_.now();
   if (is_prefill_replica(replica_id)) migrate_prefilled(replica_id, batch.spec);
   --replica.batches_in_flight;
   in_flight_.erase(it);
+  // A draining replica that just ran dry hands its slot back.
+  if (cluster_ && replica.batches_in_flight == 0 &&
+      replica.scheduler->outstanding() == 0)
+    cluster_->notify_idle(replica_id);
 }
 
 void Simulator::migrate_prefilled(ReplicaId replica_id,

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/cluster_manager.h"
 #include "execution/execution_backend.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
@@ -48,6 +49,13 @@ struct SimulationConfig {
   /// Tenant identities for per-tenant metric attribution (scenario engine).
   /// Empty for single-tenant runs.
   std::vector<TenantInfo> tenants;
+  /// Elastic cluster: when enabled, `parallel.num_replicas` becomes the
+  /// fleet's slot count (the scale-up ceiling) and a ClusterManager drives
+  /// replica lifecycles from the configured autoscaling policy. Only
+  /// kActive replicas receive new requests; draining replicas finish their
+  /// outstanding work before their slot is released. Not combinable with
+  /// disaggregated serving (yet).
+  AutoscalerConfig autoscale;
 };
 
 /// Creates the per-replica timing backend (a predictor shared across
@@ -66,6 +74,8 @@ class Simulator {
 
   const std::vector<RequestState>& request_states() const { return states_; }
   const MemoryPlan& memory_plan() const { return memory_plan_; }
+  /// The elastic-fleet manager, or nullptr for fixed-fleet runs.
+  const ClusterManager* cluster() const { return cluster_.get(); }
 
  private:
   struct InFlightBatch {
@@ -118,6 +128,9 @@ class Simulator {
   MetricsCollector metrics_;
   std::unordered_map<StageScheduler::BatchHandle, InFlightBatch> in_flight_;
   StageScheduler::BatchHandle next_handle_ = 0;
+  std::unique_ptr<ClusterManager> cluster_;  ///< elastic fleets only
+  std::size_t remaining_requests_ = 0;       ///< not yet completed
+  Seconds last_batch_end_ = 0.0;             ///< time of the last batch end
   bool ran_ = false;
 };
 

@@ -42,12 +42,13 @@ double parse_double(const std::string& text, const char* what) {
 }
 
 CsvWriter trace_writer(const Trace& trace) {
-  CsvWriter writer(
-      {"request_id", "arrival_time", "prefill_tokens", "decode_tokens"});
+  CsvWriter writer({"request_id", "arrival_time", "prefill_tokens",
+                    "decode_tokens", "tenant", "priority"});
   for (const Request& r : trace) {
     writer.add_row({std::to_string(r.id), fmt_exact(r.arrival_time),
                     std::to_string(r.prefill_tokens),
-                    std::to_string(r.decode_tokens)});
+                    std::to_string(r.decode_tokens), std::to_string(r.tenant),
+                    std::to_string(r.priority)});
   }
   return writer;
 }
@@ -57,6 +58,10 @@ Trace trace_from_doc(const CsvDocument& doc) {
   const std::size_t arrival_col = doc.column("arrival_time");
   const std::size_t prefill_col = doc.column("prefill_tokens");
   const std::size_t decode_col = doc.column("decode_tokens");
+  // Multi-tenant tags arrived after the 4-column format; traces written
+  // before then load with every request at the defaults.
+  const std::size_t tenant_col = doc.try_column("tenant");
+  const std::size_t priority_col = doc.try_column("priority");
 
   Trace trace;
   trace.reserve(doc.rows.size());
@@ -68,6 +73,13 @@ Trace trace_from_doc(const CsvDocument& doc) {
     r.arrival_time = parse_double(row[arrival_col], "arrival_time");
     r.prefill_tokens = parse_long(row[prefill_col], "prefill_tokens");
     r.decode_tokens = parse_long(row[decode_col], "decode_tokens");
+    if (tenant_col != CsvDocument::npos)
+      r.tenant = static_cast<TenantId>(parse_long(row[tenant_col], "tenant"));
+    if (priority_col != CsvDocument::npos)
+      r.priority = static_cast<int>(parse_long(row[priority_col], "priority"));
+    if (r.tenant < 0)
+      throw Error("trace CSV: negative tenant for request " +
+                  std::to_string(r.id));
     if (r.arrival_time < 0)
       throw Error("trace CSV: negative arrival_time for request " +
                   std::to_string(r.id));

@@ -46,6 +46,48 @@ TEST(GlobalScheduler, LeastOutstandingPicksMinimum) {
   EXPECT_EQ(scheduler.route(&requests[2], {3, 3, 1}), 2);
 }
 
+TEST(GlobalScheduler, LeastOutstandingTieBreakIsLowestId) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kLeastOutstanding, 4);
+  auto requests = make_requests(3);
+  // All-way tie: the lowest replica id must win, deterministically.
+  EXPECT_EQ(scheduler.route(&requests[0], {2, 2, 2, 2}), 0);
+  // Tie among a subset: the lowest id of the tied minimum wins.
+  EXPECT_EQ(scheduler.route(&requests[1], {5, 1, 1, 3}), 1);
+  EXPECT_EQ(scheduler.route(&requests[2], {4, 9, 4, 4}), 0);
+}
+
+TEST(GlobalScheduler, LeastOutstandingSkipsNonActiveReplicas) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kLeastOutstanding, 4);
+  auto requests = make_requests(4);
+  // Replica 1 has the minimum but is not active (e.g. draining).
+  EXPECT_EQ(scheduler.route(&requests[0], {5, 0, 3, 4},
+                            {true, false, true, true}),
+            2);
+  // Ties among active replicas still break toward the lowest active id.
+  EXPECT_EQ(scheduler.route(&requests[1], {2, 2, 2, 2},
+                            {false, true, true, true}),
+            1);
+  // A single active replica always wins.
+  EXPECT_EQ(scheduler.route(&requests[2], {9, 0, 0, 0},
+                            {true, false, false, false}),
+            0);
+  // No active replica at all is a caller bug.
+  EXPECT_THROW(scheduler.route(&requests[3], {0, 0, 0, 0},
+                               {false, false, false, false}),
+               Error);
+}
+
+TEST(GlobalScheduler, RoundRobinSkipsNonActiveReplicas) {
+  GlobalScheduler scheduler(GlobalSchedulerKind::kRoundRobin, 3);
+  auto requests = make_requests(6);
+  const std::vector<int> outstanding = {0, 0, 0};
+  const std::vector<bool> active = {true, false, true};
+  std::vector<ReplicaId> routed;
+  for (auto& r : requests)
+    routed.push_back(scheduler.route(&r, outstanding, active));
+  EXPECT_EQ(routed, (std::vector<ReplicaId>{0, 2, 0, 2, 0, 2}));
+}
+
 TEST(GlobalScheduler, BindingPoliciesNeverPark) {
   for (const auto kind : {GlobalSchedulerKind::kRoundRobin,
                           GlobalSchedulerKind::kLeastOutstanding}) {

@@ -24,6 +24,48 @@ TEST(TraceIo, TextRoundTripPreservesEveryField) {
   }
 }
 
+TEST(TraceIo, TenantAndPriorityTagsRoundTrip) {
+  Trace original;
+  for (int i = 0; i < 6; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival_time = i * 0.5;
+    r.prefill_tokens = 10 + i;
+    r.decode_tokens = 5;
+    r.tenant = i % 3;
+    r.priority = i % 2 == 0 ? 2 : -1;  // negative priorities are legal
+    original.push_back(r);
+  }
+  const Trace loaded = trace_from_csv(trace_to_csv(original));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].tenant, original[i].tenant);
+    EXPECT_EQ(loaded[i].priority, original[i].priority);
+  }
+}
+
+TEST(TraceIo, FourColumnTracesStillLoadWithDefaultTags) {
+  // Traces written before the tenant/priority columns existed.
+  const Trace trace = trace_from_csv(
+      "request_id,arrival_time,prefill_tokens,decode_tokens\n"
+      "0,0.0,10,5\n"
+      "1,1.0,20,6\n");
+  ASSERT_EQ(trace.size(), 2u);
+  for (const Request& r : trace) {
+    EXPECT_EQ(r.tenant, 0);
+    EXPECT_EQ(r.priority, 0);
+  }
+}
+
+TEST(TraceIo, NegativeTenantThrows) {
+  EXPECT_THROW(
+      trace_from_csv(
+          "request_id,arrival_time,prefill_tokens,decode_tokens,tenant,"
+          "priority\n"
+          "0,0.0,10,5,-1,0\n"),
+      Error);
+}
+
 TEST(TraceIo, FileRoundTrip) {
   const Trace original = generate_trace(
       trace_by_name("bwb4k"), ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 20, 7);
