@@ -11,6 +11,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/run.h"
 #include "bench_util.h"
 #include "common/check.h"
 #include "common/table.h"
@@ -24,15 +25,20 @@ using namespace vidur::bench;
 
 constexpr std::uint64_t kSeed = 42;
 
-DeploymentConfig base_deployment() {
-  DeploymentConfig config;
-  config.sku_name = "a100";
-  config.parallel = ParallelConfig{1, 1, 1};
-  config.scheduler.kind = SchedulerKind::kSarathi;
-  config.scheduler.max_batch_size = 128;
-  config.scheduler.chunk_size = 512;
-  config.global_scheduler = GlobalSchedulerKind::kLeastOutstanding;
-  return config;
+/// The shared deployment shape, built once through the declarative API;
+/// mode, scenario and autoscaling policy vary per run below.
+ExperimentSpec base_spec(int num_requests) {
+  ExperimentSpec spec;
+  spec.with_name("autoscale")
+      .with_model("llama2-7b")
+      .with_sku("a100")
+      .with_parallelism(1, 1, 1)
+      .with_scheduler(SchedulerKind::kSarathi, /*max_batch_size=*/128,
+                      /*chunk_size=*/512)
+      .with_routing(GlobalSchedulerKind::kLeastOutstanding)
+      .with_scenario("flash-crowd-mixed", num_requests)
+      .with_seed(kSeed);
+  return spec;
 }
 
 AutoscalerConfig reactive_policy() {
@@ -69,47 +75,47 @@ int main() {
   VidurSession session(model_by_name("llama2-7b"));
   session.onboard("a100");
 
-  const DeploymentConfig base = base_deployment();
-
   // The built-in flash crowd, extended past the spike so the comparison
   // covers what static peak provisioning actually pays for: the long
   // baseline stretches on either side of the 2-minute crowd.
-  Scenario scenario = scenario_by_name("flash-crowd-mixed");
-  scenario.num_requests = scaled(3600, 3000);
+  const int num_requests = scaled(3600, 3000);
 
-  std::cout << "=== elastic capacity planning: " << scenario.name << " on "
-            << base.to_string() << " ===\n\n";
+  // Declarative elastic plan: static sweep vs the reactive policy.
+  ExperimentSpec plan_spec = base_spec(num_requests);
+  plan_spec.with_name("autoscale-plan")
+      .with_mode(ExperimentMode::kElasticPlan)
+      .with_autoscale(reactive_policy());
+  plan_spec.elastic.slo_target = 0.97;
+  plan_spec.elastic.max_replicas = 6;
+  plan_spec.elastic.burst_slots = 2;
 
-  ElasticPlanOptions options;
-  options.slo_target = 0.97;
-  options.max_replicas = 6;
-  options.burst_slots = 2;
-  options.trace_seed = kSeed;
+  std::cout << "=== elastic capacity planning: "
+            << plan_spec.workload.scenario << " on "
+            << plan_spec.deployment.to_string() << " ===\n\n";
 
-  const AutoscalerConfig reactive = reactive_policy();
   const ElasticPlanResult plan =
-      plan_elastic_capacity(session, base, scenario, reactive, options);
+      run_experiment(session, plan_spec).elastic;
   std::cout << "reactive autoscaler vs static peak (SLO target "
-            << fmt_percent(options.slo_target) << "):\n"
+            << fmt_percent(plan_spec.elastic.slo_target) << "):\n"
             << plan.to_string() << "\n";
 
   // Predictive policy on the same trace and slot budget, reusing the
   // reactive plan's static baseline (the sweep is deterministic — no
   // point re-running it).
+  Scenario scenario = scenario_by_name(plan_spec.workload.scenario);
+  scenario.num_requests = num_requests;
   const AutoscalerConfig predictive = derive_predictive_policy(
       reactive_policy(), scenario, plan.static_peak.fleet_size);
   std::cout << "implied per-replica capacity: "
             << fmt_double(predictive.replica_capacity_qps, 2) << " qps\n\n";
 
-  DeploymentConfig predictive_deploy = base;
-  predictive_deploy.parallel.num_replicas =
-      plan.static_peak.fleet_size + options.burst_slots;
-  predictive_deploy.autoscale = predictive;
-  const Trace trace = generate_scenario_trace(scenario, options.trace_seed);
-  const SimulationMetrics predictive_metrics =
-      session.simulate(predictive_deploy, trace, scenario.tenant_infos());
-  const ElasticPlanPoint predictive_point =
-      ElasticPlanPoint::from_metrics(predictive_metrics);
+  ExperimentSpec predictive_spec = base_spec(num_requests);
+  predictive_spec.with_name("autoscale-predictive")
+      .with_autoscale(predictive);
+  predictive_spec.deployment.parallel.num_replicas =
+      plan.static_peak.fleet_size + plan_spec.elastic.burst_slots;
+  const ElasticPlanPoint predictive_point = ElasticPlanPoint::from_metrics(
+      run_experiment(session, predictive_spec).metrics);
   const double predictive_savings_pct =
       (plan.static_peak.gpu_hours - predictive_point.gpu_hours) /
       plan.static_peak.gpu_hours * 100.0;
@@ -136,7 +142,7 @@ int main() {
   Json doc = Json::object();
   doc.set("scenario", scenario.name);
   doc.set("num_requests", scenario.num_requests);
-  doc.set("slo_target", options.slo_target);
+  doc.set("slo_target", plan_spec.elastic.slo_target);
   doc.set("static_peak", point_json(plan.static_peak));
   doc.set("reactive", point_json(plan.autoscaled));
   doc.set("predictive", point_json(predictive_point));

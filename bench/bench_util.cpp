@@ -13,110 +13,6 @@
 
 namespace vidur::bench {
 
-Json& Json::set(const std::string& key, Json v) {
-  auto* obj = std::get_if<Object>(&value_);
-  VIDUR_CHECK_MSG(obj != nullptr, "Json::set on a non-object");
-  for (auto& [k, existing] : obj->members) {
-    if (k == key) {
-      existing = std::move(v);
-      return *this;
-    }
-  }
-  obj->members.emplace_back(key, std::move(v));
-  return *this;
-}
-
-Json& Json::push(Json v) {
-  auto* arr = std::get_if<Array>(&value_);
-  VIDUR_CHECK_MSG(arr != nullptr, "Json::push on a non-array");
-  arr->items.push_back(std::move(v));
-  return *this;
-}
-
-namespace {
-
-void write_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          // Remaining control characters are invalid raw in JSON strings.
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-}  // namespace
-
-void Json::write(std::string& out, int indent, int depth) const {
-  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
-  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
-  if (std::holds_alternative<std::nullptr_t>(value_)) {
-    out += "null";
-  } else if (const auto* d = std::get_if<double>(&value_)) {
-    if (!std::isfinite(*d)) {
-      out += "null";  // JSON has no NaN/inf
-    } else {
-      std::ostringstream os;
-      os.precision(12);
-      os << *d;
-      out += os.str();
-    }
-  } else if (const auto* b = std::get_if<bool>(&value_)) {
-    out += *b ? "true" : "false";
-  } else if (const auto* s = std::get_if<std::string>(&value_)) {
-    write_escaped(out, *s);
-  } else if (const auto* obj = std::get_if<Object>(&value_)) {
-    if (obj->members.empty()) {
-      out += "{}";
-      return;
-    }
-    out += "{\n";
-    for (std::size_t i = 0; i < obj->members.size(); ++i) {
-      out += pad;
-      write_escaped(out, obj->members[i].first);
-      out += ": ";
-      obj->members[i].second.write(out, indent, depth + 1);
-      if (i + 1 < obj->members.size()) out += ',';
-      out += '\n';
-    }
-    out += close_pad + "}";
-  } else if (const auto* arr = std::get_if<Array>(&value_)) {
-    if (arr->items.empty()) {
-      out += "[]";
-      return;
-    }
-    out += "[\n";
-    for (std::size_t i = 0; i < arr->items.size(); ++i) {
-      out += pad;
-      arr->items[i].write(out, indent, depth + 1);
-      if (i + 1 < arr->items.size()) out += ',';
-      out += '\n';
-    }
-    out += close_pad + "]";
-  }
-}
-
-std::string Json::dump(int indent) const {
-  std::string out;
-  write(out, indent, 0);
-  out += '\n';
-  return out;
-}
-
 void write_bench_json(const std::string& bench_name, const Json& doc) {
   Json wrapped = Json::object();
   wrapped.set("bench", bench_name);

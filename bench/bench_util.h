@@ -6,51 +6,18 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <variant>
 #include <vector>
 
+#include "common/json.h"
 #include "core/session.h"
 #include "search/search.h"
 #include "workload/trace_generator.h"
 
 namespace vidur::bench {
 
-/// Minimal ordered JSON document builder for the machine-readable
-/// BENCH_*.json outputs (perf/fidelity trajectory tracking across PRs).
-class Json {
- public:
-  Json() : value_(nullptr) {}
-  Json(double v) : value_(v) {}
-  Json(int v) : value_(static_cast<double>(v)) {}
-  Json(std::int64_t v) : value_(static_cast<double>(v)) {}
-  Json(std::size_t v) : value_(static_cast<double>(v)) {}
-  Json(bool v) : value_(v) {}
-  Json(const char* v) : value_(std::string(v)) {}
-  Json(std::string v) : value_(std::move(v)) {}
-
-  static Json object() { Json j; j.value_ = Object{}; return j; }
-  static Json array() { Json j; j.value_ = Array{}; return j; }
-
-  /// Object member assignment; keys keep insertion order. Requires object().
-  Json& set(const std::string& key, Json v);
-  /// Array append. Requires array().
-  Json& push(Json v);
-
-  /// Render as pretty-printed JSON text.
-  std::string dump(int indent = 2) const;
-
- private:
-  struct Object {
-    std::vector<std::pair<std::string, Json>> members;
-  };
-  struct Array {
-    std::vector<Json> items;
-  };
-  std::variant<std::nullptr_t, double, bool, std::string, Object, Array>
-      value_;
-
-  void write(std::string& out, int indent, int depth) const;
-};
+/// The machine-readable BENCH_*.json outputs (perf/fidelity trajectory
+/// tracking across PRs) build on the shared ordered JSON document type.
+using Json = ::vidur::JsonValue;
 
 /// Write `doc` to BENCH_<bench_name>.json in VIDUR_BENCH_JSON_DIR (default:
 /// current directory) and report the path on stdout. The document is

@@ -1,5 +1,10 @@
-// Quickstart: onboard a model, simulate one deployment on one workload, and
-// print the simulation report (the flow of paper Fig. 2).
+// Quickstart: describe an experiment declaratively, run it through the one
+// run_experiment() entry point, and print the simulation report (the flow
+// of paper Fig. 2).
+//
+// The same spec serializes to JSON and runs through the CLI unchanged —
+// `./vidur run specs/quickstart.json` reproduces this binary's metrics
+// without a recompile.
 //
 // Usage: quickstart [model] [trace] [qps]
 //   model: llama2-7b | internlm-20b | llama2-70b | qwen-72b (default 7b)
@@ -8,9 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/session.h"
-#include "search/capacity.h"
-#include "workload/trace_generator.h"
+#include "api/run.h"
 
 int main(int argc, char** argv) {
   using namespace vidur;
@@ -19,31 +22,23 @@ int main(int argc, char** argv) {
   const std::string trace_name = argc > 2 ? argv[2] : "chat1m";
   const double qps = argc > 3 ? std::atof(argv[3]) : 1.5;
 
-  // 1. Model onboarding: profile operators and train the runtime estimator.
-  VidurSession session(model_by_name(model_name));
-  session.onboard("a100");
-  std::cout << "onboarded " << model_name << " on a100: "
-            << session.profile("a100").total_points()
-            << " profiled points\n";
+  // 1. Describe the experiment: model, deployment, workload, seed.
+  ExperimentSpec spec;
+  spec.with_name("quickstart")
+      .with_model(model_name)
+      .with_sku("a100")
+      .with_parallelism(model_name == "llama2-7b" ? 1 : 4, 1, 1)
+      .with_scheduler(SchedulerKind::kSarathi, /*max_batch_size=*/128,
+                      /*chunk_size=*/512)
+      .with_trace(trace_name, qps, /*num_requests=*/200)
+      .with_seed(7);
 
-  // 2. Describe the deployment.
-  DeploymentConfig config;
-  config.sku_name = "a100";
-  config.parallel = ParallelConfig{model_name == "llama2-7b" ? 1 : 4, 1, 1};
-  config.scheduler.kind = SchedulerKind::kSarathi;
-  config.scheduler.max_batch_size = 128;
-  config.scheduler.chunk_size = 512;
-  std::cout << "deployment: " << config.to_string() << " ($"
-            << config.cost_per_hour() << "/hr)\n";
+  std::cout << "spec (also runnable via `vidur run <file>`):\n"
+            << spec.to_json_string() << "\n";
 
-  // 3. Generate a workload and simulate.
-  ArrivalSpec arrivals{ArrivalKind::kPoisson, qps, /*cv=*/2.0};
-  const Trace trace =
-      generate_trace(trace_by_name(trace_name), arrivals, 200, /*seed=*/7);
-  const SimulationMetrics metrics = session.simulate(config, trace);
-
-  std::cout << "\n=== simulation report (" << trace_name << " @ " << qps
-            << " qps) ===\n"
-            << metrics.to_string();
+  // 2. Run it. Model onboarding — operator profiling and estimator
+  //    training (paper Fig. 2, components 1-3) — happens lazily inside.
+  const ExperimentResult result = run_experiment(spec);
+  std::cout << result.to_string();
   return 0;
 }

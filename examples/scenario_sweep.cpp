@@ -1,6 +1,9 @@
 // Scenario sweep: play named multi-tenant scenarios from the registry (or a
-// programmatically built one) and compare global routing policies on
-// per-tenant SLO attainment.
+// programmatically built one) through the declarative experiment API and
+// compare global routing policies on per-tenant SLO attainment.
+//
+// Each scenario becomes one ExperimentSpec — the same specs run through the
+// `vidur` CLI from JSON files (see specs/) with no recompile.
 //
 // Usage: scenario_sweep [scenario] [model] [routing]
 //   scenario: a registered name (see below), or "all" (default)
@@ -9,7 +12,7 @@
 //             (default round_robin)
 #include <iostream>
 
-#include "core/session.h"
+#include "api/run.h"
 #include "scenario/registry.h"
 
 int main(int argc, char** argv) {
@@ -20,8 +23,8 @@ int main(int argc, char** argv) {
   const GlobalSchedulerKind routing =
       global_scheduler_from_name(argc > 3 ? argv[3] : "round_robin");
 
-  // Scenarios can also be built programmatically and registered; the
-  // registry then treats them exactly like the built-ins.
+  // Scenarios can also be built programmatically and registered; specs
+  // (and the CLI) then reference them by name exactly like the built-ins.
   if (!ScenarioRegistry::instance().contains("custom-demo")) {
     Scenario custom;
     custom.name = "custom-demo";
@@ -42,18 +45,9 @@ int main(int argc, char** argv) {
     ScenarioRegistry::instance().add(custom);
   }
 
+  // One session, reused across every spec: onboarding runs once.
   VidurSession session(model_by_name(model_name));
   session.onboard("a100");
-
-  DeploymentConfig config;
-  config.sku_name = "a100";
-  config.parallel = ParallelConfig{model_name == "llama2-7b" ? 1 : 4, 1, 1};
-  config.scheduler.kind = SchedulerKind::kSarathi;
-  config.scheduler.max_batch_size = 128;
-  config.scheduler.chunk_size = 512;
-  config.global_scheduler = routing;
-  std::cout << "deployment: " << config.to_string() << ", routing "
-            << global_scheduler_name(routing) << "\n";
 
   std::vector<std::string> names;
   if (which == "all") {
@@ -63,13 +57,23 @@ int main(int argc, char** argv) {
   }
 
   for (const std::string& name : names) {
+    ExperimentSpec spec;
+    spec.with_name("scenario-sweep-" + name)
+        .with_model(model_name)
+        .with_sku("a100")
+        .with_parallelism(model_name == "llama2-7b" ? 1 : 4, 1, 1)
+        .with_scheduler(SchedulerKind::kSarathi, /*max_batch_size=*/128,
+                        /*chunk_size=*/512)
+        .with_routing(routing)
+        .with_scenario(name)
+        .with_seed(7);
+
     const Scenario& scenario = scenario_by_name(name);
     std::cout << "\n=== " << scenario.to_string() << " ===\n"
-              << scenario.description << "\n\n";
-    const Trace trace = generate_scenario_trace(scenario, /*seed=*/7);
-    const SimulationMetrics metrics =
-        session.simulate(config, trace, scenario.tenant_infos());
-    std::cout << metrics.to_string();
+              << scenario.description << "\n(routing "
+              << global_scheduler_name(routing) << ")\n\n";
+    const ExperimentResult result = run_experiment(session, spec);
+    std::cout << result.metrics.to_string();
   }
   return 0;
 }

@@ -1,0 +1,1154 @@
+#include "api/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "hardware/sku.h"
+#include "model/model_spec.h"
+#include "scenario/registry.h"
+
+namespace vidur {
+
+namespace {
+
+const std::vector<std::pair<ExperimentMode, std::string>>& mode_names() {
+  static const std::vector<std::pair<ExperimentMode, std::string>> table = {
+      {ExperimentMode::kSimulate, "simulate"},
+      {ExperimentMode::kReference, "reference"},
+      {ExperimentMode::kCapacitySearch, "capacity_search"},
+      {ExperimentMode::kElasticPlan, "elastic_plan"},
+  };
+  return table;
+}
+
+// ------------------------------------------------- did-you-mean helpers
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+/// "unknown <what> '<got>' (did you mean '<closest>'?); known <what>s: ...".
+[[noreturn]] void fail_unknown_name(const std::string& what,
+                                    const std::string& got,
+                                    const std::vector<std::string>& known) {
+  std::ostringstream os;
+  os << "unknown " << what << " '" << got << "'";
+  std::size_t best = std::string::npos;
+  const std::string* suggestion = nullptr;
+  for (const std::string& candidate : known) {
+    const std::size_t d = edit_distance(got, candidate);
+    if (d < best) {
+      best = d;
+      suggestion = &candidate;
+    }
+  }
+  if (suggestion != nullptr &&
+      best <= std::max<std::size_t>(2, got.size() / 3))
+    os << " (did you mean '" << *suggestion << "'?)";
+  os << "; known: " << join(known);
+  throw Error(os.str());
+}
+
+void check_name(const std::string& what, const std::string& got,
+                const std::vector<std::string>& known) {
+  if (std::find(known.begin(), known.end(), got) == known.end())
+    fail_unknown_name(what, got, known);
+}
+
+}  // namespace
+
+const std::string& experiment_mode_name(ExperimentMode mode) {
+  for (const auto& [m, n] : mode_names())
+    if (m == mode) return n;
+  throw Error("unhandled ExperimentMode");
+}
+
+ExperimentMode experiment_mode_from_name(const std::string& name) {
+  for (const auto& [m, n] : mode_names())
+    if (n == name) return m;
+  fail_unknown_name("experiment mode", name, experiment_mode_names());
+}
+
+const std::vector<std::string>& experiment_mode_names() {
+  static const std::vector<std::string> all = [] {
+    std::vector<std::string> out;
+    for (const auto& [m, n] : mode_names()) out.push_back(n);
+    return out;
+  }();
+  return all;
+}
+
+// ---------------------------------------------------------------- sweep
+
+bool SweepAxes::empty() const {
+  // Axis-wise, not num_points() == 1: a single-element axis still pins
+  // that coordinate and must be applied by expand_sweep().
+  return sku.empty() && tensor_parallel.empty() &&
+         pipeline_parallel.empty() && num_replicas.empty() &&
+         scheduler.empty() && max_batch_size.empty() && chunk_size.empty() &&
+         qps.empty();
+}
+
+std::size_t SweepAxes::num_points() const {
+  const auto dim = [](std::size_t n) { return std::max<std::size_t>(1, n); };
+  return dim(sku.size()) * dim(tensor_parallel.size()) *
+         dim(pipeline_parallel.size()) * dim(num_replicas.size()) *
+         dim(scheduler.size()) * dim(max_batch_size.size()) *
+         dim(chunk_size.size()) * dim(qps.size());
+}
+
+// -------------------------------------------------------------- builders
+
+ExperimentSpec& ExperimentSpec::with_name(std::string n) {
+  name = std::move(n);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_mode(ExperimentMode m) {
+  mode = m;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_model(std::string model_name) {
+  model = std::move(model_name);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_sku(std::string sku_name) {
+  deployment.sku_name = std::move(sku_name);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_parallelism(int tp, int pp,
+                                                 int replicas) {
+  deployment.parallel = ParallelConfig{tp, pp, replicas};
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_scheduler(SchedulerKind kind,
+                                               int max_batch_size,
+                                               TokenCount chunk_size) {
+  deployment.scheduler.kind = kind;
+  deployment.scheduler.max_batch_size = max_batch_size;
+  deployment.scheduler.chunk_size = chunk_size;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_routing(GlobalSchedulerKind kind) {
+  deployment.global_scheduler = kind;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_trace(std::string trace_name, double qps,
+                                           int num_requests) {
+  workload.scenario.clear();
+  workload.trace = std::move(trace_name);
+  workload.arrival = ArrivalSpec{ArrivalKind::kPoisson, qps, /*cv=*/2.0};
+  workload.num_requests = num_requests;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_scenario(std::string scenario_name,
+                                              int num_requests) {
+  workload.scenario = std::move(scenario_name);
+  workload.num_requests = num_requests;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_slo(SloSpec s) {
+  slo = s;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::with_autoscale(AutoscalerConfig autoscale) {
+  deployment.autoscale = std::move(autoscale);
+  return *this;
+}
+
+// -------------------------------------------------------------- validate
+
+void ExperimentSpec::validate() const {
+  VIDUR_CHECK_MSG(!name.empty(), "experiment spec needs a non-empty name");
+  check_name("model", model, builtin_model_names());
+  check_name("SKU", deployment.sku_name, builtin_sku_names());
+
+  deployment.parallel.validate();
+  deployment.scheduler.validate();
+  VIDUR_CHECK_MSG(
+      std::count(tp_degrees.begin(), tp_degrees.end(),
+                 deployment.parallel.tensor_parallel) > 0,
+      "deployment tensor_parallel "
+          << deployment.parallel.tensor_parallel
+          << " is not covered by the session tp_degrees [" << [this] {
+               std::ostringstream os;
+               for (std::size_t i = 0; i < tp_degrees.size(); ++i)
+                 os << (i > 0 ? ", " : "") << tp_degrees[i];
+               return os.str();
+             }() << "]; add it to tp_degrees so onboarding profiles it");
+
+  VIDUR_CHECK_MSG(
+      !(deployment.disagg.enabled() && deployment.autoscale.enabled()),
+      "disaggregated serving and autoscaling cannot be combined (the "
+      "prefill/decode pools do not scale independently yet); disable "
+      "deployment.disagg or deployment.autoscale");
+  if (deployment.autoscale.enabled()) deployment.autoscale.validate();
+
+  // ---- workload ----
+  if (workload.synthetic()) {
+    check_name("trace", workload.trace, builtin_trace_names());
+    workload.arrival.validate();
+    VIDUR_CHECK_MSG(workload.num_requests > 0,
+                    "a synthetic workload needs workload.num_requests > 0");
+  } else {
+    check_name("scenario", workload.scenario,
+               ScenarioRegistry::instance().names());
+    VIDUR_CHECK_MSG(workload.num_requests >= 0,
+                    "workload.num_requests must be >= 0 (0 keeps the "
+                    "scenario's own default)");
+    // Catch the silent-override trap: a scenario defines its own tenant
+    // traces and arrival process, so a spec that also customizes the
+    // synthetic fields almost certainly expected them to apply.
+    const WorkloadSpec defaults;
+    VIDUR_CHECK_MSG(
+        workload.trace == defaults.trace &&
+            workload.arrival == defaults.arrival,
+        "workload.scenario '"
+            << workload.scenario
+            << "' carries its own traces and arrival process; remove "
+               "workload.trace / workload.arrival from the spec");
+  }
+  VIDUR_CHECK_MSG(std::isfinite(slo.ttft_target) && slo.ttft_target >= 0 &&
+                      std::isfinite(slo.tbt_target) && slo.tbt_target >= 0,
+                  "SLO targets must be finite and >= 0");
+  VIDUR_CHECK_MSG(num_threads >= 0, "num_threads must be >= 0");
+
+  // ---- mode constraints ----
+  switch (mode) {
+    case ExperimentMode::kSimulate:
+    case ExperimentMode::kReference:
+      break;
+    case ExperimentMode::kCapacitySearch:
+      VIDUR_CHECK_MSG(workload.synthetic(),
+                      "capacity_search mode sweeps arrival rates itself and "
+                      "needs a synthetic workload: set workload.trace, not "
+                      "workload.scenario '"
+                          << workload.scenario << "'");
+      // The search probes its own arrival rates (that is the quantity it
+      // binary-searches); a customized arrival would be silently ignored.
+      VIDUR_CHECK_MSG(workload.arrival == WorkloadSpec{}.arrival,
+                      "capacity_search probes its own arrival rates; remove "
+                      "workload.arrival from the spec");
+      for (const std::string& sku : search.skus)
+        check_name("SKU", sku, builtin_sku_names());
+      for (const int tp : search.tp_degrees)
+        VIDUR_CHECK_MSG(
+            std::count(tp_degrees.begin(), tp_degrees.end(), tp) > 0,
+            "search.tp_degrees includes "
+                << tp << ", which the session tp_degrees do not cover; add "
+                         "it to tp_degrees so onboarding profiles it");
+      break;
+    case ExperimentMode::kElasticPlan:
+      VIDUR_CHECK_MSG(!workload.synthetic(),
+                      "elastic_plan mode compares static and autoscaled "
+                      "fleets on a named scenario; set workload.scenario");
+      VIDUR_CHECK_MSG(deployment.autoscale.enabled(),
+                      "elastic_plan mode needs deployment.autoscale to name "
+                      "the policy to evaluate (kind reactive or predictive)");
+      VIDUR_CHECK_MSG(elastic.slo_target > 0 && elastic.slo_target <= 1,
+                      "elastic.slo_target must be in (0, 1]");
+      VIDUR_CHECK_MSG(elastic.max_replicas >= 1 && elastic.burst_slots >= 0,
+                      "elastic.max_replicas must be >= 1 and "
+                      "elastic.burst_slots >= 0");
+      break;
+  }
+
+  // ---- sweep axes ----
+  for (const std::string& sku : sweep.sku)
+    check_name("SKU", sku, builtin_sku_names());
+  for (const std::string& sched : sweep.scheduler)
+    check_name("scheduler", sched, scheduler_names());
+  for (const int tp : sweep.tensor_parallel)
+    VIDUR_CHECK_MSG(std::count(tp_degrees.begin(), tp_degrees.end(), tp) > 0,
+                    "sweep.tensor_parallel includes "
+                        << tp << ", which the session tp_degrees do not "
+                                 "cover; add it to tp_degrees");
+  VIDUR_CHECK_MSG(sweep.qps.empty() || workload.synthetic(),
+                  "sweep.qps applies to synthetic workloads; scenario '"
+                      << workload.scenario
+                      << "' carries its own arrival rate");
+}
+
+// ---------------------------------------------------------- expand_sweep
+
+std::vector<ExperimentSpec> ExperimentSpec::expand_sweep() const {
+  ExperimentSpec base = *this;
+  base.sweep = SweepAxes{};
+  if (sweep.empty()) return {std::move(base)};
+
+  // Every non-empty axis contributes its values; empty axes contribute the
+  // base spec's single value (encoded as one-element vectors below).
+  const auto or_base = [](auto axis, auto base_value) {
+    if (axis.empty()) axis.push_back(base_value);
+    return axis;
+  };
+  const auto skus = or_base(sweep.sku, deployment.sku_name);
+  const auto tps = or_base(sweep.tensor_parallel,
+                           deployment.parallel.tensor_parallel);
+  const auto pps = or_base(sweep.pipeline_parallel,
+                           deployment.parallel.pipeline_parallel);
+  const auto replicas = or_base(sweep.num_replicas,
+                                deployment.parallel.num_replicas);
+  const auto scheds = or_base(
+      sweep.scheduler, scheduler_name(deployment.scheduler.kind));
+  const auto batches = or_base(sweep.max_batch_size,
+                               deployment.scheduler.max_batch_size);
+  const auto chunks = or_base(sweep.chunk_size,
+                              deployment.scheduler.chunk_size);
+  const auto rates = or_base(sweep.qps, workload.arrival.qps);
+
+  std::vector<ExperimentSpec> out;
+  out.reserve(sweep.num_points());
+  for (const std::string& sku : skus)
+    for (const int tp : tps)
+      for (const int pp : pps)
+        for (const int n : replicas)
+          for (const std::string& sched : scheds)
+            for (const int bs : batches)
+              for (const TokenCount chunk : chunks)
+                for (const double qps : rates) {
+                  ExperimentSpec point = base;
+                  point.deployment.sku_name = sku;
+                  point.deployment.parallel.tensor_parallel = tp;
+                  point.deployment.parallel.pipeline_parallel = pp;
+                  point.deployment.parallel.num_replicas = n;
+                  point.deployment.scheduler.kind =
+                      scheduler_from_name(sched);
+                  point.deployment.scheduler.max_batch_size = bs;
+                  point.deployment.scheduler.chunk_size = chunk;
+                  point.workload.arrival.qps = qps;
+                  // Suffix the name with the swept coordinates only.
+                  std::ostringstream suffix;
+                  const auto tag = [&suffix](bool swept, const char* key,
+                                             const auto& value) {
+                    if (!swept) return;
+                    if (suffix.tellp() > 0) suffix << ",";
+                    suffix << key << "=" << value;
+                  };
+                  tag(!sweep.sku.empty(), "sku", sku);
+                  tag(!sweep.tensor_parallel.empty(), "tp", tp);
+                  tag(!sweep.pipeline_parallel.empty(), "pp", pp);
+                  tag(!sweep.num_replicas.empty(), "replicas", n);
+                  tag(!sweep.scheduler.empty(), "sched", sched);
+                  tag(!sweep.max_batch_size.empty(), "bs", bs);
+                  tag(!sweep.chunk_size.empty(), "chunk", chunk);
+                  tag(!sweep.qps.empty(), "qps", qps);
+                  point.name = name + "[" + suffix.str() + "]";
+                  out.push_back(std::move(point));
+                }
+  return out;
+}
+
+// ------------------------------------------------------------- to_json
+
+namespace {
+
+/// Emits `key` only when the value differs from the default — spec files
+/// stay minimal and diffable while the round trip stays lossless (parsing
+/// starts from the same defaults).
+template <typename T>
+void set_unless_default(JsonValue& obj, const char* key, const T& value,
+                        const T& dflt, JsonValue encoded) {
+  if (!(value == dflt)) obj.set(key, std::move(encoded));
+}
+
+template <typename T>
+JsonValue number_array(const std::vector<T>& values) {
+  JsonValue arr = JsonValue::array();
+  for (const T& v : values) arr.push(JsonValue(v));
+  return arr;
+}
+
+JsonValue string_array(const std::vector<std::string>& values) {
+  JsonValue arr = JsonValue::array();
+  for (const std::string& v : values) arr.push(v);
+  return arr;
+}
+
+JsonValue profile_json(const RateProfile& p) {
+  JsonValue j = JsonValue::object();
+  j.set("kind", rate_profile_kind_name(p.kind()));
+  switch (p.kind()) {
+    case RateProfileKind::kConstant:
+      break;
+    case RateProfileKind::kDiurnal:
+      j.set("period_s", p.raw_t0());
+      j.set("low", p.raw_a());
+      j.set("high", p.raw_b());
+      break;
+    case RateProfileKind::kRamp:
+      j.set("start", p.raw_a());
+      j.set("end", p.raw_b());
+      j.set("duration_s", p.raw_t0());
+      break;
+    case RateProfileKind::kSpike:
+      j.set("baseline", p.raw_a());
+      j.set("spike", p.raw_b());
+      j.set("start_s", p.raw_t0());
+      j.set("duration_s", p.raw_t1());
+      break;
+    case RateProfileKind::kPiecewise: {
+      JsonValue steps = JsonValue::array();
+      for (const RateStep& s : p.steps()) {
+        JsonValue step = JsonValue::array();
+        step.push(s.start_time);
+        step.push(s.factor);
+        steps.push(std::move(step));
+      }
+      j.set("steps", std::move(steps));
+      break;
+    }
+  }
+  return j;
+}
+
+JsonValue arrival_json(const ArrivalSpec& a) {
+  JsonValue j = JsonValue::object();
+  j.set("kind", arrival_kind_name(a.kind));
+  j.set("qps", a.qps);
+  j.set("cv", a.cv);
+  return j;
+}
+
+JsonValue slo_json(const SloSpec& s) {
+  JsonValue j = JsonValue::object();
+  j.set("ttft_target_s", s.ttft_target);
+  j.set("tbt_target_s", s.tbt_target);
+  return j;
+}
+
+JsonValue scheduler_json(const SchedulerConfig& s) {
+  const SchedulerConfig d;
+  JsonValue j = JsonValue::object();
+  j.set("kind", scheduler_name(s.kind));
+  set_unless_default(j, "max_batch_size", s.max_batch_size, d.max_batch_size,
+                     s.max_batch_size);
+  set_unless_default(j, "max_tokens_per_iteration",
+                     s.max_tokens_per_iteration, d.max_tokens_per_iteration,
+                     s.max_tokens_per_iteration);
+  set_unless_default(j, "chunk_size", s.chunk_size, d.chunk_size,
+                     s.chunk_size);
+  set_unless_default(j, "watermark_fraction", s.watermark_fraction,
+                     d.watermark_fraction, s.watermark_fraction);
+  return j;
+}
+
+JsonValue disagg_json(const DisaggConfig& c) {
+  const DisaggConfig d;
+  JsonValue j = JsonValue::object();
+  j.set("num_prefill_replicas", c.num_prefill_replicas);
+  set_unless_default(j, "transfer_bandwidth_gbps", c.transfer_bandwidth_gbps,
+                     d.transfer_bandwidth_gbps, c.transfer_bandwidth_gbps);
+  set_unless_default(j, "transfer_latency_s", c.transfer_latency,
+                     d.transfer_latency, c.transfer_latency);
+  return j;
+}
+
+JsonValue autoscale_json(const AutoscalerConfig& c) {
+  const AutoscalerConfig d;
+  JsonValue j = JsonValue::object();
+  j.set("kind", autoscaler_name(c.kind));
+  set_unless_default(j, "min_replicas", c.min_replicas, d.min_replicas,
+                     c.min_replicas);
+  set_unless_default(j, "initial_replicas", c.initial_replicas,
+                     d.initial_replicas, c.initial_replicas);
+  set_unless_default(j, "provision_delay_s", c.provision_delay,
+                     d.provision_delay, c.provision_delay);
+  set_unless_default(j, "warmup_delay_s", c.warmup_delay, d.warmup_delay,
+                     c.warmup_delay);
+  set_unless_default(j, "decision_interval_s", c.decision_interval,
+                     d.decision_interval, c.decision_interval);
+  set_unless_default(j, "scale_up_cooldown_s", c.scale_up_cooldown,
+                     d.scale_up_cooldown, c.scale_up_cooldown);
+  set_unless_default(j, "scale_down_cooldown_s", c.scale_down_cooldown,
+                     d.scale_down_cooldown, c.scale_down_cooldown);
+  set_unless_default(j, "max_scale_step", c.max_scale_step, d.max_scale_step,
+                     c.max_scale_step);
+  set_unless_default(j, "target_load_per_replica", c.target_load_per_replica,
+                     d.target_load_per_replica, c.target_load_per_replica);
+  set_unless_default(j, "scale_up_load", c.scale_up_load, d.scale_up_load,
+                     c.scale_up_load);
+  set_unless_default(j, "scale_down_load", c.scale_down_load,
+                     d.scale_down_load, c.scale_down_load);
+  set_unless_default(j, "profile", c.profile, d.profile,
+                     profile_json(c.profile));
+  set_unless_default(j, "baseline_qps", c.baseline_qps, d.baseline_qps,
+                     c.baseline_qps);
+  set_unless_default(j, "replica_capacity_qps", c.replica_capacity_qps,
+                     d.replica_capacity_qps, c.replica_capacity_qps);
+  set_unless_default(j, "headroom", c.headroom, d.headroom, c.headroom);
+  set_unless_default(j, "lookahead_s", c.lookahead, d.lookahead, c.lookahead);
+  return j;
+}
+
+JsonValue deployment_json(const DeploymentConfig& c) {
+  const DeploymentConfig d;
+  JsonValue j = JsonValue::object();
+  j.set("sku", c.sku_name);
+  j.set("tensor_parallel", c.parallel.tensor_parallel);
+  j.set("pipeline_parallel", c.parallel.pipeline_parallel);
+  j.set("num_replicas", c.parallel.num_replicas);
+  set_unless_default(j, "scheduler", c.scheduler, d.scheduler,
+                     scheduler_json(c.scheduler));
+  set_unless_default(j, "global_scheduler", c.global_scheduler,
+                     d.global_scheduler,
+                     global_scheduler_name(c.global_scheduler));
+  set_unless_default(j, "async_pipeline_comm", c.async_pipeline_comm,
+                     d.async_pipeline_comm, c.async_pipeline_comm);
+  set_unless_default(j, "disagg", c.disagg, d.disagg, disagg_json(c.disagg));
+  set_unless_default(j, "autoscale", c.autoscale, d.autoscale,
+                     autoscale_json(c.autoscale));
+  return j;
+}
+
+JsonValue workload_json(const WorkloadSpec& w) {
+  JsonValue j = JsonValue::object();
+  if (!w.synthetic()) {
+    j.set("scenario", w.scenario);
+    if (w.num_requests != 0) j.set("num_requests", w.num_requests);
+    return j;
+  }
+  j.set("trace", w.trace);
+  j.set("arrival", arrival_json(w.arrival));
+  j.set("num_requests", w.num_requests);
+  return j;
+}
+
+JsonValue search_json(const SearchSpace& s) {
+  const SearchSpace d;
+  JsonValue j = JsonValue::object();
+  set_unless_default(j, "skus", s.skus, d.skus, string_array(s.skus));
+  set_unless_default(j, "tp_degrees", s.tp_degrees, d.tp_degrees,
+                     number_array(s.tp_degrees));
+  set_unless_default(j, "pp_degrees", s.pp_degrees, d.pp_degrees,
+                     number_array(s.pp_degrees));
+  set_unless_default(j, "max_total_gpus", s.max_total_gpus, d.max_total_gpus,
+                     s.max_total_gpus);
+  if (s.schedulers != d.schedulers) {
+    JsonValue arr = JsonValue::array();
+    for (const SchedulerKind k : s.schedulers) arr.push(scheduler_name(k));
+    j.set("schedulers", std::move(arr));
+  }
+  set_unless_default(j, "batch_sizes", s.batch_sizes, d.batch_sizes,
+                     number_array(s.batch_sizes));
+  set_unless_default(j, "sarathi_chunk_sizes", s.sarathi_chunk_sizes,
+                     d.sarathi_chunk_sizes,
+                     number_array(s.sarathi_chunk_sizes));
+  set_unless_default(j, "max_tokens_per_iteration",
+                     s.max_tokens_per_iteration, d.max_tokens_per_iteration,
+                     s.max_tokens_per_iteration);
+  set_unless_default(j, "global_scheduler", s.global_scheduler,
+                     d.global_scheduler,
+                     global_scheduler_name(s.global_scheduler));
+  return j;
+}
+
+JsonValue elastic_json(const ElasticPlanSpec& e) {
+  JsonValue j = JsonValue::object();
+  j.set("slo_target", e.slo_target);
+  j.set("max_replicas", e.max_replicas);
+  j.set("burst_slots", e.burst_slots);
+  return j;
+}
+
+JsonValue sweep_json(const SweepAxes& s) {
+  const SweepAxes d;
+  JsonValue j = JsonValue::object();
+  set_unless_default(j, "sku", s.sku, d.sku, string_array(s.sku));
+  set_unless_default(j, "tensor_parallel", s.tensor_parallel,
+                     d.tensor_parallel, number_array(s.tensor_parallel));
+  set_unless_default(j, "pipeline_parallel", s.pipeline_parallel,
+                     d.pipeline_parallel, number_array(s.pipeline_parallel));
+  set_unless_default(j, "num_replicas", s.num_replicas, d.num_replicas,
+                     number_array(s.num_replicas));
+  set_unless_default(j, "scheduler", s.scheduler, d.scheduler,
+                     string_array(s.scheduler));
+  set_unless_default(j, "max_batch_size", s.max_batch_size, d.max_batch_size,
+                     number_array(s.max_batch_size));
+  set_unless_default(j, "chunk_size", s.chunk_size, d.chunk_size,
+                     number_array(s.chunk_size));
+  set_unless_default(j, "qps", s.qps, d.qps, number_array(s.qps));
+  return j;
+}
+
+}  // namespace
+
+JsonValue ExperimentSpec::to_json() const {
+  const ExperimentSpec d;
+  JsonValue j = JsonValue::object();
+  j.set("name", name);
+  j.set("mode", experiment_mode_name(mode));
+  j.set("model", model);
+  j.set("deployment", deployment_json(deployment));
+  j.set("workload", workload_json(workload));
+  set_unless_default(j, "slo", slo, d.slo, slo_json(slo));
+  set_unless_default(j, "seed", seed, d.seed,
+                     static_cast<std::int64_t>(seed));
+  set_unless_default(j, "tp_degrees", tp_degrees, d.tp_degrees,
+                     number_array(tp_degrees));
+  set_unless_default(j, "num_threads", num_threads, d.num_threads,
+                     num_threads);
+  set_unless_default(j, "search", search, d.search, search_json(search));
+  set_unless_default(j, "elastic", elastic, d.elastic, elastic_json(elastic));
+  set_unless_default(j, "sweep", sweep, d.sweep, sweep_json(sweep));
+  return j;
+}
+
+std::string ExperimentSpec::to_json_string() const { return to_json().dump(); }
+
+// ------------------------------------------------------------ from_json
+
+namespace {
+
+/// Strict object reader: every member must match a known field; unknown
+/// keys fail with a did-you-mean so a typo in a spec file is caught at
+/// parse time instead of silently keeping the default.
+class FieldReader {
+ public:
+  FieldReader(const JsonValue& obj, std::string context)
+      : obj_(obj), context_(std::move(context)) {
+    VIDUR_CHECK_MSG(obj.is_object(),
+                    "spec section '" << context_ << "' must be a JSON object");
+  }
+
+  /// Register a handler for `key`; runs it when the member is present.
+  template <typename Fn>
+  FieldReader& field(const char* key, Fn&& fn) {
+    known_.push_back(key);
+    if (const JsonValue* v = obj_.find(key)) fn(*v);
+    return *this;
+  }
+
+  /// Call after the last field(): rejects unconsumed keys.
+  void finish() const {
+    for (const auto& [key, value] : obj_.members()) {
+      if (std::find(known_.begin(), known_.end(), key) == known_.end())
+        fail_unknown_name("'" + context_ + "' field", key, known_);
+    }
+  }
+
+ private:
+  const JsonValue& obj_;
+  std::string context_;
+  std::vector<std::string> known_;
+};
+
+int to_int(const JsonValue& v, const char* what) {
+  VIDUR_CHECK_MSG(v.is_int(), "spec field '" << what
+                                             << "' must be an integer");
+  const std::int64_t raw = v.as_int();
+  VIDUR_CHECK_MSG(raw >= std::numeric_limits<int>::min() &&
+                      raw <= std::numeric_limits<int>::max(),
+                  "spec field '" << what << "' value " << raw
+                                 << " is out of the 32-bit integer range");
+  return static_cast<int>(raw);
+}
+
+double to_double(const JsonValue& v, const char* what) {
+  VIDUR_CHECK_MSG(v.is_number(), "spec field '" << what
+                                                << "' must be a number");
+  return v.as_double();
+}
+
+bool to_bool(const JsonValue& v, const char* what) {
+  VIDUR_CHECK_MSG(v.is_bool(), "spec field '" << what
+                                              << "' must be a boolean");
+  return v.as_bool();
+}
+
+std::string to_str(const JsonValue& v, const char* what) {
+  VIDUR_CHECK_MSG(v.is_string(), "spec field '" << what
+                                                << "' must be a string");
+  return v.as_string();
+}
+
+std::vector<int> to_int_vec(const JsonValue& v, const char* what) {
+  std::vector<int> out;
+  for (const JsonValue& item : v.items()) out.push_back(to_int(item, what));
+  return out;
+}
+
+std::vector<double> to_double_vec(const JsonValue& v, const char* what) {
+  std::vector<double> out;
+  for (const JsonValue& item : v.items())
+    out.push_back(to_double(item, what));
+  return out;
+}
+
+std::vector<std::string> to_str_vec(const JsonValue& v, const char* what) {
+  std::vector<std::string> out;
+  for (const JsonValue& item : v.items()) out.push_back(to_str(item, what));
+  return out;
+}
+
+std::vector<TokenCount> to_token_vec(const JsonValue& v, const char* what) {
+  std::vector<TokenCount> out;
+  for (const JsonValue& item : v.items())
+    out.push_back(to_int(item, what));
+  return out;
+}
+
+RateProfile profile_from_json(const JsonValue& j) {
+  VIDUR_CHECK_MSG(j.is_object(),
+                  "spec section 'profile' must be a JSON object");
+  // Two passes: the kind decides which parameter names are legal.
+  std::string kind_name = "constant";
+  if (const JsonValue* k = j.find("kind")) kind_name = to_str(*k, "kind");
+  const RateProfileKind kind = rate_profile_kind_from_name(kind_name);
+  switch (kind) {
+    case RateProfileKind::kConstant: {
+      FieldReader r(j, "profile");
+      r.field("kind", [](const JsonValue&) {});
+      r.finish();
+      return RateProfile::constant();
+    }
+    case RateProfileKind::kDiurnal: {
+      double period = 0, low = 0, high = 0;
+      FieldReader r(j, "profile");
+      r.field("kind", [](const JsonValue&) {})
+          .field("period_s", [&](const JsonValue& v) {
+            period = to_double(v, "period_s");
+          })
+          .field("low", [&](const JsonValue& v) { low = to_double(v, "low"); })
+          .field("high",
+                 [&](const JsonValue& v) { high = to_double(v, "high"); });
+      r.finish();
+      return RateProfile::diurnal(period, low, high);
+    }
+    case RateProfileKind::kRamp: {
+      double start = 0, end = 0, duration = 0;
+      FieldReader r(j, "profile");
+      r.field("kind", [](const JsonValue&) {})
+          .field("start",
+                 [&](const JsonValue& v) { start = to_double(v, "start"); })
+          .field("end", [&](const JsonValue& v) { end = to_double(v, "end"); })
+          .field("duration_s", [&](const JsonValue& v) {
+            duration = to_double(v, "duration_s");
+          });
+      r.finish();
+      return RateProfile::ramp(start, end, duration);
+    }
+    case RateProfileKind::kSpike: {
+      double baseline = 0, spike = 0, start = 0, duration = 0;
+      FieldReader r(j, "profile");
+      r.field("kind", [](const JsonValue&) {})
+          .field("baseline",
+                 [&](const JsonValue& v) {
+                   baseline = to_double(v, "baseline");
+                 })
+          .field("spike",
+                 [&](const JsonValue& v) { spike = to_double(v, "spike"); })
+          .field("start_s",
+                 [&](const JsonValue& v) { start = to_double(v, "start_s"); })
+          .field("duration_s", [&](const JsonValue& v) {
+            duration = to_double(v, "duration_s");
+          });
+      r.finish();
+      return RateProfile::spike(baseline, spike, start, duration);
+    }
+    case RateProfileKind::kPiecewise: {
+      std::vector<RateStep> steps;
+      FieldReader r(j, "profile");
+      r.field("kind", [](const JsonValue&) {})
+          .field("steps", [&](const JsonValue& v) {
+            for (const JsonValue& item : v.items()) {
+              VIDUR_CHECK_MSG(item.is_array() && item.size() == 2,
+                              "profile step must be a [start_s, factor] pair");
+              steps.push_back(RateStep{to_double(item.items()[0], "step start"),
+                                       to_double(item.items()[1],
+                                                 "step factor")});
+            }
+          });
+      r.finish();
+      return RateProfile::piecewise(std::move(steps));
+    }
+  }
+  throw Error("unhandled RateProfileKind");
+}
+
+ArrivalSpec arrival_from_json(const JsonValue& j) {
+  ArrivalSpec a;
+  FieldReader r(j, "workload.arrival");
+  r.field("kind",
+          [&](const JsonValue& v) {
+            a.kind = arrival_kind_from_name(to_str(v, "kind"));
+          })
+      .field("qps", [&](const JsonValue& v) { a.qps = to_double(v, "qps"); })
+      .field("cv", [&](const JsonValue& v) { a.cv = to_double(v, "cv"); });
+  r.finish();
+  return a;
+}
+
+SloSpec slo_from_json(const JsonValue& j) {
+  SloSpec s;
+  s.ttft_target = 0.0;
+  s.tbt_target = 0.0;
+  FieldReader r(j, "slo");
+  r.field("ttft_target_s",
+          [&](const JsonValue& v) {
+            s.ttft_target = to_double(v, "ttft_target_s");
+          })
+      .field("tbt_target_s", [&](const JsonValue& v) {
+        s.tbt_target = to_double(v, "tbt_target_s");
+      });
+  r.finish();
+  return s;
+}
+
+SchedulerConfig scheduler_from_json(const JsonValue& j) {
+  SchedulerConfig s;
+  FieldReader r(j, "deployment.scheduler");
+  r.field("kind",
+          [&](const JsonValue& v) {
+            s.kind = scheduler_from_name(to_str(v, "kind"));
+          })
+      .field("max_batch_size",
+             [&](const JsonValue& v) {
+               s.max_batch_size = to_int(v, "max_batch_size");
+             })
+      .field("max_tokens_per_iteration",
+             [&](const JsonValue& v) {
+               s.max_tokens_per_iteration =
+                   to_int(v, "max_tokens_per_iteration");
+             })
+      .field("chunk_size",
+             [&](const JsonValue& v) { s.chunk_size = to_int(v, "chunk_size"); })
+      .field("watermark_fraction", [&](const JsonValue& v) {
+        s.watermark_fraction = to_double(v, "watermark_fraction");
+      });
+  r.finish();
+  return s;
+}
+
+DisaggConfig disagg_from_json(const JsonValue& j) {
+  DisaggConfig c;
+  FieldReader r(j, "deployment.disagg");
+  r.field("num_prefill_replicas",
+          [&](const JsonValue& v) {
+            c.num_prefill_replicas = to_int(v, "num_prefill_replicas");
+          })
+      .field("transfer_bandwidth_gbps",
+             [&](const JsonValue& v) {
+               c.transfer_bandwidth_gbps =
+                   to_double(v, "transfer_bandwidth_gbps");
+             })
+      .field("transfer_latency_s", [&](const JsonValue& v) {
+        c.transfer_latency = to_double(v, "transfer_latency_s");
+      });
+  r.finish();
+  return c;
+}
+
+AutoscalerConfig autoscale_from_json(const JsonValue& j) {
+  AutoscalerConfig c;
+  FieldReader r(j, "deployment.autoscale");
+  r.field("kind",
+          [&](const JsonValue& v) {
+            c.kind = autoscaler_from_name(to_str(v, "kind"));
+          })
+      .field("min_replicas",
+             [&](const JsonValue& v) {
+               c.min_replicas = to_int(v, "min_replicas");
+             })
+      .field("initial_replicas",
+             [&](const JsonValue& v) {
+               c.initial_replicas = to_int(v, "initial_replicas");
+             })
+      .field("provision_delay_s",
+             [&](const JsonValue& v) {
+               c.provision_delay = to_double(v, "provision_delay_s");
+             })
+      .field("warmup_delay_s",
+             [&](const JsonValue& v) {
+               c.warmup_delay = to_double(v, "warmup_delay_s");
+             })
+      .field("decision_interval_s",
+             [&](const JsonValue& v) {
+               c.decision_interval = to_double(v, "decision_interval_s");
+             })
+      .field("scale_up_cooldown_s",
+             [&](const JsonValue& v) {
+               c.scale_up_cooldown = to_double(v, "scale_up_cooldown_s");
+             })
+      .field("scale_down_cooldown_s",
+             [&](const JsonValue& v) {
+               c.scale_down_cooldown = to_double(v, "scale_down_cooldown_s");
+             })
+      .field("max_scale_step",
+             [&](const JsonValue& v) {
+               c.max_scale_step = to_int(v, "max_scale_step");
+             })
+      .field("target_load_per_replica",
+             [&](const JsonValue& v) {
+               c.target_load_per_replica =
+                   to_double(v, "target_load_per_replica");
+             })
+      .field("scale_up_load",
+             [&](const JsonValue& v) {
+               c.scale_up_load = to_double(v, "scale_up_load");
+             })
+      .field("scale_down_load",
+             [&](const JsonValue& v) {
+               c.scale_down_load = to_double(v, "scale_down_load");
+             })
+      .field("profile",
+             [&](const JsonValue& v) { c.profile = profile_from_json(v); })
+      .field("baseline_qps",
+             [&](const JsonValue& v) {
+               c.baseline_qps = to_double(v, "baseline_qps");
+             })
+      .field("replica_capacity_qps",
+             [&](const JsonValue& v) {
+               c.replica_capacity_qps = to_double(v, "replica_capacity_qps");
+             })
+      .field("headroom",
+             [&](const JsonValue& v) { c.headroom = to_double(v, "headroom"); })
+      .field("lookahead_s", [&](const JsonValue& v) {
+        c.lookahead = to_double(v, "lookahead_s");
+      });
+  r.finish();
+  return c;
+}
+
+DeploymentConfig deployment_from_json(const JsonValue& j) {
+  DeploymentConfig c;
+  FieldReader r(j, "deployment");
+  r.field("sku", [&](const JsonValue& v) { c.sku_name = to_str(v, "sku"); })
+      .field("tensor_parallel",
+             [&](const JsonValue& v) {
+               c.parallel.tensor_parallel = to_int(v, "tensor_parallel");
+             })
+      .field("pipeline_parallel",
+             [&](const JsonValue& v) {
+               c.parallel.pipeline_parallel = to_int(v, "pipeline_parallel");
+             })
+      .field("num_replicas",
+             [&](const JsonValue& v) {
+               c.parallel.num_replicas = to_int(v, "num_replicas");
+             })
+      .field("scheduler",
+             [&](const JsonValue& v) { c.scheduler = scheduler_from_json(v); })
+      .field("global_scheduler",
+             [&](const JsonValue& v) {
+               c.global_scheduler =
+                   global_scheduler_from_name(to_str(v, "global_scheduler"));
+             })
+      .field("async_pipeline_comm",
+             [&](const JsonValue& v) {
+               c.async_pipeline_comm = to_bool(v, "async_pipeline_comm");
+             })
+      .field("disagg",
+             [&](const JsonValue& v) { c.disagg = disagg_from_json(v); })
+      .field("autoscale", [&](const JsonValue& v) {
+        c.autoscale = autoscale_from_json(v);
+      });
+  r.finish();
+  return c;
+}
+
+WorkloadSpec workload_from_json(const JsonValue& j) {
+  WorkloadSpec w;
+  bool named = false;
+  FieldReader r(j, "workload");
+  r.field("scenario",
+          [&](const JsonValue& v) {
+            w.scenario = to_str(v, "scenario");
+            named = true;
+          })
+      .field("trace",
+             [&](const JsonValue& v) { w.trace = to_str(v, "trace"); })
+      .field("arrival",
+             [&](const JsonValue& v) { w.arrival = arrival_from_json(v); })
+      .field("num_requests", [&](const JsonValue& v) {
+        w.num_requests = to_int(v, "num_requests");
+      });
+  r.finish();
+  // A named scenario leaves num_requests at "keep the scenario default"
+  // unless the spec overrides it explicitly.
+  if (named && j.find("num_requests") == nullptr) w.num_requests = 0;
+  return w;
+}
+
+SearchSpace search_from_json(const JsonValue& j) {
+  SearchSpace s;
+  FieldReader r(j, "search");
+  r.field("skus",
+          [&](const JsonValue& v) { s.skus = to_str_vec(v, "skus"); })
+      .field("tp_degrees",
+             [&](const JsonValue& v) {
+               s.tp_degrees = to_int_vec(v, "tp_degrees");
+             })
+      .field("pp_degrees",
+             [&](const JsonValue& v) {
+               s.pp_degrees = to_int_vec(v, "pp_degrees");
+             })
+      .field("max_total_gpus",
+             [&](const JsonValue& v) {
+               s.max_total_gpus = to_int(v, "max_total_gpus");
+             })
+      .field("schedulers",
+             [&](const JsonValue& v) {
+               s.schedulers.clear();
+               for (const std::string& n : to_str_vec(v, "schedulers"))
+                 s.schedulers.push_back(scheduler_from_name(n));
+             })
+      .field("batch_sizes",
+             [&](const JsonValue& v) {
+               s.batch_sizes = to_int_vec(v, "batch_sizes");
+             })
+      .field("sarathi_chunk_sizes",
+             [&](const JsonValue& v) {
+               s.sarathi_chunk_sizes = to_token_vec(v, "sarathi_chunk_sizes");
+             })
+      .field("max_tokens_per_iteration",
+             [&](const JsonValue& v) {
+               s.max_tokens_per_iteration =
+                   to_int(v, "max_tokens_per_iteration");
+             })
+      .field("global_scheduler", [&](const JsonValue& v) {
+        s.global_scheduler =
+            global_scheduler_from_name(to_str(v, "global_scheduler"));
+      });
+  r.finish();
+  return s;
+}
+
+ElasticPlanSpec elastic_from_json(const JsonValue& j) {
+  ElasticPlanSpec e;
+  FieldReader r(j, "elastic");
+  r.field("slo_target",
+          [&](const JsonValue& v) {
+            e.slo_target = to_double(v, "slo_target");
+          })
+      .field("max_replicas",
+             [&](const JsonValue& v) {
+               e.max_replicas = to_int(v, "max_replicas");
+             })
+      .field("burst_slots", [&](const JsonValue& v) {
+        e.burst_slots = to_int(v, "burst_slots");
+      });
+  r.finish();
+  return e;
+}
+
+SweepAxes sweep_from_json(const JsonValue& j) {
+  SweepAxes s;
+  FieldReader r(j, "sweep");
+  r.field("sku", [&](const JsonValue& v) { s.sku = to_str_vec(v, "sku"); })
+      .field("tensor_parallel",
+             [&](const JsonValue& v) {
+               s.tensor_parallel = to_int_vec(v, "tensor_parallel");
+             })
+      .field("pipeline_parallel",
+             [&](const JsonValue& v) {
+               s.pipeline_parallel = to_int_vec(v, "pipeline_parallel");
+             })
+      .field("num_replicas",
+             [&](const JsonValue& v) {
+               s.num_replicas = to_int_vec(v, "num_replicas");
+             })
+      .field("scheduler",
+             [&](const JsonValue& v) {
+               s.scheduler = to_str_vec(v, "scheduler");
+             })
+      .field("max_batch_size",
+             [&](const JsonValue& v) {
+               s.max_batch_size = to_int_vec(v, "max_batch_size");
+             })
+      .field("chunk_size",
+             [&](const JsonValue& v) {
+               s.chunk_size = to_token_vec(v, "chunk_size");
+             })
+      .field("qps",
+             [&](const JsonValue& v) { s.qps = to_double_vec(v, "qps"); });
+  r.finish();
+  return s;
+}
+
+}  // namespace
+
+ExperimentSpec ExperimentSpec::from_json(const JsonValue& json) {
+  ExperimentSpec spec;
+  FieldReader r(json, "experiment");
+  r.field("name",
+          [&](const JsonValue& v) { spec.name = to_str(v, "name"); })
+      .field("mode",
+             [&](const JsonValue& v) {
+               spec.mode = experiment_mode_from_name(to_str(v, "mode"));
+             })
+      .field("model",
+             [&](const JsonValue& v) { spec.model = to_str(v, "model"); })
+      .field("deployment",
+             [&](const JsonValue& v) {
+               spec.deployment = deployment_from_json(v);
+             })
+      .field("workload",
+             [&](const JsonValue& v) {
+               spec.workload = workload_from_json(v);
+             })
+      .field("slo", [&](const JsonValue& v) { spec.slo = slo_from_json(v); })
+      .field("seed",
+             [&](const JsonValue& v) {
+               spec.seed = static_cast<std::uint64_t>(v.as_int());
+             })
+      .field("tp_degrees",
+             [&](const JsonValue& v) {
+               spec.tp_degrees = to_int_vec(v, "tp_degrees");
+             })
+      .field("num_threads",
+             [&](const JsonValue& v) {
+               spec.num_threads = to_int(v, "num_threads");
+             })
+      .field("search",
+             [&](const JsonValue& v) { spec.search = search_from_json(v); })
+      .field("elastic",
+             [&](const JsonValue& v) { spec.elastic = elastic_from_json(v); })
+      .field("sweep",
+             [&](const JsonValue& v) { spec.sweep = sweep_from_json(v); });
+  r.finish();
+  return spec;
+}
+
+ExperimentSpec ExperimentSpec::from_json_string(const std::string& text) {
+  return from_json(JsonValue::parse(text));
+}
+
+}  // namespace vidur

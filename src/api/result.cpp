@@ -1,0 +1,237 @@
+#include "api/result.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+JsonValue summary_json(const Summary& s) {
+  JsonValue j = JsonValue::object();
+  j.set("p50", s.p50);
+  j.set("p90", s.p90);
+  j.set("p95", s.p95);
+  j.set("p99", s.p99);
+  j.set("mean", s.mean);
+  j.set("max", s.max);
+  return j;
+}
+
+JsonValue scaling_json(const ClusterScalingReport& r) {
+  JsonValue j = JsonValue::object();
+  j.set("autoscaled", r.enabled);
+  j.set("fleet_slots", r.fleet_size);
+  j.set("peak_active", r.peak_active);
+  j.set("mean_active_replicas", r.mean_active_replicas);
+  j.set("num_scale_ups", r.num_scale_up_events);
+  j.set("num_scale_downs", r.num_scale_down_events);
+  j.set("gpu_hours", r.gpu_hours);
+  j.set("cost_usd", r.cost_usd);
+  return j;
+}
+
+JsonValue elastic_point_json(const ElasticPlanPoint& p) {
+  JsonValue j = JsonValue::object();
+  j.set("fleet_slots", p.fleet_size);
+  j.set("mean_active_replicas", p.mean_active_replicas);
+  j.set("gpu_hours", p.gpu_hours);
+  j.set("cost_usd", p.cost_usd);
+  j.set("slo_attainment", p.slo_attainment);
+  j.set("makespan_s", p.makespan);
+  j.set("num_scale_ups", p.num_scale_ups);
+  j.set("num_scale_downs", p.num_scale_downs);
+  return j;
+}
+
+JsonValue evaluation_json(const ConfigEvaluation& e) {
+  JsonValue j = JsonValue::object();
+  j.set("config", e.config.to_string());
+  j.set("feasible", e.feasible);
+  j.set("capacity_qps", e.capacity_qps);
+  j.set("cost_per_hour", e.cost_per_hour);
+  j.set("qps_per_dollar", e.qps_per_dollar);
+  j.set("ttft_p90_s", e.ttft_p90);
+  j.set("tbt_p99_s", e.tbt_p99);
+  j.set("meets_slo", e.meets_slo);
+  j.set("num_probes", e.num_probes);
+  return j;
+}
+
+}  // namespace
+
+JsonValue metrics_to_json(const SimulationMetrics& m) {
+  JsonValue j = JsonValue::object();
+  j.set("num_requests", m.num_requests);
+  j.set("num_completed", m.num_completed);
+  j.set("makespan_s", m.makespan);
+  j.set("throughput_qps", m.throughput_qps);
+  j.set("output_tokens_per_sec", m.output_tokens_per_sec);
+  j.set("scheduling_delay_s", summary_json(m.scheduling_delay));
+  j.set("ttft_s", summary_json(m.ttft));
+  j.set("tbt_s", summary_json(m.tbt));
+  j.set("normalized_e2e_latency_s", summary_json(m.normalized_e2e_latency));
+  j.set("normalized_execution_latency_s",
+        summary_json(m.normalized_execution_latency));
+  j.set("mfu", m.mfu);
+  j.set("mbu", m.mbu);
+  j.set("mean_batch_size", m.mean_batch_size);
+  j.set("mean_kv_utilization", m.mean_kv_utilization);
+  j.set("busy_fraction", m.busy_fraction);
+  j.set("num_restarts", m.num_restarts);
+  if (m.total_energy_joules > 0) {
+    j.set("total_energy_joules", m.total_energy_joules);
+    j.set("energy_per_output_token", m.energy_per_output_token);
+    j.set("mean_cluster_power_watts", m.mean_cluster_power_watts);
+  }
+  const double attainment = m.aggregate_slo_attainment();
+  if (attainment >= 0) j.set("slo_attainment", attainment);
+  j.set("fleet", scaling_json(m.scaling));
+  if (!m.tenant_metrics.empty()) {
+    JsonValue tenants = JsonValue::array();
+    for (const auto& t : m.tenant_metrics) {
+      JsonValue row = JsonValue::object();
+      row.set("tenant", t.info.name);
+      row.set("priority", t.info.priority);
+      row.set("num_requests", t.num_requests);
+      row.set("num_completed", t.num_completed);
+      row.set("ttft_p90_s", t.ttft.p90);
+      row.set("tbt_p99_s", t.tbt.p99);
+      row.set("throughput_qps", t.throughput_qps);
+      row.set("output_tokens_per_sec", t.output_tokens_per_sec);
+      row.set("slo_attainment", t.slo_attainment);
+      tenants.push(std::move(row));
+    }
+    j.set("tenants", std::move(tenants));
+  }
+  return j;
+}
+
+JsonValue ExperimentResult::to_json() const {
+  if (failed()) {
+    JsonValue j = JsonValue::object();
+    j.set("error", error);
+    return j;
+  }
+  switch (spec.mode) {
+    case ExperimentMode::kSimulate:
+    case ExperimentMode::kReference:
+      return metrics_to_json(metrics);
+    case ExperimentMode::kCapacitySearch: {
+      JsonValue j = JsonValue::object();
+      j.set("num_configs", search.evaluations.size());
+      std::size_t feasible = 0, meets = 0;
+      for (const auto& e : search.evaluations) {
+        feasible += e.feasible ? 1 : 0;
+        meets += e.meets_slo ? 1 : 0;
+      }
+      j.set("num_feasible", feasible);
+      j.set("num_meeting_slo", meets);
+      if (const auto best = search.best())
+        j.set("best", evaluation_json(*best));
+      if (const auto best = search.best_unconstrained())
+        j.set("best_unconstrained", evaluation_json(*best));
+      JsonValue evals = JsonValue::array();
+      for (const auto& e : search.evaluations)
+        evals.push(evaluation_json(e));
+      j.set("evaluations", std::move(evals));
+      return j;
+    }
+    case ExperimentMode::kElasticPlan: {
+      JsonValue j = JsonValue::object();
+      j.set("slo_target", spec.elastic.slo_target);
+      j.set("static_feasible", elastic.static_feasible);
+      j.set("static_peak", elastic_point_json(elastic.static_peak));
+      j.set("autoscaled", elastic_point_json(elastic.autoscaled));
+      j.set("cost_savings_pct", elastic.cost_savings_pct);
+      j.set("num_simulations", elastic.num_simulations);
+      return j;
+    }
+  }
+  throw Error("unhandled ExperimentMode");
+}
+
+std::string ExperimentResult::to_string() const {
+  std::ostringstream os;
+  os << "=== " << spec.name << " (" << experiment_mode_name(spec.mode)
+     << ", " << spec.model << ") ===\n";
+  if (failed()) {
+    os << "FAILED: " << error << "\n";
+    return os.str();
+  }
+  switch (spec.mode) {
+    case ExperimentMode::kSimulate:
+    case ExperimentMode::kReference:
+      os << "deployment: " << spec.deployment.to_string() << " ($"
+         << spec.deployment.cost_per_hour() << "/hr)\n"
+         << metrics.to_string();
+      break;
+    case ExperimentMode::kCapacitySearch: {
+      os << "evaluated " << search.evaluations.size() << " configurations\n";
+      if (const auto best = search.best()) {
+        os << "best (SLO-compliant): " << best->config.to_string() << " — "
+           << best->capacity_qps << " qps, $" << best->cost_per_hour
+           << "/hr, " << best->qps_per_dollar << " qps/$\n";
+      } else {
+        os << "no configuration met the SLO\n";
+      }
+      break;
+    }
+    case ExperimentMode::kElasticPlan:
+      os << elastic.to_string();
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+JsonValue wrap(const std::string& name, const std::string& mode,
+               JsonValue spec, JsonValue results) {
+  JsonValue wrapped = JsonValue::object();
+  wrapped.set("experiment", name);
+  wrapped.set("mode", mode);
+  wrapped.set("spec", std::move(spec));
+  wrapped.set("results", std::move(results));
+  return wrapped;
+}
+
+void write_file(const std::string& path, const JsonValue& doc) {
+  std::ofstream out(path);
+  VIDUR_CHECK_MSG(out.good(), "cannot write " << path);
+  out << doc.dump();
+  out.close();
+  VIDUR_CHECK_MSG(out.good(), "failed writing " << path);
+}
+
+}  // namespace
+
+void write_experiment_json(const ExperimentResult& result,
+                           const std::string& path) {
+  write_file(path, wrap(result.spec.name,
+                        experiment_mode_name(result.spec.mode),
+                        result.spec.to_json(), result.to_json()));
+}
+
+void write_sweep_json(const ExperimentSpec& base,
+                      const std::vector<ExperimentResult>& results,
+                      const std::string& path) {
+  JsonValue points = JsonValue::array();
+  for (const ExperimentResult& r : results) {
+    JsonValue point = JsonValue::object();
+    point.set("name", r.spec.name);
+    point.set("deployment", r.spec.deployment.to_string());
+    if (!r.spec.workload.synthetic())
+      point.set("scenario", r.spec.workload.scenario);
+    else
+      point.set("qps", r.spec.workload.arrival.qps);
+    point.set("results", r.to_json());
+    points.push(std::move(point));
+  }
+  write_file(path, wrap(base.name, experiment_mode_name(base.mode),
+                        base.to_json(), std::move(points)));
+}
+
+}  // namespace vidur

@@ -1,0 +1,53 @@
+// Uniform result of run_experiment(): one value type covering every
+// ExperimentMode, serializing to the same JSON field names the BENCH_*.json
+// artifacts use so downstream tooling reads both interchangeably.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "metrics/metrics.h"
+#include "search/elastic_plan.h"
+#include "search/search.h"
+
+namespace vidur {
+
+struct ExperimentResult {
+  /// The concrete spec that produced this result (post sweep expansion).
+  ExperimentSpec spec;
+  /// simulate / reference modes.
+  SimulationMetrics metrics;
+  /// capacity_search mode.
+  SearchResult search;
+  /// elastic_plan mode.
+  ElasticPlanResult elastic;
+  /// Non-empty when this sweep point failed (e.g. the model does not fit
+  /// the deployment); the payload sections are then default-constructed.
+  /// run_experiment() throws instead — only run_sweep() records errors.
+  std::string error;
+
+  bool failed() const { return !error.empty(); }
+
+  /// Human-readable report (the examples print this).
+  std::string to_string() const;
+  /// Mode-dependent payload using bench-compatible field names.
+  JsonValue to_json() const;
+};
+
+/// Serialize one simulation's metrics with the field names the bench
+/// harnesses emit (makespan_s, throughput_qps, ttft_p90_s, ...).
+JsonValue metrics_to_json(const SimulationMetrics& metrics);
+
+/// Wrap one result (or a sweep's results) in the same top-level shape
+/// write_bench_json produces — {"experiment", "mode", "spec", "results"} —
+/// and write it to `path`. Throws vidur::Error when the file cannot be
+/// written.
+void write_experiment_json(const ExperimentResult& result,
+                           const std::string& path);
+/// `base` is the pre-expansion spec (the one carrying the sweep axes).
+void write_sweep_json(const ExperimentSpec& base,
+                      const std::vector<ExperimentResult>& results,
+                      const std::string& path);
+
+}  // namespace vidur

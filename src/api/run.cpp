@@ -1,0 +1,182 @@
+#include "api/run.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "scenario/registry.h"
+#include "search/elastic_plan.h"
+#include "search/search.h"
+
+namespace vidur {
+
+namespace {
+
+/// Materialize the spec's workload: a scenario trace (with tenant infos)
+/// or a synthetic trace from the named length distribution.
+Trace build_trace(const ExperimentSpec& spec,
+                  std::vector<TenantInfo>* tenants) {
+  if (!spec.workload.synthetic()) {
+    Scenario scenario = scenario_by_name(spec.workload.scenario);
+    if (spec.workload.num_requests > 0)
+      scenario.num_requests = spec.workload.num_requests;
+    *tenants = scenario.tenant_infos();
+    return generate_scenario_trace(scenario, spec.seed);
+  }
+  return generate_trace(trace_by_name(spec.workload.trace),
+                        spec.workload.arrival, spec.workload.num_requests,
+                        spec.seed);
+}
+
+ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
+  ExperimentResult result;
+  result.spec = spec;
+  switch (spec.mode) {
+    case ExperimentMode::kSimulate: {
+      std::vector<TenantInfo> tenants;
+      const Trace trace = build_trace(spec, &tenants);
+      result.metrics = session.simulate(spec.deployment, trace, tenants);
+      break;
+    }
+    case ExperimentMode::kReference: {
+      std::vector<TenantInfo> tenants;
+      const Trace trace = build_trace(spec, &tenants);
+      result.metrics =
+          session.simulate_reference(spec.deployment, trace, spec.seed,
+                                     tenants);
+      break;
+    }
+    case ExperimentMode::kCapacitySearch: {
+      VidurSearchOptions options;
+      options.slo = spec.slo;
+      options.num_threads = spec.num_threads;
+      options.capacity.trace_seed = spec.seed;
+      if (spec.workload.num_requests > 0)
+        options.capacity.num_requests = spec.workload.num_requests;
+      result.search = run_search(session, spec.search,
+                                 trace_by_name(spec.workload.trace), options);
+      break;
+    }
+    case ExperimentMode::kElasticPlan: {
+      Scenario scenario = scenario_by_name(spec.workload.scenario);
+      if (spec.workload.num_requests > 0)
+        scenario.num_requests = spec.workload.num_requests;
+      ElasticPlanOptions options;
+      options.slo_target = spec.elastic.slo_target;
+      options.max_replicas = spec.elastic.max_replicas;
+      options.burst_slots = spec.elastic.burst_slots;
+      options.trace_seed = spec.seed;
+      // The deployment's autoscale section names the policy under test;
+      // plan_elastic_capacity owns enabling/disabling it per run.
+      DeploymentConfig base = spec.deployment;
+      AutoscalerConfig policy = std::move(base.autoscale);
+      base.autoscale = AutoscalerConfig{};
+      result.elastic =
+          plan_elastic_capacity(session, base, scenario, policy, options);
+      break;
+    }
+  }
+  return result;
+}
+
+SessionOptions session_options(const ExperimentSpec& spec) {
+  SessionOptions options;
+  options.tp_degrees = spec.tp_degrees;
+  return options;
+}
+
+void check_session(const VidurSession& session, const ExperimentSpec& spec) {
+  VIDUR_CHECK_MSG(session.model().name == spec.model,
+                  "run_experiment: the session's model '"
+                      << session.model().name
+                      << "' does not match the spec's model '" << spec.model
+                      << "'");
+  // validate() checked the spec's own tp_degrees; a caller-owned session
+  // profiles its SessionOptions::tp_degrees instead, and a TP outside
+  // them would die much later inside the estimator.
+  const std::vector<int>& covered = session.options().tp_degrees;
+  const auto check_tp = [&](int tp) {
+    VIDUR_CHECK_MSG(std::count(covered.begin(), covered.end(), tp) > 0,
+                    "run_experiment: tensor_parallel "
+                        << tp << " is not covered by the session's "
+                        "profiled tp_degrees; construct the VidurSession "
+                        "with SessionOptions::tp_degrees including it");
+  };
+  check_tp(spec.deployment.parallel.tensor_parallel);
+  if (spec.mode == ExperimentMode::kCapacitySearch)
+    for (const int tp : spec.search.tp_degrees) check_tp(tp);
+  for (const int tp : spec.sweep.tensor_parallel) check_tp(tp);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(VidurSession& session,
+                                const ExperimentSpec& spec) {
+  spec.validate();
+  check_session(session, spec);
+  VIDUR_CHECK_MSG(spec.sweep.empty(),
+                  "run_experiment: spec '"
+                      << spec.name
+                      << "' carries sweep axes; use run_sweep for it");
+  return dispatch(session, spec);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  spec.validate();
+  VidurSession session(model_by_name(spec.model), session_options(spec));
+  return run_experiment(session, spec);
+}
+
+std::vector<ExperimentResult> run_sweep(VidurSession& session,
+                                        const ExperimentSpec& spec) {
+  spec.validate();
+  check_session(session, spec);
+  const std::vector<ExperimentSpec> points = spec.expand_sweep();
+  std::vector<ExperimentResult> results(points.size());
+
+  const auto run_point = [&](std::size_t i) {
+    try {
+      results[i] = dispatch(session, points[i]);
+    } catch (const Error& e) {
+      // One infeasible point (model does not fit, degenerate config) must
+      // not sink the rest of the sweep.
+      results[i].spec = points[i];
+      results[i].error = e.what();
+    }
+  };
+
+  // capacity_search points already fan out across a pool internally; a
+  // second pool on top would oversubscribe, so sweep those serially.
+  if (points.size() == 1 || spec.mode == ExperimentMode::kCapacitySearch) {
+    for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
+    return results;
+  }
+
+  // Onboard every swept SKU once, up front: onboarding holds the session
+  // lock, so letting the workers race to it would serialize the pool's
+  // first wave anyway.
+  std::set<std::string> skus;
+  for (const ExperimentSpec& p : points) skus.insert(p.deployment.sku_name);
+  for (const std::string& sku : skus) session.onboard(sku);
+
+  const std::size_t hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t threads = std::min<std::size_t>(
+      points.size(),
+      spec.num_threads > 0 ? static_cast<std::size_t>(spec.num_threads)
+                           : hardware);
+  ThreadPool pool(threads);
+  parallel_for(pool, points.size(), run_point);
+  return results;
+}
+
+std::vector<ExperimentResult> run_sweep(const ExperimentSpec& spec) {
+  spec.validate();
+  VidurSession session(model_by_name(spec.model), session_options(spec));
+  return run_sweep(session, spec);
+}
+
+}  // namespace vidur

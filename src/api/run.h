@@ -1,0 +1,33 @@
+// The single entry point of the declarative experiment API: validate an
+// ExperimentSpec, onboard the model, and dispatch to the matching engine —
+// VidurSession::simulate / simulate_reference, Vidur-Search's run_search,
+// or plan_elastic_capacity — returning a uniform ExperimentResult.
+#pragma once
+
+#include <vector>
+
+#include "api/result.h"
+#include "core/session.h"
+
+namespace vidur {
+
+/// Run one experiment end to end (spec.sweep must be empty; use run_sweep
+/// for swept specs). Creates a session for spec.model, onboarding lazily.
+/// Throws vidur::Error on an invalid spec or an infeasible deployment.
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Same, reusing a caller-owned session (and its onboarding work) whose
+/// model must match spec.model.
+ExperimentResult run_experiment(VidurSession& session,
+                                const ExperimentSpec& spec);
+
+/// Expand the sweep axes and run every point, thread-pooled like
+/// Vidur-Search (spec.num_threads workers; 0 = hardware concurrency). A
+/// point that fails — e.g. the model does not fit its deployment — records
+/// its error in the result instead of aborting the sweep. Results follow
+/// expansion order.
+std::vector<ExperimentResult> run_sweep(const ExperimentSpec& spec);
+std::vector<ExperimentResult> run_sweep(VidurSession& session,
+                                        const ExperimentSpec& spec);
+
+}  // namespace vidur

@@ -84,6 +84,8 @@ struct AutoscalerConfig {
   /// Throws vidur::Error on nonsensical parameters (thresholds out of
   /// order, non-positive cadence, missing predictive inputs, ...).
   void validate() const;
+
+  bool operator==(const AutoscalerConfig&) const = default;
 };
 
 /// Fleet composition and load at one decision tick.

@@ -22,7 +22,8 @@ ClusterManager::ClusterManager(AutoscalerConfig config, int fleet_size,
                   "ClusterManager requires an autoscaling policy");
   VIDUR_CHECK(events_ != nullptr);
   VIDUR_CHECK(hooks_.replica_load && hooks_.parked_requests &&
-              hooks_.work_remaining && hooks_.on_activated);
+              hooks_.work_remaining && hooks_.on_activated &&
+              hooks_.on_draining);
   VIDUR_CHECK_MSG(config_.min_replicas <= fleet_size_,
                   "autoscaler: min_replicas exceeds the fleet size");
   const int initial = config_.initial_replicas == 0 ? config_.min_replicas
@@ -118,7 +119,10 @@ void ClusterManager::scale_down(int n, Seconds now) {
     ++num_downs_;
     last_scale_down_ = now;
     transition(r, ReplicaState::kDraining, now);
-    // A replica with nothing in flight decommissions immediately; the
+    // Queued-but-unstarted requests leave through the global scheduler
+    // instead of waiting out the drain on a shrinking replica.
+    hooks_.on_draining(r);
+    // A replica with nothing left in flight decommissions immediately; the
     // simulator reports the idle transition for busy ones.
     if (hooks_.replica_load(r) == 0) notify_idle(r);
   }

@@ -34,6 +34,10 @@ class ClusterManager {
     std::function<bool()> work_remaining;
     /// A replica finished warming and became routable (pull parked work).
     std::function<void(ReplicaId)> on_activated;
+    /// A replica entered draining. The simulator re-routes the replica's
+    /// queued-but-unstarted requests through the GlobalScheduler here, so
+    /// the drain only has to finish work that actually started.
+    std::function<void(ReplicaId)> on_draining;
   };
 
   /// `fleet_size` is the number of replica slots the simulator built (the

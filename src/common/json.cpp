@@ -1,0 +1,450 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vidur {
+
+bool JsonValue::as_bool() const {
+  const auto* b = std::get_if<bool>(&value_);
+  VIDUR_CHECK_MSG(b != nullptr, "JSON value is not a boolean");
+  return *b;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const auto* i = std::get_if<std::int64_t>(&value_);
+  VIDUR_CHECK_MSG(i != nullptr, "JSON value is not an integer");
+  return *i;
+}
+
+double JsonValue::as_double() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_))
+    return static_cast<double>(*i);
+  const auto* d = std::get_if<double>(&value_);
+  VIDUR_CHECK_MSG(d != nullptr, "JSON value is not a number");
+  return *d;
+}
+
+const std::string& JsonValue::as_string() const {
+  const auto* s = std::get_if<std::string>(&value_);
+  VIDUR_CHECK_MSG(s != nullptr, "JSON value is not a string");
+  return *s;
+}
+
+const JsonValue::Array& JsonValue::items() const {
+  const auto* a = std::get_if<Array>(&value_);
+  VIDUR_CHECK_MSG(a != nullptr, "JSON value is not an array");
+  return *a;
+}
+
+const JsonValue::Object& JsonValue::members() const {
+  const auto* o = std::get_if<Object>(&value_);
+  VIDUR_CHECK_MSG(o != nullptr, "JSON value is not an object");
+  return *o;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  auto* obj = std::get_if<Object>(&value_);
+  VIDUR_CHECK_MSG(obj != nullptr, "JsonValue::set on a non-object");
+  for (auto& [k, existing] : *obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj->emplace_back(key, std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  const auto* obj = std::get_if<Object>(&value_);
+  VIDUR_CHECK_MSG(obj != nullptr, "JsonValue::find on a non-object");
+  for (const auto& [k, v] : *obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  VIDUR_CHECK_MSG(v != nullptr, "JSON object has no member '" << key << "'");
+  return *v;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  auto* arr = std::get_if<Array>(&value_);
+  VIDUR_CHECK_MSG(arr != nullptr, "JsonValue::push on a non-array");
+  arr->push_back(std::move(v));
+  return *this;
+}
+
+std::size_t JsonValue::size() const {
+  if (const auto* a = std::get_if<Array>(&value_)) return a->size();
+  if (const auto* o = std::get_if<Object>(&value_)) return o->size();
+  throw Error("JsonValue::size on a non-container");
+}
+
+// --------------------------------------------------------------- writer
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters are invalid raw in JSON strings.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/inf
+    return;
+  }
+  // Shortest representation that parses back exactly: try the compact
+  // 12-significant-digit form first (covers every human-entered value),
+  // fall back to the full 17 digits when it does not round-trip.
+  std::ostringstream os;
+  os.precision(12);
+  os << d;
+  if (std::strtod(os.str().c_str(), nullptr) != d) {
+    os.str({});
+    os.precision(17);
+    os << d;
+  }
+  std::string text = os.str();
+  // Whole-valued doubles keep a decimal point so the value reparses as a
+  // double, preserving the parse(dump()) type identity (ints stay ints,
+  // doubles stay doubles).
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  out += text;
+}
+
+}  // namespace
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  if (is_null()) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    write_double(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    write_escaped(out, *s);
+  } else if (const auto* obj = std::get_if<Object>(&value_)) {
+    if (obj->empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    for (std::size_t i = 0; i < obj->size(); ++i) {
+      out += pad;
+      write_escaped(out, (*obj)[i].first);
+      out += ": ";
+      (*obj)[i].second.write(out, indent, depth + 1);
+      if (i + 1 < obj->size()) out += ',';
+      out += '\n';
+    }
+    out += close_pad + "}";
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[\n";
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      out += pad;
+      (*arr)[i].write(out, indent, depth + 1);
+      if (i + 1 < arr->size()) out += ',';
+      out += '\n';
+    }
+    out += close_pad + "]";
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  out += '\n';
+  return out;
+}
+
+// --------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    // Line/column of the current position, for actionable spec errors.
+    int line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << "JSON parse error at line " << line << ", column " << col << ": "
+       << what;
+    throw Error(os.str());
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    // Containers recurse once per nesting level; cap the depth so hostile
+    // or corrupted input fails with a parse error, not a stack overflow.
+    if (depth_ > kMaxDepth) fail("nesting deeper than 256 levels");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    ++depth_;
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected a quoted object key");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_whitespace();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    ++depth_;
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape sequence");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (!consume_literal("\\u")) fail("unpaired UTF-16 surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid UTF-16 surrogate pair");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("invalid number");
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0')
+        return JsonValue(static_cast<std::int64_t>(v));
+      // Out of int64 range: fall through to double.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("invalid number '" + token + "'");
+    // strtod turns an overflowing literal (typo'd exponent) into infinity;
+    // accepting that would silently corrupt the document. Underflow to a
+    // (finite) tiny value stays accepted.
+    if (!std::isfinite(d)) fail("number '" + token + "' is out of range");
+    return JsonValue(d);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace vidur

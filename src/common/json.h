@@ -1,0 +1,89 @@
+// Dependency-free JSON document type with an ordered-object writer and a
+// strict recursive-descent parser.
+//
+// JsonValue backs every machine-readable artifact in the repo: the
+// declarative experiment specs (src/api/), the CLI, and the BENCH_*.json
+// bench summaries. Integers are stored as int64 (not double) so that ids
+// and seeds round-trip losslessly; object members keep insertion order so
+// dumps are stable and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace vidur {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// Members keep insertion order; set() overwrites an existing key.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool v) : value_(v) {}
+  JsonValue(int v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(std::int64_t v) : value_(v) {}
+  JsonValue(std::size_t v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(double v) : value_(v) {}
+  JsonValue(const char* v) : value_(std::string(v)) {}
+  JsonValue(std::string v) : value_(std::move(v)) {}
+
+  static JsonValue object() { JsonValue j; j.value_ = Object{}; return j; }
+  static JsonValue array() { JsonValue j; j.value_ = Array{}; return j; }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  /// True for both integral and floating numbers.
+  bool is_number() const {
+    return is_int() || std::holds_alternative<double>(value_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Typed accessors; throw vidur::Error on a type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;  ///< exact integers only (no doubles)
+  double as_double() const;     ///< any number
+  const std::string& as_string() const;
+  const Array& items() const;
+  const Object& members() const;
+
+  /// Object member assignment (overwrites an existing key). Requires
+  /// object(); throws otherwise.
+  JsonValue& set(const std::string& key, JsonValue v);
+  /// Member lookup, nullptr when absent. Requires an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Member lookup; throws vidur::Error naming the missing key.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Array append. Requires array(); throws otherwise.
+  JsonValue& push(JsonValue v);
+  /// Element count of an array or object; throws otherwise.
+  std::size_t size() const;
+
+  /// Render as pretty-printed JSON text (trailing newline included).
+  /// Doubles print with the fewest digits that parse back exactly;
+  /// non-finite doubles render as null (JSON has no NaN/inf).
+  std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document. Throws vidur::Error with line/column
+  /// context on malformed input or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+  bool operator==(const JsonValue&) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               Object, Array>
+      value_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace vidur

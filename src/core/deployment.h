@@ -37,6 +37,8 @@ struct DeploymentConfig {
   /// Human-readable one-liner, e.g.
   /// "h100 tp2 pp2 x4 sarathi(bs=256, chunk=512)".
   std::string to_string() const;
+
+  bool operator==(const DeploymentConfig&) const = default;
 };
 
 }  // namespace vidur

@@ -50,6 +50,7 @@ class VidurSession {
   VidurSession(ModelSpec model, SessionOptions options);
 
   const ModelSpec& model() const { return model_; }
+  const SessionOptions& options() const { return options_; }
 
   /// Profile + train the estimator for a SKU (idempotent; simulate() calls
   /// this lazily). Thread-safe.

@@ -96,7 +96,15 @@ void MetricsCollector::record_operators(
 }
 
 SimulationMetrics MetricsCollector::finalize(Seconds now) const {
+  return finalize(now, static_fleet_report(cluster_.num_replicas, now,
+                                           cluster_.gpus_per_replica,
+                                           /*cost_per_gpu_hour=*/0.0));
+}
+
+SimulationMetrics MetricsCollector::finalize(
+    Seconds now, const ClusterScalingReport& scaling) const {
   SimulationMetrics m;
+  m.scaling = scaling;
   m.num_requests = requests_.size();
   m.makespan = now;
 
@@ -135,10 +143,13 @@ SimulationMetrics MetricsCollector::finalize(Seconds now) const {
     m.busy_fraction = total_busy_time_ / (now * cluster_.num_replicas);
 
     if (cluster_.peak_watts_per_gpu > 0) {
-      const double total_gpus =
-          static_cast<double>(cluster_.num_replicas) * cluster_.gpus_per_replica;
+      // Idle draw is billed against the fleet's paid GPU-time (the scaling
+      // report's replica timeline), not the static slot ceiling: a replica
+      // slot that was never provisioned draws nothing, and a decommissioned
+      // one stops drawing at release.
+      const double paid_gpu_seconds = scaling.gpu_hours * 3600.0;
       const double idle_gpu_seconds = std::max(
-          0.0, now * total_gpus - total_busy_time_ * cluster_.gpus_per_replica);
+          0.0, paid_gpu_seconds - total_busy_time_ * cluster_.gpus_per_replica);
       m.total_energy_joules =
           busy_energy_joules_ + idle_gpu_seconds * cluster_.idle_watts_per_gpu;
       if (output_tokens > 0)

@@ -24,6 +24,8 @@ struct SloSpec {
   Seconds tbt_target = 0.0;
 
   bool enabled() const { return ttft_target > 0.0 || tbt_target > 0.0; }
+
+  bool operator==(const SloSpec&) const = default;
 };
 
 /// Identity of one tenant for metric attribution (name, priority, SLO).
@@ -184,8 +186,15 @@ class MetricsCollector {
   /// Accumulate one stage execution's per-operator time attribution.
   void record_operators(const std::map<OpType, Seconds>& per_op);
 
-  /// Aggregate. `now` is the simulation end time (makespan).
+  /// Aggregate. `now` is the simulation end time (makespan). The overload
+  /// taking the fleet's scaling report attaches it to the result and bills
+  /// idle energy from the fleet's actual paid GPU-time — an autoscaled run
+  /// pays idle watts only while a replica is up (provisioning through
+  /// decommission), not for the whole static slot ceiling. The one-argument
+  /// form assumes a fixed fleet of `num_replicas` active the whole run.
   SimulationMetrics finalize(Seconds now) const;
+  SimulationMetrics finalize(Seconds now,
+                             const ClusterScalingReport& scaling) const;
 
   const std::vector<RequestRecord>& request_records() const {
     return requests_;

@@ -4,10 +4,38 @@
 #include <cmath>
 #include <numbers>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 
 namespace vidur {
+
+namespace {
+
+const std::vector<std::pair<RateProfileKind, std::string>>& kind_names() {
+  static const std::vector<std::pair<RateProfileKind, std::string>> table = {
+      {RateProfileKind::kConstant, "constant"},
+      {RateProfileKind::kDiurnal, "diurnal"},
+      {RateProfileKind::kRamp, "ramp"},
+      {RateProfileKind::kSpike, "spike"},
+      {RateProfileKind::kPiecewise, "piecewise"},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::string& rate_profile_kind_name(RateProfileKind kind) {
+  for (const auto& [k, n] : kind_names())
+    if (k == kind) return n;
+  throw Error("unhandled RateProfileKind");
+}
+
+RateProfileKind rate_profile_kind_from_name(const std::string& name) {
+  for (const auto& [k, n] : kind_names())
+    if (n == name) return k;
+  throw Error("unknown rate profile kind: " + name);
+}
 
 RateProfile RateProfile::constant() { return RateProfile{}; }
 

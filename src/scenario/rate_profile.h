@@ -24,11 +24,17 @@ enum class RateProfileKind {
   kPiecewise,  ///< step schedule: explicit (start_time, factor) segments
 };
 
+/// Stable name, e.g. "diurnal". Inverse: rate_profile_kind_from_name.
+const std::string& rate_profile_kind_name(RateProfileKind kind);
+RateProfileKind rate_profile_kind_from_name(const std::string& name);
+
 /// One step of a piecewise schedule: `factor` applies from `start_time`
 /// until the next step's start (the last step holds forever).
 struct RateStep {
   Seconds start_time = 0.0;
   double factor = 1.0;
+
+  bool operator==(const RateStep&) const = default;
 };
 
 class RateProfile {
@@ -65,6 +71,17 @@ class RateProfile {
   void validate() const;
 
   std::string to_string() const;
+
+  /// Raw parameter view for serialization (src/api/): the meaning of each
+  /// slot depends on kind() — see the private member comment. Reconstruct
+  /// through the named factories, never from these directly.
+  double raw_a() const { return a_; }
+  double raw_b() const { return b_; }
+  Seconds raw_t0() const { return t0_; }
+  Seconds raw_t1() const { return t1_; }
+  const std::vector<RateStep>& steps() const { return steps_; }
+
+  bool operator==(const RateProfile&) const = default;
 
  private:
   RateProfileKind kind_ = RateProfileKind::kConstant;

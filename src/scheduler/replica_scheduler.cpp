@@ -86,6 +86,21 @@ void ReplicaScheduler::extract(RequestState* request) {
   by_id_.erase(request->request.id);
 }
 
+std::vector<RequestState*> ReplicaScheduler::take_waiting() {
+  std::vector<RequestState*> out;
+  std::deque<RequestState*> keep;
+  for (RequestState* r : waiting_) {
+    if (r->in_flight) {
+      keep.push_back(r);
+      continue;
+    }
+    by_id_.erase(r->request.id);
+    out.push_back(r);
+  }
+  waiting_.swap(keep);
+  return out;
+}
+
 RequestState* ReplicaScheduler::admit_front(TokenCount tokens,
                                             bool respect_watermark) {
   RequestState* r = peek_waiting();

@@ -44,6 +44,14 @@ class ReplicaScheduler {
   /// its prefill completes, then hands it to a decode replica).
   void extract(RequestState* request);
 
+  /// Remove and return every queued-but-unstarted request (the waiting
+  /// queue), leaving admitted/running work untouched. Elastic clusters
+  /// re-route these through the GlobalScheduler when the replica starts
+  /// draining, so the drain only has to finish work that actually began
+  /// here. Requests whose stale preempted batch is still executing are
+  /// kept (they must stay findable for the batch-end bookkeeping).
+  std::vector<RequestState*> take_waiting();
+
   /// Request currently enqueued or running here, or nullptr.
   RequestState* find(RequestId id) const {
     const auto it = by_id_.find(id);

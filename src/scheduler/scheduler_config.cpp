@@ -34,6 +34,15 @@ SchedulerKind scheduler_from_name(const std::string& name) {
   throw Error("unknown scheduler: " + name);
 }
 
+const std::vector<std::string>& scheduler_names() {
+  static const std::vector<std::string> all = [] {
+    std::vector<std::string> out;
+    for (const auto& [k, n] : names()) out.push_back(n);
+    return out;
+  }();
+  return all;
+}
+
 void SchedulerConfig::validate() const {
   VIDUR_CHECK(max_batch_size >= 1);
   VIDUR_CHECK(max_tokens_per_iteration >= 1);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -19,6 +20,8 @@ enum class SchedulerKind {
 /// Stable name, e.g. "vllm", "sarathi". Inverse: scheduler_from_name.
 const std::string& scheduler_name(SchedulerKind kind);
 SchedulerKind scheduler_from_name(const std::string& name);
+/// Every scheduler name, in declaration order (for listings/validation).
+const std::vector<std::string>& scheduler_names();
 
 struct SchedulerConfig {
   SchedulerKind kind = SchedulerKind::kVllm;
@@ -33,6 +36,8 @@ struct SchedulerConfig {
 
   void validate() const;
   std::string to_string() const;
+
+  bool operator==(const SchedulerConfig&) const = default;
 };
 
 }  // namespace vidur

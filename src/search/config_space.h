@@ -26,6 +26,8 @@ struct SearchSpace {
   /// GPU budget. (Memory-infeasible configs are filtered later, during
   /// evaluation, where the failure is observable.)
   std::vector<DeploymentConfig> enumerate(const ModelSpec& model) const;
+
+  bool operator==(const SearchSpace&) const = default;
 };
 
 }  // namespace vidur

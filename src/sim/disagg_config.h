@@ -19,6 +19,8 @@ struct DisaggConfig {
   Seconds transfer_latency = 2e-3;
 
   bool enabled() const { return num_prefill_replicas > 0; }
+
+  bool operator==(const DisaggConfig&) const = default;
 };
 
 }  // namespace vidur

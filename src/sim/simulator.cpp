@@ -78,6 +78,7 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
     };
     hooks.work_remaining = [this] { return remaining_requests_ > 0; };
     hooks.on_activated = [this](ReplicaId r) { try_schedule(r); };
+    hooks.on_draining = [this](ReplicaId r) { reroute_waiting(r); };
     cluster_ = std::make_unique<ClusterManager>(
         config_.autoscale, config_.parallel.num_replicas, &events_,
         std::move(hooks));
@@ -122,18 +123,21 @@ SimulationMetrics Simulator::run() {
   const Seconds end_time = cluster_ && remaining_requests_ == 0
                                ? last_batch_end_
                                : events_.now();
-  SimulationMetrics metrics = metrics_.finalize(end_time);
-  metrics.scaling =
+  // The scaling report feeds finalize() so idle energy is billed on the
+  // fleet's actual paid GPU-time, not the static slot ceiling.
+  const ClusterScalingReport report =
       cluster_ ? cluster_->report(end_time,
                                   config_.parallel.gpus_per_replica(),
                                   config_.node.sku.cost_per_hour)
                : static_fleet_report(config_.parallel.num_replicas, end_time,
                                      config_.parallel.gpus_per_replica(),
                                      config_.node.sku.cost_per_hour);
-  return metrics;
+  return metrics_.finalize(end_time, report);
 }
 
-void Simulator::on_arrival(RequestState* request) {
+void Simulator::on_arrival(RequestState* request) { route_request(request); }
+
+void Simulator::route_request(RequestState* request) {
   const int routable = config_.disagg.enabled()
                            ? config_.disagg.num_prefill_replicas
                            : config_.parallel.num_replicas;
@@ -148,6 +152,16 @@ void Simulator::on_arrival(RequestState* request) {
   } else {
     // Deferred binding: every routable replica with room may pull it.
     for (ReplicaId r = 0; r < routable; ++r) try_schedule(r);
+  }
+}
+
+void Simulator::reroute_waiting(ReplicaId replica_id) {
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+  // The draining replica is already masked out of the routable set, so
+  // these land on surviving (or parked for warming) capacity.
+  for (RequestState* r : replica.scheduler->take_waiting()) {
+    r->replica = -1;
+    route_request(r);
   }
 }
 

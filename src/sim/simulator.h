@@ -94,6 +94,11 @@ class Simulator {
   };
 
   void on_arrival(RequestState* request);
+  /// Route (or re-route) a request through the global scheduler.
+  void route_request(RequestState* request);
+  /// Drain started on `replica_id`: push its queued-but-unstarted requests
+  /// back through the global scheduler so surviving replicas take them.
+  void reroute_waiting(ReplicaId replica_id);
   void try_schedule(ReplicaId replica_id);
   void start_stage(ReplicaId replica_id, StageId stage,
                    StageScheduler::BatchHandle handle);

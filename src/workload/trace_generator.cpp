@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/stats.h"
@@ -95,6 +96,31 @@ void TraceSpec::validate() const {
       "trace '" << name << "': minimum lengths ("
                 << min_prefill_tokens << " + " << min_decode_tokens
                 << ") exceed the total-token cap " << max_total_tokens);
+}
+
+namespace {
+
+const std::vector<std::pair<ArrivalKind, std::string>>& arrival_names() {
+  static const std::vector<std::pair<ArrivalKind, std::string>> table = {
+      {ArrivalKind::kStatic, "static"},
+      {ArrivalKind::kPoisson, "poisson"},
+      {ArrivalKind::kGamma, "gamma"},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::string& arrival_kind_name(ArrivalKind kind) {
+  for (const auto& [k, n] : arrival_names())
+    if (k == kind) return n;
+  throw Error("unhandled ArrivalKind");
+}
+
+ArrivalKind arrival_kind_from_name(const std::string& name) {
+  for (const auto& [k, n] : arrival_names())
+    if (n == name) return k;
+  throw Error("unknown arrival kind: " + name);
 }
 
 void ArrivalSpec::validate() const {

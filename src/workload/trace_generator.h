@@ -55,6 +55,10 @@ enum class ArrivalKind {
   kGamma,    ///< gamma-renewal process: bursty arrivals with CV > 1
 };
 
+/// Stable name, e.g. "poisson". Inverse: arrival_kind_from_name.
+const std::string& arrival_kind_name(ArrivalKind kind);
+ArrivalKind arrival_kind_from_name(const std::string& name);
+
 struct ArrivalSpec {
   ArrivalKind kind = ArrivalKind::kStatic;
   double qps = 1.0;  ///< mean arrival rate for kPoisson / kGamma
@@ -63,6 +67,8 @@ struct ArrivalSpec {
   /// Throws vidur::Error on a non-finite or non-positive rate (kPoisson /
   /// kGamma) or coefficient of variation (kGamma).
   void validate() const;
+
+  bool operator==(const ArrivalSpec&) const = default;
 };
 
 /// Sample lengths for one request (arrival time left at 0).

@@ -140,6 +140,7 @@ struct ManagerHarness {
   int parked = 0;
   bool work = true;
   std::vector<ReplicaId> activated;
+  std::vector<ReplicaId> drained;
   std::unique_ptr<ClusterManager> manager;
 
   explicit ManagerHarness(AutoscalerConfig config, int fleet) {
@@ -148,6 +149,7 @@ struct ManagerHarness {
     hooks.parked_requests = [this] { return parked; };
     hooks.work_remaining = [this] { return work; };
     hooks.on_activated = [this](ReplicaId r) { activated.push_back(r); };
+    hooks.on_draining = [this](ReplicaId r) { drained.push_back(r); };
     manager = std::make_unique<ClusterManager>(config, fleet, &events,
                                                std::move(hooks));
     manager->start();
@@ -248,6 +250,18 @@ TEST(ClusterManager, DoesNotDrainWhileOrderedCapacityIsStillColdStarting) {
   h.run_until(50.0);
   EXPECT_EQ(h.manager->num_pending(), 0);
   EXPECT_EQ(h.manager->num_active(), 1);
+}
+
+TEST(ClusterManager, DrainingFiresTheRerouteHook) {
+  AutoscalerConfig config = manager_config();
+  config.initial_replicas = 3;
+  ManagerHarness h(config, 4);
+  // Zero load: the first tick drains down to min_replicas (1), highest
+  // ids first, firing on_draining for each before any decommission.
+  h.run_until(6.0);
+  ASSERT_EQ(h.drained.size(), 2u);
+  EXPECT_EQ(h.drained[0], 2);
+  EXPECT_EQ(h.drained[1], 1);
 }
 
 TEST(ClusterManager, NeverDrainsBelowMinReplicas) {
@@ -457,6 +471,51 @@ TEST(ElasticSimulation, ScaleDownDrainsBeforeDecommission) {
   for (const auto& sample : m.scaling.active_timeline)
     active = sample.active;
   EXPECT_GE(active, 1);
+}
+
+TEST(ElasticSimulation, DrainReroutesQueuedButUnstartedRequests) {
+  // Two active replicas at batch size 1, ten requests at t=0 split 5/5 by
+  // least-outstanding routing: each replica runs one request and queues
+  // four. The first decision tick (t=1) sees load below the scale-down
+  // threshold and drains replica 1, whose four queued-but-unstarted
+  // requests must leave through the global scheduler — only the single
+  // running request may still complete on the drained replica.
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kStatic, 0, 0}, 10, 21);
+
+  AutoscalerConfig autoscale;
+  autoscale.kind = AutoscalerKind::kReactive;
+  autoscale.min_replicas = 1;
+  autoscale.initial_replicas = 2;
+  autoscale.decision_interval = 1.0;
+  autoscale.scale_down_cooldown = 0.0;
+  autoscale.target_load_per_replica = 10.0;
+  autoscale.scale_up_load = 20.0;
+  autoscale.scale_down_load = 6.0;
+
+  SimulationConfig config = elastic_config(2, autoscale);
+  config.scheduler.max_batch_size = 1;
+  Simulator sim(config, trace, reference_factory(config));
+  const SimulationMetrics m = sim.run();
+
+  EXPECT_EQ(m.num_completed, trace.size());
+  ASSERT_GE(m.scaling.num_scale_down_events, 1);
+  Seconds drain_time = -1.0;
+  for (const auto& e : m.scaling.events)
+    if (e.to == ReplicaState::kDraining && e.replica == 1) {
+      drain_time = e.time;
+      break;
+    }
+  ASSERT_GE(drain_time, 0.0);
+
+  // Completions on the drained replica after the drain started: exactly
+  // the one request that was already running (its queue re-routed away).
+  int completed_on_drained = 0;
+  for (const RequestState& r : sim.request_states())
+    if (r.replica == 1 && r.record.completed_time > drain_time)
+      ++completed_on_drained;
+  EXPECT_EQ(completed_on_drained, 1);
 }
 
 TEST(ElasticSimulation, AutoscaleRejectsDisaggregation) {

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -289,6 +290,143 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not deadlock
   SUCCEED();
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, BuildsOrderedObjectsAndArrays) {
+  JsonValue doc = JsonValue::object();
+  doc.set("b", 1);
+  doc.set("a", 2.5);
+  doc.set("flag", true);
+  doc.set("label", "x");
+  JsonValue arr = JsonValue::array();
+  arr.push(1).push(2).push(3);
+  doc.set("items", std::move(arr));
+
+  // Insertion order is preserved (not sorted).
+  EXPECT_EQ(doc.members()[0].first, "b");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.at("b").as_int(), 1);
+  EXPECT_DOUBLE_EQ(doc.at("a").as_double(), 2.5);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_EQ(doc.at("label").as_string(), "x");
+  EXPECT_EQ(doc.at("items").size(), 3u);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), Error);
+}
+
+TEST(Json, ParseDumpRoundTripPreservesStructure) {
+  const std::string text = R"({
+  "name": "x",
+  "count": 42,
+  "rate": 1.5,
+  "on": true,
+  "off": false,
+  "none": null,
+  "nested": {"list": [1, 2.25, "s"]}
+})";
+  const JsonValue parsed = JsonValue::parse(text);
+  // Round trip through dump() and back is identity.
+  EXPECT_EQ(JsonValue::parse(parsed.dump()), parsed);
+  EXPECT_EQ(parsed.at("count").as_int(), 42);
+  EXPECT_TRUE(parsed.at("none").is_null());
+  EXPECT_EQ(parsed.at("nested").at("list").items()[2].as_string(), "s");
+}
+
+TEST(Json, IntegersRoundTripLosslessly) {
+  // Values above 2^53 would be mangled as doubles; ints must stay ints.
+  const std::int64_t big = (std::int64_t{1} << 60) + 12345;
+  JsonValue doc = JsonValue::object();
+  doc.set("seed", big);
+  EXPECT_EQ(JsonValue::parse(doc.dump()).at("seed").as_int(), big);
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 123456.789,
+                         0.30000000000000004}) {
+    JsonValue doc = JsonValue::array();
+    doc.push(v);
+    EXPECT_EQ(JsonValue::parse(doc.dump()).items()[0].as_double(), v);
+  }
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+  JsonValue doc = JsonValue::array();
+  doc.push(nasty);
+  EXPECT_EQ(JsonValue::parse(doc.dump()).items()[0].as_string(), nasty);
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  // BMP codepoint and a surrogate pair (U+1F600).
+  const JsonValue v = JsonValue::parse(R"(["é", "😀"])");
+  EXPECT_EQ(v.items()[0].as_string(), "\xc3\xa9");
+  EXPECT_EQ(v.items()[1].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  oops\n}");
+    FAIL() << "expected vidur::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1} trailing"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1 \"b\": 2}"), Error);
+  EXPECT_THROW(JsonValue::parse("[1, 2"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1, \"a\": 2}"), Error);
+  EXPECT_THROW(JsonValue::parse(""), Error);
+}
+
+TEST(Json, DeepNestingFailsInsteadOfOverflowingTheStack) {
+  const std::string deep(100000, '[');
+  try {
+    JsonValue::parse(deep);
+    FAIL() << "expected vidur::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+  // 256 levels are within the cap.
+  std::string ok(200, '[');
+  ok += "1";
+  ok += std::string(200, ']');
+  EXPECT_NO_THROW(JsonValue::parse(ok));
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  JsonValue num(3);
+  EXPECT_THROW(num.as_string(), Error);
+  EXPECT_THROW(num.set("k", 1), Error);
+  EXPECT_THROW(num.push(1), Error);
+  JsonValue dbl(3.5);
+  EXPECT_THROW(dbl.as_int(), Error);  // as_int is exact-integers-only
+  EXPECT_DOUBLE_EQ(dbl.as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(num.as_double(), 3.0);  // ints widen to double
+}
+
+TEST(Json, OverflowingNumberLiteralsRejected) {
+  // A typo'd exponent must fail loudly, not silently become infinity.
+  EXPECT_THROW(JsonValue::parse("[1e400]"), Error);
+  EXPECT_THROW(JsonValue::parse("[-1e400]"), Error);
+  // Underflow collapses to a finite tiny value and stays accepted.
+  EXPECT_NO_THROW(JsonValue::parse("[1e-400]"));
+}
+
+TEST(Json, WholeValuedDoublesKeepTheirTypeAcrossRoundTrip) {
+  JsonValue doc = JsonValue::array();
+  doc.push(2.0);
+  doc.push(-12.0);
+  const JsonValue back = JsonValue::parse(doc.dump());
+  EXPECT_FALSE(back.items()[0].is_int());  // "2.0", not "2"
+  EXPECT_FALSE(back.items()[1].is_int());
+  EXPECT_EQ(back, doc);
+}
+
+TEST(Json, NonFiniteDoublesDumpAsNull) {
+  JsonValue doc = JsonValue::array();
+  doc.push(std::nan(""));
+  EXPECT_TRUE(JsonValue::parse(doc.dump()).items()[0].is_null());
 }
 
 }  // namespace

@@ -239,6 +239,50 @@ TEST(MetricsEnergy, IntensityUsesDominantRooflineAxis) {
   EXPECT_NEAR(collector.finalize(1.0).total_energy_joules, 500.0, 1e-6);
 }
 
+TEST(MetricsEnergy, AutoscaledFleetBillsIdleWattsFromScalingTimeline) {
+  // 4-slot elastic fleet that averaged one active replica over a 10s run:
+  // idle watts follow the paid replica-hours in the scaling report, not
+  // the static slot ceiling.
+  ClusterResources cluster = one_gpu_cluster();
+  cluster.num_replicas = 4;
+  MetricsCollector collector(cluster);
+  collector.record_request(one_token_request());
+
+  ClusterScalingReport scaling;
+  scaling.enabled = true;
+  scaling.fleet_size = 4;
+  scaling.replica_hours = 10.0 / 3600.0;  // 10 paid replica-seconds
+  scaling.gpu_hours = scaling.replica_hours;
+  const SimulationMetrics elastic = collector.finalize(10.0, scaling);
+  EXPECT_NEAR(elastic.total_energy_joules, 10.0 * 100.0, 1e-6);
+  EXPECT_TRUE(elastic.scaling.enabled);
+
+  // The one-argument finalize keeps the legacy static-fleet assumption:
+  // every slot always on, 4x the idle energy.
+  const SimulationMetrics static_fleet = collector.finalize(10.0);
+  EXPECT_NEAR(static_fleet.total_energy_joules, 4 * 10.0 * 100.0, 1e-6);
+  EXPECT_FALSE(static_fleet.scaling.enabled);
+  EXPECT_EQ(static_fleet.scaling.fleet_size, 4);
+}
+
+TEST(MetricsEnergy, BusyEnergyStillAccruesUnderAScalingReport) {
+  // A fully-utilized 2s batch plus 8 paid-but-idle GPU-seconds.
+  MetricsCollector collector(one_gpu_cluster());
+  BatchRecord batch;
+  batch.start_time = 0.0;
+  batch.end_time = 2.0;
+  batch.flops = 2e12;  // 100% utilization for 2s
+  collector.record_batch(batch);
+  collector.record_request(one_token_request());
+
+  ClusterScalingReport scaling;
+  scaling.enabled = true;
+  scaling.fleet_size = 1;
+  scaling.gpu_hours = 10.0 / 3600.0;
+  const SimulationMetrics m = collector.finalize(10.0, scaling);
+  EXPECT_NEAR(m.total_energy_joules, 2.0 * 500.0 + 8.0 * 100.0, 1e-6);
+}
+
 TEST(MetricsEnergy, EnergyPerTokenDividesByOutputTokens) {
   MetricsCollector collector(one_gpu_cluster());
   RequestRecord r = sample_record();  // 10 decode tokens

@@ -1,0 +1,205 @@
+// `vidur` — the command-line front door of the declarative experiment API.
+//
+// Runs serializable ExperimentSpec files end to end, so every model, SKU,
+// trace and scenario in the registries is reachable without writing or
+// recompiling a bespoke harness:
+//
+//   vidur run spec.json [--out result.json] [--quiet]
+//   vidur validate spec.json
+//   vidur list scenarios|models|skus|traces|schedulers|modes
+//   vidur init [simulate|reference|capacity_search|elastic_plan]
+//
+// `run` writes the result document (same shape as the BENCH_*.json
+// artifacts) to --out, or EXPERIMENT_<name>.json in the current directory.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/run.h"
+#include "common/check.h"
+#include "hardware/sku.h"
+#include "model/model_spec.h"
+#include "scenario/registry.h"
+
+namespace {
+
+using namespace vidur;
+
+int usage(std::ostream& os, int exit_code) {
+  os << "vidur — declarative experiment runner\n"
+        "\n"
+        "usage:\n"
+        "  vidur run <spec.json> [--out <file>] [--quiet]\n"
+        "  vidur validate <spec.json>\n"
+        "  vidur list scenarios|models|skus|traces|schedulers|modes\n"
+        "  vidur init [simulate|reference|capacity_search|elastic_plan]\n"
+        "\n"
+        "run       execute the spec (expanding sweep axes) and write the\n"
+        "          result JSON to --out or EXPERIMENT_<name>.json\n"
+        "validate  parse + validate the spec, reporting actionable errors\n"
+        "list      print the registered names usable in spec files\n"
+        "init      print a template spec for the given mode to stdout\n";
+  return exit_code;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  VIDUR_CHECK_MSG(in.good(), "cannot open spec file '" << path << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// EXPERIMENT_<name>.json with filesystem-hostile characters replaced.
+std::string default_output_path(const std::string& name) {
+  std::string safe = name;
+  for (char& c : safe) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_')
+      c = '_';
+  }
+  return "EXPERIMENT_" + safe + ".json";
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string spec_path, out_path;
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      VIDUR_CHECK_MSG(i + 1 < args.size(), "--out needs a file argument");
+      out_path = args[++i];
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else if (spec_path.empty()) {
+      spec_path = args[i];
+    } else {
+      throw Error("unexpected argument '" + args[i] + "'");
+    }
+  }
+  VIDUR_CHECK_MSG(!spec_path.empty(), "run needs a spec file argument");
+
+  const ExperimentSpec spec =
+      ExperimentSpec::from_json_string(read_file(spec_path));
+  spec.validate();
+  if (out_path.empty()) out_path = default_output_path(spec.name);
+
+  if (!quiet)
+    std::cout << "running '" << spec.name << "' ("
+              << experiment_mode_name(spec.mode) << ", " << spec.model
+              << ", " << spec.sweep.num_points() << " point"
+              << (spec.sweep.num_points() == 1 ? "" : "s") << ")\n";
+
+  int failures = 0;
+  if (spec.sweep.empty()) {
+    const ExperimentResult result = run_experiment(spec);
+    if (!quiet) std::cout << "\n" << result.to_string();
+    write_experiment_json(result, out_path);
+  } else {
+    const std::vector<ExperimentResult> results = run_sweep(spec);
+    for (const ExperimentResult& r : results) {
+      if (!quiet) std::cout << "\n" << r.to_string();
+      failures += r.failed() ? 1 : 0;
+    }
+    if (failures > 0)
+      std::cout << "\n" << failures << "/" << results.size()
+                << " sweep points failed (see the result JSON)\n";
+    write_sweep_json(spec, results, out_path);
+  }
+  std::cout << "[experiment json] " << out_path << "\n";
+  return failures > 0 ? 1 : 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  VIDUR_CHECK_MSG(args.size() == 1, "validate needs exactly one spec file");
+  const ExperimentSpec spec =
+      ExperimentSpec::from_json_string(read_file(args[0]));
+  spec.validate();
+  std::cout << "OK: '" << spec.name << "' ("
+            << experiment_mode_name(spec.mode) << ", " << spec.model
+            << " on " << spec.deployment.sku_name << ", "
+            << spec.sweep.num_points() << " point"
+            << (spec.sweep.num_points() == 1 ? "" : "s") << ")\n";
+  return 0;
+}
+
+int cmd_list(const std::vector<std::string>& args) {
+  VIDUR_CHECK_MSG(args.size() == 1,
+                  "list needs one of: scenarios, models, skus, traces, "
+                  "schedulers, modes");
+  const std::string& what = args[0];
+  std::vector<std::string> names;
+  if (what == "scenarios") {
+    for (const std::string& n : ScenarioRegistry::instance().names()) {
+      std::cout << n << "  —  " << scenario_by_name(n).to_string() << "\n";
+    }
+    return 0;
+  } else if (what == "models") {
+    names = builtin_model_names();
+  } else if (what == "skus") {
+    names = builtin_sku_names();
+  } else if (what == "traces") {
+    names = builtin_trace_names();
+  } else if (what == "schedulers") {
+    names = scheduler_names();
+  } else if (what == "modes") {
+    names = experiment_mode_names();
+  } else {
+    throw Error("unknown list target '" + what +
+                "'; expected scenarios, models, skus, traces, schedulers or "
+                "modes");
+  }
+  for (const std::string& n : names) std::cout << n << "\n";
+  return 0;
+}
+
+int cmd_init(const std::vector<std::string>& args) {
+  ExperimentSpec spec;
+  spec.name = "my-experiment";
+  if (!args.empty()) spec.mode = experiment_mode_from_name(args[0]);
+  switch (spec.mode) {
+    case ExperimentMode::kSimulate:
+    case ExperimentMode::kReference:
+      break;
+    case ExperimentMode::kCapacitySearch:
+      // A trimmed space so the template runs in minutes, not hours.
+      spec.search.skus = {"a100"};
+      spec.search.pp_degrees = {1};
+      spec.search.batch_sizes = {64, 128};
+      break;
+    case ExperimentMode::kElasticPlan: {
+      spec.workload = WorkloadSpec{};
+      spec.workload.scenario = "flash-crowd-mixed";
+      spec.workload.num_requests = 0;
+      AutoscalerConfig autoscale;
+      autoscale.kind = AutoscalerKind::kReactive;
+      spec.deployment.autoscale = autoscale;
+      spec.deployment.global_scheduler = GlobalSchedulerKind::kLeastOutstanding;
+      break;
+    }
+  }
+  std::cout << spec.to_json_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "run") return cmd_run(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "list") return cmd_list(args);
+    if (command == "init") return cmd_init(args);
+    if (command == "--help" || command == "-h" || command == "help")
+      return usage(std::cout, 0);
+    std::cerr << "unknown command '" << command << "'\n\n";
+    return usage(std::cerr, 2);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
