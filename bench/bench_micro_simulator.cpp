@@ -1,17 +1,29 @@
 // Microbenchmarks of the simulator machinery itself: end-to-end simulation
 // throughput (events and requests per second of wall time), estimator
-// prediction latency with and without the lookup cache, and capacity-search
-// cost. These are what make the paper's "42K GPU-hours in one CPU-hour"
-// economics work.
-#include <benchmark/benchmark.h>
+// prediction latency with and without the lookup cache, stage-timing memo
+// effectiveness, and capacity-search cost. These are what make the paper's
+// "42K GPU-hours in one CPU-hour" economics work.
+//
+// Writes BENCH_sim_core.json via bench_util so CI tracks the core's perf
+// trajectory next to the fidelity benches. Self-timed (std::chrono) rather
+// than Google-Benchmark-based so the harness builds and runs everywhere CI
+// does.
+#include <chrono>
+#include <iostream>
 
-#include "core/session.h"
+#include "bench_util.h"
 #include "search/capacity.h"
 #include "workload/trace_generator.h"
 
 namespace {
 
 using namespace vidur;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 VidurSession& shared_session(const std::string& model) {
   static std::map<std::string, std::unique_ptr<VidurSession>> sessions;
@@ -35,88 +47,134 @@ DeploymentConfig config_for(const std::string& model, SchedulerKind kind) {
   return config;
 }
 
-void BM_SimulateChat(benchmark::State& state, const std::string& model,
-                     SchedulerKind kind) {
+/// One BM_SimulateChat case: repeated end-to-end simulations of `n`
+/// chat requests, reporting requests/s and events/s of wall time.
+bench::Json simulate_chat_case(const std::string& model, SchedulerKind kind,
+                               int n) {
   VidurSession& session = shared_session(model);
   const DeploymentConfig config = config_for(model, kind);
-  const int n = static_cast<int>(state.range(0));
   const Trace trace =
       generate_trace(trace_by_name("chat1m"),
                      ArrivalSpec{ArrivalKind::kPoisson, 1.0, 0}, n, 1);
-  std::int64_t requests = 0;
-  for (auto _ : state) {
-    const SimulationMetrics m = session.simulate(config, trace);
-    benchmark::DoNotOptimize(m.throughput_qps);
-    requests += n;
+
+  // Warm the estimator cache and the allocator once, untimed.
+  SimulationMetrics metrics = session.simulate(config, trace);
+
+  const int reps = bench::scaled(40, 3);
+  std::uint64_t events = 0;
+  const double start = now_seconds();
+  for (int i = 0; i < reps; ++i) {
+    metrics = session.simulate(config, trace);
+    events += metrics.num_sim_events;
   }
-  state.counters["requests/s"] =
-      benchmark::Counter(static_cast<double>(requests),
-                         benchmark::Counter::kIsRate);
+  const double elapsed = now_seconds() - start;
+
+  bench::Json j = bench::Json::object();
+  j.set("num_requests", static_cast<std::int64_t>(n));
+  j.set("reps", static_cast<std::int64_t>(reps));
+  j.set("sim_wall_ms", elapsed / reps * 1e3);
+  j.set("requests_per_sec", static_cast<double>(n) * reps / elapsed);
+  j.set("events_per_sec", static_cast<double>(events) / elapsed);
+  j.set("events_per_sim", static_cast<double>(events) / reps);
+  std::cout << "BM_SimulateChat/" << model << "/" << scheduler_name(kind)
+            << ": "
+            << static_cast<long>(static_cast<double>(n) * reps / elapsed)
+            << " requests/s, "
+            << static_cast<long>(static_cast<double>(events) / elapsed)
+            << " events/s\n";
+  return j;
 }
 
-void BM_OnboardModel(benchmark::State& state) {
-  for (auto _ : state) {
-    VidurSession session(model_by_name("llama2-7b"));
-    session.onboard("a100");
-    benchmark::DoNotOptimize(session.profile("a100").total_points());
-  }
-}
-
-void BM_EstimatorPredictCached(benchmark::State& state) {
+bench::Json estimator_case() {
   VidurSession& session = shared_session("llama2-7b");
   const RuntimeEstimator& est = session.estimator("a100");
   OpInput in;
   in.tokens = 512;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(est.predict(OpType::kMlpGateUpProj, 1, in));
+
+  // Snapshot before the latency loops: these counters reflect the
+  // simulate-chat workload above, not the all-hit measurement loop below.
+  const std::size_t workload_hits = est.cache_hits();
+  const std::size_t workload_misses = est.cache_misses();
+
+  const int cached_iters = bench::scaled(2000000, 100000);
+  double sink = 0.0;
+  double start = now_seconds();
+  for (int i = 0; i < cached_iters; ++i)
+    sink += est.predict(OpType::kMlpGateUpProj, 1, in);
+  const double cached_ns = (now_seconds() - start) / cached_iters * 1e9;
+
+  const int uncached_iters = bench::scaled(20000, 2000);
+  start = now_seconds();
+  for (int i = 0; i < uncached_iters; ++i)
+    sink += est.predict_uncached(OpType::kMlpGateUpProj, 1, in);
+  const double uncached_ns = (now_seconds() - start) / uncached_iters * 1e9;
+
+  const double hit_rate =
+      workload_hits + workload_misses > 0
+          ? static_cast<double>(workload_hits) /
+                static_cast<double>(workload_hits + workload_misses)
+          : 0.0;
+
+  bench::Json j = bench::Json::object();
+  j.set("cached_ns_per_pred", cached_ns);
+  j.set("uncached_ns_per_pred", uncached_ns);
+  j.set("cache_hit_rate", hit_rate);
+  j.set("cache_entries", static_cast<std::int64_t>(est.cache_size()));
+  j.set("checksum", sink);  // keeps the loops from being optimized out
+  std::cout << "BM_EstimatorPredict: cached " << cached_ns << " ns, uncached "
+            << uncached_ns << " ns, hit rate " << hit_rate << "\n";
+  return j;
 }
 
-void BM_EstimatorPredictUncached(benchmark::State& state) {
-  VidurSession& session = shared_session("llama2-7b");
-  const RuntimeEstimator& est = session.estimator("a100");
-  OpInput in;
-  in.tokens = 512;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        est.predict_uncached(OpType::kMlpGateUpProj, 1, in));
-}
-
-void BM_CapacitySearch(benchmark::State& state) {
+bench::Json capacity_search_case() {
   VidurSession& session = shared_session("llama2-7b");
   const DeploymentConfig config =
       config_for("llama2-7b", SchedulerKind::kSarathi);
   CapacitySearchOptions options;
-  options.num_requests = 150;
+  options.num_requests = bench::scaled(150, 50);
   options.binary_search_iters = 4;
-  for (auto _ : state) {
-    const CapacityResult cap =
-        find_capacity(session, config, trace_by_name("chat1m"), options);
-    benchmark::DoNotOptimize(cap.capacity_qps);
-    state.counters["probes"] = cap.num_probes;
-  }
+  const double start = now_seconds();
+  const CapacityResult cap =
+      find_capacity(session, config, trace_by_name("chat1m"), options);
+  const double elapsed = now_seconds() - start;
+  bench::Json j = bench::Json::object();
+  j.set("wall_ms", elapsed * 1e3);
+  j.set("capacity_qps", cap.capacity_qps);
+  j.set("probes", static_cast<std::int64_t>(cap.num_probes));
+  std::cout << "BM_CapacitySearch: " << elapsed * 1e3 << " ms, "
+            << cap.num_probes << " probes\n";
+  return j;
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_SimulateChat, llama7b_vllm, "llama2-7b",
-                  vidur::SchedulerKind::kVllm)
-    ->Arg(200)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SimulateChat, llama7b_sarathi, "llama2-7b",
-                  vidur::SchedulerKind::kSarathi)
-    ->Arg(200)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SimulateChat, llama70b_vllm, "llama2-70b",
-                  vidur::SchedulerKind::kVllm)
-    ->Arg(200)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SimulateChat, llama70b_orca, "llama2-70b",
-                  vidur::SchedulerKind::kOrca)
-    ->Arg(200)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_OnboardModel)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_EstimatorPredictCached);
-BENCHMARK(BM_EstimatorPredictUncached);
-BENCHMARK(BM_CapacitySearch)->Unit(benchmark::kMillisecond);
+int main() {
+  const int n = bench::scaled(200, 50);
 
-BENCHMARK_MAIN();
+  bench::Json chat = bench::Json::object();
+  struct Case {
+    const char* key;
+    const char* model;
+    SchedulerKind kind;
+  };
+  const Case cases[] = {
+      {"llama7b_vllm", "llama2-7b", SchedulerKind::kVllm},
+      {"llama7b_sarathi", "llama2-7b", SchedulerKind::kSarathi},
+      {"llama70b_vllm", "llama2-70b", SchedulerKind::kVllm},
+      {"llama70b_orca", "llama2-70b", SchedulerKind::kOrca},
+  };
+  for (const Case& c : cases) {
+    if (!bench::model_enabled(c.model)) continue;
+    chat.set(c.key, simulate_chat_case(c.model, c.kind, n));
+  }
+
+  bench::Json results = bench::Json::object();
+  results.set("BM_SimulateChat", chat);
+  if (bench::model_enabled("llama2-7b")) {
+    results.set("BM_EstimatorPredict", estimator_case());
+    results.set("BM_CapacitySearch", capacity_search_case());
+  }
+
+  bench::write_bench_json("sim_core", results);
+  return 0;
+}

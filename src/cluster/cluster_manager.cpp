@@ -30,7 +30,12 @@ ClusterManager::ClusterManager(AutoscalerConfig config, int fleet_size,
                                                     : config_.initial_replicas;
   VIDUR_CHECK_MSG(initial <= fleet_size_,
                   "autoscaler: initial_replicas exceeds the fleet size");
+  // Decision ticks ride the typed event path: one registered handler
+  // instead of a fresh std::function per tick.
+  events_->set_tick_handler([this] { evaluate(); });
 }
+
+ClusterManager::~ClusterManager() { events_->set_tick_handler(nullptr); }
 
 void ClusterManager::start() {
   const int initial = config_.initial_replicas == 0 ? config_.min_replicas
@@ -41,7 +46,7 @@ void ClusterManager::start() {
     up_since_[static_cast<std::size_t>(r)] = 0.0;
     transition(r, ReplicaState::kActive, 0.0);
   }
-  events_->schedule(config_.decision_interval, [this] { evaluate(); });
+  events_->schedule_tick(config_.decision_interval);
 }
 
 int ClusterManager::count(ReplicaState s) const {
@@ -82,7 +87,7 @@ void ClusterManager::evaluate() {
   }
 
   if (hooks_.work_remaining())
-    events_->schedule(now + config_.decision_interval, [this] { evaluate(); });
+    events_->schedule_tick(now + config_.decision_interval);
 }
 
 void ClusterManager::scale_up(int n, Seconds now) {

@@ -44,6 +44,9 @@ class ClusterManager {
   /// scale-up ceiling). Throws vidur::Error on invalid configuration.
   ClusterManager(AutoscalerConfig config, int fleet_size, EventQueue* events,
                  Hooks hooks);
+  /// Unregisters the tick handler; a tick still pending in the queue then
+  /// fails fast instead of invoking a destroyed manager.
+  ~ClusterManager();
 
   /// Activate the initial replicas (warm at t=0, no cold-start delay) and
   /// schedule the first decision tick. Call once, before the run starts.

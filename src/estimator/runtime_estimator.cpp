@@ -1,5 +1,6 @@
 #include "estimator/runtime_estimator.h"
 
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -26,15 +27,24 @@ RuntimeEstimator::RuntimeEstimator(const ProfileDb& db, Options options)
     models_[key] = std::move(model);
   }
   VIDUR_CHECK_MSG(!models_.empty(), "profile database is empty");
+
+  const std::size_t capacity =
+      std::bit_ceil(std::max<std::size_t>(options_.cache_slots, 64));
+  slots_ = std::make_unique<Slot[]>(capacity);
+  slot_mask_ = capacity - 1;
 }
 
 bool RuntimeEstimator::has_model(OpType op, int shard) const {
   return models_.count(ProfileKey{op, shard}) > 0;
 }
 
+long RuntimeEstimator::quantize_decode_kv(long kv_tokens) const {
+  return round_to(kv_tokens, options_.decode_kv_rounding);
+}
+
 OpInput RuntimeEstimator::quantize(OpType op, OpInput in) const {
   if (op == OpType::kAttnDecode) {
-    in.kv_tokens = round_to(in.kv_tokens, options_.decode_kv_rounding);
+    in.kv_tokens = quantize_decode_kv(in.kv_tokens);
   } else if (op_class(op) == OpClass::kCommunication) {
     in.bytes = round_to(in.bytes, options_.comm_bytes_rounding);
   }
@@ -45,11 +55,11 @@ std::uint64_t RuntimeEstimator::cache_key(OpType op, int shard,
                                           const OpInput& in) const {
   // Layout: [op:6][shard:6][f0:28][f1:24]; inputs far exceeding the packed
   // range would alias, so widths are chosen to cover the simulator's domain
-  // (f0 < 2^28 covers byte counts after 4K quantization).
-  const auto f = in.features(op);
-  const auto f0 = static_cast<std::uint64_t>(f[0] < 0 ? 0 : f[0]);
-  const auto f1 =
-      f.size() > 1 ? static_cast<std::uint64_t>(f[1] < 0 ? 0 : f[1]) : 0;
+  // (f0 < 2^28 covers byte counts after 4K quantization). Op ids stay far
+  // below 62, so packed keys can never collide with the slot sentinels.
+  const auto [raw0, raw1] = in.key_features(op);
+  const auto f0 = static_cast<std::uint64_t>(raw0 < 0 ? 0 : raw0);
+  const auto f1 = static_cast<std::uint64_t>(raw1 < 0 ? 0 : raw1);
   std::uint64_t key = static_cast<std::uint64_t>(op) & 0x3f;
   key = (key << 6) | (static_cast<std::uint64_t>(shard) & 0x3f);
   key = (key << 28) | (f0 & 0xfffffff);
@@ -57,24 +67,60 @@ std::uint64_t RuntimeEstimator::cache_key(OpType op, int shard,
   return key;
 }
 
+bool RuntimeEstimator::cache_lookup(std::uint64_t key, double* value) const {
+  std::size_t idx = hash_key(key) & slot_mask_;
+  for (std::size_t probes = 0; probes <= slot_mask_;
+       ++probes, idx = (idx + 1) & slot_mask_) {
+    const std::uint64_t k = slots_[idx].key.load(std::memory_order_acquire);
+    if (k == key) {
+      *value = std::bit_cast<double>(
+          slots_[idx].value_bits.load(std::memory_order_acquire));
+      return true;
+    }
+    if (k == kEmptyKey) return false;
+    // kBusy (an insert mid-publication) or another key: keep probing. A
+    // busy slot that turns out to be ours counts as a miss this time; the
+    // recomputed value is identical, so the race is benign.
+  }
+  return false;
+}
+
+void RuntimeEstimator::cache_insert(std::uint64_t key, double value) const {
+  // Load cap at 50%: probe chains stay short, and a saturated table
+  // degrades to recomputing instead of probing forever.
+  if (cache_used_.load(std::memory_order_relaxed) * 2 > slot_mask_) return;
+  std::size_t idx = hash_key(key) & slot_mask_;
+  for (std::size_t probes = 0; probes <= slot_mask_;
+       ++probes, idx = (idx + 1) & slot_mask_) {
+    std::uint64_t k = slots_[idx].key.load(std::memory_order_acquire);
+    if (k == key) return;  // another thread published the same entry
+    if (k != kEmptyKey) continue;
+    std::uint64_t expected = kEmptyKey;
+    if (slots_[idx].key.compare_exchange_strong(expected, kBusyKey,
+                                                std::memory_order_acq_rel)) {
+      // Value before key: a reader that sees the key also sees the value.
+      slots_[idx].value_bits.store(std::bit_cast<std::uint64_t>(value),
+                                   std::memory_order_release);
+      slots_[idx].key.store(key, std::memory_order_release);
+      cache_used_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (expected == key) return;  // lost the race to an identical insert
+  }
+}
+
 double RuntimeEstimator::predict(OpType op, int shard,
                                  const OpInput& in) const {
   const OpInput q = quantize(op, in);
   const std::uint64_t key = cache_key(op, shard, q);
-  {
-    std::lock_guard lock(cache_mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      return it->second;
-    }
-    ++cache_misses_;
+  double value;
+  if (cache_lookup(key, &value)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return value;
   }
-  const double value = predict_uncached(op, shard, q);
-  {
-    std::lock_guard lock(cache_mutex_);
-    cache_.emplace(key, value);
-  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  value = predict_uncached(op, shard, q);
+  cache_insert(key, value);
   return value;
 }
 
@@ -103,11 +149,6 @@ double RuntimeEstimator::evaluate_mape(
   }
   VIDUR_CHECK(n > 0);
   return acc / static_cast<double>(n);
-}
-
-std::size_t RuntimeEstimator::cache_size() const {
-  std::lock_guard lock(cache_mutex_);
-  return cache_.size();
 }
 
 }  // namespace vidur

@@ -2,12 +2,20 @@
 // operator variant and serves predictions through an operation-wise lookup
 // table (a memo cache over quantized input sizes), which is what the
 // simulator queries on its hot path.
+//
+// The lookup table is a fixed-capacity open-addressing flat table with
+// atomic slots: the read path takes no lock (single-threaded simulation
+// pays two atomic loads per hit; sweep threads sharing one estimator stop
+// serializing on a mutex). Writers claim empty slots with a CAS and publish
+// key-after-value, so readers never observe a half-written entry — at worst
+// a concurrent reader misses an in-flight insert and recomputes the same
+// deterministic value.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
 #include "estimator/regression.h"
 #include "profiler/profile_db.h"
@@ -23,14 +31,27 @@ class RuntimeEstimator {
     long decode_kv_rounding = 64;
     /// Quantization of communication byte counts for cache keys.
     long comm_bytes_rounding = 4096;
+    /// Slots in the open-addressing prediction cache (rounded up to a power
+    /// of two). Inserts stop at 50% load; further misses recompute. The
+    /// quantized key space of a simulation is a few thousand entries, so the
+    /// default never saturates in practice.
+    std::size_t cache_slots = 1 << 16;
   };
 
   /// Trains all per-operator models from the profile database.
   explicit RuntimeEstimator(const ProfileDb& db) : RuntimeEstimator(db, Options{}) {}
   RuntimeEstimator(const ProfileDb& db, Options options);
 
+  const Options& options() const { return options_; }
+
+  /// The decode-KV quantization predict() applies to kAttnDecode inputs.
+  /// Public so dependants (the stage-timing memo) bucket with the exact
+  /// same rounding instead of re-deriving it.
+  long quantize_decode_kv(long kv_tokens) const;
+
   /// Predicted runtime of `op` (sharded at `shard`: TP degree for model ops,
-  /// world size for collectives) with input `in`. Thread-safe; memoized.
+  /// world size for collectives) with input `in`. Thread-safe; memoized;
+  /// lock-free on both hit and miss paths.
   double predict(OpType op, int shard, const OpInput& in) const;
 
   /// Prediction bypassing the cache (used by tests and the ablation bench).
@@ -41,31 +62,52 @@ class RuntimeEstimator {
                        const std::vector<ProfilePoint>& heldout) const;
 
   bool has_model(OpType op, int shard) const;
-  std::size_t cache_size() const;
-  std::size_t cache_hits() const { return cache_hits_; }
-  std::size_t cache_misses() const { return cache_misses_; }
+  std::size_t cache_size() const {
+    return cache_used_.load(std::memory_order_relaxed);
+  }
+  std::size_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  std::size_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct KeyHash {
-    std::size_t operator()(std::uint64_t k) const {
-      // splitmix-style finalizer.
-      k ^= k >> 33;
-      k *= 0xff51afd7ed558ccdULL;
-      k ^= k >> 33;
-      return static_cast<std::size_t>(k);
-    }
+  /// One cache slot. `key` transitions kEmpty -> kBusy -> the real key;
+  /// `value_bits` is the prediction's double, bit-cast, written before the
+  /// key is published.
+  struct Slot {
+    std::atomic<std::uint64_t> key{kEmptyKey};
+    std::atomic<std::uint64_t> value_bits{0};
   };
+
+  /// Sentinels live outside the reachable key space: cache_key() packs the
+  /// op id into the top bits, and no op id comes near 63.
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+  static constexpr std::uint64_t kBusyKey = ~0ULL - 1;
+
+  static std::size_t hash_key(std::uint64_t k) {
+    // splitmix-style finalizer.
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
 
   /// Quantize inputs so near-identical queries share a cache entry.
   OpInput quantize(OpType op, OpInput in) const;
   std::uint64_t cache_key(OpType op, int shard, const OpInput& in) const;
 
+  bool cache_lookup(std::uint64_t key, double* value) const;
+  void cache_insert(std::uint64_t key, double value) const;
+
   Options options_;
   std::map<ProfileKey, std::unique_ptr<RegressionModel>> models_;
-  mutable std::unordered_map<std::uint64_t, double, KeyHash> cache_;
-  mutable std::mutex cache_mutex_;
-  mutable std::size_t cache_hits_ = 0;
-  mutable std::size_t cache_misses_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t slot_mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
+  mutable std::atomic<std::size_t> cache_used_{0};
+  mutable std::atomic<std::size_t> cache_hits_{0};
+  mutable std::atomic<std::size_t> cache_misses_{0};
 };
 
 }  // namespace vidur

@@ -9,6 +9,8 @@
 
 namespace vidur {
 
+struct RequestState;
+
 /// One request's contribution to an iteration.
 struct BatchItem {
   RequestId request = -1;
@@ -21,6 +23,28 @@ struct BatchItem {
   bool is_prefill = false;
   /// True when this iteration finishes the prompt (produces the 1st token).
   bool completes_prefill = false;
+  /// Owning request (set by the scheduler when it forms the batch; spares
+  /// the batch-end bookkeeping an id lookup per item). May be null in
+  /// hand-built test batches that never reach on_batch_end.
+  RequestState* state = nullptr;
+};
+
+/// Per-iteration aggregates of one batch, computed in a single pass over
+/// the items (the individual BatchSpec accessors each re-walk the batch;
+/// the hot paths — FLOP accounting, stage-timing memo keys, HBM accounting
+/// — pull everything they need from one of these instead).
+struct BatchAggregates {
+  TokenCount total_q = 0;
+  /// KV entries read by decode attention (context incl. current token).
+  TokenCount decode_kv = 0;
+  /// Sum over prefill items of q * (kv_context + q): the batched-prefill
+  /// attention work (paper §4.3) and the context term of the FLOP count.
+  double prefill_qkv = 0.0;
+  int decodes = 0;
+  int sampled = 0;
+
+  /// Equivalent single-prefill length: ceil(sqrt(prefill_qkv)).
+  TokenCount prefill_equivalent_length() const;
 };
 
 struct BatchSpec {
@@ -28,6 +52,9 @@ struct BatchSpec {
 
   bool empty() const { return items.empty(); }
   int size() const { return static_cast<int>(items.size()); }
+
+  /// All hot-path aggregates in one walk over the items.
+  BatchAggregates aggregates() const;
 
   /// Total new tokens this iteration (drives all token-level operators).
   TokenCount total_q_tokens() const;
@@ -47,11 +74,15 @@ struct BatchSpec {
 };
 
 /// Model FLOPs consumed by one iteration of this batch (for MFU accounting).
+FlopCount batch_flops(const ModelSpec& model, const BatchAggregates& agg);
 FlopCount batch_flops(const ModelSpec& model, const BatchSpec& batch);
 
 /// HBM bytes one GPU moves for one iteration of this batch: its weight
 /// shard (read once per iteration) plus its share of KV-cache reads and
 /// writes. Used for MBU (model bandwidth utilization) accounting.
+ByteCount batch_hbm_bytes_per_gpu(const ModelSpec& model, int tensor_parallel,
+                                  int pipeline_parallel,
+                                  const BatchAggregates& agg);
 ByteCount batch_hbm_bytes_per_gpu(const ModelSpec& model, int tensor_parallel,
                                   int pipeline_parallel,
                                   const BatchSpec& batch);

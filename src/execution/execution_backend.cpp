@@ -19,12 +19,61 @@ ExecutionTimePredictor::ExecutionTimePredictor(
   parallel.validate();
 }
 
+std::size_t ExecutionTimePredictor::SignatureHash::operator()(
+    const BatchSignature& s) const {
+  // Mix the six fields through a splitmix-style finalizer chain.
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    return h ^ (h >> 33);
+  };
+  std::uint64_t h = static_cast<std::uint64_t>(s.stage);
+  h = mix(h, static_cast<std::uint64_t>(s.decodes));
+  h = mix(h, static_cast<std::uint64_t>(s.sampled));
+  h = mix(h, static_cast<std::uint64_t>(s.q_tokens));
+  h = mix(h, static_cast<std::uint64_t>(s.prefill_eq));
+  h = mix(h, static_cast<std::uint64_t>(s.decode_kv_bucket));
+  return static_cast<std::size_t>(h);
+}
+
 StageTiming ExecutionTimePredictor::stage_timing(const BatchSpec& batch,
                                                  StageId stage) {
-  const auto ops = decompose_stage(shapes_, parallel_, batch, stage,
-                                   AttentionMode::kEquivalentPrefill);
+  return stage_timing(batch, batch.aggregates(), stage);
+}
+
+StageTiming ExecutionTimePredictor::stage_timing(const BatchSpec& batch,
+                                                 const BatchAggregates& agg,
+                                                 StageId stage) {
+  BatchSignature sig;
+  sig.stage = stage;
+  sig.decodes = agg.decodes;
+  sig.sampled = agg.sampled;
+  sig.q_tokens = agg.total_q;
+  sig.prefill_eq = agg.prefill_equivalent_length();
+  // Bucket exactly like the estimator quantizes decode KV: two batches in
+  // the same bucket would produce identical predictions anyway, so the memo
+  // is lossless while steady-state decode batches (whose KV sum creeps up
+  // every iteration) keep hitting.
+  sig.decode_kv_bucket = estimator_->quantize_decode_kv(agg.decode_kv);
+
+  const auto it = timing_memo_.find(sig);
+  if (it != timing_memo_.end()) {
+    ++timing_hits_;
+    return it->second;
+  }
+  ++timing_misses_;
+  const StageTiming timing = compute_stage_timing(batch, stage);
+  timing_memo_.emplace(sig, timing);
+  return timing;
+}
+
+StageTiming ExecutionTimePredictor::compute_stage_timing(
+    const BatchSpec& batch, StageId stage) {
+  decompose_stage_into(op_scratch_, shapes_, parallel_, batch, stage,
+                       AttentionMode::kEquivalentPrefill);
   StageTiming timing;
-  for (const OpInvocation& inv : ops) {
+  for (const OpInvocation& inv : op_scratch_) {
     const int shard = op_class(inv.op) == OpClass::kCommunication
                           ? inv.input.world
                           : parallel_.tensor_parallel;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,15 @@ class ExecutionBackend {
   /// compute and pipeline-send components.
   virtual StageTiming stage_timing(const BatchSpec& batch, StageId stage) = 0;
 
+  /// stage_timing() with the batch's aggregates already computed (the
+  /// simulator freezes them once per batch). Backends that only need the
+  /// aggregates override this to skip re-walking the items.
+  virtual StageTiming stage_timing(const BatchSpec& batch,
+                                   const BatchAggregates& agg, StageId stage) {
+    (void)agg;
+    return stage_timing(batch, stage);
+  }
+
   /// Convenience: compute + comm (the synchronous-pipeline stage time).
   Seconds stage_time(const BatchSpec& batch, StageId stage) {
     return stage_timing(batch, stage).total();
@@ -87,6 +97,14 @@ class ExecutionBackend {
 };
 
 /// Vidur's predictor: estimator-backed, deterministic.
+///
+/// stage_timing() is memoized on a batch signature: in equivalent-prefill
+/// mode (the one the predictor uses), decompose_stage() depends on the
+/// batch only through a handful of aggregates, so batches sharing the
+/// signature are guaranteed the same timing — steady-state iterations skip
+/// the whole per-op prediction loop. The KV aggregate is bucketed with the
+/// estimator's own decode-KV quantization, so memoized results stay
+/// bit-identical to unmemoized ones.
 class ExecutionTimePredictor final : public ExecutionBackend {
  public:
   /// `estimator` must outlive this object (shared across simulations so the
@@ -97,17 +115,45 @@ class ExecutionTimePredictor final : public ExecutionBackend {
                          CpuOverheadModel cpu = CpuOverheadModel());
 
   StageTiming stage_timing(const BatchSpec& batch, StageId stage) override;
+  StageTiming stage_timing(const BatchSpec& batch, const BatchAggregates& agg,
+                           StageId stage) override;
   Seconds cpu_overhead(const BatchSpec& batch) override;
 
   /// Operator-level decomposition of stage_timing (same numbers, itemized).
   OpTimeBreakdown stage_breakdown(const BatchSpec& batch,
                                   StageId stage) override;
 
+  std::size_t timing_cache_hits() const { return timing_hits_; }
+  std::size_t timing_cache_misses() const { return timing_misses_; }
+
  private:
+  /// Everything decompose_stage() reads from a batch in equivalent-prefill
+  /// mode (keep in sync with src/execution/stage_workload.cpp). The KV sum
+  /// is stored pre-bucketed (see decode_kv_rounding).
+  struct BatchSignature {
+    std::int32_t stage = 0;
+    std::int32_t decodes = 0;
+    std::int32_t sampled = 0;
+    TokenCount q_tokens = 0;
+    TokenCount prefill_eq = 0;
+    TokenCount decode_kv_bucket = 0;
+
+    bool operator==(const BatchSignature&) const = default;
+  };
+  struct SignatureHash {
+    std::size_t operator()(const BatchSignature& s) const;
+  };
+
+  StageTiming compute_stage_timing(const BatchSpec& batch, StageId stage);
+
   const RuntimeEstimator* estimator_;
   OpShapes shapes_;
   ParallelConfig parallel_;
   CpuOverheadModel cpu_;
+  std::unordered_map<BatchSignature, StageTiming, SignatureHash> timing_memo_;
+  std::vector<OpInvocation> op_scratch_;  ///< miss-path decomposition buffer
+  std::size_t timing_hits_ = 0;
+  std::size_t timing_misses_ = 0;
 };
 
 /// Ground-truth backend standing in for the real serving testbed.

@@ -6,6 +6,16 @@ std::vector<OpInvocation> decompose_stage(const OpShapes& shapes,
                                           const ParallelConfig& parallel,
                                           const BatchSpec& batch,
                                           StageId stage, AttentionMode mode) {
+  std::vector<OpInvocation> ops;
+  decompose_stage_into(ops, shapes, parallel, batch, stage, mode);
+  return ops;
+}
+
+void decompose_stage_into(std::vector<OpInvocation>& ops,
+                          const OpShapes& shapes,
+                          const ParallelConfig& parallel,
+                          const BatchSpec& batch, StageId stage,
+                          AttentionMode mode) {
   VIDUR_CHECK(stage >= 0 && stage < parallel.pipeline_parallel);
   VIDUR_CHECK(!batch.empty());
 
@@ -15,7 +25,7 @@ std::vector<OpInvocation> decompose_stage(const OpShapes& shapes,
   const TokenCount t = batch.total_q_tokens();
   VIDUR_CHECK(t > 0);
 
-  std::vector<OpInvocation> ops;
+  ops.clear();
   ops.reserve(16 + (mode == AttentionMode::kPerRequest
                         ? batch.items.size()
                         : std::size_t{1}));
@@ -93,8 +103,6 @@ std::vector<OpInvocation> decompose_stage(const OpShapes& shapes,
     in.bytes = shapes.send_recv_bytes(t);
     ops.push_back({OpType::kSendRecv, in, 1});
   }
-
-  return ops;
 }
 
 }  // namespace vidur

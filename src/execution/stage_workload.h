@@ -32,9 +32,23 @@ enum class AttentionMode {
 /// Operator invocations executed by `stage` of a replica for one iteration
 /// of `batch`. Includes TP collectives and (for non-final stages) the
 /// pipeline send of output activations.
+///
+/// In kEquivalentPrefill mode the output is a function of the batch's
+/// aggregates only (total q tokens, prefill-equivalent length, decode
+/// count, decode-KV total, tokens sampled) — ExecutionTimePredictor's
+/// stage-timing memo keys on exactly these; extend its BatchSignature if a
+/// new per-batch input is added here.
 std::vector<OpInvocation> decompose_stage(const OpShapes& shapes,
                                           const ParallelConfig& parallel,
                                           const BatchSpec& batch,
                                           StageId stage, AttentionMode mode);
+
+/// decompose_stage() into caller-owned storage (cleared first), so hot
+/// callers can reuse one buffer across invocations.
+void decompose_stage_into(std::vector<OpInvocation>& ops,
+                          const OpShapes& shapes,
+                          const ParallelConfig& parallel,
+                          const BatchSpec& batch, StageId stage,
+                          AttentionMode mode);
 
 }  // namespace vidur

@@ -105,6 +105,9 @@ struct SimulationMetrics {
   std::size_t num_requests = 0;
   std::size_t num_completed = 0;
   std::int64_t num_restarts = 0;
+  /// Discrete events executed by the simulation (engine-throughput metric:
+  /// events / wall-second is what the core-perf benchmarks track).
+  std::uint64_t num_sim_events = 0;
 
   // Replica/cluster-level.
   Seconds makespan = 0.0;

@@ -30,23 +30,30 @@ ByteCount ModelSpec::kv_bytes_per_token() const {
          kBytesPerElement;
 }
 
-FlopCount ModelSpec::flops(TokenCount num_tokens,
-                           TokenCount context_tokens) const {
+double ModelSpec::flops_per_token() const {
   const double d = embed_dim;
   const double f = ffn_dim;
   const double kv_dim = static_cast<double>(num_kv_heads) * head_dim();
-  const double t = static_cast<double>(num_tokens);
 
-  // Per-layer matmul FLOPs (2 * M * K * N with M = tokens).
-  const double qo = 2.0 * t * d * d * 2.0;
-  const double kv = 2.0 * t * d * kv_dim * 2.0;
-  const double mlp = (gated_mlp ? 3.0 : 2.0) * 2.0 * t * d * f;
+  // Per-layer matmul FLOPs per token (2 * M * K * N with M = tokens).
+  const double qo = 2.0 * d * d * 2.0;
+  const double kv = 2.0 * d * kv_dim * 2.0;
+  const double mlp = (gated_mlp ? 3.0 : 2.0) * 2.0 * d * f;
+  const double lm_head = 2.0 * d * static_cast<double>(vocab_size);
+  return (qo + kv + mlp) * num_layers + lm_head;
+}
+
+double ModelSpec::flops_per_token_context() const {
   // Attention score + value FLOPs: each new token attends over the context.
-  const double attn = 4.0 * t * static_cast<double>(context_tokens) * d;
-  const double per_layer = qo + kv + mlp + attn;
+  return 4.0 * static_cast<double>(embed_dim) * num_layers;
+}
 
-  const double lm_head = 2.0 * t * d * static_cast<double>(vocab_size);
-  return per_layer * num_layers + lm_head;
+FlopCount ModelSpec::flops(TokenCount num_tokens,
+                           TokenCount context_tokens) const {
+  const double t = static_cast<double>(num_tokens);
+  return flops_per_token() * t +
+         flops_per_token_context() * t *
+             static_cast<double>(context_tokens);
 }
 
 void ModelSpec::validate() const {

@@ -39,6 +39,11 @@ struct ModelSpec {
   /// `context_tokens` total context (prefill quadratic term included). Used
   /// for MFU accounting, matching the usual 2*params + attention convention.
   FlopCount flops(TokenCount num_tokens, TokenCount context_tokens) const;
+  /// flops() decomposed as flops(t, c) = flops_per_token() * t
+  ///   + flops_per_token_context() * (t * c), so batch-level accounting can
+  /// sum aggregate products instead of walking items (see batch_flops).
+  double flops_per_token() const;
+  double flops_per_token_context() const;
 
   /// Throws vidur::Error unless every field is consistent (positive dims,
   /// heads divide embed_dim, kv heads divide q heads).

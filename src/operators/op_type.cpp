@@ -6,30 +6,6 @@
 
 namespace vidur {
 
-OpClass op_class(OpType op) {
-  switch (op) {
-    case OpType::kAttnQkvProj:
-    case OpType::kAttnOutProj:
-    case OpType::kMlpGateUpProj:
-    case OpType::kMlpDownProj:
-    case OpType::kLmHead:
-    case OpType::kRmsNorm:
-    case OpType::kActMul:
-    case OpType::kResidualAdd:
-    case OpType::kRotaryEmbed:
-    case OpType::kKvCacheSave:
-    case OpType::kEmbedLookup:
-      return OpClass::kTokenLevel;
-    case OpType::kAttnPrefill:
-    case OpType::kAttnDecode:
-      return OpClass::kSequenceLevel;
-    case OpType::kAllReduce:
-    case OpType::kSendRecv:
-      return OpClass::kCommunication;
-  }
-  throw Error("unhandled OpType");
-}
-
 bool is_gemm(OpType op) {
   switch (op) {
     case OpType::kAttnQkvProj:
@@ -87,6 +63,22 @@ const std::vector<OpType>& all_op_types() {
     return out;
   }();
   return types;
+}
+
+std::pair<long, long> OpInput::key_features(OpType op) const {
+  // Keep in lockstep with features(): same first two components, minus the
+  // engineered products (derived, so they add nothing to key uniqueness)
+  // and without materializing a vector.
+  switch (op_class(op)) {
+    case OpClass::kTokenLevel:
+      return {tokens, 0};
+    case OpClass::kSequenceLevel:
+      if (op == OpType::kAttnPrefill) return {q_tokens, kv_tokens};
+      return {kv_tokens, static_cast<long>(batch_size)};
+    case OpClass::kCommunication:
+      return {bytes, 0};
+  }
+  throw Error("unhandled OpClass");
 }
 
 std::vector<double> OpInput::features(OpType op) const {

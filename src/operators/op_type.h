@@ -11,7 +11,10 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/check.h"
 
 namespace vidur {
 
@@ -39,8 +42,32 @@ enum class OpType {
 
 enum class OpClass { kTokenLevel, kSequenceLevel, kCommunication };
 
-/// Bucket for an operator (see paper §4.3).
-OpClass op_class(OpType op);
+/// Bucket for an operator (see paper §4.3). Inline: queried per operator
+/// invocation on the prediction hot path. Exhaustive on purpose — a new
+/// OpType must pick its bucket here (-Wswitch flags the omission).
+constexpr OpClass op_class(OpType op) {
+  switch (op) {
+    case OpType::kAttnQkvProj:
+    case OpType::kAttnOutProj:
+    case OpType::kMlpGateUpProj:
+    case OpType::kMlpDownProj:
+    case OpType::kLmHead:
+    case OpType::kRmsNorm:
+    case OpType::kActMul:
+    case OpType::kResidualAdd:
+    case OpType::kRotaryEmbed:
+    case OpType::kKvCacheSave:
+    case OpType::kEmbedLookup:
+      return OpClass::kTokenLevel;
+    case OpType::kAttnPrefill:
+    case OpType::kAttnDecode:
+      return OpClass::kSequenceLevel;
+    case OpType::kAllReduce:
+    case OpType::kSendRecv:
+      return OpClass::kCommunication;
+  }
+  throw Error("unhandled OpType");
+}
 
 /// True for the GEMM-shaped token-level operators.
 bool is_gemm(OpType op);
@@ -71,6 +98,11 @@ struct OpInput {
 
   /// Feature vector used by the runtime estimator for this op class.
   std::vector<double> features(OpType op) const;
+
+  /// The first two features as raw integers, allocation-free (the cache-key
+  /// hot path; engineered third features are derived from these two, so the
+  /// pair uniquely identifies the input within an op class).
+  std::pair<long, long> key_features(OpType op) const;
 };
 
 }  // namespace vidur

@@ -34,14 +34,19 @@ BatchSpec ReplicaScheduler::schedule(Seconds now) {
   return batch;
 }
 
+void ReplicaScheduler::schedule_into(BatchSpec& out, Seconds now) {
+  out.items.clear();
+  fill_batch(out, now);
+}
+
 std::vector<RequestState*> ReplicaScheduler::on_batch_end(
     const BatchSpec& batch, Seconds now) {
   std::vector<RequestState*> finished;
   for (const BatchItem& item : batch.items) {
-    auto it = by_id_.find(item.request);
-    VIDUR_CHECK_MSG(it != by_id_.end(),
-                    "batch completed for unknown request " << item.request);
-    RequestState* r = it->second;
+    RequestState* r = item.state;
+    VIDUR_CHECK_MSG(r != nullptr,
+                    "batch completed with no owner for request "
+                        << item.request);
     r->in_flight = false;
     // A preempted-and-restarted request may see its old batch complete after
     // the restart; that stale completion carries no progress.
@@ -66,6 +71,7 @@ std::vector<RequestState*> ReplicaScheduler::on_batch_end(
     if (r->finished()) {
       r->record.completed_time = now;
       block_manager_.release(r->request.id);
+      r->kv_capacity = 0;
       r->admitted = false;
       running_.erase(std::find(running_.begin(), running_.end(), r));
       by_id_.erase(r->request.id);
@@ -81,6 +87,7 @@ void ReplicaScheduler::extract(RequestState* request) {
                   "extract() requires an admitted request that is not "
                   "currently executing");
   block_manager_.release(request->request.id);
+  request->kv_capacity = 0;
   request->admitted = false;
   running_.erase(std::find(running_.begin(), running_.end(), request));
   by_id_.erase(request->request.id);
@@ -110,10 +117,17 @@ RequestState* ReplicaScheduler::admit_front(TokenCount tokens,
   if (!block_manager_.can_allocate(needed)) return nullptr;
   if (respect_watermark && !watermark_ok(needed)) return nullptr;
   VIDUR_CHECK(block_manager_.grow_to(r->request.id, tokens));
+  sync_kv_capacity(r, tokens);
   waiting_.pop_front();
   running_.push_back(r);
   r->admitted = true;
   return r;
+}
+
+void ReplicaScheduler::sync_kv_capacity(RequestState* r, TokenCount tokens) {
+  const TokenCount capacity =
+      block_manager_.blocks_for_tokens(tokens) * plan_.block_size;
+  if (capacity > r->kv_capacity) r->kv_capacity = capacity;
 }
 
 bool ReplicaScheduler::watermark_ok(long blocks_needed) const {
@@ -126,20 +140,33 @@ bool ReplicaScheduler::watermark_ok(long blocks_needed) const {
 bool ReplicaScheduler::ensure_decode_memory(RequestState* r,
                                             bool allow_preemption) {
   const TokenCount target = r->kv_context + 1;
-  if (block_manager_.grow_to(r->request.id, target)) return true;
+  // Fast path: still inside the allocated blocks — no allocator touch.
+  // Steady-state decodes only cross a block boundary every block_size
+  // iterations.
+  if (target <= r->kv_capacity) return true;
+  if (block_manager_.grow_to(r->request.id, target)) {
+    sync_kv_capacity(r, target);
+    return true;
+  }
   if (!allow_preemption) return false;
   while (RequestState* victim = preempt_one()) {
     // The victim released its blocks; it may have been `r` itself, in which
     // case `r` no longer runs this iteration.
     if (victim == r) return false;
-    if (block_manager_.grow_to(r->request.id, target)) return true;
+    if (block_manager_.grow_to(r->request.id, target)) {
+      sync_kv_capacity(r, target);
+      return true;
+    }
   }
   return false;
 }
 
 bool ReplicaScheduler::ensure_prefill_memory(RequestState* r,
                                              TokenCount target_tokens) {
-  return block_manager_.grow_to(r->request.id, target_tokens);
+  if (target_tokens <= r->kv_capacity) return true;
+  if (!block_manager_.grow_to(r->request.id, target_tokens)) return false;
+  sync_kv_capacity(r, target_tokens);
+  return true;
 }
 
 void ReplicaScheduler::add_prefill_item(BatchSpec& batch, RequestState* r,
@@ -151,6 +178,7 @@ void ReplicaScheduler::add_prefill_item(BatchSpec& batch, RequestState* r,
   item.kv_context = r->kv_context;
   item.is_prefill = true;
   item.completes_prefill = chunk == r->remaining_prefill();
+  item.state = r;
   batch.items.push_back(item);
   r->in_flight = true;
   if (r->record.first_scheduled_time < 0)
@@ -165,6 +193,7 @@ void ReplicaScheduler::add_decode_item(BatchSpec& batch, RequestState* r,
   item.q_tokens = 1;
   item.kv_context = r->kv_context;
   item.is_prefill = false;
+  item.state = r;
   batch.items.push_back(item);
   r->in_flight = true;
   if (r->record.first_scheduled_time < 0)

@@ -34,6 +34,11 @@ class ReplicaScheduler {
   /// batch means no runnable work right now.
   BatchSpec schedule(Seconds now);
 
+  /// schedule() into caller-owned storage: clears `out` and fills it,
+  /// reusing its item capacity (the simulator recycles in-flight slots so
+  /// steady state forms batches without allocating).
+  void schedule_into(BatchSpec& out, Seconds now);
+
   /// A batch finished its final pipeline stage: advance request states,
   /// release memory of finished requests. Returns the finished requests.
   std::vector<RequestState*> on_batch_end(const BatchSpec& batch,
@@ -89,6 +94,10 @@ class ReplicaScheduler {
   /// Grow `r`'s KV allocation to cover a prefill chunk ending at
   /// `target_tokens` cached entries. No preemption.
   bool ensure_prefill_memory(RequestState* r, TokenCount target_tokens);
+
+  /// Refresh r->kv_capacity after the allocator granted `tokens` worth of
+  /// blocks (the fast-path bound ensure_decode_memory checks first).
+  void sync_kv_capacity(RequestState* r, TokenCount tokens);
 
   /// Append a prefill-chunk item for `r` (marks in-flight, stamps times).
   void add_prefill_item(BatchSpec& batch, RequestState* r, TokenCount chunk,

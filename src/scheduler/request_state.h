@@ -15,6 +15,10 @@ struct RequestState {
   TokenCount prefill_done = 0;  ///< prompt tokens processed so far
   TokenCount decode_done = 0;   ///< output tokens produced so far
   TokenCount kv_context = 0;    ///< tokens currently resident in KV cache
+  /// Tokens the current block allocation can hold (scheduler-maintained
+  /// mirror of the BlockManager's per-request allocation): decode-memory
+  /// checks only consult the allocator when a block boundary is crossed.
+  TokenCount kv_capacity = 0;
   bool in_flight = false;       ///< member of a batch currently executing
   bool admitted = false;        ///< holds KV-cache memory on its replica
 
@@ -35,6 +39,7 @@ struct RequestState {
     prefill_done = 0;
     decode_done = 0;
     kv_context = 0;
+    kv_capacity = 0;
     admitted = false;
     ++record.num_restarts;
   }

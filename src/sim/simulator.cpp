@@ -94,6 +94,9 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
     state.record.arrival_time = req.arrival_time;
     state.record.prefill_tokens = req.prefill_tokens;
     state.record.decode_tokens = req.decode_tokens;
+    // One slot per output token: token-time appends never reallocate.
+    state.record.token_times.reserve(
+        static_cast<std::size_t>(req.decode_tokens));
     states_.push_back(std::move(state));
   }
 }
@@ -106,13 +109,15 @@ SimulationMetrics Simulator::run() {
   if (cluster_) cluster_->start();
 
   for (RequestState& state : states_) {
-    RequestState* r = &state;
-    events_.schedule(state.request.arrival_time, [this, r] { on_arrival(r); });
+    SimEvent ev;
+    ev.kind = EventKind::kArrival;
+    ev.request = &state;
+    events_.schedule_event(state.request.arrival_time, ev);
   }
 
   while (!events_.empty()) {
     if (events_.next_time() > config_.max_sim_time) break;
-    events_.run_next();
+    events_.run_next([this](const SimEvent& ev) { dispatch(ev); });
   }
 
   for (const RequestState& state : states_)
@@ -132,7 +137,28 @@ SimulationMetrics Simulator::run() {
                : static_fleet_report(config_.parallel.num_replicas, end_time,
                                      config_.parallel.gpus_per_replica(),
                                      config_.node.sku.cost_per_hour);
-  return metrics_.finalize(end_time, report);
+  SimulationMetrics metrics = metrics_.finalize(end_time, report);
+  metrics.num_sim_events = events_.num_processed();
+  return metrics;
+}
+
+void Simulator::dispatch(const SimEvent& event) {
+  switch (event.kind) {
+    case EventKind::kArrival:
+      on_arrival(event.request);
+      break;
+    case EventKind::kStageEnd:
+      on_stage_end(event.replica, event.stage, event.handle, event.comm_time);
+      break;
+    case EventKind::kDeliverToStage:
+      deliver_to_stage(event.replica, event.stage, event.handle);
+      break;
+    case EventKind::kMigrated:
+      on_migrated(event.request);
+      break;
+    default:
+      VIDUR_CHECK_MSG(false, "unhandled simulator event kind");
+  }
 }
 
 void Simulator::on_arrival(RequestState* request) { route_request(request); }
@@ -187,17 +213,26 @@ void Simulator::try_schedule(ReplicaId replica_id) {
   // Synchronous pipeline: at most one micro-batch per stage in flight.
   while (replica.batches_in_flight < config_.parallel.pipeline_parallel) {
     pull_deferred(replica_id);
-    BatchSpec batch = replica.scheduler->schedule(events_.now());
-    if (batch.empty()) return;
-
-    const auto handle = next_handle_++;
-    InFlightBatch record;
+    StageScheduler::BatchHandle handle;
+    if (free_handles_.empty()) {
+      handle = static_cast<StageScheduler::BatchHandle>(in_flight_.size());
+      in_flight_.emplace_back();
+    } else {
+      handle = free_handles_.back();
+      free_handles_.pop_back();
+    }
+    InFlightBatch& record = in_flight_[static_cast<std::size_t>(handle)];
+    replica.scheduler->schedule_into(record.spec, events_.now());
+    if (record.spec.empty()) {
+      free_handles_.push_back(handle);
+      return;
+    }
+    record.agg = record.spec.aggregates();
     record.replica = replica_id;
     record.start_time = events_.now();
-    record.flops = batch_flops(config_.model, batch);
+    record.flops = batch_flops(config_.model, record.agg);
     record.kv_utilization = replica.scheduler->blocks().utilization();
-    record.spec = std::move(batch);
-    in_flight_.emplace(handle, std::move(record));
+    record.live = true;
 
     ++replica.batches_in_flight;
     if (replica.stages[0].submit(handle)) start_stage(replica_id, 0, handle);
@@ -207,8 +242,10 @@ void Simulator::try_schedule(ReplicaId replica_id) {
 void Simulator::start_stage(ReplicaId replica_id, StageId stage,
                             StageScheduler::BatchHandle handle) {
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
-  const InFlightBatch& batch = in_flight_.at(handle);
-  const StageTiming timing = replica.backend->stage_timing(batch.spec, stage);
+  const InFlightBatch& batch = in_flight_[static_cast<std::size_t>(handle)];
+  VIDUR_CHECK_MSG(batch.live, "stage started for a retired batch handle");
+  const StageTiming timing =
+      replica.backend->stage_timing(batch.spec, batch.agg, stage);
   VIDUR_CHECK(timing.compute >= 0 && timing.comm >= 0);
   // Synchronous pipeline: the send occupies the stage. Asynchronous: the
   // stage frees after compute; the send delays only the downstream hand-off.
@@ -218,10 +255,13 @@ void Simulator::start_stage(ReplicaId replica_id, StageId stage,
   if (config_.collect_operator_metrics)
     metrics_.record_operators(
         replica.backend->stage_breakdown(batch.spec, stage).per_op);
-  events_.schedule(events_.now() + busy,
-                   [this, replica_id, stage, handle, handoff_lag] {
-                     on_stage_end(replica_id, stage, handle, handoff_lag);
-                   });
+  SimEvent ev;
+  ev.kind = EventKind::kStageEnd;
+  ev.replica = replica_id;
+  ev.stage = stage;
+  ev.handle = handle;
+  ev.comm_time = handoff_lag;
+  events_.schedule_event(events_.now() + busy, ev);
 }
 
 void Simulator::on_stage_end(ReplicaId replica_id, StageId stage,
@@ -237,10 +277,12 @@ void Simulator::on_stage_end(ReplicaId replica_id, StageId stage,
     if (comm_time > 0) {
       // Asynchronous send: activations arrive downstream after the wire
       // delay, while this stage is already free for its next micro-batch.
-      events_.schedule(events_.now() + comm_time,
-                       [this, replica_id, stage, handle] {
-                         deliver_to_stage(replica_id, stage + 1, handle);
-                       });
+      SimEvent ev;
+      ev.kind = EventKind::kDeliverToStage;
+      ev.replica = replica_id;
+      ev.stage = stage + 1;
+      ev.handle = handle;
+      events_.schedule_event(events_.now() + comm_time, ev);
     } else {
       deliver_to_stage(replica_id, stage + 1, handle);
     }
@@ -261,20 +303,21 @@ void Simulator::deliver_to_stage(ReplicaId replica_id, StageId stage,
 void Simulator::finish_batch(ReplicaId replica_id,
                              StageScheduler::BatchHandle handle) {
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
-  auto it = in_flight_.find(handle);
-  VIDUR_CHECK(it != in_flight_.end());
-  const InFlightBatch& batch = it->second;
+  VIDUR_CHECK(handle >= 0 &&
+              static_cast<std::size_t>(handle) < in_flight_.size());
+  InFlightBatch& batch = in_flight_[static_cast<std::size_t>(handle)];
+  VIDUR_CHECK_MSG(batch.live, "batch finished twice for one handle");
 
   BatchRecord record;
   record.replica = replica_id;
   record.start_time = batch.start_time;
   record.end_time = events_.now();
-  record.q_tokens = batch.spec.total_q_tokens();
+  record.q_tokens = batch.agg.total_q;
   record.batch_size = batch.spec.size();
   record.flops = batch.flops;
   record.hbm_bytes_per_gpu = batch_hbm_bytes_per_gpu(
       config_.model, config_.parallel.tensor_parallel,
-      config_.parallel.pipeline_parallel, batch.spec);
+      config_.parallel.pipeline_parallel, batch.agg);
   record.kv_utilization = batch.kv_utilization;
   metrics_.record_batch(record);
 
@@ -284,7 +327,8 @@ void Simulator::finish_batch(ReplicaId replica_id,
   last_batch_end_ = events_.now();
   if (is_prefill_replica(replica_id)) migrate_prefilled(replica_id, batch.spec);
   --replica.batches_in_flight;
-  in_flight_.erase(it);
+  batch.live = false;
+  free_handles_.push_back(handle);
   // A draining replica that just ran dry hands its slot back.
   if (cluster_ && replica.batches_in_flight == 0 &&
       replica.scheduler->outstanding() == 0)
@@ -297,24 +341,34 @@ void Simulator::migrate_prefilled(ReplicaId replica_id,
       *replicas_[static_cast<std::size_t>(replica_id)].scheduler;
   for (const BatchItem& item : batch.items) {
     if (!item.completes_prefill) continue;
-    RequestState* r = scheduler.find(item.request);
-    // Requests that finished at prefill (single output token) or were
-    // restarted concurrently are not migrated.
-    if (r == nullptr || !r->prefill_complete() || r->finished()) continue;
+    RequestState* r = item.state;
+    // Requests that finished at prefill (single output token), were
+    // restarted concurrently, or already left the scheduler are not
+    // migrated.
+    if (r == nullptr || !r->admitted || !r->prefill_complete() ||
+        r->finished())
+      continue;
     scheduler.extract(r);
-    events_.schedule(events_.now() + kv_transfer_time(*r),
-                     [this, r] { on_migrated(r); });
+    SimEvent ev;
+    ev.kind = EventKind::kMigrated;
+    ev.request = r;
+    events_.schedule_event(events_.now() + kv_transfer_time(*r), ev);
   }
 }
 
 void Simulator::on_migrated(RequestState* request) {
   // Least-outstanding routing among decode replicas.
+  const auto outstanding = [this](ReplicaId id) {
+    return replicas_[static_cast<std::size_t>(id)].scheduler->outstanding();
+  };
   ReplicaId best = config_.disagg.num_prefill_replicas;
+  int best_count = outstanding(best);
   for (ReplicaId r = best + 1; r < config_.parallel.num_replicas; ++r) {
-    const auto outstanding = [&](ReplicaId id) {
-      return replicas_[static_cast<std::size_t>(id)].scheduler->outstanding();
-    };
-    if (outstanding(r) < outstanding(best)) best = r;
+    const int count = outstanding(r);
+    if (count < best_count) {
+      best = r;
+      best_count = count;
+    }
   }
   request->replica = best;
   replicas_[static_cast<std::size_t>(best)].scheduler->enqueue(request);
@@ -328,13 +382,13 @@ Seconds Simulator::kv_transfer_time(const RequestState& request) const {
          config_.disagg.transfer_latency;
 }
 
-std::vector<int> Simulator::outstanding_counts(int count) const {
-  std::vector<int> counts;
-  counts.reserve(static_cast<std::size_t>(count));
+const std::vector<int>& Simulator::outstanding_counts(int count) const {
+  outstanding_scratch_.clear();
+  outstanding_scratch_.reserve(static_cast<std::size_t>(count));
   for (int r = 0; r < count; ++r)
-    counts.push_back(
+    outstanding_scratch_.push_back(
         replicas_[static_cast<std::size_t>(r)].scheduler->outstanding());
-  return counts;
+  return outstanding_scratch_;
 }
 
 }  // namespace vidur

@@ -7,7 +7,6 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_manager.h"
@@ -80,10 +79,16 @@ class Simulator {
  private:
   struct InFlightBatch {
     BatchSpec spec;
+    /// Aggregates frozen at submission (items do not change in flight);
+    /// saves re-walking the batch for FLOP/HBM/token accounting.
+    BatchAggregates agg;
     ReplicaId replica = 0;
     Seconds start_time = 0.0;
     FlopCount flops = 0.0;
     double kv_utilization = 0.0;
+    /// Slot-liveness guard: a stale/duplicated handle reaching the stage
+    /// machinery fails fast instead of silently reading a recycled slot.
+    bool live = false;
   };
 
   struct Replica {
@@ -93,6 +98,8 @@ class Simulator {
     int batches_in_flight = 0;
   };
 
+  /// Typed-event switch: the single dispatch point of the hot loop.
+  void dispatch(const SimEvent& event);
   void on_arrival(RequestState* request);
   /// Route (or re-route) a request through the global scheduler.
   void route_request(RequestState* request);
@@ -110,8 +117,10 @@ class Simulator {
   void finish_batch(ReplicaId replica_id,
                     StageScheduler::BatchHandle handle);
   void pull_deferred(ReplicaId replica_id);
-  /// Outstanding request counts of the first `count` replicas.
-  std::vector<int> outstanding_counts(int count) const;
+  /// Outstanding request counts of the first `count` replicas. Returns a
+  /// member scratch buffer: valid until the next call, never reallocates
+  /// on the routing hot path.
+  const std::vector<int>& outstanding_counts(int count) const;
 
   // ---- disaggregated serving ----
   bool is_prefill_replica(ReplicaId r) const {
@@ -131,8 +140,12 @@ class Simulator {
   std::vector<Replica> replicas_;
   std::vector<RequestState> states_;
   MetricsCollector metrics_;
-  std::unordered_map<StageScheduler::BatchHandle, InFlightBatch> in_flight_;
-  StageScheduler::BatchHandle next_handle_ = 0;
+  /// In-flight batches live in recycled slots indexed by their handle:
+  /// lookup is a vector index, and a reused slot's BatchSpec keeps its item
+  /// capacity, so steady-state iterations form batches without allocating.
+  std::vector<InFlightBatch> in_flight_;
+  std::vector<StageScheduler::BatchHandle> free_handles_;
+  mutable std::vector<int> outstanding_scratch_;
   std::unique_ptr<ClusterManager> cluster_;  ///< elastic fleets only
   std::size_t remaining_requests_ = 0;       ///< not yet completed
   Seconds last_batch_end_ = 0.0;             ///< time of the last batch end

@@ -2,8 +2,10 @@
 // ridge polynomial, 1-NN) and the caching RuntimeEstimator facade.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "estimator/regression.h"
 #include "estimator/runtime_estimator.h"
 #include "profiler/profiler.h"
@@ -345,6 +347,43 @@ TEST_F(RuntimeEstimatorTest, DecodeKvQuantizationSharesCacheEntries) {
   const double pb = est.predict(OpType::kAttnDecode, 1, b);
   EXPECT_DOUBLE_EQ(pa, pb);
   EXPECT_EQ(est.cache_size(), size_after_first);
+}
+
+TEST_F(RuntimeEstimatorTest, ConcurrentPredictsAreConsistent) {
+  // Hammer the lock-free prediction cache from pool workers with heavily
+  // overlapping keys: every cached value must equal the uncached
+  // computation, and the hit/miss counters must account for every call.
+  const RuntimeEstimator est(db());
+  constexpr std::size_t kWorkers = 8;
+  constexpr int kIters = 1500;
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  parallel_for(pool, kWorkers, [&](std::size_t w) {
+    for (int i = 0; i < kIters; ++i) {
+      OpInput in;
+      if (i % 3 == 0) {
+        // Quantized path: KV multiples of the rounding granule, so the
+        // uncached reference sees the same post-quantization input.
+        in.kv_tokens = 64 * (1 + (i * 13 + static_cast<int>(w) * 7) % 128);
+        in.batch_size = 8;
+        const double got = est.predict(OpType::kAttnDecode, 1, in);
+        const double want = est.predict_uncached(OpType::kAttnDecode, 1, in);
+        if (got != want) mismatches.fetch_add(1);
+      } else {
+        in.tokens = 1 + (i * 13 + static_cast<int>(w) * 7) % 256;
+        const double got = est.predict(OpType::kMlpGateUpProj, 1, in);
+        const double want =
+            est.predict_uncached(OpType::kMlpGateUpProj, 1, in);
+        if (got != want) mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(est.cache_hits() + est.cache_misses(), kWorkers * kIters);
+  // Every distinct key lands in the table; racing duplicate inserts are
+  // benign but bounded by the worker count.
+  EXPECT_GE(est.cache_size(), 256u);
+  EXPECT_LE(est.cache_size(), (256u + 128u) * kWorkers);
 }
 
 TEST_F(RuntimeEstimatorTest, MissingModelThrows) {

@@ -2,6 +2,7 @@
 // schedulers, parallelism configs and global routing policies.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 #include <memory>
 
@@ -81,6 +82,78 @@ TEST(EventQueue, NowIsMonotonicAcrossInterleavedSchedules) {
   EXPECT_DOUBLE_EQ(q.now(), last);
 }
 
+TEST(EventQueue, TypedEventsInterleaveFifoWithCallbacks) {
+  EventQueue q;
+  std::vector<std::int64_t> order;
+  auto typed = [&](EventKind kind, std::int64_t marker) {
+    SimEvent ev;
+    ev.kind = kind;
+    ev.handle = marker;
+    q.schedule_event(1.0, ev);
+  };
+  q.schedule(1.0, [&] { order.push_back(0); });
+  typed(EventKind::kStageEnd, 1);
+  q.schedule(1.0, [&] { order.push_back(2); });
+  typed(EventKind::kDeliverToStage, 3);
+  typed(EventKind::kStageEnd, 4);
+  while (!q.empty())
+    q.run_next([&](const SimEvent& ev) { order.push_back(ev.handle); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, MatchesReferenceOrderAcross10kRandomSchedules) {
+  // Random interleaving of pushes and pops against a brute-force reference:
+  // the heap must pop in exact (time, scheduling order) sequence. Times are
+  // quantized so simultaneous events are common.
+  EventQueue q;
+  Rng rng(2024);
+  std::vector<std::pair<Seconds, std::int64_t>> reference;  // insertion order
+  std::int64_t next_id = 0;
+  int executed = 0;
+  const auto push = [&] {
+    const Seconds t =
+        q.now() + std::floor(rng.uniform(0.0, 40.0)) * 0.25;
+    SimEvent ev;
+    ev.kind = EventKind::kStageEnd;
+    ev.handle = next_id;
+    q.schedule_event(t, ev);
+    reference.emplace_back(t, next_id++);
+  };
+  const auto pop = [&] {
+    // Reference: earliest time, first-scheduled among ties.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < reference.size(); ++i)
+      if (reference[i].first < reference[best].first) best = i;
+    std::int64_t popped = -1;
+    q.run_next([&](const SimEvent& ev) { popped = ev.handle; });
+    EXPECT_EQ(popped, reference[best].second);
+    EXPECT_DOUBLE_EQ(q.now(), reference[best].first);
+    reference.erase(reference.begin() + static_cast<std::ptrdiff_t>(best));
+    ++executed;
+  };
+  for (int step = 0; step < 10000; ++step) {
+    if (reference.empty() || rng.uniform(0.0, 1.0) < 0.5)
+      push();
+    else
+      pop();
+  }
+  while (!reference.empty()) pop();
+  EXPECT_TRUE(q.empty());
+  EXPECT_GE(executed, 4000);
+}
+
+TEST(EventQueue, TickHandlerRunsOnScheduledTicks) {
+  EventQueue q;
+  int ticks = 0;
+  q.set_tick_handler([&] {
+    if (++ticks < 3) q.schedule_tick(q.now() + 1.0);
+  });
+  q.schedule_tick(1.0);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
 // -------------------------------------------------------------- simulator
 
 SimulationConfig base_config(SchedulerKind kind = SchedulerKind::kVllm,
@@ -158,6 +231,53 @@ TEST(Simulator, DeterministicForSameSeed) {
   EXPECT_DOUBLE_EQ(ma.ttft.p90, mb.ttft.p90);
   EXPECT_DOUBLE_EQ(ma.normalized_e2e_latency.p95,
                    mb.normalized_e2e_latency.p95);
+}
+
+TEST(Simulator, PredictorRunsAreIdenticalAcrossRepeats) {
+  // The replay guarantee the typed queue, the estimator cache, and the
+  // stage-timing memo must preserve: rerunning the same simulation produces
+  // bit-identical metrics even though the second run hits caches the first
+  // run populated.
+  VidurSession session(model_by_name("llama2-7b"));
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{1, 1, 2};
+  config.scheduler.kind = SchedulerKind::kSarathi;
+  config.scheduler.max_batch_size = 16;
+  const Trace trace = poisson_trace(50, 2.0);
+  const SimulationMetrics a = session.simulate(config, trace);
+  const SimulationMetrics b = session.simulate(config, trace);
+  EXPECT_EQ(a.num_sim_events, b.num_sim_events);
+  EXPECT_EQ(a.num_completed, b.num_completed);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.throughput_qps, b.throughput_qps);
+  EXPECT_DOUBLE_EQ(a.ttft.mean, b.ttft.mean);
+  EXPECT_DOUBLE_EQ(a.ttft.p99, b.ttft.p99);
+  EXPECT_DOUBLE_EQ(a.tbt.mean, b.tbt.mean);
+  EXPECT_DOUBLE_EQ(a.tbt.p99, b.tbt.p99);
+  EXPECT_DOUBLE_EQ(a.normalized_e2e_latency.p95, b.normalized_e2e_latency.p95);
+  EXPECT_DOUBLE_EQ(a.scheduling_delay.max, b.scheduling_delay.max);
+  EXPECT_DOUBLE_EQ(a.mfu, b.mfu);
+  EXPECT_DOUBLE_EQ(a.mbu, b.mbu);
+  EXPECT_DOUBLE_EQ(a.mean_batch_size, b.mean_batch_size);
+  EXPECT_DOUBLE_EQ(a.total_energy_joules, b.total_energy_joules);
+}
+
+TEST(Simulator, ReferenceRunsAreIdenticalForSameSeed) {
+  VidurSession session(model_by_name("llama2-7b"));
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{1, 2, 1};  // exercise pipeline events
+  config.scheduler.kind = SchedulerKind::kVllm;
+  config.scheduler.max_batch_size = 16;
+  const Trace trace = poisson_trace(40, 2.0);
+  const SimulationMetrics a = session.simulate_reference(config, trace, 99);
+  const SimulationMetrics b = session.simulate_reference(config, trace, 99);
+  EXPECT_EQ(a.num_sim_events, b.num_sim_events);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.ttft.mean, b.ttft.mean);
+  EXPECT_DOUBLE_EQ(a.tbt.p99, b.tbt.p99);
+  EXPECT_DOUBLE_EQ(a.normalized_e2e_latency.p95, b.normalized_e2e_latency.p95);
 }
 
 TEST(Simulator, DifferentSeedsDiffer) {
