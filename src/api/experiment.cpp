@@ -194,6 +194,11 @@ ExperimentSpec& ExperimentSpec::with_autoscale(AutoscalerConfig autoscale) {
   return *this;
 }
 
+ExperimentSpec& ExperimentSpec::with_pool(PoolSpec pool) {
+  deployment.pools.push_back(std::move(pool));
+  return *this;
+}
+
 // -------------------------------------------------------------- validate
 
 void ExperimentSpec::validate() const {
@@ -203,24 +208,62 @@ void ExperimentSpec::validate() const {
 
   deployment.parallel.validate();
   deployment.scheduler.validate();
-  VIDUR_CHECK_MSG(
-      std::count(tp_degrees.begin(), tp_degrees.end(),
-                 deployment.parallel.tensor_parallel) > 0,
-      "deployment tensor_parallel "
-          << deployment.parallel.tensor_parallel
-          << " is not covered by the session tp_degrees [" << [this] {
-               std::ostringstream os;
-               for (std::size_t i = 0; i < tp_degrees.size(); ++i)
-                 os << (i > 0 ? ", " : "") << tp_degrees[i];
-               return os.str();
-             }() << "]; add it to tp_degrees so onboarding profiles it");
+  const auto check_tp_covered = [this](int tp, const char* what) {
+    VIDUR_CHECK_MSG(
+        std::count(tp_degrees.begin(), tp_degrees.end(), tp) > 0,
+        what << " tensor_parallel " << tp
+             << " is not covered by the session tp_degrees [" << [this] {
+                  std::ostringstream os;
+                  for (std::size_t i = 0; i < tp_degrees.size(); ++i)
+                    os << (i > 0 ? ", " : "") << tp_degrees[i];
+                  return os.str();
+                }() << "]; add it to tp_degrees so onboarding profiles it");
+  };
+  if (deployment.pools.empty())
+    check_tp_covered(deployment.parallel.tensor_parallel, "deployment");
 
   VIDUR_CHECK_MSG(
       !(deployment.disagg.enabled() && deployment.autoscale.enabled()),
-      "disaggregated serving and autoscaling cannot be combined (the "
-      "prefill/decode pools do not scale independently yet); disable "
-      "deployment.disagg or deployment.autoscale");
+      "disaggregated serving and autoscaling cannot be combined in the "
+      "homogeneous form (use deployment.pools with prefill/decode pools, "
+      "which scale independently); disable deployment.disagg or "
+      "deployment.autoscale");
   if (deployment.autoscale.enabled()) deployment.autoscale.validate();
+
+  // ---- heterogeneous pools ----
+  if (!deployment.pools.empty()) {
+    VIDUR_CHECK_MSG(deployment.autoscale == AutoscalerConfig{},
+                    "deployment.pools carries per-pool autoscale policies; "
+                    "remove the top-level deployment.autoscale section");
+    VIDUR_CHECK_MSG(!deployment.disagg.enabled(),
+                    "deployment.pools defines disaggregation through pool "
+                    "roles; remove deployment.disagg.num_prefill_replicas "
+                    "(the transfer_* fields still apply)");
+    VIDUR_CHECK_MSG(
+        deployment.sku_name == DeploymentConfig{}.sku_name &&
+            deployment.parallel == ParallelConfig{},
+        "deployment.pools supersedes the homogeneous sku/tensor_parallel/"
+        "pipeline_parallel/num_replicas fields; leave them at their "
+        "defaults (each pool carries its own)");
+    // validate_pools() owns the structural checks (names, costs, roles,
+    // group consistency); this loop adds only the spec-layer extras: the
+    // SKU did-you-mean and the session tp_degrees coverage.
+    for (const PoolSpec& pool : deployment.pools) {
+      check_name("SKU", pool.sku_name, builtin_sku_names());
+      check_tp_covered(pool.parallel.tensor_parallel,
+                       ("pool '" + pool.name + "'").c_str());
+    }
+    validate_pools(deployment.pools);
+    bool any_capacity = false, all_capacity = true;
+    for (const PoolSpec& pool : deployment.pools) {
+      any_capacity |= pool.capacity_qps > 0;
+      all_capacity &= pool.capacity_qps > 0;
+    }
+    VIDUR_CHECK_MSG(!any_capacity || all_capacity,
+                    "deployment.pools sets capacity_qps on some pools but "
+                    "not others; set it on every pool or on none (unset "
+                    "capacities are derived from the estimator)");
+  }
 
   // ---- workload ----
   if (workload.synthetic()) {
@@ -257,6 +300,11 @@ void ExperimentSpec::validate() const {
     case ExperimentMode::kReference:
       break;
     case ExperimentMode::kCapacitySearch:
+      VIDUR_CHECK_MSG(deployment.pools.empty(),
+                      "capacity_search sweeps homogeneous deployments and "
+                      "does not search over pool layouts; remove "
+                      "deployment.pools (or use mode elastic_plan for a "
+                      "static-vs-autoscaled pool comparison)");
       VIDUR_CHECK_MSG(workload.synthetic(),
                       "capacity_search mode sweeps arrival rates itself and "
                       "needs a synthetic workload: set workload.trace, not "
@@ -280,9 +328,12 @@ void ExperimentSpec::validate() const {
       VIDUR_CHECK_MSG(!workload.synthetic(),
                       "elastic_plan mode compares static and autoscaled "
                       "fleets on a named scenario; set workload.scenario");
-      VIDUR_CHECK_MSG(deployment.autoscale.enabled(),
-                      "elastic_plan mode needs deployment.autoscale to name "
-                      "the policy to evaluate (kind reactive or predictive)");
+      VIDUR_CHECK_MSG(deployment.pools.empty()
+                          ? deployment.autoscale.enabled()
+                          : any_pool_autoscaled(deployment.pools),
+                      "elastic_plan mode needs an autoscaling policy to "
+                      "evaluate: set deployment.autoscale (homogeneous) or "
+                      "an autoscale section on at least one pool");
       VIDUR_CHECK_MSG(elastic.slo_target > 0 && elastic.slo_target <= 1,
                       "elastic.slo_target must be in (0, 1]");
       VIDUR_CHECK_MSG(elastic.max_replicas >= 1 && elastic.burst_slots >= 0,
@@ -292,6 +343,14 @@ void ExperimentSpec::validate() const {
   }
 
   // ---- sweep axes ----
+  VIDUR_CHECK_MSG(deployment.pools.empty() ||
+                      (sweep.sku.empty() && sweep.tensor_parallel.empty() &&
+                       sweep.pipeline_parallel.empty() &&
+                       sweep.num_replicas.empty()),
+                  "sweep axes sku/tensor_parallel/pipeline_parallel/"
+                  "num_replicas rewrite the homogeneous deployment, which "
+                  "deployment.pools supersedes; drop those axes or the "
+                  "pools");
   for (const std::string& sku : sweep.sku)
     check_name("SKU", sku, builtin_sku_names());
   for (const std::string& sched : sweep.scheduler)
@@ -486,6 +545,16 @@ JsonValue autoscale_json(const AutoscalerConfig& c) {
   const AutoscalerConfig d;
   JsonValue j = JsonValue::object();
   j.set("kind", autoscaler_name(c.kind));
+  set_unless_default(j, "signal", c.signal, d.signal,
+                     scale_signal_name(c.signal));
+  set_unless_default(j, "target_kv_utilization", c.target_kv_utilization,
+                     d.target_kv_utilization, c.target_kv_utilization);
+  set_unless_default(j, "scale_up_kv_utilization", c.scale_up_kv_utilization,
+                     d.scale_up_kv_utilization, c.scale_up_kv_utilization);
+  set_unless_default(j, "scale_down_kv_utilization",
+                     c.scale_down_kv_utilization,
+                     d.scale_down_kv_utilization,
+                     c.scale_down_kv_utilization);
   set_unless_default(j, "min_replicas", c.min_replicas, d.min_replicas,
                      c.min_replicas);
   set_unless_default(j, "initial_replicas", c.initial_replicas,
@@ -519,9 +588,47 @@ JsonValue autoscale_json(const AutoscalerConfig& c) {
   return j;
 }
 
+JsonValue pool_json(const PoolSpec& p) {
+  const PoolSpec d;
+  JsonValue j = JsonValue::object();
+  j.set("name", p.name);
+  j.set("sku", p.sku_name);
+  set_unless_default(j, "role", p.role, d.role, pool_role_name(p.role));
+  set_unless_default(j, "tensor_parallel", p.parallel.tensor_parallel,
+                     d.parallel.tensor_parallel, p.parallel.tensor_parallel);
+  set_unless_default(j, "pipeline_parallel", p.parallel.pipeline_parallel,
+                     d.parallel.pipeline_parallel,
+                     p.parallel.pipeline_parallel);
+  j.set("num_replicas", p.parallel.num_replicas);
+  set_unless_default(j, "cost_per_gpu_hour", p.cost_per_gpu_hour,
+                     d.cost_per_gpu_hour, p.cost_per_gpu_hour);
+  set_unless_default(j, "capacity_qps", p.capacity_qps, d.capacity_qps,
+                     p.capacity_qps);
+  set_unless_default(j, "autoscale", p.autoscale, d.autoscale,
+                     autoscale_json(p.autoscale));
+  return j;
+}
+
 JsonValue deployment_json(const DeploymentConfig& c) {
   const DeploymentConfig d;
   JsonValue j = JsonValue::object();
+  if (!c.pools.empty()) {
+    // The pool list supersedes the homogeneous SKU/parallelism fields;
+    // emitting both would invite divergence in hand-edited specs.
+    JsonValue pools = JsonValue::array();
+    for (const PoolSpec& p : c.pools) pools.push(pool_json(p));
+    j.set("pools", std::move(pools));
+    set_unless_default(j, "scheduler", c.scheduler, d.scheduler,
+                       scheduler_json(c.scheduler));
+    set_unless_default(j, "global_scheduler", c.global_scheduler,
+                       d.global_scheduler,
+                       global_scheduler_name(c.global_scheduler));
+    set_unless_default(j, "async_pipeline_comm", c.async_pipeline_comm,
+                       d.async_pipeline_comm, c.async_pipeline_comm);
+    set_unless_default(j, "disagg", c.disagg, d.disagg,
+                       disagg_json(c.disagg));
+    return j;
+  }
   j.set("sku", c.sku_name);
   j.set("tensor_parallel", c.parallel.tensor_parallel);
   j.set("pipeline_parallel", c.parallel.pipeline_parallel);
@@ -877,13 +984,33 @@ DisaggConfig disagg_from_json(const JsonValue& j) {
   return c;
 }
 
-AutoscalerConfig autoscale_from_json(const JsonValue& j) {
+AutoscalerConfig autoscale_from_json(const JsonValue& j,
+                                     const std::string& context) {
   AutoscalerConfig c;
-  FieldReader r(j, "deployment.autoscale");
+  FieldReader r(j, context);
   r.field("kind",
           [&](const JsonValue& v) {
             c.kind = autoscaler_from_name(to_str(v, "kind"));
           })
+      .field("signal",
+             [&](const JsonValue& v) {
+               c.signal = scale_signal_from_name(to_str(v, "signal"));
+             })
+      .field("target_kv_utilization",
+             [&](const JsonValue& v) {
+               c.target_kv_utilization =
+                   to_double(v, "target_kv_utilization");
+             })
+      .field("scale_up_kv_utilization",
+             [&](const JsonValue& v) {
+               c.scale_up_kv_utilization =
+                   to_double(v, "scale_up_kv_utilization");
+             })
+      .field("scale_down_kv_utilization",
+             [&](const JsonValue& v) {
+               c.scale_down_kv_utilization =
+                   to_double(v, "scale_down_kv_utilization");
+             })
       .field("min_replicas",
              [&](const JsonValue& v) {
                c.min_replicas = to_int(v, "min_replicas");
@@ -948,6 +1075,50 @@ AutoscalerConfig autoscale_from_json(const JsonValue& j) {
   return c;
 }
 
+PoolSpec pool_from_json(const JsonValue& j) {
+  PoolSpec p;
+  // Read the name first so field errors can cite the pool.
+  std::string context = "deployment.pools[]";
+  if (const JsonValue* n = j.find("name"); n != nullptr && n->is_string())
+    context = "deployment.pools['" + n->as_string() + "']";
+  FieldReader r(j, context);
+  r.field("name", [&](const JsonValue& v) { p.name = to_str(v, "name"); })
+      .field("sku",
+             [&](const JsonValue& v) { p.sku_name = to_str(v, "sku"); })
+      .field("role",
+             [&](const JsonValue& v) {
+               const std::string role = to_str(v, "role");
+               // check_name carries the did-you-mean for typo'd roles.
+               check_name("pool role", role, pool_role_names());
+               p.role = pool_role_from_name(role);
+             })
+      .field("tensor_parallel",
+             [&](const JsonValue& v) {
+               p.parallel.tensor_parallel = to_int(v, "tensor_parallel");
+             })
+      .field("pipeline_parallel",
+             [&](const JsonValue& v) {
+               p.parallel.pipeline_parallel = to_int(v, "pipeline_parallel");
+             })
+      .field("num_replicas",
+             [&](const JsonValue& v) {
+               p.parallel.num_replicas = to_int(v, "num_replicas");
+             })
+      .field("cost_per_gpu_hour",
+             [&](const JsonValue& v) {
+               p.cost_per_gpu_hour = to_double(v, "cost_per_gpu_hour");
+             })
+      .field("capacity_qps",
+             [&](const JsonValue& v) {
+               p.capacity_qps = to_double(v, "capacity_qps");
+             })
+      .field("autoscale", [&](const JsonValue& v) {
+        p.autoscale = autoscale_from_json(v, context + ".autoscale");
+      });
+  r.finish();
+  return p;
+}
+
 DeploymentConfig deployment_from_json(const JsonValue& j) {
   DeploymentConfig c;
   FieldReader r(j, "deployment");
@@ -977,8 +1148,16 @@ DeploymentConfig deployment_from_json(const JsonValue& j) {
              })
       .field("disagg",
              [&](const JsonValue& v) { c.disagg = disagg_from_json(v); })
-      .field("autoscale", [&](const JsonValue& v) {
-        c.autoscale = autoscale_from_json(v);
+      .field("autoscale",
+             [&](const JsonValue& v) {
+               c.autoscale = autoscale_from_json(v, "deployment.autoscale");
+             })
+      .field("pools", [&](const JsonValue& v) {
+        VIDUR_CHECK_MSG(v.is_array(),
+                        "spec field 'deployment.pools' must be an array of "
+                        "pool objects");
+        for (const JsonValue& item : v.items())
+          c.pools.push_back(pool_from_json(item));
       });
   r.finish();
   return c;

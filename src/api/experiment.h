@@ -130,6 +130,9 @@ struct ExperimentSpec {
   ExperimentSpec& with_slo(SloSpec s);
   ExperimentSpec& with_seed(std::uint64_t s);
   ExperimentSpec& with_autoscale(AutoscalerConfig autoscale);
+  /// Append a named pool (heterogeneous / disaggregated deployments; see
+  /// DeploymentConfig::pools).
+  ExperimentSpec& with_pool(PoolSpec pool);
 
   /// Throws vidur::Error with an actionable message on any inconsistency:
   /// unknown model/SKU/trace/scenario/scheduler names (with a did-you-mean

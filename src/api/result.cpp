@@ -20,6 +20,30 @@ JsonValue summary_json(const Summary& s) {
   return j;
 }
 
+JsonValue pool_report_json(const PoolScalingReport& p) {
+  JsonValue j = JsonValue::object();
+  j.set("pool", p.name);
+  j.set("sku", p.sku);
+  j.set("role", p.role);
+  j.set("autoscaled", p.autoscaled);
+  j.set("slots", p.slots);
+  j.set("gpus_per_replica", p.gpus_per_replica);
+  j.set("cost_per_gpu_hour", p.cost_per_gpu_hour);
+  j.set("peak_active", p.peak_active);
+  j.set("mean_active_replicas", p.mean_active_replicas);
+  j.set("num_scale_ups", p.num_scale_up_events);
+  j.set("num_scale_downs", p.num_scale_down_events);
+  j.set("gpu_hours", p.gpu_hours);
+  j.set("cost_usd", p.cost_usd);
+  return j;
+}
+
+JsonValue pool_reports_json(const std::vector<PoolScalingReport>& pools) {
+  JsonValue arr = JsonValue::array();
+  for (const PoolScalingReport& p : pools) arr.push(pool_report_json(p));
+  return arr;
+}
+
 JsonValue scaling_json(const ClusterScalingReport& r) {
   JsonValue j = JsonValue::object();
   j.set("autoscaled", r.enabled);
@@ -30,6 +54,7 @@ JsonValue scaling_json(const ClusterScalingReport& r) {
   j.set("num_scale_downs", r.num_scale_down_events);
   j.set("gpu_hours", r.gpu_hours);
   j.set("cost_usd", r.cost_usd);
+  if (!r.pools.empty()) j.set("pools", pool_reports_json(r.pools));
   return j;
 }
 
@@ -43,6 +68,7 @@ JsonValue elastic_point_json(const ElasticPlanPoint& p) {
   j.set("makespan_s", p.makespan);
   j.set("num_scale_ups", p.num_scale_ups);
   j.set("num_scale_downs", p.num_scale_downs);
+  if (!p.pools.empty()) j.set("pools", pool_reports_json(p.pools));
   return j;
 }
 

@@ -69,6 +69,14 @@ ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
       options.max_replicas = spec.elastic.max_replicas;
       options.burst_slots = spec.elastic.burst_slots;
       options.trace_seed = spec.seed;
+      if (!spec.deployment.pools.empty()) {
+        // Heterogeneous pools: each pool's slot count is its own ceiling
+        // and the per-pool autoscale sections name the policies under
+        // test; the planner builds the static-peak twin itself.
+        result.elastic = plan_elastic_capacity_pools(
+            session, spec.deployment, scenario, options);
+        break;
+      }
       // The deployment's autoscale section names the policy under test;
       // plan_elastic_capacity owns enabling/disabling it per run.
       DeploymentConfig base = spec.deployment;
@@ -106,6 +114,8 @@ void check_session(const VidurSession& session, const ExperimentSpec& spec) {
                         "with SessionOptions::tp_degrees including it");
   };
   check_tp(spec.deployment.parallel.tensor_parallel);
+  for (const PoolSpec& pool : spec.deployment.pools)
+    check_tp(pool.parallel.tensor_parallel);
   if (spec.mode == ExperimentMode::kCapacitySearch)
     for (const int tp : spec.search.tp_degrees) check_tp(tp);
   for (const int tp : spec.sweep.tensor_parallel) check_tp(tp);

@@ -20,13 +20,24 @@ const std::vector<std::pair<AutoscalerKind, std::string>>& kind_names() {
   return table;
 }
 
+const std::vector<std::pair<ScaleSignal, std::string>>& signal_names() {
+  static const std::vector<std::pair<ScaleSignal, std::string>> table = {
+      {ScaleSignal::kOutstanding, "outstanding"},
+      {ScaleSignal::kKvPressure, "kv_pressure"},
+  };
+  return table;
+}
+
 int clamp_replicas(int n, const ClusterSample& s) {
   return std::clamp(n, s.min_replicas, s.max_replicas);
 }
 
-// Threshold scaling on outstanding load per replica. Capacity already in
-// flight (provisioning/warming) counts toward the denominator, so repeated
-// ticks during a cold start do not over-provision; the hysteresis band
+// Threshold scaling with a hysteresis band, on one of two load signals:
+// outstanding requests per replica (arrival-serving pools), or mean KV
+// utilization across active replicas (decode pools, whose load is resident
+// sequences rather than a queue). Capacity already in flight
+// (provisioning/warming) counts toward the queue-depth denominator, so
+// repeated ticks during a cold start do not over-provision; the band
 // between the two thresholds absorbs load noise without fleet changes.
 class ReactiveAutoscaler : public AutoscalerPolicy {
  public:
@@ -34,6 +45,7 @@ class ReactiveAutoscaler : public AutoscalerPolicy {
       : config_(std::move(config)) {}
 
   int desired_replicas(const ClusterSample& s) override {
+    if (config_.signal == ScaleSignal::kKvPressure) return desired_by_kv(s);
     const int effective = s.active + s.pending;
     const double load =
         static_cast<double>(s.outstanding) / std::max(1, effective);
@@ -51,6 +63,24 @@ class ReactiveAutoscaler : public AutoscalerPolicy {
   }
 
  private:
+  int desired_by_kv(const ClusterSample& s) {
+    // KV occupancy lives only on active replicas, so the mean ignores
+    // pending capacity; sizing then spreads the same total occupancy over
+    // the target utilization. Pending capacity still suppresses repeat
+    // scale-ups through the `sized > effective` guard.
+    const double mean_util = s.kv_pressure / std::max(1, s.active);
+    const int effective = s.active + s.pending;
+    const int sized = clamp_replicas(
+        static_cast<int>(std::ceil(s.kv_pressure /
+                                   config_.target_kv_utilization)),
+        s);
+    if (mean_util > config_.scale_up_kv_utilization && sized > effective)
+      return sized;
+    if (mean_util < config_.scale_down_kv_utilization && sized < effective)
+      return sized;
+    return effective;
+  }
+
   AutoscalerConfig config_;
 };
 
@@ -102,6 +132,18 @@ AutoscalerKind autoscaler_from_name(const std::string& name) {
   throw Error("unknown autoscaler: " + name);
 }
 
+const std::string& scale_signal_name(ScaleSignal signal) {
+  for (const auto& [s, n] : signal_names())
+    if (s == signal) return n;
+  throw Error("unhandled ScaleSignal");
+}
+
+ScaleSignal scale_signal_from_name(const std::string& name) {
+  for (const auto& [s, n] : signal_names())
+    if (n == name) return s;
+  throw Error("unknown scale signal: " + name);
+}
+
 void AutoscalerConfig::validate() const {
   if (!enabled()) return;
   VIDUR_CHECK_MSG(min_replicas >= 1, "autoscaler: min_replicas must be >= 1");
@@ -112,7 +154,8 @@ void AutoscalerConfig::validate() const {
                   "autoscaler: decision_interval must be positive");
   VIDUR_CHECK(scale_up_cooldown >= 0 && scale_down_cooldown >= 0);
   VIDUR_CHECK(max_scale_step >= 0);
-  if (kind == AutoscalerKind::kReactive) {
+  if (kind == AutoscalerKind::kReactive &&
+      signal == ScaleSignal::kOutstanding) {
     VIDUR_CHECK_MSG(target_load_per_replica > 0 && scale_up_load > 0,
                     "autoscaler: loads must be positive");
     VIDUR_CHECK_MSG(scale_down_load >= 0 && scale_down_load < scale_up_load,
@@ -123,7 +166,27 @@ void AutoscalerConfig::validate() const {
                     "autoscaler: target load must lie inside the "
                     "hysteresis band, or sizing re-triggers itself");
   }
+  if (kind == AutoscalerKind::kReactive &&
+      signal == ScaleSignal::kKvPressure) {
+    VIDUR_CHECK_MSG(target_kv_utilization > 0 && target_kv_utilization <= 1 &&
+                        scale_up_kv_utilization > 0 &&
+                        scale_up_kv_utilization <= 1,
+                    "autoscaler: KV utilization thresholds must lie in "
+                    "(0, 1]");
+    VIDUR_CHECK_MSG(scale_down_kv_utilization >= 0 &&
+                        scale_down_kv_utilization < scale_up_kv_utilization,
+                    "autoscaler: scale_down_kv_utilization must sit below "
+                    "scale_up_kv_utilization (hysteresis band)");
+    VIDUR_CHECK_MSG(target_kv_utilization >= scale_down_kv_utilization &&
+                        target_kv_utilization <= scale_up_kv_utilization,
+                    "autoscaler: target KV utilization must lie inside the "
+                    "hysteresis band, or sizing re-triggers itself");
+  }
   if (kind == AutoscalerKind::kPredictive) {
+    VIDUR_CHECK_MSG(signal == ScaleSignal::kOutstanding,
+                    "autoscaler: the predictive policy forecasts arrival "
+                    "rates and ignores the load signal; leave signal at "
+                    "'outstanding'");
     profile.validate();
     VIDUR_CHECK_MSG(baseline_qps > 0 && replica_capacity_qps > 0,
                     "autoscaler: predictive policy needs baseline_qps and "

@@ -30,8 +30,28 @@ enum class AutoscalerKind {
 const std::string& autoscaler_name(AutoscalerKind kind);
 AutoscalerKind autoscaler_from_name(const std::string& name);
 
+/// What load quantity a reactive policy sizes the fleet on.
+///
+///   kOutstanding — waiting + running requests per replica (the classic
+///     queue-depth signal; the default, and the right one for pools that
+///     receive arrivals: unified fleets and disaggregated prefill pools).
+///   kKvPressure — mean KV-cache block utilization across the pool's
+///     active replicas. Decode pools scale on this: their load is resident
+///     sequences holding KV memory, not a request queue — a decode replica
+///     with 40 slow-decoding residents and an empty queue is still full.
+enum class ScaleSignal {
+  kOutstanding,
+  kKvPressure,
+};
+
+const std::string& scale_signal_name(ScaleSignal signal);
+ScaleSignal scale_signal_from_name(const std::string& name);
+
 struct AutoscalerConfig {
   AutoscalerKind kind = AutoscalerKind::kNone;
+  /// Load signal of the reactive policy (predictive ignores it and must
+  /// leave it at kOutstanding).
+  ScaleSignal signal = ScaleSignal::kOutstanding;
 
   /// Active-replica floor; draining never goes below it.
   int min_replicas = 1;
@@ -67,6 +87,14 @@ struct AutoscalerConfig {
   /// the two thresholds is the hysteresis band.
   double scale_down_load = 4.0;
 
+  // ---- kKvPressure thresholds (mean KV utilization, 0..1) ----
+  /// Sizing target: desired = ceil(active * mean_util / target).
+  double target_kv_utilization = 0.6;
+  /// Scale up when mean KV utilization across active replicas exceeds this.
+  double scale_up_kv_utilization = 0.8;
+  /// Scale down below this; the gap to scale_up is the hysteresis band.
+  double scale_down_kv_utilization = 0.3;
+
   // ---- predictive inputs ----
   /// Scenario arrival-rate shape the policy reads the future from.
   RateProfile profile;
@@ -99,6 +127,10 @@ struct ClusterSample {
   /// Waiting + running requests across the whole cluster, including the
   /// global scheduler's parked central queue and draining replicas' work.
   int outstanding = 0;
+  /// Summed KV-cache utilization (0..1 each) of the active replicas; the
+  /// kKvPressure signal divides by `active` for the mean. Zero when the
+  /// sampler does not track KV occupancy.
+  double kv_pressure = 0.0;
 };
 
 class AutoscalerPolicy {

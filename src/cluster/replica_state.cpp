@@ -21,6 +21,15 @@ std::string ClusterScalingReport::to_string() const {
      << peak_active << ", +" << num_scale_up_events << "/-"
      << num_scale_down_events << " scale events, " << gpu_hours
      << " GPU-hours ($" << cost_usd << ")";
+  if (pools.size() > 1) {
+    for (const PoolScalingReport& p : pools) {
+      os << "\n  pool " << p.name << " (" << p.sku << ", " << p.role
+         << (p.autoscaled ? ", elastic" : ", static") << "): " << p.slots
+         << " slots, mean active " << p.mean_active_replicas << ", peak "
+         << p.peak_active << ", " << p.gpu_hours << " GPU-hours ($"
+         << p.cost_usd << ")";
+    }
+  }
   return os.str();
 }
 

@@ -46,6 +46,33 @@ struct ReplicaCountSample {
   int active = 0;
 };
 
+/// Per-pool slice of a heterogeneous fleet's scaling report. Role and SKU
+/// are carried as strings to keep this header dependency-light (the pool
+/// subsystem proper lives in cluster/pool.h).
+struct PoolScalingReport {
+  std::string name;
+  std::string sku;
+  std::string role;        ///< "unified" / "prefill" / "decode"
+  int first_slot = 0;      ///< pool occupies [first_slot, first_slot+slots)
+  int slots = 0;
+  int min_replicas = 0;
+  int initial_replicas = 0;
+  int gpus_per_replica = 1;
+  double cost_per_gpu_hour = 0.0;
+  bool autoscaled = false;  ///< false: static pool, pinned at `slots`
+
+  int peak_active = 0;
+  double mean_active_replicas = 0.0;
+  int num_scale_up_events = 0;
+  int num_scale_down_events = 0;
+
+  double replica_hours = 0.0;
+  double gpu_hours = 0.0;
+  double cost_usd = 0.0;
+
+  std::vector<ReplicaCountSample> active_timeline;  ///< pool-local counts
+};
+
 /// Capacity/cost accounting of one simulation's replica fleet. Filled for
 /// every run: static fleets get a flat report (enabled == false), elastic
 /// runs carry the full event log and timeline. A replica accrues paid GPU
@@ -68,6 +95,12 @@ struct ClusterScalingReport {
 
   std::vector<ScalingEvent> events;              ///< chronological
   std::vector<ReplicaCountSample> active_timeline;  ///< step function
+
+  /// Per-pool breakout, in slot order. Filled by the ClusterManager (every
+  /// elastic run, including homogeneous single-pool ones) and by
+  /// static_pools_report; plain homogeneous static fleets
+  /// (static_fleet_report) leave it empty.
+  std::vector<PoolScalingReport> pools;
 
   std::string to_string() const;
 };

@@ -6,6 +6,23 @@ namespace vidur {
 
 std::string DeploymentConfig::to_string() const {
   std::ostringstream os;
+  if (!pools.empty()) {
+    os << "pools[";
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+      const PoolSpec& p = pools[i];
+      if (i > 0) os << ", ";
+      os << p.name << ":" << p.sku_name << " tp"
+         << p.parallel.tensor_parallel << " pp"
+         << p.parallel.pipeline_parallel << " x" << p.slots() << " "
+         << pool_role_name(p.role);
+      if (p.autoscale.enabled())
+        os << " autoscale(" << autoscaler_name(p.autoscale.kind) << "/"
+           << scale_signal_name(p.autoscale.signal) << ", "
+           << p.autoscale.min_replicas << ".." << p.slots() << ")";
+    }
+    os << "] " << scheduler.to_string();
+    return os.str();
+  }
   os << sku_name << " tp" << parallel.tensor_parallel << " pp"
      << parallel.pipeline_parallel << " x" << parallel.num_replicas << " "
      << scheduler.to_string();

@@ -3,8 +3,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "cluster/autoscaler.h"
+#include "cluster/pool.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
 #include "scheduler/global_scheduler.h"
@@ -26,12 +28,30 @@ struct DeploymentConfig {
   /// Elastic fleet (src/cluster/): when enabled, parallel.num_replicas is
   /// the slot ceiling and the autoscaler drives the active replica count.
   AutoscalerConfig autoscale;
+  /// Heterogeneous pool deployment: named pools, each with its own SKU,
+  /// parallelism, role (unified / prefill / decode) and per-pool
+  /// autoscaling policy. When non-empty, `sku_name`, `parallel`,
+  /// `disagg.num_prefill_replicas` and `autoscale` above are superseded
+  /// and must stay at their disabled defaults; `scheduler` and
+  /// `global_scheduler` still apply fleet-wide.
+  std::vector<PoolSpec> pools;
 
-  int total_gpus() const { return parallel.total_gpus(); }
+  int total_gpus() const {
+    if (pools.empty()) return parallel.total_gpus();
+    int total = 0;
+    for (const PoolSpec& pool : pools)
+      total += pool.slots() * pool.gpus_per_replica();
+    return total;
+  }
 
-  /// Rental cost of all GPUs, USD per hour.
+  /// Rental cost of all GPUs (every pool at its slot ceiling), USD/hour.
   double cost_per_hour() const {
-    return sku_by_name(sku_name).cost_per_hour * total_gpus();
+    if (pools.empty())
+      return sku_by_name(sku_name).cost_per_hour * total_gpus();
+    double total = 0.0;
+    for (const PoolSpec& pool : pools)
+      total += pool.replica_cost_per_hour() * pool.slots();
+    return total;
   }
 
   /// Human-readable one-liner, e.g.

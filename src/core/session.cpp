@@ -38,7 +38,10 @@ SimulationConfig VidurSession::make_sim_config(
     const DeploymentConfig& config) const {
   SimulationConfig sim;
   sim.model = model_;
-  sim.node.sku = sku_by_name(config.sku_name);
+  // Pool deployments ignore the top-level SKU; the primary node is only a
+  // placeholder for legacy fields (pool SKUs drive planning and billing).
+  sim.node.sku = sku_by_name(
+      config.pools.empty() ? config.sku_name : config.pools[0].sku_name);
   sim.parallel = config.parallel;
   sim.scheduler = config.scheduler;
   sim.global_scheduler = config.global_scheduler;
@@ -47,7 +50,47 @@ SimulationConfig VidurSession::make_sim_config(
   sim.collect_operator_metrics = options_.collect_operator_metrics;
   sim.disagg = config.disagg;
   sim.autoscale = config.autoscale;
+  sim.pools = config.pools;
   return sim;
+}
+
+double VidurSession::pool_capacity_weight(const PoolSpec& pool) {
+  const RuntimeEstimator& est = estimator(pool.sku_name);
+  ExecutionTimePredictor predictor(&est, model_, pool.parallel,
+                                   options_.cpu_overhead);
+  BatchSpec batch;
+  BatchItem prefill;
+  prefill.request = 0;
+  prefill.q_tokens = 512;
+  prefill.is_prefill = true;
+  prefill.completes_prefill = true;
+  batch.items.push_back(prefill);
+  for (int i = 0; i < 31; ++i) {
+    BatchItem decode;
+    decode.request = i + 1;
+    decode.q_tokens = 1;
+    decode.kv_context = 512;
+    batch.items.push_back(decode);
+  }
+  const BatchAggregates agg = batch.aggregates();
+  Seconds total = predictor.cpu_overhead(batch);
+  for (StageId stage = 0; stage < pool.parallel.pipeline_parallel; ++stage)
+    total += predictor.stage_timing(batch, agg, stage).total();
+  return total > 0 ? 1.0 / total : 0.0;
+}
+
+void VidurSession::prepare_pools(SimulationConfig& sim) {
+  if (sim.pools.empty()) return;
+  for (const PoolSpec& pool : sim.pools) onboard(pool.sku_name);
+  // Derive capacities only when the spec set none: a partial mix would
+  // compare user-supplied qps against estimator-derived iteration rates
+  // (ExperimentSpec::validate rejects that; the simulator's FLOPs fallback
+  // covers direct users).
+  bool any_set = false;
+  for (const PoolSpec& pool : sim.pools) any_set |= pool.capacity_qps > 0;
+  if (any_set) return;
+  for (PoolSpec& pool : sim.pools)
+    pool.capacity_qps = pool_capacity_weight(pool);
 }
 
 void VidurSession::account(const SimulationMetrics& metrics,
@@ -60,16 +103,38 @@ void VidurSession::account(const SimulationMetrics& metrics,
 SimulationMetrics VidurSession::simulate(
     const DeploymentConfig& config, const Trace& trace,
     const std::vector<TenantInfo>& tenants) {
-  const RuntimeEstimator& est = estimator(config.sku_name);
   SimulationConfig sim_config = make_sim_config(config);
   sim_config.tenants = tenants;
   const ModelSpec& model = model_;
   const CpuOverheadModel cpu = options_.cpu_overhead;
-  const ParallelConfig parallel = config.parallel;
-  Simulator sim(sim_config, trace, [&est, &model, parallel, cpu](ReplicaId) {
-    return std::make_unique<ExecutionTimePredictor>(&est, model, parallel,
-                                                    cpu);
-  });
+  BackendFactory factory;
+  if (config.pools.empty()) {
+    const RuntimeEstimator& est = estimator(config.sku_name);
+    const ParallelConfig parallel = config.parallel;
+    factory = [&est, &model, parallel, cpu](ReplicaId) {
+      return std::make_unique<ExecutionTimePredictor>(&est, model, parallel,
+                                                      cpu);
+    };
+  } else {
+    prepare_pools(sim_config);
+    // Each slot gets a predictor against its pool's per-SKU estimator.
+    std::vector<const RuntimeEstimator*> estimators;
+    std::vector<ParallelConfig> parallels;
+    for (const PoolSpec& pool : sim_config.pools) {
+      estimators.push_back(&estimator(pool.sku_name));
+      parallels.push_back(pool.parallel);
+    }
+    factory = [estimators = std::move(estimators),
+               parallels = std::move(parallels),
+               slot_pool = pool_slot_layout(sim_config.pools), &model,
+               cpu](ReplicaId r) {
+      const auto p = static_cast<std::size_t>(
+          slot_pool[static_cast<std::size_t>(r)]);
+      return std::make_unique<ExecutionTimePredictor>(estimators[p], model,
+                                                      parallels[p], cpu);
+    };
+  }
+  Simulator sim(sim_config, trace, std::move(factory));
   SimulationMetrics metrics = sim.run();
   account(metrics, config);
   return metrics;
@@ -82,14 +147,36 @@ SimulationMetrics VidurSession::simulate_reference(
   sim_config.tenants = tenants;
   const ModelSpec& model = model_;
   const CpuOverheadModel cpu = options_.cpu_overhead;
-  const ParallelConfig parallel = config.parallel;
-  const NodeSpec node = sim_config.node;
-  Simulator sim(sim_config, trace,
-                [&model, node, parallel, cpu, seed](ReplicaId replica) {
-                  return std::make_unique<ReferenceExecutor>(
-                      node, model, parallel,
-                      seed * 0x9e3779b97f4a7c15ULL + replica, cpu);
-                });
+  BackendFactory factory;
+  if (config.pools.empty()) {
+    const ParallelConfig parallel = config.parallel;
+    const NodeSpec node = sim_config.node;
+    factory = [&model, node, parallel, cpu, seed](ReplicaId replica) {
+      return std::make_unique<ReferenceExecutor>(
+          node, model, parallel, seed * 0x9e3779b97f4a7c15ULL + replica,
+          cpu);
+    };
+  } else {
+    prepare_pools(sim_config);
+    std::vector<NodeSpec> nodes;
+    std::vector<ParallelConfig> parallels;
+    for (const PoolSpec& pool : sim_config.pools) {
+      NodeSpec node = sim_config.node;
+      node.sku = sku_by_name(pool.sku_name);
+      nodes.push_back(node);
+      parallels.push_back(pool.parallel);
+    }
+    factory = [nodes = std::move(nodes), parallels = std::move(parallels),
+               slot_pool = pool_slot_layout(sim_config.pools), &model, cpu,
+               seed](ReplicaId replica) {
+      const auto p = static_cast<std::size_t>(
+          slot_pool[static_cast<std::size_t>(replica)]);
+      return std::make_unique<ReferenceExecutor>(
+          nodes[p], model, parallels[p],
+          seed * 0x9e3779b97f4a7c15ULL + replica, cpu);
+    };
+  }
+  Simulator sim(sim_config, trace, std::move(factory));
   // Reference runs are not counted as simulated GPU time: they represent
   // what the paper executes on the real testbed.
   return sim.run();

@@ -81,6 +81,15 @@ class VidurSession {
   SimulationConfig make_sim_config(const DeploymentConfig& config) const;
   void account(const SimulationMetrics& metrics,
                const DeploymentConfig& config);
+  /// Onboard every pool's SKU and fill unset per-pool capacities with the
+  /// estimator-derived relative throughput (pool_capacity_weight); the
+  /// cost-aware scale-out policy ranks pools by $/SLO-point with these.
+  void prepare_pools(SimulationConfig& sim);
+  /// Relative per-replica capacity of one pool: the reciprocal predicted
+  /// time of a canonical continuous-batching iteration (one 512-token
+  /// prefill chunk + 31 decodes at 512 KV context) across the pool's
+  /// pipeline, from the RuntimeEstimator's per-SKU predictions.
+  double pool_capacity_weight(const PoolSpec& pool);
 
   ModelSpec model_;
   SessionOptions options_;

@@ -20,6 +20,7 @@ ElasticPlanPoint ElasticPlanPoint::from_metrics(
   point.makespan = metrics.makespan;
   point.num_scale_ups = metrics.scaling.num_scale_up_events;
   point.num_scale_downs = metrics.scaling.num_scale_down_events;
+  point.pools = metrics.scaling.pools;
   return point;
 }
 
@@ -40,6 +41,14 @@ std::string ElasticPlanResult::to_string() const {
   row("static peak", static_peak);
   row("autoscaled", autoscaled);
   os << table.str();
+  if (autoscaled.pools.size() > 1) {
+    for (const PoolScalingReport& p : autoscaled.pools) {
+      os << "  autoscaled pool " << p.name << " (" << p.sku << ", " << p.role
+         << "): mean active " << fmt_double(p.mean_active_replicas, 2)
+         << " of " << p.slots << ", " << fmt_double(p.gpu_hours, 4)
+         << " GPU-hours ($" << fmt_double(p.cost_usd, 2) << ")\n";
+    }
+  }
   os << "autoscaled GPU-hour savings vs static peak: "
      << fmt_double(cost_savings_pct, 1) << "%\n";
   if (!static_feasible)
@@ -134,6 +143,55 @@ ElasticPlanResult plan_elastic_capacity(VidurSession& session,
       session.simulate(elastic, trace, tenants);
   ++result.num_simulations;
   result.autoscaled = ElasticPlanPoint::from_metrics(metrics);
+
+  if (result.static_peak.gpu_hours > 0)
+    result.cost_savings_pct =
+        (result.static_peak.gpu_hours - result.autoscaled.gpu_hours) /
+        result.static_peak.gpu_hours * 100.0;
+  return result;
+}
+
+ElasticPlanResult plan_elastic_capacity_pools(
+    VidurSession& session, DeploymentConfig pooled, const Scenario& scenario,
+    const ElasticPlanOptions& options) {
+  VIDUR_CHECK_MSG(!pooled.pools.empty(),
+                  "plan_elastic_capacity_pools needs a pool deployment");
+  validate_pools(pooled.pools);
+  VIDUR_CHECK_MSG(any_pool_autoscaled(pooled.pools),
+                  "plan_elastic_capacity_pools: no pool carries an "
+                  "autoscaling policy to evaluate");
+  VIDUR_CHECK(options.slo_target > 0 && options.slo_target <= 1);
+  scenario.validate();
+  bool has_slo = false;
+  for (const TenantSpec& t : scenario.tenants) has_slo |= t.slo.enabled();
+  VIDUR_CHECK_MSG(has_slo,
+                  "plan_elastic_capacity_pools: scenario '"
+                      << scenario.name
+                      << "' has no SLO-carrying tenant to plan against");
+
+  const Trace trace = generate_scenario_trace(scenario, options.trace_seed);
+  const std::vector<TenantInfo> tenants = scenario.tenant_infos();
+
+  ElasticPlanResult result;
+
+  // Static peak: every pool pinned at its slot ceiling, always on. The
+  // cost comparison of interest holds the *shape* of the fleet fixed and
+  // asks what the per-pool policies save by riding the traffic.
+  DeploymentConfig static_config = pooled;
+  for (PoolSpec& pool : static_config.pools)
+    pool.autoscale = AutoscalerConfig{};
+  const SimulationMetrics static_metrics =
+      session.simulate(static_config, trace, tenants);
+  ++result.num_simulations;
+  result.static_peak = ElasticPlanPoint::from_metrics(static_metrics);
+  result.static_feasible =
+      static_metrics.aggregate_slo_attainment() >= options.slo_target;
+
+  // The identical trace under the per-pool autoscaling policies.
+  const SimulationMetrics elastic_metrics =
+      session.simulate(pooled, trace, tenants);
+  ++result.num_simulations;
+  result.autoscaled = ElasticPlanPoint::from_metrics(elastic_metrics);
 
   if (result.static_peak.gpu_hours > 0)
     result.cost_savings_pct =

@@ -41,6 +41,8 @@ struct ElasticPlanPoint {
   Seconds makespan = 0.0;
   int num_scale_ups = 0;
   int num_scale_downs = 0;
+  /// Per-pool breakout (heterogeneous deployments; one entry per pool).
+  std::vector<PoolScalingReport> pools;
 
   /// Summarize one simulation's scaling report + SLO attainment.
   static ElasticPlanPoint from_metrics(const SimulationMetrics& metrics);
@@ -84,5 +86,16 @@ ElasticPlanResult plan_elastic_capacity(VidurSession& session,
                                         const Scenario& scenario,
                                         AutoscalerConfig autoscale,
                                         const ElasticPlanOptions& options);
+
+/// Heterogeneous form: `pooled` carries named pools (mixed SKUs and/or
+/// disaggregated roles), at least one of them autoscaled. Static peak pins
+/// every pool at its slot ceiling with autoscaling disabled; the elastic
+/// run plays the identical trace with the per-pool policies as configured.
+/// options.max_replicas / burst_slots do not apply — each pool's slot
+/// count is its own ceiling. The result carries per-pool breakouts in
+/// both points.
+ElasticPlanResult plan_elastic_capacity_pools(
+    VidurSession& session, DeploymentConfig pooled, const Scenario& scenario,
+    const ElasticPlanOptions& options);
 
 }  // namespace vidur

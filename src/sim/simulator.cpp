@@ -7,65 +7,155 @@
 
 namespace vidur {
 
+namespace {
+
+int count_slots(const SimulationConfig& c) {
+  return c.pools.empty() ? c.parallel.num_replicas : total_pool_slots(c.pools);
+}
+
+/// Routing-domain size of the global scheduler. Under legacy
+/// disaggregation, arrivals are only routed among the prefill replicas;
+/// decode replicas receive work via KV-transfer hand-off. Pool deployments
+/// route over every slot and mask decode/inactive slots out instead.
+int routing_domain(const SimulationConfig& c) {
+  if (!c.pools.empty()) return total_pool_slots(c.pools);
+  return c.disagg.enabled() ? c.disagg.num_prefill_replicas
+                            : c.parallel.num_replicas;
+}
+
+NodeSpec pool_node(const SimulationConfig& c, const PoolSpec& pool) {
+  NodeSpec node = c.node;
+  node.sku = sku_by_name(pool.sku_name);
+  return node;
+}
+
+MemoryPlan primary_memory_plan(const SimulationConfig& c) {
+  if (c.pools.empty())
+    return plan_memory(c.model, c.node, c.parallel, c.memory_utilization);
+  return plan_memory(c.model, pool_node(c, c.pools[0]), c.pools[0].parallel,
+                     c.memory_utilization);
+}
+
+/// Resources the metrics collector accounts against. Heterogeneous pools
+/// are folded to per-REPLICA means with gpus_per_replica pinned at 1, so
+/// every num_replicas x gpus_per_replica x rate product equals the exact
+/// fleet total (no GPUs lost to integer rounding); for homogeneous pools
+/// this is arithmetically identical to the per-GPU form. MFU/MBU/energy
+/// are still fleet averages across mixed SKUs; exact per-pool GPU-hours
+/// and cost come from the scaling report.
+ClusterResources cluster_resources(const SimulationConfig& c) {
+  if (c.pools.empty()) {
+    return ClusterResources{
+        .num_replicas = c.parallel.num_replicas,
+        .gpus_per_replica = c.parallel.gpus_per_replica(),
+        .peak_flops_per_gpu = c.node.sku.peak_flops(),
+        .hbm_bytes_per_sec_per_gpu = c.node.sku.hbm_bytes_per_sec(),
+        .idle_watts_per_gpu = c.node.sku.idle_watts,
+        .peak_watts_per_gpu = c.node.sku.peak_watts};
+  }
+  double slots = 0, flops = 0, bw = 0, idle = 0, peak = 0;
+  for (const PoolSpec& pool : c.pools) {
+    const SkuSpec sku = sku_by_name(pool.sku_name);
+    const double n = pool.slots();
+    const double g = pool.gpus_per_replica();
+    slots += n;
+    flops += n * g * sku.peak_flops();
+    bw += n * g * sku.hbm_bytes_per_sec();
+    idle += n * g * sku.idle_watts;
+    peak += n * g * sku.peak_watts;
+  }
+  return ClusterResources{
+      .num_replicas = static_cast<int>(slots),
+      .gpus_per_replica = 1,  // rates below are per replica, not per GPU
+      .peak_flops_per_gpu = flops / slots,
+      .hbm_bytes_per_sec_per_gpu = bw / slots,
+      .idle_watts_per_gpu = idle / slots,
+      .peak_watts_per_gpu = peak / slots};
+}
+
+}  // namespace
+
 Simulator::Simulator(SimulationConfig config, Trace trace,
                      BackendFactory factory)
     : config_(std::move(config)),
       trace_(std::move(trace)),
-      // Under disaggregation, arrivals are only routed among the prefill
-      // replicas; decode replicas receive work via KV-transfer hand-off.
-      global_(config_.global_scheduler,
-              config_.disagg.enabled() ? config_.disagg.num_prefill_replicas
-                                       : config_.parallel.num_replicas),
-      memory_plan_(plan_memory(config_.model, config_.node, config_.parallel,
-                               config_.memory_utilization)),
-      metrics_(ClusterResources{
-          .num_replicas = config_.parallel.num_replicas,
-          .gpus_per_replica = config_.parallel.gpus_per_replica(),
-          .peak_flops_per_gpu = config_.node.sku.peak_flops(),
-          .hbm_bytes_per_sec_per_gpu = config_.node.sku.hbm_bytes_per_sec(),
-          .idle_watts_per_gpu = config_.node.sku.idle_watts,
-          .peak_watts_per_gpu = config_.node.sku.peak_watts}) {
+      num_slots_(count_slots(config_)),
+      global_(config_.global_scheduler, routing_domain(config_)),
+      memory_plan_(primary_memory_plan(config_)),
+      metrics_(cluster_resources(config_)) {
   config_.model.validate();
-  config_.parallel.validate();
   config_.scheduler.validate();
   VIDUR_CHECK(factory != nullptr);
-  if (config_.autoscale.enabled()) {
-    config_.autoscale.validate();
+  if (pool_mode()) {
+    validate_pools(config_.pools);
     VIDUR_CHECK_MSG(!config_.disagg.enabled(),
-                    "autoscaling is not supported with disaggregated "
-                    "serving yet");
-  }
-  if (config_.disagg.enabled()) {
-    VIDUR_CHECK_MSG(
-        config_.disagg.num_prefill_replicas < config_.parallel.num_replicas,
-        "disaggregation requires at least one decode replica");
+                    "pool deployments define disaggregation through pool "
+                    "roles; leave disagg.num_prefill_replicas at 0 (the "
+                    "transfer_* fields still parameterize KV hand-off)");
+    VIDUR_CHECK_MSG(!config_.autoscale.enabled(),
+                    "pool deployments autoscale per pool; leave the "
+                    "top-level autoscale disabled");
     VIDUR_CHECK(config_.disagg.transfer_bandwidth_gbps > 0);
     VIDUR_CHECK(config_.disagg.transfer_latency >= 0);
+  } else {
+    config_.parallel.validate();
+    if (config_.autoscale.enabled()) {
+      config_.autoscale.validate();
+      VIDUR_CHECK_MSG(!config_.disagg.enabled(),
+                      "autoscaling is not supported with legacy "
+                      "disaggregated serving; use a pool deployment with "
+                      "prefill/decode pools instead");
+    }
+    if (config_.disagg.enabled()) {
+      VIDUR_CHECK_MSG(
+          config_.disagg.num_prefill_replicas < config_.parallel.num_replicas,
+          "disaggregation requires at least one decode replica");
+      VIDUR_CHECK(config_.disagg.transfer_bandwidth_gbps > 0);
+      VIDUR_CHECK(config_.disagg.transfer_latency >= 0);
+    }
   }
 
-  replicas_.reserve(static_cast<std::size_t>(config_.parallel.num_replicas));
-  for (ReplicaId r = 0; r < config_.parallel.num_replicas; ++r) {
+  if (pool_mode()) {
+    pool_plans_.push_back(memory_plan_);  // pool 0 is the primary plan
+    for (std::size_t p = 1; p < config_.pools.size(); ++p)
+      pool_plans_.push_back(plan_memory(config_.model,
+                                        pool_node(config_, config_.pools[p]),
+                                        config_.pools[p].parallel,
+                                        config_.memory_utilization));
+    pool_of_slot_ = pool_slot_layout(config_.pools);
+  }
+
+  replicas_.reserve(static_cast<std::size_t>(num_slots_));
+  for (ReplicaId r = 0; r < num_slots_; ++r) {
     Replica replica;
-    if (!config_.disagg.enabled()) {
-      replica.scheduler =
-          make_replica_scheduler(config_.scheduler, memory_plan_);
+    const MemoryPlan& plan =
+        pool_mode() ? pool_plans_[static_cast<std::size_t>(
+                          pool_of_slot_[static_cast<std::size_t>(r)])]
+                    : memory_plan_;
+    const bool disaggregated =
+        pool_mode() ? pools_disaggregated(config_.pools)
+                    : config_.disagg.enabled();
+    if (!disaggregated) {
+      replica.scheduler = make_replica_scheduler(config_.scheduler, plan);
     } else if (is_prefill_replica(r)) {
       replica.scheduler = std::make_unique<DisaggPrefillScheduler>(
-          config_.scheduler, memory_plan_);
+          config_.scheduler, plan);
     } else {
       replica.scheduler = std::make_unique<DisaggDecodeScheduler>(
-          config_.scheduler, memory_plan_);
+          config_.scheduler, plan);
     }
     replica.backend = factory(r);
     VIDUR_CHECK(replica.backend != nullptr);
     replica.stages.resize(
-        static_cast<std::size_t>(config_.parallel.pipeline_parallel));
+        static_cast<std::size_t>(parallel_of(r).pipeline_parallel));
     replicas_.push_back(std::move(replica));
   }
 
   metrics_.set_tenants(config_.tenants);
 
-  if (config_.autoscale.enabled()) {
+  const bool elastic = pool_mode() ? any_pool_autoscaled(config_.pools)
+                                   : config_.autoscale.enabled();
+  if (elastic) {
     ClusterManager::Hooks hooks;
     // outstanding() already covers requests inside in-flight batches (they
     // stay in the running set until their batch ends), so it serves both
@@ -79,9 +169,51 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
     hooks.work_remaining = [this] { return remaining_requests_ > 0; };
     hooks.on_activated = [this](ReplicaId r) { try_schedule(r); };
     hooks.on_draining = [this](ReplicaId r) { reroute_waiting(r); };
-    cluster_ = std::make_unique<ClusterManager>(
-        config_.autoscale, config_.parallel.num_replicas, &events_,
-        std::move(hooks));
+    hooks.replica_kv_utilization = [this](ReplicaId r) {
+      return replicas_[static_cast<std::size_t>(r)]
+          .scheduler->blocks()
+          .utilization();
+    };
+    if (pool_mode()) {
+      // Cost-aware placement ranks pools by $/SLO-point; the capacity side
+      // comes from the spec (estimator-derived by VidurSession). If any
+      // pool left it unset, fall back to the SKU's peak FLOPs for every
+      // pool, so the ranking never mixes sources.
+      bool all_caps = true;
+      for (const PoolSpec& pool : config_.pools)
+        all_caps &= pool.capacity_qps > 0;
+      std::vector<ClusterManager::ManagedPool> managed;
+      for (const PoolSpec& pool : config_.pools) {
+        ClusterManager::ManagedPool m;
+        m.name = pool.name;
+        m.sku = pool.sku_name;
+        m.role = pool.role;
+        m.slots = pool.slots();
+        m.autoscale = pool.autoscale;
+        m.gpus_per_replica = pool.gpus_per_replica();
+        m.cost_per_gpu_hour = pool.effective_cost_per_gpu_hour();
+        m.capacity_qps = all_caps
+                             ? pool.capacity_qps
+                             : sku_by_name(pool.sku_name).peak_fp16_tflops;
+        managed.push_back(std::move(m));
+      }
+      cluster_ = std::make_unique<ClusterManager>(std::move(managed),
+                                                  &events_, std::move(hooks));
+    } else {
+      // The homogeneous fleet is the single-pool special case; carrying
+      // the SKU and rates here gives legacy runs the same per-pool report
+      // shape as heterogeneous ones.
+      ClusterManager::ManagedPool m;
+      m.sku = config_.node.sku.name;
+      m.slots = config_.parallel.num_replicas;
+      m.autoscale = config_.autoscale;
+      m.gpus_per_replica = config_.parallel.gpus_per_replica();
+      m.cost_per_gpu_hour = config_.node.sku.cost_per_hour;
+      std::vector<ClusterManager::ManagedPool> managed;
+      managed.push_back(std::move(m));
+      cluster_ = std::make_unique<ClusterManager>(std::move(managed),
+                                                  &events_, std::move(hooks));
+    }
   }
 
   // Request states must never reallocate: schedulers hold raw pointers.
@@ -129,14 +261,16 @@ SimulationMetrics Simulator::run() {
                                ? last_batch_end_
                                : events_.now();
   // The scaling report feeds finalize() so idle energy is billed on the
-  // fleet's actual paid GPU-time, not the static slot ceiling.
+  // fleet's actual paid GPU-time, not the static slot ceiling. Pool
+  // deployments carry their per-slot rates in the manager (or the static
+  // pool report); homogeneous fleets bill at the single SKU's rate.
   const ClusterScalingReport report =
-      cluster_ ? cluster_->report(end_time,
-                                  config_.parallel.gpus_per_replica(),
-                                  config_.node.sku.cost_per_hour)
-               : static_fleet_report(config_.parallel.num_replicas, end_time,
-                                     config_.parallel.gpus_per_replica(),
-                                     config_.node.sku.cost_per_hour);
+      cluster_ ? cluster_->report(end_time)
+      : pool_mode()
+          ? static_pools_report(config_.pools, end_time)
+          : static_fleet_report(config_.parallel.num_replicas, end_time,
+                                config_.parallel.gpus_per_replica(),
+                                config_.node.sku.cost_per_hour);
   SimulationMetrics metrics = metrics_.finalize(end_time, report);
   metrics.num_sim_events = events_.num_processed();
   return metrics;
@@ -163,14 +297,28 @@ void Simulator::dispatch(const SimEvent& event) {
 
 void Simulator::on_arrival(RequestState* request) { route_request(request); }
 
+const std::vector<bool>& Simulator::arrival_mask() const {
+  arrival_mask_scratch_.resize(static_cast<std::size_t>(num_slots_));
+  for (ReplicaId r = 0; r < num_slots_; ++r)
+    arrival_mask_scratch_[static_cast<std::size_t>(r)] =
+        arrival_eligible(r) && (!cluster_ || cluster_->is_routable(r));
+  return arrival_mask_scratch_;
+}
+
 void Simulator::route_request(RequestState* request) {
-  const int routable = config_.disagg.enabled()
+  static const std::vector<bool> kEveryReplica;  // empty mask = all routable
+  // Pool deployments route over every slot with a role-and-activity mask;
+  // the legacy forms shrink the routing domain (disaggregation) or mask on
+  // elastic activity alone.
+  const int routable = pool_mode() ? num_slots_
+                       : config_.disagg.enabled()
                            ? config_.disagg.num_prefill_replicas
                            : config_.parallel.num_replicas;
-  static const std::vector<bool> kEveryReplica;  // empty mask = all routable
+  const std::vector<bool>& mask =
+      pool_mode() ? arrival_mask()
+                  : (cluster_ ? cluster_->routable_mask() : kEveryReplica);
   const ReplicaId target =
-      global_.route(request, outstanding_counts(routable),
-                    cluster_ ? cluster_->routable_mask() : kEveryReplica);
+      global_.route(request, outstanding_counts(routable), mask);
   if (target >= 0) {
     request->replica = target;
     replicas_[static_cast<std::size_t>(target)].scheduler->enqueue(request);
@@ -187,14 +335,23 @@ void Simulator::reroute_waiting(ReplicaId replica_id) {
   // these land on surviving (or parked for warming) capacity.
   for (RequestState* r : replica.scheduler->take_waiting()) {
     r->replica = -1;
-    route_request(r);
+    if (pool_mode() && pool_of(replica_id).role == PoolRole::kDecode) {
+      // A draining decode replica's queued work is already prefilled: it
+      // moves to another decode replica, paying the KV transfer again.
+      SimEvent ev;
+      ev.kind = EventKind::kMigrated;
+      ev.request = r;
+      events_.schedule_event(events_.now() + kv_transfer_time(*r), ev);
+    } else {
+      route_request(r);
+    }
   }
 }
 
 void Simulator::pull_deferred(ReplicaId replica_id) {
   if (!global_.has_parked_requests()) return;
   // Decode replicas never pull arrivals; their work comes via hand-off.
-  if (config_.disagg.enabled() && !is_prefill_replica(replica_id)) return;
+  if (!arrival_eligible(replica_id)) return;
   // Elastic fleets: only active replicas take new work (draining replicas
   // finish what they already own; cold replicas have nothing to run on).
   if (cluster_ && !cluster_->is_routable(replica_id)) return;
@@ -211,7 +368,8 @@ void Simulator::pull_deferred(ReplicaId replica_id) {
 void Simulator::try_schedule(ReplicaId replica_id) {
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
   // Synchronous pipeline: at most one micro-batch per stage in flight.
-  while (replica.batches_in_flight < config_.parallel.pipeline_parallel) {
+  // stages was sized to the replica's own pipeline depth (per pool).
+  while (replica.batches_in_flight < static_cast<int>(replica.stages.size())) {
     pull_deferred(replica_id);
     StageScheduler::BatchHandle handle;
     if (free_handles_.empty()) {
@@ -273,7 +431,7 @@ void Simulator::on_stage_end(ReplicaId replica_id, StageId stage,
   const auto next = replica.stages[static_cast<std::size_t>(stage)].complete();
   if (next >= 0) start_stage(replica_id, stage, next);
 
-  if (stage + 1 < config_.parallel.pipeline_parallel) {
+  if (stage + 1 < static_cast<int>(replica.stages.size())) {
     if (comm_time > 0) {
       // Asynchronous send: activations arrive downstream after the wire
       // delay, while this stage is already free for its next micro-batch.
@@ -315,9 +473,10 @@ void Simulator::finish_batch(ReplicaId replica_id,
   record.q_tokens = batch.agg.total_q;
   record.batch_size = batch.spec.size();
   record.flops = batch.flops;
+  const ParallelConfig& parallel = parallel_of(replica_id);
   record.hbm_bytes_per_gpu = batch_hbm_bytes_per_gpu(
-      config_.model, config_.parallel.tensor_parallel,
-      config_.parallel.pipeline_parallel, batch.agg);
+      config_.model, parallel.tensor_parallel, parallel.pipeline_parallel,
+      batch.agg);
   record.kv_utilization = batch.kv_utilization;
   metrics_.record_batch(record);
 
@@ -357,17 +516,37 @@ void Simulator::migrate_prefilled(ReplicaId replica_id,
 }
 
 void Simulator::on_migrated(RequestState* request) {
-  // Least-outstanding routing among decode replicas.
+  // Least-outstanding routing among decode replicas (deterministic:
+  // strictly-lower wins, so the lowest eligible id takes every tie).
   const auto outstanding = [this](ReplicaId id) {
     return replicas_[static_cast<std::size_t>(id)].scheduler->outstanding();
   };
-  ReplicaId best = config_.disagg.num_prefill_replicas;
-  int best_count = outstanding(best);
-  for (ReplicaId r = best + 1; r < config_.parallel.num_replicas; ++r) {
-    const int count = outstanding(r);
-    if (count < best_count) {
-      best = r;
-      best_count = count;
+  ReplicaId best = -1;
+  int best_count = 0;
+  if (pool_mode()) {
+    // Elastic decode pools: only active replicas take hand-offs (the
+    // decode floor >= 1 guarantees one exists).
+    for (ReplicaId r = 0; r < num_slots_; ++r) {
+      if (pool_of(r).role != PoolRole::kDecode) continue;
+      if (cluster_ && !cluster_->is_routable(r)) continue;
+      const int count = outstanding(r);
+      if (best < 0 || count < best_count) {
+        best = r;
+        best_count = count;
+      }
+    }
+    VIDUR_CHECK_MSG(best >= 0,
+                    "no active decode replica to receive a prefilled "
+                    "request");
+  } else {
+    best = config_.disagg.num_prefill_replicas;
+    best_count = outstanding(best);
+    for (ReplicaId r = best + 1; r < config_.parallel.num_replicas; ++r) {
+      const int count = outstanding(r);
+      if (count < best_count) {
+        best = r;
+        best_count = count;
+      }
     }
   }
   request->replica = best;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/cluster_manager.h"
+#include "cluster/pool.h"
 #include "execution/execution_backend.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
@@ -53,8 +54,18 @@ struct SimulationConfig {
   /// replica lifecycles from the configured autoscaling policy. Only
   /// kActive replicas receive new requests; draining replicas finish their
   /// outstanding work before their slot is released. Not combinable with
-  /// disaggregated serving (yet).
+  /// disaggregated serving (the legacy `disagg` form; pool deployments
+  /// autoscale disaggregated roles independently).
   AutoscalerConfig autoscale;
+  /// Heterogeneous pool deployment: replica slots are laid out pool by
+  /// pool, each pool with its own SKU, parallelism, role and (optional)
+  /// autoscaling policy. When non-empty, `node`, `parallel`, `disagg.
+  /// num_prefill_replicas` and `autoscale` above are ignored and must stay
+  /// disabled (disagg transfer_* fields still parameterize KV hand-off).
+  /// Fleet-average MFU/MBU/energy use slot-weighted SKU aggregates — exact
+  /// for homogeneous pools, an approximation for mixed ones (per-pool
+  /// GPU-hours and cost in the scaling report stay exact).
+  std::vector<PoolSpec> pools;
 };
 
 /// Creates the per-replica timing backend (a predictor shared across
@@ -122,8 +133,29 @@ class Simulator {
   /// on the routing hot path.
   const std::vector<int>& outstanding_counts(int count) const;
 
+  // ---- heterogeneous pools ----
+  bool pool_mode() const { return !config_.pools.empty(); }
+  /// Pool owning a slot (pool mode only).
+  const PoolSpec& pool_of(ReplicaId r) const {
+    return config_.pools[static_cast<std::size_t>(
+        pool_of_slot_[static_cast<std::size_t>(r)])];
+  }
+  /// The replica's parallelism: its pool's, or the global config's.
+  const ParallelConfig& parallel_of(ReplicaId r) const {
+    return pool_mode() ? pool_of(r).parallel : config_.parallel;
+  }
+  /// May this slot receive arrivals (role-wise; elastic activity aside)?
+  bool arrival_eligible(ReplicaId r) const {
+    if (pool_mode()) return pool_of(r).role != PoolRole::kDecode;
+    return !config_.disagg.enabled() || is_prefill_replica(r);
+  }
+  /// Role-aware arrival mask: arrival-eligible AND (if elastic) active.
+  /// Returns a member scratch buffer, rebuilt per call.
+  const std::vector<bool>& arrival_mask() const;
+
   // ---- disaggregated serving ----
   bool is_prefill_replica(ReplicaId r) const {
+    if (pool_mode()) return pool_of(r).role == PoolRole::kPrefill;
     return config_.disagg.enabled() && r < config_.disagg.num_prefill_replicas;
   }
   /// Hand prefilled requests of a completed batch to decode replicas.
@@ -134,9 +166,14 @@ class Simulator {
 
   SimulationConfig config_;
   Trace trace_;
+  int num_slots_ = 0;  ///< total replica slots (all pools, or num_replicas)
   EventQueue events_;
   GlobalScheduler global_;
   MemoryPlan memory_plan_;
+  /// Pool mode: per-pool memory plans and the slot -> pool index map.
+  std::vector<MemoryPlan> pool_plans_;
+  std::vector<int> pool_of_slot_;
+  mutable std::vector<bool> arrival_mask_scratch_;
   std::vector<Replica> replicas_;
   std::vector<RequestState> states_;
   MetricsCollector metrics_;

@@ -1,0 +1,281 @@
+// Fuzz / round-trip coverage for the extended ExperimentSpec: randomized
+// pool deployments must survive serialize -> parse -> re-serialize with
+// byte-identical JSON (and value equality), and the common ways to get a
+// pool spec wrong — unknown SKU, typo'd role, orphan decode pool, negative
+// cost, misspelled field — must fail validate()/parse with actionable,
+// did-you-mean-carrying messages.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "common/check.h"
+#include "common/random.h"
+
+namespace vidur {
+namespace {
+
+// ------------------------------------------------------------- generators
+
+AutoscalerConfig random_autoscale(Rng& rng, bool decode_pool) {
+  AutoscalerConfig c;
+  const int kind = static_cast<int>(rng.uniform_int(0, 2));
+  if (kind == 0) return c;  // kNone: a static pool
+  if (kind == 1) {
+    c.kind = AutoscalerKind::kReactive;
+    if (decode_pool && rng.uniform() < 0.5) {
+      c.signal = ScaleSignal::kKvPressure;
+      c.scale_down_kv_utilization = rng.uniform(0.01, 0.2);
+      c.scale_up_kv_utilization = rng.uniform(0.5, 0.95);
+      c.target_kv_utilization =
+          rng.uniform(c.scale_down_kv_utilization, c.scale_up_kv_utilization);
+    } else {
+      c.scale_down_load = rng.uniform(0.5, 4.0);
+      c.scale_up_load = rng.uniform(10.0, 30.0);
+      c.target_load_per_replica =
+          rng.uniform(c.scale_down_load, c.scale_up_load);
+    }
+  } else {
+    c.kind = AutoscalerKind::kPredictive;
+    c.profile = RateProfile::spike(1.0, rng.uniform(2.0, 6.0),
+                                   rng.uniform(10.0, 100.0),
+                                   rng.uniform(20.0, 80.0));
+    c.baseline_qps = rng.uniform(0.5, 5.0);
+    c.replica_capacity_qps = rng.uniform(0.5, 5.0);
+    c.headroom = rng.uniform(0.0, 0.5);
+  }
+  c.min_replicas = 1;
+  c.initial_replicas = static_cast<int>(rng.uniform_int(0, 1));
+  c.provision_delay = rng.uniform(0.0, 60.0);
+  c.warmup_delay = rng.uniform(0.0, 30.0);
+  c.decision_interval = rng.uniform(1.0, 10.0);
+  c.scale_up_cooldown = rng.uniform(0.0, 10.0);
+  c.scale_down_cooldown = rng.uniform(0.0, 60.0);
+  c.max_scale_step = static_cast<int>(rng.uniform_int(0, 3));
+  return c;
+}
+
+PoolSpec random_pool(Rng& rng, const std::string& name, PoolRole role) {
+  PoolSpec pool;
+  pool.name = name;
+  pool.sku_name = rng.uniform() < 0.5 ? "a100" : "h100";
+  pool.role = role;
+  pool.parallel = ParallelConfig{
+      rng.uniform() < 0.3 ? 2 : 1, 1,
+      static_cast<int>(rng.uniform_int(1, 5))};
+  if (rng.uniform() < 0.3) pool.cost_per_gpu_hour = rng.uniform(0.5, 10.0);
+  pool.autoscale = random_autoscale(rng, role == PoolRole::kDecode);
+  if (pool.autoscale.enabled() &&
+      pool.autoscale.initial_replicas > pool.slots())
+    pool.autoscale.initial_replicas = pool.slots();
+  return pool;
+}
+
+/// A random *valid* pool deployment: all-unified or prefill+decode, with
+/// consistent scaling groups (same-role elastic pools share one policy).
+ExperimentSpec random_pool_spec(Rng& rng) {
+  ExperimentSpec spec;
+  spec.with_name("fuzz")
+      .with_model("llama2-7b")
+      .with_scenario("flash-crowd-mixed", 100)
+      .with_seed(rng.uniform_int(1, 1000));
+  const bool disagg = rng.uniform() < 0.4;
+  if (disagg) {
+    spec.with_pool(random_pool(rng, "prefill", PoolRole::kPrefill))
+        .with_pool(random_pool(rng, "decode", PoolRole::kDecode));
+  } else {
+    const int n = static_cast<int>(rng.uniform_int(1, 3));
+    PoolSpec first = random_pool(rng, "pool-0", PoolRole::kUnified);
+    spec.with_pool(first);
+    for (int i = 1; i < n; ++i) {
+      PoolSpec pool = random_pool(rng, "pool-" + std::to_string(i),
+                                  PoolRole::kUnified);
+      // Same-role elastic pools must agree on kind/signal/cadence: clone
+      // the first pool's policy knobs, keep per-pool floors/slots.
+      if (pool.autoscale.enabled() && first.autoscale.enabled()) {
+        AutoscalerConfig aligned = first.autoscale;
+        aligned.min_replicas = pool.autoscale.min_replicas;
+        aligned.initial_replicas =
+            std::min(pool.autoscale.initial_replicas, pool.slots());
+        pool.autoscale = aligned;
+      } else if (pool.autoscale.enabled() && !first.autoscale.enabled()) {
+        pool.autoscale.signal = ScaleSignal::kOutstanding;
+      }
+      spec.with_pool(pool);
+    }
+  }
+  return spec;
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(SpecFuzz, RandomPoolSpecsRoundTripLosslessly) {
+  Rng rng(20260726);
+  int validated = 0;
+  for (int i = 0; i < 200; ++i) {
+    ExperimentSpec spec = random_pool_spec(rng);
+    // Some random combinations are legitimately invalid (e.g. every pool
+    // static in elastic groups is fine, but floors can exceed slots after
+    // cloning). Only valid specs must round-trip; invalid ones must throw
+    // from validate(), never crash.
+    try {
+      spec.validate();
+    } catch (const Error&) {
+      continue;
+    }
+    ++validated;
+    const std::string json = spec.to_json_string();
+    const ExperimentSpec parsed = ExperimentSpec::from_json_string(json);
+    EXPECT_EQ(parsed, spec) << "value round-trip diverged for:\n" << json;
+    EXPECT_EQ(parsed.to_json_string(), json)
+        << "serialization is not a fixed point for:\n" << json;
+    EXPECT_NO_THROW(parsed.validate());
+  }
+  // The generator must mostly produce valid specs, or the fuzz is hollow.
+  EXPECT_GE(validated, 120);
+}
+
+TEST(SpecFuzz, HandWrittenPoolSpecRoundTripsThroughJsonText) {
+  const std::string json = R"({
+    "name": "hetero",
+    "mode": "simulate",
+    "model": "llama2-7b",
+    "deployment": {
+      "pools": [
+        {"name": "a", "sku": "a100", "num_replicas": 2,
+         "autoscale": {"kind": "reactive"}},
+        {"name": "b", "sku": "h100", "num_replicas": 1,
+         "cost_per_gpu_hour": 5.25}
+      ]
+    },
+    "workload": {"scenario": "diurnal-chat"}
+  })";
+  const ExperimentSpec spec = ExperimentSpec::from_json_string(json);
+  ASSERT_EQ(spec.deployment.pools.size(), 2u);
+  EXPECT_EQ(spec.deployment.pools[0].name, "a");
+  EXPECT_EQ(spec.deployment.pools[0].autoscale.kind,
+            AutoscalerKind::kReactive);
+  EXPECT_EQ(spec.deployment.pools[1].sku_name, "h100");
+  EXPECT_DOUBLE_EQ(spec.deployment.pools[1].cost_per_gpu_hour, 5.25);
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(ExperimentSpec::from_json_string(spec.to_json_string()), spec);
+}
+
+// -------------------------------------------------------- invalid inputs
+
+/// Runs `fn` and returns the error message (empty if it did not throw).
+template <typename Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+ExperimentSpec valid_two_pool_spec() {
+  ExperimentSpec spec;
+  spec.with_name("base")
+      .with_model("llama2-7b")
+      .with_scenario("diurnal-chat");
+  PoolSpec a;
+  a.name = "a";
+  a.sku_name = "a100";
+  a.parallel = ParallelConfig{1, 1, 2};
+  PoolSpec b = a;
+  b.name = "b";
+  b.sku_name = "h100";
+  spec.with_pool(a).with_pool(b);
+  return spec;
+}
+
+TEST(SpecFuzz, UnknownPoolSkuGetsDidYouMean) {
+  ExperimentSpec spec = valid_two_pool_spec();
+  spec.deployment.pools[0].sku_name = "a10";
+  const std::string msg = error_of([&] { spec.validate(); });
+  EXPECT_NE(msg.find("unknown SKU 'a10'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'a100'"), std::string::npos) << msg;
+}
+
+TEST(SpecFuzz, DecodePoolWithoutPrefillIsActionable) {
+  ExperimentSpec spec = valid_two_pool_spec();
+  spec.deployment.pools[0].role = PoolRole::kDecode;
+  spec.deployment.pools[1].role = PoolRole::kDecode;
+  const std::string msg = error_of([&] { spec.validate(); });
+  EXPECT_NE(msg.find("decode pool needs a prefill pool"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("add a pool with role 'prefill'"), std::string::npos)
+      << msg;
+}
+
+TEST(SpecFuzz, PrefillPoolWithoutDecodeIsActionable) {
+  ExperimentSpec spec = valid_two_pool_spec();
+  spec.deployment.pools[0].role = PoolRole::kPrefill;
+  spec.deployment.pools[1].role = PoolRole::kPrefill;
+  const std::string msg = error_of([&] { spec.validate(); });
+  EXPECT_NE(msg.find("prefill pool needs a decode pool"), std::string::npos)
+      << msg;
+}
+
+TEST(SpecFuzz, NegativePoolCostIsRejectedWithTheOffendingPool) {
+  ExperimentSpec spec = valid_two_pool_spec();
+  spec.deployment.pools[1].cost_per_gpu_hour = -1.5;
+  const std::string msg = error_of([&] { spec.validate(); });
+  EXPECT_NE(msg.find("pool 'b'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("negative cost_per_gpu_hour"), std::string::npos) << msg;
+}
+
+TEST(SpecFuzz, DuplicatePoolNamesAreRejected) {
+  ExperimentSpec spec = valid_two_pool_spec();
+  spec.deployment.pools[1].name = "a";
+  const std::string msg = error_of([&] { spec.validate(); });
+  EXPECT_NE(msg.find("duplicate pool name 'a'"), std::string::npos) << msg;
+}
+
+TEST(SpecFuzz, TypoedRoleGetsDidYouMeanAtParseTime) {
+  const std::string json = R"({
+    "name": "x", "model": "llama2-7b",
+    "deployment": {"pools": [
+      {"name": "a", "sku": "a100", "num_replicas": 1, "role": "prefil"}]},
+    "workload": {"scenario": "diurnal-chat"}
+  })";
+  const std::string msg =
+      error_of([&] { ExperimentSpec::from_json_string(json); });
+  EXPECT_NE(msg.find("unknown pool role 'prefil'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'prefill'"), std::string::npos) << msg;
+}
+
+TEST(SpecFuzz, TypoedPoolFieldGetsDidYouMeanCitingThePool) {
+  const std::string json = R"({
+    "name": "x", "model": "llama2-7b",
+    "deployment": {"pools": [
+      {"name": "a", "sku": "a100", "num_replica": 1}]},
+    "workload": {"scenario": "diurnal-chat"}
+  })";
+  const std::string msg =
+      error_of([&] { ExperimentSpec::from_json_string(json); });
+  EXPECT_NE(msg.find("deployment.pools['a']"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'num_replicas'"), std::string::npos)
+      << msg;
+}
+
+TEST(SpecFuzz, MixedCapacitySourcesAreRejected) {
+  ExperimentSpec spec = valid_two_pool_spec();
+  spec.deployment.pools[0].capacity_qps = 3.0;
+  const std::string msg = error_of([&] { spec.validate(); });
+  EXPECT_NE(msg.find("capacity_qps on some pools but not others"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(SpecFuzz, TopLevelAutoscaleConflictsWithPools) {
+  ExperimentSpec spec = valid_two_pool_spec();
+  spec.deployment.autoscale.kind = AutoscalerKind::kReactive;
+  const std::string msg = error_of([&] { spec.validate(); });
+  EXPECT_NE(msg.find("per-pool autoscale"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace vidur
