@@ -9,9 +9,14 @@
 // than Google-Benchmark-based so the harness builds and runs everywhere CI
 // does.
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
+#include "common/check.h"
+#include "obs/trace.h"
 #include "search/capacity.h"
 #include "workload/trace_generator.h"
 
@@ -85,6 +90,48 @@ bench::Json simulate_chat_case(const std::string& model, SchedulerKind kind,
   return j;
 }
 
+/// Observability overhead: the same chat workload with a TraceRecorder
+/// attached, so the BENCH trajectory shows what `--trace` costs (tracing
+/// off is covered by simulate_chat_case — its hot path must stay within
+/// noise of the committed baseline).
+bench::Json traced_chat_case(const std::string& model, SchedulerKind kind,
+                             int n) {
+  VidurSession& session = shared_session(model);
+  const DeploymentConfig config = config_for(model, kind);
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 1.0, 0}, n, 1);
+
+  TraceRecorder recorder;
+  SimObs obs;
+  obs.trace = &recorder;
+  session.simulate(config, trace, {}, obs);  // warm, untimed
+
+  const int reps = bench::scaled(40, 3);
+  std::size_t trace_records = 0;
+  const double start = now_seconds();
+  for (int i = 0; i < reps; ++i) {
+    recorder.clear();
+    session.simulate(config, trace, {}, obs);
+    trace_records += recorder.records().size();
+  }
+  const double elapsed = now_seconds() - start;
+
+  bench::Json j = bench::Json::object();
+  j.set("num_requests", static_cast<std::int64_t>(n));
+  j.set("reps", static_cast<std::int64_t>(reps));
+  j.set("sim_wall_ms", elapsed / reps * 1e3);
+  j.set("requests_per_sec", static_cast<double>(n) * reps / elapsed);
+  j.set("trace_records_per_sim",
+        static_cast<double>(trace_records) / reps);
+  std::cout << "BM_SimulateChatTraced/" << model << "/"
+            << scheduler_name(kind) << ": "
+            << static_cast<long>(static_cast<double>(n) * reps / elapsed)
+            << " requests/s, " << trace_records / reps
+            << " trace records/sim\n";
+  return j;
+}
+
 bench::Json estimator_case() {
   VidurSession& session = shared_session("llama2-7b");
   const RuntimeEstimator& est = session.estimator("a100");
@@ -146,6 +193,45 @@ bench::Json capacity_search_case() {
   return j;
 }
 
+/// Opt-in perf gate: with VIDUR_BENCH_BASELINE pointing at a committed
+/// BENCH_sim_core.json, every untraced chat case's requests_per_sec must
+/// stay within VIDUR_BENCH_TOL (default 3%) of the baseline's. Returns the
+/// number of regressions; wall-clock noise makes this a CI/dev knob, not a
+/// default.
+int check_against_baseline(const bench::Json& chat) {
+  const char* baseline_path = std::getenv("VIDUR_BENCH_BASELINE");
+  if (baseline_path == nullptr) return 0;
+  const char* tol_env = std::getenv("VIDUR_BENCH_TOL");
+  const double tol = tol_env != nullptr ? std::atof(tol_env) : 0.03;
+
+  std::ifstream in(baseline_path);
+  VIDUR_CHECK_MSG(in.good(), "cannot open baseline '" << baseline_path << "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const bench::Json baseline = bench::Json::parse(text.str());
+  const bench::Json* results = baseline.find("results");
+  const bench::Json* base_chat =
+      results != nullptr ? results->find("BM_SimulateChat") : nullptr;
+  VIDUR_CHECK_MSG(base_chat != nullptr,
+                  "baseline '" << baseline_path
+                               << "' has no results.BM_SimulateChat");
+
+  int regressions = 0;
+  for (const auto& [key, current] : chat.members()) {
+    const bench::Json* base_case = base_chat->find(key);
+    if (base_case == nullptr) continue;  // new case, nothing to compare
+    const double base_rps = base_case->at("requests_per_sec").as_double();
+    const double rps = current.at("requests_per_sec").as_double();
+    const bool ok = rps >= base_rps * (1.0 - tol);
+    std::cout << (ok ? "[baseline ok] " : "[REGRESSION] ") << key << ": "
+              << static_cast<long>(rps) << " requests/s vs baseline "
+              << static_cast<long>(base_rps) << " (tol " << tol * 100
+              << "%)\n";
+    regressions += ok ? 0 : 1;
+  }
+  return regressions;
+}
+
 }  // namespace
 
 int main() {
@@ -171,10 +257,12 @@ int main() {
   bench::Json results = bench::Json::object();
   results.set("BM_SimulateChat", chat);
   if (bench::model_enabled("llama2-7b")) {
+    results.set("BM_SimulateChatTraced",
+                traced_chat_case("llama2-7b", SchedulerKind::kVllm, n));
     results.set("BM_EstimatorPredict", estimator_case());
     results.set("BM_CapacitySearch", capacity_search_case());
   }
 
   bench::write_bench_json("sim_core", results);
-  return 0;
+  return check_against_baseline(chat) > 0 ? 1 : 0;
 }

@@ -8,15 +8,44 @@
 #include <iostream>
 #include <sstream>
 
+#include <thread>
+
 #include "common/check.h"
 #include "search/capacity.h"
 
+// Build provenance injected by CMake onto this target; fall back so the
+// file still compiles standalone (e.g. in a scratch harness).
+#ifndef VIDUR_GIT_SHA
+#define VIDUR_GIT_SHA "unknown"
+#endif
+#ifndef VIDUR_BUILD_TYPE
+#define VIDUR_BUILD_TYPE "unknown"
+#endif
+
 namespace vidur::bench {
+
+namespace {
+
+/// Provenance block stamped into every BENCH_*.json: enough to tell two
+/// artifacts apart (which commit, which build flavor, how parallel a
+/// machine, how scaled an effort) when diffing trajectories across PRs.
+Json bench_meta() {
+  Json meta = Json::object();
+  meta.set("git_sha", std::string(VIDUR_GIT_SHA));
+  meta.set("build_type", std::string(VIDUR_BUILD_TYPE));
+  meta.set("hardware_threads",
+           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  meta.set("bench_scale", bench_scale());
+  return meta;
+}
+
+}  // namespace
 
 void write_bench_json(const std::string& bench_name, const Json& doc) {
   Json wrapped = Json::object();
   wrapped.set("bench", bench_name);
   wrapped.set("bench_scale", bench_scale());
+  wrapped.set("meta", bench_meta());
   wrapped.set("results", doc);
 
   const char* dir = std::getenv("VIDUR_BENCH_JSON_DIR");

@@ -1,0 +1,194 @@
+#include "api/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+/// Scalar leaves render as their JSON text; containers only appear in
+/// structural rows, where a size summary beats dumping the subtree.
+std::string leaf_text(const JsonValue& v) {
+  if (v.is_object())
+    return "<object, " + std::to_string(v.size()) + " keys>";
+  if (v.is_array())
+    return "<array, " + std::to_string(v.size()) + " items>";
+  std::string text = v.dump();
+  while (!text.empty() && (text.back() == '\n' || text.back() == ' '))
+    text.pop_back();
+  return text;
+}
+
+std::string fmt_number(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", x);
+  return buf;
+}
+
+std::string join_path(const std::string& base, const std::string& key) {
+  return base.empty() ? key : base + "." + key;
+}
+
+std::string index_path(const std::string& base, std::size_t i) {
+  return base + "[" + std::to_string(i) + "]";
+}
+
+struct Walker {
+  double tolerance;
+  std::vector<CompareEntry>& out;
+
+  void only(const std::string& path, const JsonValue& v,
+            CompareEntry::Kind kind) {
+    CompareEntry e;
+    e.path = path;
+    e.kind = kind;
+    (kind == CompareEntry::Kind::kOnlyInA ? e.a_text : e.b_text) =
+        leaf_text(v);
+    out.push_back(std::move(e));
+  }
+
+  void walk(const std::string& path, const JsonValue& a, const JsonValue& b) {
+    // Numbers compare across int/double representations (5 == 5.0);
+    // every other cross-kind pairing is a type change, not a value diff.
+    if (a.is_number() && b.is_number()) {
+      const double va = a.as_double();
+      const double vb = b.as_double();
+      if (va == vb) return;
+      CompareEntry e;
+      e.path = path;
+      e.kind = CompareEntry::Kind::kNumeric;
+      e.a = va;
+      e.b = vb;
+      const double scale = std::max(std::fabs(va), std::fabs(vb));
+      e.rel_delta = scale > 0 ? std::fabs(vb - va) / scale : 0.0;
+      out.push_back(std::move(e));
+      return;
+    }
+    if (a.is_object() && b.is_object()) {
+      for (const auto& [key, va] : a.members()) {
+        const JsonValue* vb = b.find(key);
+        if (vb == nullptr)
+          only(join_path(path, key), va, CompareEntry::Kind::kOnlyInA);
+        else
+          walk(join_path(path, key), va, *vb);
+      }
+      for (const auto& [key, vb] : b.members()) {
+        if (a.find(key) == nullptr)
+          only(join_path(path, key), vb, CompareEntry::Kind::kOnlyInB);
+      }
+      return;
+    }
+    if (a.is_array() && b.is_array()) {
+      const auto& ia = a.items();
+      const auto& ib = b.items();
+      const std::size_t shared = std::min(ia.size(), ib.size());
+      for (std::size_t i = 0; i < shared; ++i)
+        walk(index_path(path, i), ia[i], ib[i]);
+      for (std::size_t i = shared; i < ia.size(); ++i)
+        only(index_path(path, i), ia[i], CompareEntry::Kind::kOnlyInA);
+      for (std::size_t i = shared; i < ib.size(); ++i)
+        only(index_path(path, i), ib[i], CompareEntry::Kind::kOnlyInB);
+      return;
+    }
+    if (a == b) return;
+    CompareEntry e;
+    e.path = path;
+    const bool same_kind = (a.is_bool() && b.is_bool()) ||
+                           (a.is_string() && b.is_string()) ||
+                           (a.is_null() && b.is_null());
+    e.kind = same_kind ? CompareEntry::Kind::kValue
+                       : CompareEntry::Kind::kTypeChanged;
+    e.a_text = leaf_text(a);
+    e.b_text = leaf_text(b);
+    out.push_back(std::move(e));
+  }
+};
+
+bool entry_exceeds(const CompareEntry& e, double tolerance) {
+  if (e.kind == CompareEntry::Kind::kNumeric) return e.rel_delta > tolerance;
+  return true;  // structural and non-numeric diffs always count
+}
+
+}  // namespace
+
+std::size_t CompareReport::num_numeric() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(), [](const CompareEntry& e) {
+        return e.kind == CompareEntry::Kind::kNumeric;
+      }));
+}
+
+std::size_t CompareReport::num_exceeding() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(), [&](const CompareEntry& e) {
+        return entry_exceeds(e, tolerance);
+      }));
+}
+
+std::string CompareReport::to_string() const {
+  std::ostringstream os;
+  if (entries.empty()) {
+    os << "documents match (tolerance "
+       << fmt_number(tolerance * 100) << "%)\n";
+    return os.str();
+  }
+  os << entries.size() << " difference" << (entries.size() == 1 ? "" : "s")
+     << ", " << num_exceeding() << " beyond tolerance "
+     << fmt_number(tolerance * 100) << "%:\n";
+  for (const CompareEntry& e : entries) {
+    os << (entry_exceeds(e, tolerance) ? "  ! " : "    ");
+    os << e.path << ": ";
+    switch (e.kind) {
+      case CompareEntry::Kind::kNumeric: {
+        const double pct = e.rel_delta * 100 * (e.b >= e.a ? 1 : -1);
+        os << fmt_number(e.a) << " -> " << fmt_number(e.b) << " ("
+           << (pct >= 0 ? "+" : "") << fmt_number(pct) << "%)";
+        break;
+      }
+      case CompareEntry::Kind::kValue:
+        os << e.a_text << " -> " << e.b_text;
+        break;
+      case CompareEntry::Kind::kTypeChanged:
+        os << "type changed: " << e.a_text << " -> " << e.b_text;
+        break;
+      case CompareEntry::Kind::kOnlyInA:
+        os << "only in first: " << e.a_text;
+        break;
+      case CompareEntry::Kind::kOnlyInB:
+        os << "only in second: " << e.b_text;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+CompareReport compare_json(const JsonValue& a, const JsonValue& b,
+                           double tolerance) {
+  CompareReport report;
+  report.tolerance = tolerance;
+  Walker walker{tolerance, report.entries};
+  walker.walk("", a, b);
+  return report;
+}
+
+CompareReport compare_json_files(const std::string& path_a,
+                                 const std::string& path_b,
+                                 double tolerance) {
+  const auto load = [](const std::string& path) {
+    std::ifstream in(path);
+    VIDUR_CHECK_MSG(in.good(), "compare: cannot open '" << path << "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return JsonValue::parse(os.str());
+  };
+  return compare_json(load(path_a), load(path_b), tolerance);
+}
+
+}  // namespace vidur

@@ -1,0 +1,63 @@
+// Result-file comparison (`vidur compare a.json b.json`): walk two
+// experiment/bench JSON documents leaf by leaf and report every difference
+// with its relative delta, highlighting the ones beyond a tolerance. Built
+// for eyeballing regressions between two runs of the same spec — a renamed
+// or missing key is reported as structural, numeric drift as a delta row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace vidur {
+
+/// One differing leaf between the two documents.
+struct CompareEntry {
+  enum class Kind {
+    kNumeric,      ///< both numbers, values differ
+    kValue,        ///< non-numeric leaves (bool/string/null) differ
+    kTypeChanged,  ///< leaf kinds differ (e.g. number vs string)
+    kOnlyInA,
+    kOnlyInB,
+  };
+
+  std::string path;  ///< dotted path, array elements as [i]
+  Kind kind = Kind::kNumeric;
+  double a = 0.0;            ///< numeric leaves only
+  double b = 0.0;
+  double rel_delta = 0.0;    ///< |b - a| / max(|a|, |b|); 0 when both 0
+  std::string a_text;        ///< rendered leaf (non-numeric / structural)
+  std::string b_text;
+
+  bool operator==(const CompareEntry&) const = default;
+};
+
+struct CompareReport {
+  std::vector<CompareEntry> entries;  ///< document order (a's order first)
+  double tolerance = 0.0;             ///< the threshold used by exceeds()
+
+  std::size_t num_numeric() const;
+  /// Differences beyond tolerance: every structural/value mismatch, and
+  /// numeric leaves whose relative delta exceeds `tolerance`.
+  std::size_t num_exceeding() const;
+  bool within_tolerance() const { return num_exceeding() == 0; }
+
+  /// Rendered table: one row per difference, exceeding rows marked with
+  /// "!". Empty-report form says the documents match.
+  std::string to_string() const;
+};
+
+/// Compare two parsed documents. `tolerance` is the relative-delta
+/// threshold recorded in the report (rows beyond it are highlighted and
+/// fail within_tolerance()). Equal leaves produce no entry.
+CompareReport compare_json(const JsonValue& a, const JsonValue& b,
+                           double tolerance = 0.02);
+
+/// File form: parses both paths (throws vidur::Error on unreadable or
+/// malformed input).
+CompareReport compare_json_files(const std::string& path_a,
+                                 const std::string& path_b,
+                                 double tolerance = 0.02);
+
+}  // namespace vidur

@@ -294,6 +294,14 @@ void ExperimentSpec::validate() const {
                   "SLO targets must be finite and >= 0");
   VIDUR_CHECK_MSG(num_threads >= 0, "num_threads must be >= 0");
 
+  // ---- observability ----
+  VIDUR_CHECK_MSG(obs.trace_capacity > 0,
+                  "obs.trace_capacity must be > 0 (records; the ring buffer "
+                  "keeps the most recent ones)");
+  VIDUR_CHECK_MSG(
+      std::isfinite(obs.rolling_window_s) && obs.rolling_window_s >= 0,
+      "obs.rolling_window_s must be finite and >= 0 (0 disables)");
+
   // ---- mode constraints ----
   switch (mode) {
     case ExperimentMode::kSimulate:
@@ -696,6 +704,17 @@ JsonValue elastic_json(const ElasticPlanSpec& e) {
   return j;
 }
 
+JsonValue obs_json(const ObsSpec& o) {
+  const ObsSpec d;
+  JsonValue j = JsonValue::object();
+  set_unless_default(j, "trace", o.trace, d.trace, o.trace);
+  set_unless_default(j, "trace_capacity", o.trace_capacity, d.trace_capacity,
+                     o.trace_capacity);
+  set_unless_default(j, "rolling_window_s", o.rolling_window_s,
+                     d.rolling_window_s, o.rolling_window_s);
+  return j;
+}
+
 JsonValue sweep_json(const SweepAxes& s) {
   const SweepAxes d;
   JsonValue j = JsonValue::object();
@@ -735,6 +754,7 @@ JsonValue ExperimentSpec::to_json() const {
                      num_threads);
   set_unless_default(j, "search", search, d.search, search_json(search));
   set_unless_default(j, "elastic", elastic, d.elastic, elastic_json(elastic));
+  set_unless_default(j, "obs", obs, d.obs, obs_json(obs));
   set_unless_default(j, "sweep", sweep, d.sweep, sweep_json(sweep));
   return j;
 }
@@ -1248,6 +1268,22 @@ ElasticPlanSpec elastic_from_json(const JsonValue& j) {
   return e;
 }
 
+ObsSpec obs_from_json(const JsonValue& j) {
+  ObsSpec o;
+  FieldReader r(j, "obs");
+  r.field("trace",
+          [&](const JsonValue& v) { o.trace = to_bool(v, "trace"); })
+      .field("trace_capacity",
+             [&](const JsonValue& v) {
+               o.trace_capacity = to_int(v, "trace_capacity");
+             })
+      .field("rolling_window_s", [&](const JsonValue& v) {
+        o.rolling_window_s = to_double(v, "rolling_window_s");
+      });
+  r.finish();
+  return o;
+}
+
 SweepAxes sweep_from_json(const JsonValue& j) {
   SweepAxes s;
   FieldReader r(j, "sweep");
@@ -1320,6 +1356,7 @@ ExperimentSpec ExperimentSpec::from_json(const JsonValue& json) {
              [&](const JsonValue& v) { spec.search = search_from_json(v); })
       .field("elastic",
              [&](const JsonValue& v) { spec.elastic = elastic_from_json(v); })
+      .field("obs", [&](const JsonValue& v) { spec.obs = obs_from_json(v); })
       .field("sweep",
              [&](const JsonValue& v) { spec.sweep = sweep_from_json(v); });
   r.finish();

@@ -70,6 +70,22 @@ struct ElasticPlanSpec {
   bool operator==(const ElasticPlanSpec&) const = default;
 };
 
+/// Observability attachments of a run (simulate/reference modes): request
+/// lifecycle tracing and rolling windowed metrics. All defaults off; the
+/// registry snapshot in the result is always collected regardless.
+struct ObsSpec {
+  /// Record lifecycle/batch/cluster trace events (the CLI's `--trace out.
+  /// json` flips this on and exports Chrome trace_event JSON).
+  bool trace = false;
+  /// Trace ring-buffer capacity in records (oldest overwritten beyond it).
+  int trace_capacity = 1 << 18;
+  /// Rolling windowed metrics (per-tenant/per-pool TTFT/TBT/SLO/queue
+  /// depth): window length in simulated seconds; 0 disables.
+  double rolling_window_s = 0.0;
+
+  bool operator==(const ObsSpec&) const = default;
+};
+
 /// Optional sweep axes: every non-empty axis replaces the base spec's value
 /// and the cartesian product of all axes becomes one experiment per point
 /// (run_sweep). Empty axes keep the base value.
@@ -109,6 +125,8 @@ struct ExperimentSpec {
   SearchSpace search;
   /// elastic_plan mode options.
   ElasticPlanSpec elastic;
+  /// Observability: tracing and rolling windows (simulate/reference modes).
+  ObsSpec obs;
   /// Optional sweep axes (run_sweep expands them; see SweepAxes).
   SweepAxes sweep;
 

@@ -35,6 +35,14 @@ JsonValue pool_report_json(const PoolScalingReport& p) {
   j.set("num_scale_downs", p.num_scale_down_events);
   j.set("gpu_hours", p.gpu_hours);
   j.set("cost_usd", p.cost_usd);
+  // Exact per-pool attribution from the pool's own batch records (zero when
+  // the run carried no batch-level accounting for this pool).
+  if (p.mfu > 0 || p.mbu > 0 || p.busy_fraction > 0 || p.energy_joules > 0) {
+    j.set("mfu", p.mfu);
+    j.set("mbu", p.mbu);
+    j.set("busy_fraction", p.busy_fraction);
+    j.set("energy_joules", p.energy_joules);
+  }
   return j;
 }
 
@@ -70,6 +78,63 @@ JsonValue elastic_point_json(const ElasticPlanPoint& p) {
   j.set("num_scale_downs", p.num_scale_downs);
   if (!p.pools.empty()) j.set("pools", pool_reports_json(p.pools));
   return j;
+}
+
+JsonValue registry_json(const RegistrySnapshot& s) {
+  JsonValue j = JsonValue::object();
+  if (!s.counters.empty()) {
+    JsonValue counters = JsonValue::object();
+    for (const auto& e : s.counters)
+      counters.set(e.name, static_cast<std::int64_t>(e.value));
+    j.set("counters", std::move(counters));
+  }
+  if (!s.gauges.empty()) {
+    JsonValue gauges = JsonValue::object();
+    for (const auto& e : s.gauges) gauges.set(e.name, e.value);
+    j.set("gauges", std::move(gauges));
+  }
+  if (!s.histograms.empty()) {
+    JsonValue hists = JsonValue::object();
+    for (const auto& e : s.histograms) {
+      JsonValue h = JsonValue::object();
+      h.set("count", static_cast<std::int64_t>(e.count));
+      h.set("sum", e.sum);
+      h.set("mean", e.mean);
+      h.set("p50", e.p50);
+      h.set("p90", e.p90);
+      h.set("p99", e.p99);
+      h.set("max", e.max);
+      hists.set(e.name, std::move(h));
+    }
+    j.set("histograms", std::move(hists));
+  }
+  return j;
+}
+
+JsonValue rolling_json(const std::vector<RollingTrack>& tracks) {
+  JsonValue arr = JsonValue::array();
+  for (const RollingTrack& t : tracks) {
+    JsonValue row = JsonValue::object();
+    row.set("track", t.name);
+    JsonValue windows = JsonValue::array();
+    for (const WindowSample& w : t.windows) {
+      JsonValue wj = JsonValue::object();
+      wj.set("start_s", w.start);
+      wj.set("end_s", w.end);
+      wj.set("arrivals", w.arrivals);
+      wj.set("completions", w.completions);
+      wj.set("mean_ttft_s", w.mean_ttft());
+      wj.set("max_ttft_s", w.ttft_max);
+      wj.set("mean_tbt_s", w.mean_tbt());
+      wj.set("max_tbt_s", w.tbt_max);
+      wj.set("slo_attainment", w.slo_attainment());
+      wj.set("mean_queue_depth", w.mean_queue_depth());
+      windows.push(std::move(wj));
+    }
+    row.set("windows", std::move(windows));
+    arr.push(std::move(row));
+  }
+  return arr;
 }
 
 JsonValue evaluation_json(const ConfigEvaluation& e) {
@@ -132,6 +197,18 @@ JsonValue metrics_to_json(const SimulationMetrics& m) {
     }
     j.set("tenants", std::move(tenants));
   }
+  if (m.estimator_cache_hits + m.estimator_cache_misses > 0) {
+    JsonValue est = JsonValue::object();
+    est.set("cache_hits", m.estimator_cache_hits);
+    est.set("cache_misses", m.estimator_cache_misses);
+    est.set("cache_hit_rate",
+            static_cast<double>(m.estimator_cache_hits) /
+                static_cast<double>(m.estimator_cache_hits +
+                                    m.estimator_cache_misses));
+    j.set("estimator", std::move(est));
+  }
+  if (!m.registry.empty()) j.set("registry", registry_json(m.registry));
+  if (!m.rolling.empty()) j.set("rolling", rolling_json(m.rolling));
   return j;
 }
 

@@ -22,12 +22,17 @@ struct ExperimentResult {
   SearchResult search;
   /// elastic_plan mode.
   ElasticPlanResult elastic;
+  /// Chrome trace_event document when the spec asked for tracing
+  /// (obs.trace, simulate/reference modes); JSON null otherwise. Not part
+  /// of to_json() — the CLI writes it to its own file (`--trace out.json`).
+  JsonValue trace;
   /// Non-empty when this sweep point failed (e.g. the model does not fit
   /// the deployment); the payload sections are then default-constructed.
   /// run_experiment() throws instead — only run_sweep() records errors.
   std::string error;
 
   bool failed() const { return !error.empty(); }
+  bool has_trace() const { return !trace.is_null(); }
 
   /// Human-readable report (the examples print this).
   std::string to_string() const;

@@ -1,12 +1,14 @@
 #include "api/run.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "scenario/registry.h"
 #include "search/elastic_plan.h"
 #include "search/search.h"
@@ -34,11 +36,25 @@ Trace build_trace(const ExperimentSpec& spec,
 ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
   ExperimentResult result;
   result.spec = spec;
+  // Observability attachments of the simulate/reference modes: the recorder
+  // outlives the run (sim borrows it), then its records become the result's
+  // Chrome trace document.
+  std::unique_ptr<TraceRecorder> recorder;
+  SimObs obs;
+  if (spec.mode == ExperimentMode::kSimulate ||
+      spec.mode == ExperimentMode::kReference) {
+    if (spec.obs.trace) {
+      recorder = std::make_unique<TraceRecorder>(
+          static_cast<std::size_t>(spec.obs.trace_capacity));
+      obs.trace = recorder.get();
+    }
+    obs.rolling_window_s = spec.obs.rolling_window_s;
+  }
   switch (spec.mode) {
     case ExperimentMode::kSimulate: {
       std::vector<TenantInfo> tenants;
       const Trace trace = build_trace(spec, &tenants);
-      result.metrics = session.simulate(spec.deployment, trace, tenants);
+      result.metrics = session.simulate(spec.deployment, trace, tenants, obs);
       break;
     }
     case ExperimentMode::kReference: {
@@ -46,7 +62,7 @@ ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
       const Trace trace = build_trace(spec, &tenants);
       result.metrics =
           session.simulate_reference(spec.deployment, trace, spec.seed,
-                                     tenants);
+                                     tenants, obs);
       break;
     }
     case ExperimentMode::kCapacitySearch: {
@@ -87,6 +103,7 @@ ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
       break;
     }
   }
+  if (recorder != nullptr) result.trace = chrome_trace_json(recorder->records());
   return result;
 }
 

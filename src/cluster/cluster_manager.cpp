@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace vidur {
 
@@ -167,8 +169,19 @@ double ClusterManager::cost_per_slo_point(const Pool& pool) const {
   return rate / (pool.info.capacity_qps > 0 ? pool.info.capacity_qps : 1.0);
 }
 
+void ClusterManager::set_obs(TraceRecorder* trace,
+                             MetricsRegistry* registry) {
+  trace_ = trace;
+  if (registry != nullptr) {
+    ctr_ticks_ = registry->counter("cluster.ticks");
+    ctr_scale_ups_ = registry->counter("cluster.scale_ups");
+    ctr_scale_downs_ = registry->counter("cluster.scale_downs");
+  }
+}
+
 void ClusterManager::evaluate() {
   const Seconds now = events_->now();
+  if (ctr_ticks_ != nullptr) ctr_ticks_->inc();
   for (Group& group : groups_) {
     if (group.next_due > now) continue;
     evaluate_group(group, now);
@@ -210,6 +223,8 @@ void ClusterManager::evaluate_group(Group& group, Seconds now) {
 
   const int desired = std::clamp(group.policy->desired_replicas(sample),
                                  sample.min_replicas, sample.max_replicas);
+  trace_emit(trace_, TraceEventKind::kScaleDecision, now, -1, -1, desired,
+             sample.active, static_cast<std::uint8_t>(group.role));
   const int effective = sample.active + sample.pending;
   if (desired > effective) {
     if (now - group.last_scale_up >= group.config.scale_up_cooldown)
@@ -249,6 +264,7 @@ void ClusterManager::scale_up_group(Group& group, int n, Seconds now) {
       if (state(r) != ReplicaState::kDecommissioned) continue;
       --n;
       ++pool.num_ups;
+      if (ctr_scale_ups_ != nullptr) ctr_scale_ups_->inc();
       group.last_scale_up = now;
       up_since_[static_cast<std::size_t>(r)] = now;
       transition(r, ReplicaState::kProvisioning, now);
@@ -296,6 +312,7 @@ void ClusterManager::scale_down_group(Group& group, int n, Seconds now) {
       if (state(r) != ReplicaState::kActive) continue;
       --n;
       ++pool.num_downs;
+      if (ctr_scale_downs_ != nullptr) ctr_scale_downs_->inc();
       group.last_scale_down = now;
       transition(r, ReplicaState::kDraining, now);
       // Queued-but-unstarted requests leave through the global scheduler
@@ -326,6 +343,8 @@ void ClusterManager::transition(ReplicaId replica, ReplicaState to,
   slot = to;
   routable_[static_cast<std::size_t>(replica)] = to == ReplicaState::kActive;
   const int active = num_active();
+  trace_emit(trace_, TraceEventKind::kReplicaTransition, now, replica, -1,
+             active, 0, static_cast<std::uint8_t>(to));
   peak_active_ = std::max(peak_active_, active);
   if (!timeline_.empty() && timeline_.back().time == now)
     timeline_.back().active = active;

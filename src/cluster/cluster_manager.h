@@ -33,6 +33,10 @@
 
 namespace vidur {
 
+class TraceRecorder;
+class MetricsRegistry;
+struct Counter;
+
 class ClusterManager {
  public:
   /// Callbacks into the simulator. All but replica_kv_utilization must be
@@ -131,6 +135,12 @@ class ClusterManager {
   /// in flight. Completes a pending drain; a no-op in any other state.
   void notify_idle(ReplicaId replica);
 
+  /// Attach observability (src/obs/): the trace records every replica
+  /// lifecycle transition and autoscaler decision; the registry carries
+  /// tick/scale counters. Borrowed pointers; call before start() so the
+  /// initial activations are captured too.
+  void set_obs(TraceRecorder* trace, MetricsRegistry* registry);
+
   /// Capacity/cost accounting up to `end_time` (replicas still up accrue
   /// until then), per pool and in total.
   ClusterScalingReport report(Seconds end_time) const;
@@ -194,6 +204,12 @@ class ClusterManager {
   std::vector<ScalingEvent> log_;
   std::vector<ReplicaCountSample> timeline_;  ///< fleet-wide active counts
   int peak_active_ = 0;
+
+  // ---- observability (all optional; see set_obs) ----
+  TraceRecorder* trace_ = nullptr;
+  Counter* ctr_ticks_ = nullptr;
+  Counter* ctr_scale_ups_ = nullptr;
+  Counter* ctr_scale_downs_ = nullptr;
 };
 
 }  // namespace vidur

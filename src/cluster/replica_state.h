@@ -70,6 +70,18 @@ struct PoolScalingReport {
   double gpu_hours = 0.0;
   double cost_usd = 0.0;
 
+  /// Exact per-pool utilization/energy attribution, filled by the metrics
+  /// collector from the pool's actual batch execution records against the
+  /// pool's own SKU rates (not the fleet's slot-weighted averages). MFU/MBU
+  /// are normalized by the pool's *paid* GPU-time (provisioning through
+  /// decommission) — utilization of the capacity the pool actually billed,
+  /// which is the honest denominator for autoscaled pools. Zero when the
+  /// run carried no batch-level resource accounting.
+  double mfu = 0.0;
+  double mbu = 0.0;
+  double busy_fraction = 0.0;   ///< busy replica-time / paid replica-time
+  double energy_joules = 0.0;   ///< busy + idle energy billed to the pool
+
   std::vector<ReplicaCountSample> active_timeline;  ///< pool-local counts
 };
 

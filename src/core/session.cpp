@@ -1,5 +1,7 @@
 #include "core/session.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace vidur {
@@ -93,6 +95,24 @@ void VidurSession::prepare_pools(SimulationConfig& sim) {
     pool.capacity_qps = pool_capacity_weight(pool);
 }
 
+namespace {
+
+/// Fold the run's estimator-cache deltas into the registry snapshot, so the
+/// counters travel with every ExperimentResult like native registry state.
+void append_estimator_counters(SimulationMetrics& metrics) {
+  auto& counters = metrics.registry.counters;
+  counters.push_back(
+      {"estimator.cache_hits",
+       static_cast<std::uint64_t>(metrics.estimator_cache_hits)});
+  counters.push_back(
+      {"estimator.cache_misses",
+       static_cast<std::uint64_t>(metrics.estimator_cache_misses)});
+  std::sort(counters.begin(), counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+}
+
+}  // namespace
+
 void VidurSession::account(const SimulationMetrics& metrics,
                            const DeploymentConfig& config) {
   std::lock_guard lock(mutex_);
@@ -102,14 +122,19 @@ void VidurSession::account(const SimulationMetrics& metrics,
 
 SimulationMetrics VidurSession::simulate(
     const DeploymentConfig& config, const Trace& trace,
-    const std::vector<TenantInfo>& tenants) {
+    const std::vector<TenantInfo>& tenants, const SimObs& obs) {
   SimulationConfig sim_config = make_sim_config(config);
   sim_config.tenants = tenants;
+  sim_config.obs = obs;
   const ModelSpec& model = model_;
   const CpuOverheadModel cpu = options_.cpu_overhead;
+  // The distinct estimators backing this run, for the cache-traffic deltas
+  // attributed to it (pools sharing a SKU share one estimator).
+  std::vector<const RuntimeEstimator*> used;
   BackendFactory factory;
   if (config.pools.empty()) {
     const RuntimeEstimator& est = estimator(config.sku_name);
+    used.push_back(&est);
     const ParallelConfig parallel = config.parallel;
     factory = [&est, &model, parallel, cpu](ReplicaId) {
       return std::make_unique<ExecutionTimePredictor>(&est, model, parallel,
@@ -121,8 +146,11 @@ SimulationMetrics VidurSession::simulate(
     std::vector<const RuntimeEstimator*> estimators;
     std::vector<ParallelConfig> parallels;
     for (const PoolSpec& pool : sim_config.pools) {
-      estimators.push_back(&estimator(pool.sku_name));
+      const RuntimeEstimator* est = &estimator(pool.sku_name);
+      estimators.push_back(est);
       parallels.push_back(pool.parallel);
+      if (std::find(used.begin(), used.end(), est) == used.end())
+        used.push_back(est);
     }
     factory = [estimators = std::move(estimators),
                parallels = std::move(parallels),
@@ -134,17 +162,33 @@ SimulationMetrics VidurSession::simulate(
                                                       parallels[p], cpu);
     };
   }
+  std::size_t hits_before = 0, misses_before = 0;
+  for (const RuntimeEstimator* est : used) {
+    hits_before += est->cache_hits();
+    misses_before += est->cache_misses();
+  }
   Simulator sim(sim_config, trace, std::move(factory));
   SimulationMetrics metrics = sim.run();
+  std::size_t hits_after = 0, misses_after = 0;
+  for (const RuntimeEstimator* est : used) {
+    hits_after += est->cache_hits();
+    misses_after += est->cache_misses();
+  }
+  metrics.estimator_cache_hits =
+      static_cast<std::int64_t>(hits_after - hits_before);
+  metrics.estimator_cache_misses =
+      static_cast<std::int64_t>(misses_after - misses_before);
+  append_estimator_counters(metrics);
   account(metrics, config);
   return metrics;
 }
 
 SimulationMetrics VidurSession::simulate_reference(
     const DeploymentConfig& config, const Trace& trace, std::uint64_t seed,
-    const std::vector<TenantInfo>& tenants) {
+    const std::vector<TenantInfo>& tenants, const SimObs& obs) {
   SimulationConfig sim_config = make_sim_config(config);
   sim_config.tenants = tenants;
+  sim_config.obs = obs;
   const ModelSpec& model = model_;
   const CpuOverheadModel cpu = options_.cpu_overhead;
   BackendFactory factory;

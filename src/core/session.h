@@ -61,15 +61,18 @@ class VidurSession {
 
   /// Vidur simulation: runtime-estimator backend. Thread-safe. Pass the
   /// scenario's tenant identities to get per-tenant metric breakdowns for a
-  /// tenant-tagged trace (see src/scenario/).
+  /// tenant-tagged trace (see src/scenario/). `obs` attaches observability
+  /// (trace recorder, shared registry, rolling windows — src/obs/); the
+  /// defaults record nothing extra.
   SimulationMetrics simulate(const DeploymentConfig& config,
                              const Trace& trace,
-                             const std::vector<TenantInfo>& tenants = {});
+                             const std::vector<TenantInfo>& tenants = {},
+                             const SimObs& obs = {});
 
   /// Ground-truth replay of the same deployment ("Real" bars in Fig. 3/4).
   SimulationMetrics simulate_reference(
       const DeploymentConfig& config, const Trace& trace, std::uint64_t seed,
-      const std::vector<TenantInfo>& tenants = {});
+      const std::vector<TenantInfo>& tenants = {}, const SimObs& obs = {});
 
   /// Total simulated GPU time across every simulate() call (used by the
   /// Table 2 cost-savings accounting: this is what the runs would have cost

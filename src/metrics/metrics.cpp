@@ -28,6 +28,47 @@ MetricsCollector::MetricsCollector(int num_replicas,
           .peak_flops_per_gpu = peak_flops_per_gpu,
           .hbm_bytes_per_sec_per_gpu = hbm_bytes_per_sec_per_gpu}) {}
 
+void MetricsCollector::set_pools(std::vector<PoolResources> pools,
+                                 std::vector<int> pool_of_slot) {
+  for (const int p : pool_of_slot)
+    VIDUR_CHECK_MSG(p >= 0 && p < static_cast<int>(pools.size()),
+                    "pool_of_slot entry " << p << " out of range");
+  for (const PoolResources& p : pools) {
+    VIDUR_CHECK(p.gpus_per_replica >= 1);
+    VIDUR_CHECK(p.peak_flops_per_gpu > 0);
+  }
+  pools_ = std::move(pools);
+  pool_of_slot_ = std::move(pool_of_slot);
+  pool_accs_.assign(pools_.size(), PoolAcc{});
+}
+
+namespace {
+
+/// Linear power model shared by the fleet-average and per-pool paths:
+/// intensity is the batch's per-GPU FLOP or bandwidth utilization,
+/// whichever dominates (roofline-style).
+double batch_energy_joules(const BatchRecord& record, double duration,
+                           int gpus_per_replica, double peak_flops_per_gpu,
+                           double hbm_bytes_per_sec_per_gpu,
+                           double idle_watts_per_gpu,
+                           double peak_watts_per_gpu) {
+  if (peak_watts_per_gpu <= 0 || duration <= 0) return 0.0;
+  const double flop_util =
+      record.flops / (duration * peak_flops_per_gpu * gpus_per_replica);
+  const double bw_util =
+      hbm_bytes_per_sec_per_gpu > 0
+          ? static_cast<double>(record.hbm_bytes_per_gpu) /
+                (duration * hbm_bytes_per_sec_per_gpu)
+          : 0.0;
+  const double intensity = std::clamp(std::max(flop_util, bw_util), 0.0, 1.0);
+  const double watts_per_gpu =
+      idle_watts_per_gpu + (peak_watts_per_gpu - idle_watts_per_gpu) *
+                               intensity;
+  return duration * gpus_per_replica * watts_per_gpu;
+}
+
+}  // namespace
+
 void MetricsCollector::record_batch(const BatchRecord& record) {
   const double duration = record.end_time - record.start_time;
   VIDUR_CHECK(duration >= 0);
@@ -39,22 +80,31 @@ void MetricsCollector::record_batch(const BatchRecord& record) {
   total_q_tokens_ += record.q_tokens;
   ++total_batches_;
 
-  if (cluster_.peak_watts_per_gpu > 0 && duration > 0) {
-    // Linear power model: intensity is the batch's per-GPU FLOP or bandwidth
-    // utilization, whichever dominates (roofline-style).
-    const double flop_util =
-        record.flops / (duration * cluster_.peak_flops_per_gpu *
-                        cluster_.gpus_per_replica);
-    const double bw_util =
-        cluster_.hbm_bytes_per_sec_per_gpu > 0
-            ? static_cast<double>(record.hbm_bytes_per_gpu) /
-                  (duration * cluster_.hbm_bytes_per_sec_per_gpu)
-            : 0.0;
-    const double intensity = std::clamp(std::max(flop_util, bw_util), 0.0, 1.0);
-    const double watts_per_gpu =
-        cluster_.idle_watts_per_gpu +
-        (cluster_.peak_watts_per_gpu - cluster_.idle_watts_per_gpu) * intensity;
-    busy_energy_joules_ += duration * cluster_.gpus_per_replica * watts_per_gpu;
+  // Fleet-average energy against the (possibly slot-weighted) cluster
+  // rates — kept as-is so homogeneous runs and the existing fleet metrics
+  // are unchanged by per-pool attribution.
+  busy_energy_joules_ += batch_energy_joules(
+      record, duration, cluster_.gpus_per_replica,
+      cluster_.peak_flops_per_gpu, cluster_.hbm_bytes_per_sec_per_gpu,
+      cluster_.idle_watts_per_gpu, cluster_.peak_watts_per_gpu);
+
+  // Exact per-pool attribution: the same batch accumulated against its own
+  // pool's SKU rates.
+  if (!pools_.empty()) {
+    const auto slot = static_cast<std::size_t>(record.replica);
+    VIDUR_CHECK_MSG(slot < pool_of_slot_.size(),
+                    "batch replica " << record.replica
+                                     << " outside the pool slot layout");
+    const auto pool = static_cast<std::size_t>(pool_of_slot_[slot]);
+    const PoolResources& res = pools_[pool];
+    PoolAcc& acc = pool_accs_[pool];
+    acc.flops += record.flops;
+    acc.hbm_bytes += static_cast<double>(record.hbm_bytes_per_gpu);
+    acc.busy_time += duration;
+    acc.busy_energy_joules += batch_energy_joules(
+        record, duration, res.gpus_per_replica, res.peak_flops_per_gpu,
+        res.hbm_bytes_per_sec_per_gpu, res.idle_watts_per_gpu,
+        res.peak_watts_per_gpu);
   }
 }
 
@@ -163,6 +213,34 @@ SimulationMetrics MetricsCollector::finalize(
     m.mean_batch_size = weighted_batch_size_ / total_busy_time_;
   }
   m.operator_stats = operator_stats_;
+
+  // Exact per-pool MFU/MBU/energy: each pool's own batch sums over the
+  // pool's own SKU rates and *paid* GPU-time (its scaling-report hours).
+  if (!pools_.empty() && m.scaling.pools.size() == pools_.size()) {
+    for (std::size_t i = 0; i < pools_.size(); ++i) {
+      const PoolResources& res = pools_[i];
+      const PoolAcc& acc = pool_accs_[i];
+      PoolScalingReport& p = m.scaling.pools[i];
+      const double paid_replica_seconds = p.replica_hours * 3600.0;
+      const double paid_gpu_seconds = p.gpu_hours * 3600.0;
+      if (paid_gpu_seconds > 0)
+        p.mfu = acc.flops / (paid_gpu_seconds * res.peak_flops_per_gpu);
+      // hbm bytes are per GPU and a replica's GPUs move them in parallel,
+      // so normalize by paid replica-time (mirrors the fleet MBU).
+      if (paid_replica_seconds > 0) {
+        if (res.hbm_bytes_per_sec_per_gpu > 0)
+          p.mbu = acc.hbm_bytes /
+                  (paid_replica_seconds * res.hbm_bytes_per_sec_per_gpu);
+        p.busy_fraction = acc.busy_time / paid_replica_seconds;
+      }
+      if (res.peak_watts_per_gpu > 0) {
+        const double idle_gpu_seconds = std::max(
+            0.0, paid_gpu_seconds - acc.busy_time * res.gpus_per_replica);
+        p.energy_joules = acc.busy_energy_joules +
+                          idle_gpu_seconds * res.idle_watts_per_gpu;
+      }
+    }
+  }
 
   // ---- per-tenant breakdown ----
   bool tagged = !tenants_.empty();
@@ -305,6 +383,14 @@ std::string SimulationMetrics::to_string() const {
        << " kJ total, " << fmt_double(energy_per_output_token, 2)
        << " J/token, mean draw "
        << fmt_double(mean_cluster_power_watts, 0) << " W\n";
+  }
+  if (estimator_cache_hits + estimator_cache_misses > 0) {
+    const double total =
+        static_cast<double>(estimator_cache_hits + estimator_cache_misses);
+    os << "  estimator cache: " << estimator_cache_hits << " hits / "
+       << estimator_cache_misses << " misses ("
+       << fmt_percent(static_cast<double>(estimator_cache_hits) / total)
+       << " hit rate)\n";
   }
   if (scaling.enabled) os << "  fleet:           " << scaling.to_string()
                           << "\n";

@@ -12,6 +12,8 @@
 #include "common/types.h"
 #include "execution/batch_spec.h"
 #include "model/model_spec.h"
+#include "obs/registry.h"
+#include "obs/rolling.h"
 #include "operators/op_type.h"
 
 namespace vidur {
@@ -94,6 +96,20 @@ struct ClusterResources {
   double peak_watts_per_gpu = 0.0;  ///< 0 disables energy accounting
 };
 
+/// Per-pool resource rates for exact attribution: one entry per pool of a
+/// heterogeneous (or single-pool elastic) deployment, in pool order. The
+/// collector accumulates each pool's batches against its own SKU rates,
+/// replacing the fleet-level slot-weighted approximation for the per-pool
+/// breakout in PoolScalingReport.
+struct PoolResources {
+  std::string name;
+  int gpus_per_replica = 1;
+  double peak_flops_per_gpu = 0.0;
+  double hbm_bytes_per_sec_per_gpu = 0.0;
+  double idle_watts_per_gpu = 0.0;
+  double peak_watts_per_gpu = 0.0;
+};
+
 /// Aggregated output of one simulation.
 struct SimulationMetrics {
   // Request-level.
@@ -155,6 +171,24 @@ struct SimulationMetrics {
   /// timeline when an autoscaler managed the replicas (src/cluster/).
   ClusterScalingReport scaling;
 
+  /// Final observability-registry state: every counter/gauge/histogram the
+  /// simulator, schedulers and cluster manager maintained during the run
+  /// (src/obs/registry.h). Always filled by the simulator.
+  RegistrySnapshot registry;
+
+  /// Rolling windowed metric tracks ("cluster", "tenant:<name>",
+  /// "pool:<name>"); empty unless the simulation enabled a rolling window
+  /// (SimObs::rolling_window_s > 0).
+  std::vector<RollingTrack> rolling;
+
+  /// Estimator prediction-cache traffic attributable to this run (filled by
+  /// VidurSession::simulate; zero for reference replays, which bypass the
+  /// estimator). Deltas of the estimators' relaxed atomic counters — exact
+  /// for serial runs, approximate when sweeps share estimators across
+  /// threads.
+  std::int64_t estimator_cache_hits = 0;
+  std::int64_t estimator_cache_misses = 0;
+
   /// Cluster-wide SLO attainment: the fraction of all requests (across
   /// every SLO-carrying tenant, weighted by traffic) that met their
   /// tenant's SLO. -1 when no tenant carries an SLO.
@@ -184,6 +218,15 @@ class MetricsCollector {
   /// generated name. May be called at any time before finalize().
   void set_tenants(std::vector<TenantInfo> tenants);
 
+  /// Enable exact per-pool attribution: `pools` carries each pool's own SKU
+  /// rates (in pool order, matching the scaling report's pool order) and
+  /// `pool_of_slot` maps every replica slot to its pool index. Batches are
+  /// then additionally accumulated per pool, and finalize() fills the
+  /// mfu/mbu/busy_fraction/energy_joules fields of each PoolScalingReport
+  /// from those exact sums. Call before the first record_batch().
+  void set_pools(std::vector<PoolResources> pools,
+                 std::vector<int> pool_of_slot);
+
   void record_batch(const BatchRecord& record);
   void record_request(const RequestRecord& record);
   /// Accumulate one stage execution's per-operator time attribution.
@@ -204,9 +247,20 @@ class MetricsCollector {
   }
 
  private:
+  /// Streaming per-pool accumulators (exact attribution).
+  struct PoolAcc {
+    double flops = 0.0;
+    double hbm_bytes = 0.0;
+    double busy_time = 0.0;
+    double busy_energy_joules = 0.0;
+  };
+
   ClusterResources cluster_;
   std::vector<TenantInfo> tenants_;
   std::vector<RequestRecord> requests_;
+  std::vector<PoolResources> pools_;
+  std::vector<int> pool_of_slot_;
+  std::vector<PoolAcc> pool_accs_;
   // Streaming replica-level accumulators (batch records are not retained).
   double total_flops_ = 0.0;
   double total_hbm_bytes_ = 0.0;

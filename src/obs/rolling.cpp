@@ -1,0 +1,96 @@
+#include "obs/rolling.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vidur {
+
+RollingCollector::RollingCollector(Seconds window,
+                                   std::vector<std::string> track_names)
+    : window_(window) {
+  VIDUR_CHECK_MSG(window > 0.0, "rolling window must be positive");
+  tracks_.reserve(track_names.size());
+  for (std::string& name : track_names) {
+    Track t;
+    t.name = std::move(name);
+    t.current.start = 0.0;
+    t.current.end = window_;
+    tracks_.push_back(std::move(t));
+  }
+}
+
+void RollingCollector::advance(Track& track, Seconds t) {
+  while (t >= track.current.end) {
+    // Integrate the depth step function to the window boundary, emit the
+    // window, and open the next one.
+    track.current.queue_depth_time +=
+        static_cast<double>(track.depth) *
+        (track.current.end - track.depth_since);
+    track.depth_since = track.current.end;
+    WindowSample next;
+    next.start = track.current.end;
+    next.end = track.current.end + window_;
+    track.done.push_back(track.current);
+    track.current = next;
+  }
+}
+
+void RollingCollector::on_arrival(int track, Seconds t) {
+  Track& tr = tracks_[static_cast<std::size_t>(track)];
+  advance(tr, t);
+  ++tr.current.arrivals;
+}
+
+void RollingCollector::on_completion(int track, Seconds t, Seconds ttft,
+                                     Seconds worst_tbt, int slo_state) {
+  Track& tr = tracks_[static_cast<std::size_t>(track)];
+  advance(tr, t);
+  WindowSample& w = tr.current;
+  ++w.completions;
+  w.ttft_sum += ttft;
+  w.ttft_max = std::max(w.ttft_max, ttft);
+  if (worst_tbt >= 0.0) {
+    w.tbt_sum += worst_tbt;
+    w.tbt_max = std::max(w.tbt_max, worst_tbt);
+    ++w.tbt_count;
+  }
+  if (slo_state >= 0) {
+    ++w.slo_eligible;
+    w.slo_met += slo_state;
+  }
+}
+
+void RollingCollector::on_queue_delta(int track, Seconds t, int delta) {
+  Track& tr = tracks_[static_cast<std::size_t>(track)];
+  advance(tr, t);
+  tr.current.queue_depth_time +=
+      static_cast<double>(tr.depth) * (t - tr.depth_since);
+  tr.depth += delta;
+  tr.depth_since = t;
+}
+
+std::vector<RollingTrack> RollingCollector::finalize(Seconds end_time) {
+  std::vector<RollingTrack> out;
+  out.reserve(tracks_.size());
+  for (Track& tr : tracks_) {
+    advance(tr, end_time);
+    // Close the open window at the run's end: a partial window is emitted
+    // with its true extent so mean_queue_depth stays exact.
+    tr.current.queue_depth_time +=
+        static_cast<double>(tr.depth) * (end_time - tr.depth_since);
+    tr.depth_since = end_time;
+    if (end_time > tr.current.start) {
+      WindowSample last = tr.current;
+      last.end = end_time;
+      tr.done.push_back(last);
+    }
+    RollingTrack rt;
+    rt.name = tr.name;
+    rt.windows = tr.done;
+    out.push_back(std::move(rt));
+  }
+  return out;
+}
+
+}  // namespace vidur

@@ -1,0 +1,101 @@
+// Rolling windowed metrics (observability subsystem): per-track TTFT / TBT
+// / SLO-attainment / queue-depth aggregates over fixed, consecutive time
+// windows, computed online as the simulation runs.
+//
+// Tracks are opaque indices the simulator maps to "cluster", one per
+// tenant, and one per pool. Queue depth is a step function integrated
+// exactly (time-weighted mean per window); latency metrics accumulate at
+// request completion. This is the substrate a future live-daemon mode
+// streams from — nothing here retains per-request state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vidur {
+
+/// Aggregates of one [start, end) window of one track.
+struct WindowSample {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  std::int64_t arrivals = 0;
+  std::int64_t completions = 0;
+  /// SLO accounting over completions of SLO-carrying tenants only.
+  std::int64_t slo_met = 0;
+  std::int64_t slo_eligible = 0;
+  double ttft_sum = 0.0;
+  double ttft_max = 0.0;
+  /// Worst per-request inter-token gap, summed / maxed over completions.
+  double tbt_sum = 0.0;
+  double tbt_max = 0.0;
+  std::int64_t tbt_count = 0;
+  /// Integral of the queue-depth step function over the window.
+  double queue_depth_time = 0.0;
+
+  double mean_ttft() const {
+    return completions > 0 ? ttft_sum / static_cast<double>(completions)
+                           : 0.0;
+  }
+  double mean_tbt() const {
+    return tbt_count > 0 ? tbt_sum / static_cast<double>(tbt_count) : 0.0;
+  }
+  /// -1 when no SLO-carrying request completed in the window.
+  double slo_attainment() const {
+    return slo_eligible > 0
+               ? static_cast<double>(slo_met) /
+                     static_cast<double>(slo_eligible)
+               : -1.0;
+  }
+  double mean_queue_depth() const {
+    return end > start ? queue_depth_time / (end - start) : 0.0;
+  }
+
+  bool operator==(const WindowSample&) const = default;
+};
+
+/// One track's complete window series, in time order.
+struct RollingTrack {
+  std::string name;
+  std::vector<WindowSample> windows;
+
+  bool operator==(const RollingTrack&) const = default;
+};
+
+/// Online collector: fixed window length, fixed track set. All event times
+/// must be non-decreasing per track (simulation time is monotone).
+class RollingCollector {
+ public:
+  RollingCollector(Seconds window, std::vector<std::string> track_names);
+
+  int num_tracks() const { return static_cast<int>(tracks_.size()); }
+
+  void on_arrival(int track, Seconds t);
+  /// A request completed: `slo_state` is -1 (no SLO), 0 (missed) or 1
+  /// (met); `worst_tbt` < 0 means the request emitted < 2 tokens.
+  void on_completion(int track, Seconds t, Seconds ttft, Seconds worst_tbt,
+                     int slo_state);
+  /// The track's queue depth changed by `delta` at time t.
+  void on_queue_delta(int track, Seconds t, int delta);
+
+  /// Close every open window at `end_time` and return the series.
+  std::vector<RollingTrack> finalize(Seconds end_time);
+
+ private:
+  struct Track {
+    std::string name;
+    WindowSample current;
+    std::vector<WindowSample> done;
+    int depth = 0;
+    Seconds depth_since = 0.0;
+  };
+
+  /// Flush windows the track has moved past; integrates depth up to t.
+  void advance(Track& track, Seconds t);
+
+  Seconds window_;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace vidur

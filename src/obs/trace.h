@@ -1,0 +1,136 @@
+// Request-lifecycle and cluster-event tracing (observability subsystem).
+//
+// The simulator, replica schedulers and cluster manager emit typed POD
+// TraceRecords into a preallocated ring buffer. Tracing is a nullable
+// pointer on every hot path: when no recorder is attached the cost is one
+// branch, no allocation, no formatting. The recorded stream is converted to
+// Chrome/Perfetto `trace_event` JSON after the run (chrome_trace_json), so
+// `vidur run --trace out.json` produces a file chrome://tracing and
+// https://ui.perfetto.dev open directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/types.h"
+
+namespace vidur {
+
+/// What one trace record describes. Request-lifecycle kinds carry the
+/// request id; batch kinds carry a per-run monotonic batch sequence number;
+/// cluster kinds describe replica transitions and autoscaler decisions.
+enum class TraceEventKind : std::uint8_t {
+  kArrival = 0,    ///< id=request, a=prefill_tokens, b=decode_tokens
+  kRouted,         ///< id=request, replica=target (-1: parked centrally)
+  kScheduled,      ///< id=request first entered a batch, replica=where
+  kPreempted,      ///< id=request preempted-and-restarted, replica=where
+  kPrefillDone,    ///< id=request emitted its first token, replica=where
+  kMigrateStart,   ///< id=request KV hand-off started, replica=source,
+                   ///< a=KV tokens in flight
+  kMigrateEnd,     ///< id=request landed, replica=destination
+  kCompleted,      ///< id=request, replica=where, a=restarts
+  kBatchStart,     ///< id=batch seq, replica, a=batch_size, b=q_tokens
+  kBatchEnd,       ///< id=batch seq, replica, a=batch_size
+  kReplicaTransition,  ///< replica lifecycle edge: detail=to-state,
+                       ///< a=cluster-wide active count after
+  kScaleDecision,  ///< autoscaler group decision: detail=role,
+                   ///< a=desired replicas, b=active replicas
+};
+
+const char* trace_event_kind_name(TraceEventKind kind);
+
+/// One trace record: a fixed-size POD so emitting is a couple of stores.
+/// Field meaning depends on `kind` (see TraceEventKind); unused fields keep
+/// their defaults, which is what makes records bit-comparable across runs
+/// (the determinism tests rely on operator==).
+struct TraceRecord {
+  TraceEventKind kind = TraceEventKind::kArrival;
+  std::uint8_t detail = 0;  ///< kind-specific small payload (state, role)
+  std::int32_t replica = -1;
+  std::int64_t id = -1;  ///< request id or batch sequence number
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  Seconds time = 0.0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Fixed-capacity ring buffer of TraceRecords. When the buffer wraps, the
+/// oldest records are overwritten (num_dropped() reports how many); the
+/// exporter then renders the retained tail, which is the recent history —
+/// the part a user debugging a long run actually wants.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void emit(const TraceRecord& record) {
+    buffer_[head_] = record;
+    if (++head_ == buffer_.size()) head_ = 0;
+    ++total_;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+  /// Records emitted over the recorder's lifetime (including overwritten).
+  std::uint64_t num_emitted() const { return total_; }
+  /// Emitted records no longer retained (ring-buffer overwrites).
+  std::uint64_t num_dropped() const {
+    return total_ > buffer_.size() ? total_ - buffer_.size() : 0;
+  }
+
+  /// Retained records in emission order (oldest first).
+  std::vector<TraceRecord> records() const;
+
+  void clear();
+
+ private:
+  std::vector<TraceRecord> buffer_;
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Null-safe emission used by the instrumented subsystems: a disabled
+/// recorder (nullptr) costs exactly this branch on the hot path.
+inline void trace_emit(TraceRecorder* trace, TraceEventKind kind, Seconds time,
+                       std::int32_t replica, std::int64_t id,
+                       std::int64_t a = 0, std::int64_t b = 0,
+                       std::uint8_t detail = 0) {
+  if (trace == nullptr) return;
+  TraceRecord r;
+  r.kind = kind;
+  r.detail = detail;
+  r.replica = replica;
+  r.id = id;
+  r.a = a;
+  r.b = b;
+  r.time = time;
+  trace->emit(r);
+}
+
+/// Render records as a Chrome `trace_event` document ({"traceEvents": [...],
+/// "displayTimeUnit": "ms"}). Three processes: requests (one thread per
+/// request, phase spans queued/prefill/kv-transfer/decode), replicas (one
+/// thread per replica, one complete-event slice per executed batch), and
+/// cluster (lifecycle instants, scale decisions and an active-replica
+/// counter track). Timestamps are microseconds of simulated time.
+JsonValue chrome_trace_json(const std::vector<TraceRecord>& records);
+
+/// Shape summary returned by validate_chrome_trace.
+struct TraceValidation {
+  std::size_t num_events = 0;
+  std::size_t num_complete_spans = 0;  ///< "X" events
+  std::size_t num_instants = 0;        ///< "i" events
+  std::size_t num_counter_samples = 0; ///< "C" events
+};
+
+/// Validate a Chrome trace document: traceEvents is an array, every event
+/// carries a phase, complete events have non-negative ts/dur, and the spans
+/// of each (pid, tid) track nest properly (no partial overlap). Throws
+/// vidur::Error with the offending event on any violation; returns counts
+/// for reporting. Used by the tests and `vidur trace check`.
+TraceValidation validate_chrome_trace(const JsonValue& doc);
+
+}  // namespace vidur

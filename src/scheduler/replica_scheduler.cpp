@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace vidur {
 
@@ -29,18 +31,29 @@ void ReplicaScheduler::enqueue(RequestState* request) {
 }
 
 BatchSpec ReplicaScheduler::schedule(Seconds now) {
+  obs_now_ = now;
   BatchSpec batch;
   fill_batch(batch, now);
   return batch;
 }
 
 void ReplicaScheduler::schedule_into(BatchSpec& out, Seconds now) {
+  obs_now_ = now;
   out.items.clear();
   fill_batch(out, now);
 }
 
+void ReplicaScheduler::set_obs(ReplicaId self, TraceRecorder* trace,
+                               Counter* preemptions, Counter* admissions) {
+  obs_self_ = self;
+  trace_ = trace;
+  ctr_preemptions_ = preemptions;
+  ctr_admissions_ = admissions;
+}
+
 std::vector<RequestState*> ReplicaScheduler::on_batch_end(
     const BatchSpec& batch, Seconds now) {
+  obs_now_ = now;
   std::vector<RequestState*> finished;
   for (const BatchItem& item : batch.items) {
     RequestState* r = item.state;
@@ -57,8 +70,11 @@ std::vector<RequestState*> ReplicaScheduler::on_batch_end(
       r->kv_context += item.q_tokens;
       if (item.completes_prefill) {
         VIDUR_CHECK(r->prefill_complete());
-        if (r->record.prefill_completed_time < 0)
+        if (r->record.prefill_completed_time < 0) {
           r->record.prefill_completed_time = now;
+          trace_emit(trace_, TraceEventKind::kPrefillDone, now, obs_self_,
+                     r->request.id);
+        }
         r->decode_done = 1;  // prefill emits the first output token
         r->record.token_times.push_back(now);
       }
@@ -70,6 +86,8 @@ std::vector<RequestState*> ReplicaScheduler::on_batch_end(
 
     if (r->finished()) {
       r->record.completed_time = now;
+      trace_emit(trace_, TraceEventKind::kCompleted, now, obs_self_,
+                 r->request.id, r->record.num_restarts);
       block_manager_.release(r->request.id);
       r->kv_capacity = 0;
       r->admitted = false;
@@ -121,6 +139,7 @@ RequestState* ReplicaScheduler::admit_front(TokenCount tokens,
   waiting_.pop_front();
   running_.push_back(r);
   r->admitted = true;
+  if (ctr_admissions_ != nullptr) ctr_admissions_->inc();
   return r;
 }
 
@@ -181,8 +200,11 @@ void ReplicaScheduler::add_prefill_item(BatchSpec& batch, RequestState* r,
   item.state = r;
   batch.items.push_back(item);
   r->in_flight = true;
-  if (r->record.first_scheduled_time < 0)
+  if (r->record.first_scheduled_time < 0) {
     r->record.first_scheduled_time = now;
+    trace_emit(trace_, TraceEventKind::kScheduled, now, obs_self_,
+               r->request.id);
+  }
 }
 
 void ReplicaScheduler::add_decode_item(BatchSpec& batch, RequestState* r,
@@ -196,8 +218,11 @@ void ReplicaScheduler::add_decode_item(BatchSpec& batch, RequestState* r,
   item.state = r;
   batch.items.push_back(item);
   r->in_flight = true;
-  if (r->record.first_scheduled_time < 0)
+  if (r->record.first_scheduled_time < 0) {
     r->record.first_scheduled_time = now;
+    trace_emit(trace_, TraceEventKind::kScheduled, now, obs_self_,
+               r->request.id);
+  }
 }
 
 RequestState* ReplicaScheduler::preempt_one() {
@@ -209,6 +234,9 @@ RequestState* ReplicaScheduler::preempt_one() {
     if (victim == nullptr || r->request.id > victim->request.id) victim = r;
   }
   if (victim == nullptr) return nullptr;
+  trace_emit(trace_, TraceEventKind::kPreempted, obs_now_, obs_self_,
+             victim->request.id);
+  if (ctr_preemptions_ != nullptr) ctr_preemptions_->inc();
   block_manager_.release(victim->request.id);
   victim->restart();
   running_.erase(std::find(running_.begin(), running_.end(), victim));

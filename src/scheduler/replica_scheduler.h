@@ -17,6 +17,9 @@
 
 namespace vidur {
 
+class TraceRecorder;
+struct Counter;
+
 class ReplicaScheduler {
  public:
   ReplicaScheduler(SchedulerConfig config, MemoryPlan plan);
@@ -72,6 +75,13 @@ class ReplicaScheduler {
   const BlockManager& blocks() const { return block_manager_; }
   const SchedulerConfig& config() const { return config_; }
 
+  /// Attach observability (simulator-owned, src/obs/): `self` identifies
+  /// this replica in trace records; the counters are shared across the
+  /// fleet. All pointers are borrowed; a null trace disables the
+  /// scheduler-level trace events, null counters disable counting.
+  void set_obs(ReplicaId self, TraceRecorder* trace, Counter* preemptions,
+               Counter* admissions);
+
  protected:
   /// Policy hook: append items to `batch` (and perform allocations).
   virtual void fill_batch(BatchSpec& batch, Seconds now) = 0;
@@ -117,6 +127,15 @@ class ReplicaScheduler {
   std::deque<RequestState*> waiting_;
   std::vector<RequestState*> running_;  ///< admitted, unfinished
   std::unordered_map<RequestId, RequestState*> by_id_;
+
+  // ---- observability (all optional; see set_obs) ----
+  ReplicaId obs_self_ = -1;
+  TraceRecorder* trace_ = nullptr;
+  Counter* ctr_preemptions_ = nullptr;
+  Counter* ctr_admissions_ = nullptr;
+  /// preempt_one() has no clock argument; this mirrors the last `now` seen
+  /// by schedule()/on_batch_end() so preemption records carry batch time.
+  Seconds obs_now_ = 0.0;
 };
 
 /// Factory: constructs the policy named by `config.kind`.

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/rolling.h"
+#include "obs/trace.h"
 #include "scheduler/disagg_policies.h"
 
 namespace vidur {
@@ -40,9 +42,10 @@ MemoryPlan primary_memory_plan(const SimulationConfig& c) {
 /// are folded to per-REPLICA means with gpus_per_replica pinned at 1, so
 /// every num_replicas x gpus_per_replica x rate product equals the exact
 /// fleet total (no GPUs lost to integer rounding); for homogeneous pools
-/// this is arithmetically identical to the per-GPU form. MFU/MBU/energy
-/// are still fleet averages across mixed SKUs; exact per-pool GPU-hours
-/// and cost come from the scaling report.
+/// this is arithmetically identical to the per-GPU form. Fleet-level
+/// MFU/MBU/energy are still slot-weighted averages across mixed SKUs; the
+/// exact per-pool numbers come from MetricsCollector::set_pools (wired in
+/// setup_observability), GPU-hours and cost from the scaling report.
 ClusterResources cluster_resources(const SimulationConfig& c) {
   if (c.pools.empty()) {
     return ClusterResources{
@@ -231,6 +234,145 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
         static_cast<std::size_t>(req.decode_tokens));
     states_.push_back(std::move(state));
   }
+
+  setup_observability();
+}
+
+void Simulator::setup_observability() {
+  trace_rec_ = config_.obs.trace;
+  if (config_.obs.registry != nullptr) {
+    registry_ = config_.obs.registry;
+  } else {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  ctr_arrivals_ = registry_->counter("sim.requests_arrived");
+  ctr_completions_ = registry_->counter("sim.requests_completed");
+  ctr_batches_ = registry_->counter("sim.batches");
+  ctr_migrations_ = registry_->counter("sim.migrations");
+  ctr_reroutes_ = registry_->counter("sim.reroutes");
+
+  Counter* preemptions = registry_->counter("scheduler.preemptions");
+  Counter* admissions = registry_->counter("scheduler.admissions");
+  for (ReplicaId r = 0; r < num_slots_; ++r)
+    replicas_[static_cast<std::size_t>(r)].scheduler->set_obs(
+        r, trace_rec_, preemptions, admissions);
+  if (cluster_) cluster_->set_obs(trace_rec_, registry_);
+
+  // Exact per-pool attribution: each pool's batches accumulate against its
+  // own SKU rates. Pool deployments carry their layout; a homogeneous
+  // elastic fleet is the single-pool case (its scaling report has one pool
+  // entry). Plain static fleets have no pool breakout to fill.
+  if (pool_mode()) {
+    std::vector<PoolResources> resources;
+    for (const PoolSpec& pool : config_.pools) {
+      const SkuSpec sku = sku_by_name(pool.sku_name);
+      PoolResources p;
+      p.name = pool.name;
+      p.gpus_per_replica = pool.gpus_per_replica();
+      p.peak_flops_per_gpu = sku.peak_flops();
+      p.hbm_bytes_per_sec_per_gpu = sku.hbm_bytes_per_sec();
+      p.idle_watts_per_gpu = sku.idle_watts;
+      p.peak_watts_per_gpu = sku.peak_watts;
+      resources.push_back(std::move(p));
+    }
+    metrics_.set_pools(std::move(resources), pool_of_slot_);
+  } else if (cluster_) {
+    PoolResources p;
+    p.name = config_.node.sku.name;
+    p.gpus_per_replica = config_.parallel.gpus_per_replica();
+    p.peak_flops_per_gpu = config_.node.sku.peak_flops();
+    p.hbm_bytes_per_sec_per_gpu = config_.node.sku.hbm_bytes_per_sec();
+    p.idle_watts_per_gpu = config_.node.sku.idle_watts;
+    p.peak_watts_per_gpu = config_.node.sku.peak_watts;
+    std::vector<PoolResources> resources;
+    resources.push_back(std::move(p));
+    metrics_.set_pools(
+        std::move(resources),
+        std::vector<int>(static_cast<std::size_t>(num_slots_), 0));
+  }
+
+  if (config_.obs.rolling_window_s > 0) {
+    std::vector<std::string> names;
+    names.push_back("cluster");
+    TenantId max_id = -1;
+    for (const TenantInfo& t : config_.tenants)
+      max_id = std::max(max_id, t.id);
+    if (max_id >= 0) {
+      tenant_track_by_id_.assign(static_cast<std::size_t>(max_id) + 1, -1);
+      tenant_slo_by_id_.assign(static_cast<std::size_t>(max_id) + 1, nullptr);
+    }
+    for (const TenantInfo& t : config_.tenants) {
+      if (t.id < 0) continue;
+      tenant_track_by_id_[static_cast<std::size_t>(t.id)] =
+          static_cast<int>(names.size());
+      tenant_slo_by_id_[static_cast<std::size_t>(t.id)] = &t.slo;
+      names.push_back("tenant:" + t.name);
+    }
+    if (pool_mode()) {
+      pool_track_base_ = static_cast<int>(names.size());
+      for (const PoolSpec& pool : config_.pools)
+        names.push_back("pool:" + pool.name);
+    }
+    rolling_ = std::make_unique<RollingCollector>(config_.obs.rolling_window_s,
+                                                  std::move(names));
+  }
+}
+
+int Simulator::tenant_track(TenantId tenant) const {
+  if (tenant < 0 ||
+      static_cast<std::size_t>(tenant) >= tenant_track_by_id_.size())
+    return -1;
+  return tenant_track_by_id_[static_cast<std::size_t>(tenant)];
+}
+
+void Simulator::rolling_request_delta(const RequestState& request, int delta) {
+  if (!rolling_) return;
+  rolling_->on_queue_delta(0, events_.now(), delta);
+  const int track = tenant_track(request.record.tenant);
+  if (track >= 0) rolling_->on_queue_delta(track, events_.now(), delta);
+}
+
+void Simulator::rolling_pool_delta(ReplicaId replica_id, int delta) {
+  if (!rolling_ || pool_track_base_ < 0) return;
+  const int pool = pool_of_slot_[static_cast<std::size_t>(replica_id)];
+  rolling_->on_queue_delta(pool_track_base_ + pool, events_.now(), delta);
+}
+
+void Simulator::rolling_completions(
+    ReplicaId replica_id, const std::vector<RequestState*>& finished) {
+  if (!rolling_ || finished.empty()) return;
+  const Seconds now = events_.now();
+  for (const RequestState* r : finished) {
+    const RequestRecord& rec = r->record;
+    Seconds worst_tbt = -1.0;  // < 0: fewer than two decode tokens
+    for (std::size_t i = 1; i < rec.token_times.size(); ++i)
+      worst_tbt =
+          std::max(worst_tbt, rec.token_times[i] - rec.token_times[i - 1]);
+    const SloSpec* slo =
+        rec.tenant >= 0 &&
+                static_cast<std::size_t>(rec.tenant) < tenant_slo_by_id_.size()
+            ? tenant_slo_by_id_[static_cast<std::size_t>(rec.tenant)]
+            : nullptr;
+    int slo_state = -1;
+    if (slo != nullptr && slo->enabled()) {
+      bool met = true;
+      if (slo->ttft_target > 0 && rec.ttft() > slo->ttft_target) met = false;
+      if (slo->tbt_target > 0 && worst_tbt > slo->tbt_target) met = false;
+      slo_state = met ? 1 : 0;
+    }
+    rolling_->on_completion(0, now, rec.ttft(), worst_tbt, slo_state);
+    const int track = tenant_track(rec.tenant);
+    if (track >= 0)
+      rolling_->on_completion(track, now, rec.ttft(), worst_tbt, slo_state);
+    if (pool_track_base_ >= 0) {
+      const int pool = pool_of_slot_[static_cast<std::size_t>(replica_id)];
+      rolling_->on_completion(pool_track_base_ + pool, now, rec.ttft(),
+                              worst_tbt, slo_state);
+    }
+    rolling_request_delta(*r, -1);
+    rolling_pool_delta(replica_id, -1);
+  }
 }
 
 SimulationMetrics Simulator::run() {
@@ -271,8 +413,29 @@ SimulationMetrics Simulator::run() {
           : static_fleet_report(config_.parallel.num_replicas, end_time,
                                 config_.parallel.gpus_per_replica(),
                                 config_.node.sku.cost_per_hour);
+  // Final registry state: per-request latency histograms plus engine-level
+  // gauges, then the snapshot travels with the metrics.
+  LatencyHistogram* ttft_hist = registry_->histogram("request.ttft_s");
+  LatencyHistogram* tbt_hist = registry_->histogram("request.tbt_worst_s");
+  LatencyHistogram* e2e_hist = registry_->histogram("request.e2e_s");
+  for (const RequestState& state : states_) {
+    const RequestRecord& rec = state.record;
+    if (!rec.completed()) continue;
+    ttft_hist->record(rec.ttft());
+    e2e_hist->record(rec.e2e_latency());
+    Seconds worst_tbt = -1.0;
+    for (std::size_t i = 1; i < rec.token_times.size(); ++i)
+      worst_tbt =
+          std::max(worst_tbt, rec.token_times[i] - rec.token_times[i - 1]);
+    if (worst_tbt >= 0) tbt_hist->record(worst_tbt);
+  }
+  registry_->counter("sim.events")->value = events_.num_processed();
+  registry_->gauge("sim.makespan_s")->set(end_time);
+
   SimulationMetrics metrics = metrics_.finalize(end_time, report);
   metrics.num_sim_events = events_.num_processed();
+  metrics.registry = registry_->snapshot();
+  if (rolling_) metrics.rolling = rolling_->finalize(end_time);
   return metrics;
 }
 
@@ -295,7 +458,19 @@ void Simulator::dispatch(const SimEvent& event) {
   }
 }
 
-void Simulator::on_arrival(RequestState* request) { route_request(request); }
+void Simulator::on_arrival(RequestState* request) {
+  trace_emit(trace_rec_, TraceEventKind::kArrival, events_.now(), -1,
+       request->record.id, request->record.prefill_tokens,
+       request->record.decode_tokens);
+  ctr_arrivals_->inc();
+  if (rolling_) {
+    rolling_->on_arrival(0, events_.now());
+    const int track = tenant_track(request->record.tenant);
+    if (track >= 0) rolling_->on_arrival(track, events_.now());
+    rolling_request_delta(*request, +1);
+  }
+  route_request(request);
+}
 
 const std::vector<bool>& Simulator::arrival_mask() const {
   arrival_mask_scratch_.resize(static_cast<std::size_t>(num_slots_));
@@ -319,8 +494,11 @@ void Simulator::route_request(RequestState* request) {
                   : (cluster_ ? cluster_->routable_mask() : kEveryReplica);
   const ReplicaId target =
       global_.route(request, outstanding_counts(routable), mask);
+  trace_emit(trace_rec_, TraceEventKind::kRouted, events_.now(), target,
+       request->record.id);
   if (target >= 0) {
     request->replica = target;
+    rolling_pool_delta(target, +1);
     replicas_[static_cast<std::size_t>(target)].scheduler->enqueue(request);
     try_schedule(target);
   } else {
@@ -335,9 +513,13 @@ void Simulator::reroute_waiting(ReplicaId replica_id) {
   // these land on surviving (or parked for warming) capacity.
   for (RequestState* r : replica.scheduler->take_waiting()) {
     r->replica = -1;
+    ctr_reroutes_->inc();
+    rolling_pool_delta(replica_id, -1);
     if (pool_mode() && pool_of(replica_id).role == PoolRole::kDecode) {
       // A draining decode replica's queued work is already prefilled: it
       // moves to another decode replica, paying the KV transfer again.
+      trace_emit(trace_rec_, TraceEventKind::kMigrateStart, events_.now(),
+           replica_id, r->record.id, r->kv_context);
       SimEvent ev;
       ev.kind = EventKind::kMigrated;
       ev.request = r;
@@ -361,6 +543,9 @@ void Simulator::pull_deferred(ReplicaId replica_id) {
   if (replica.scheduler->num_waiting() > 0) return;
   for (RequestState* r : global_.pull(replica_id, 1)) {
     r->replica = replica_id;
+    trace_emit(trace_rec_, TraceEventKind::kRouted, events_.now(), replica_id,
+         r->record.id);
+    rolling_pool_delta(replica_id, +1);
     replica.scheduler->enqueue(r);
   }
 }
@@ -391,6 +576,11 @@ void Simulator::try_schedule(ReplicaId replica_id) {
     record.flops = batch_flops(config_.model, record.agg);
     record.kv_utilization = replica.scheduler->blocks().utilization();
     record.live = true;
+    if (trace_rec_ != nullptr) {
+      record.trace_seq = next_batch_seq_++;
+      trace_emit(trace_rec_, TraceEventKind::kBatchStart, events_.now(), replica_id,
+           record.trace_seq, record.spec.size(), record.agg.total_q);
+    }
 
     ++replica.batches_in_flight;
     if (replica.stages[0].submit(handle)) start_stage(replica_id, 0, handle);
@@ -479,9 +669,17 @@ void Simulator::finish_batch(ReplicaId replica_id,
       batch.agg);
   record.kv_utilization = batch.kv_utilization;
   metrics_.record_batch(record);
+  ctr_batches_->inc();
+  if (batch.trace_seq >= 0) {
+    trace_emit(trace_rec_, TraceEventKind::kBatchEnd, events_.now(), replica_id,
+         batch.trace_seq, batch.spec.size());
+    batch.trace_seq = -1;
+  }
 
   const auto finished = replica.scheduler->on_batch_end(batch.spec,
                                                         events_.now());
+  ctr_completions_->inc(finished.size());
+  rolling_completions(replica_id, finished);
   remaining_requests_ -= finished.size();
   last_batch_end_ = events_.now();
   if (is_prefill_replica(replica_id)) migrate_prefilled(replica_id, batch.spec);
@@ -508,6 +706,9 @@ void Simulator::migrate_prefilled(ReplicaId replica_id,
         r->finished())
       continue;
     scheduler.extract(r);
+    trace_emit(trace_rec_, TraceEventKind::kMigrateStart, events_.now(), replica_id,
+         r->record.id, r->kv_context);
+    rolling_pool_delta(replica_id, -1);
     SimEvent ev;
     ev.kind = EventKind::kMigrated;
     ev.request = r;
@@ -550,6 +751,10 @@ void Simulator::on_migrated(RequestState* request) {
     }
   }
   request->replica = best;
+  trace_emit(trace_rec_, TraceEventKind::kMigrateEnd, events_.now(), best,
+       request->record.id);
+  ctr_migrations_->inc();
+  rolling_pool_delta(best, +1);
   replicas_[static_cast<std::size_t>(best)].scheduler->enqueue(request);
   try_schedule(best);
 }

@@ -25,6 +25,26 @@
 
 namespace vidur {
 
+class TraceRecorder;
+class RollingCollector;
+
+/// Observability attachments of one run (src/obs/). All optional: with the
+/// defaults the simulator still maintains its internal metrics registry
+/// (snapshotted into SimulationMetrics) but records no trace and no rolling
+/// windows. Pointers are borrowed — the caller keeps them alive across
+/// run().
+struct SimObs {
+  /// Lifecycle/batch/cluster event recorder; nullptr disables tracing
+  /// (the hot path then pays a single branch per would-be record).
+  TraceRecorder* trace = nullptr;
+  /// External registry to thread through instead of the simulator's own
+  /// (lets several components share one namespace).
+  MetricsRegistry* registry = nullptr;
+  /// Rolling windowed metrics (per-tenant/per-pool TTFT/TBT/SLO/queue
+  /// depth): window length in simulated seconds; 0 disables.
+  Seconds rolling_window_s = 0.0;
+};
+
 struct SimulationConfig {
   ModelSpec model;
   NodeSpec node;
@@ -63,9 +83,12 @@ struct SimulationConfig {
   /// num_prefill_replicas` and `autoscale` above are ignored and must stay
   /// disabled (disagg transfer_* fields still parameterize KV hand-off).
   /// Fleet-average MFU/MBU/energy use slot-weighted SKU aggregates — exact
-  /// for homogeneous pools, an approximation for mixed ones (per-pool
-  /// GPU-hours and cost in the scaling report stay exact).
+  /// for homogeneous pools, an approximation for mixed ones; the per-pool
+  /// breakout in the scaling report carries exact attribution from each
+  /// pool's own batch records (and GPU-hours/cost are always exact).
   std::vector<PoolSpec> pools;
+  /// Observability: trace recorder, shared registry, rolling windows.
+  SimObs obs;
 };
 
 /// Creates the per-replica timing backend (a predictor shared across
@@ -97,6 +120,7 @@ class Simulator {
     Seconds start_time = 0.0;
     FlopCount flops = 0.0;
     double kv_utilization = 0.0;
+    std::int64_t trace_seq = -1;  ///< batch sequence number when tracing
     /// Slot-liveness guard: a stale/duplicated handle reaching the stage
     /// machinery fails fast instead of silently reading a recycled slot.
     bool live = false;
@@ -164,6 +188,20 @@ class Simulator {
   void on_migrated(RequestState* request);
   Seconds kv_transfer_time(const RequestState& request) const;
 
+  // ---- observability (src/obs/) ----
+  /// Wire the registry/trace/rolling attachments; called once from the
+  /// constructor after replicas and cluster manager exist.
+  void setup_observability();
+  /// Rolling track of a tenant, or -1 when rolling is off / unmapped.
+  int tenant_track(TenantId tenant) const;
+  /// In-system depth change of the cluster + tenant tracks.
+  void rolling_request_delta(const RequestState& request, int delta);
+  /// Outstanding-work depth change of a replica's pool track.
+  void rolling_pool_delta(ReplicaId replica_id, int delta);
+  /// Completion accounting across cluster, tenant and pool tracks.
+  void rolling_completions(ReplicaId replica_id,
+                           const std::vector<RequestState*>& finished);
+
   SimulationConfig config_;
   Trace trace_;
   int num_slots_ = 0;  ///< total replica slots (all pools, or num_replicas)
@@ -187,6 +225,23 @@ class Simulator {
   std::size_t remaining_requests_ = 0;       ///< not yet completed
   Seconds last_batch_end_ = 0.0;             ///< time of the last batch end
   bool ran_ = false;
+
+  // ---- observability state ----
+  TraceRecorder* trace_rec_ = nullptr;  ///< nullptr = tracing off
+  MetricsRegistry* registry_ = nullptr;  ///< external (obs) or owned
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  std::unique_ptr<RollingCollector> rolling_;  ///< nullptr = rolling off
+  /// Counter handles resolved once; hot-path increments are pointer adds.
+  Counter* ctr_arrivals_ = nullptr;
+  Counter* ctr_completions_ = nullptr;
+  Counter* ctr_batches_ = nullptr;
+  Counter* ctr_migrations_ = nullptr;
+  Counter* ctr_reroutes_ = nullptr;
+  std::int64_t next_batch_seq_ = 0;
+  /// Rolling-track layout: 0 = cluster, then tenants, then pools.
+  std::vector<int> tenant_track_by_id_;  ///< tenant id -> track (-1: none)
+  std::vector<const SloSpec*> tenant_slo_by_id_;  ///< nullptr: no SLO
+  int pool_track_base_ = -1;  ///< first pool track, -1 when absent
 };
 
 }  // namespace vidur

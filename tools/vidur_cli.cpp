@@ -4,8 +4,10 @@
 // trace and scenario in the registries is reachable without writing or
 // recompiling a bespoke harness:
 //
-//   vidur run spec.json [--out result.json] [--quiet]
+//   vidur run spec.json [--out result.json] [--trace trace.json] [--quiet]
 //   vidur validate spec.json
+//   vidur compare a.json b.json [--tol <rel>]
+//   vidur trace-check trace.json
 //   vidur list scenarios|models|skus|traces|schedulers|modes
 //   vidur init [simulate|reference|capacity_search|elastic_plan]
 //
@@ -18,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "api/compare.h"
 #include "api/run.h"
 #include "common/check.h"
+#include "obs/trace.h"
 #include "hardware/sku.h"
 #include "model/model_spec.h"
 #include "scenario/registry.h"
@@ -32,22 +36,29 @@ int usage(std::ostream& os, int exit_code) {
   os << "vidur — declarative experiment runner\n"
         "\n"
         "usage:\n"
-        "  vidur run <spec.json> [--out <file>] [--quiet]\n"
+        "  vidur run <spec.json> [--out <file>] [--trace <file>] [--quiet]\n"
         "  vidur validate <spec.json>\n"
+        "  vidur compare <a.json> <b.json> [--tol <rel>]\n"
+        "  vidur trace-check <trace.json>\n"
         "  vidur list scenarios|models|skus|traces|schedulers|modes\n"
         "  vidur init [simulate|reference|capacity_search|elastic_plan]\n"
         "\n"
-        "run       execute the spec (expanding sweep axes) and write the\n"
-        "          result JSON to --out or EXPERIMENT_<name>.json\n"
-        "validate  parse + validate the spec, reporting actionable errors\n"
-        "list      print the registered names usable in spec files\n"
-        "init      print a template spec for the given mode to stdout\n";
+        "run         execute the spec (expanding sweep axes) and write the\n"
+        "            result JSON to --out or EXPERIMENT_<name>.json;\n"
+        "            --trace records a Chrome/Perfetto trace of the run\n"
+        "            (simulate/reference, single point) to the given file\n"
+        "validate    parse + validate the spec, reporting actionable errors\n"
+        "compare     diff the numeric leaves of two result JSONs; exits 1\n"
+        "            when any relative delta exceeds --tol (default 2%)\n"
+        "trace-check parse a trace file and validate its spans nest\n"
+        "list        print the registered names usable in spec files\n"
+        "init        print a template spec for the given mode to stdout\n";
   return exit_code;
 }
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  VIDUR_CHECK_MSG(in.good(), "cannot open spec file '" << path << "'");
+  VIDUR_CHECK_MSG(in.good(), "cannot open file '" << path << "'");
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
@@ -64,12 +75,15 @@ std::string default_output_path(const std::string& name) {
 }
 
 int cmd_run(const std::vector<std::string>& args) {
-  std::string spec_path, out_path;
+  std::string spec_path, out_path, trace_path;
   bool quiet = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--out") {
       VIDUR_CHECK_MSG(i + 1 < args.size(), "--out needs a file argument");
       out_path = args[++i];
+    } else if (args[i] == "--trace") {
+      VIDUR_CHECK_MSG(i + 1 < args.size(), "--trace needs a file argument");
+      trace_path = args[++i];
     } else if (args[i] == "--quiet") {
       quiet = true;
     } else if (spec_path.empty()) {
@@ -80,8 +94,15 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   VIDUR_CHECK_MSG(!spec_path.empty(), "run needs a spec file argument");
 
-  const ExperimentSpec spec =
-      ExperimentSpec::from_json_string(read_file(spec_path));
+  ExperimentSpec spec = ExperimentSpec::from_json_string(read_file(spec_path));
+  if (!trace_path.empty()) {
+    VIDUR_CHECK_MSG(spec.mode == ExperimentMode::kSimulate ||
+                        spec.mode == ExperimentMode::kReference,
+                    "--trace requires a simulate or reference spec");
+    VIDUR_CHECK_MSG(spec.sweep.empty(),
+                    "--trace requires a single-point spec (no sweep axes)");
+    spec.obs.trace = true;
+  }
   spec.validate();
   if (out_path.empty()) out_path = default_output_path(spec.name);
 
@@ -96,6 +117,16 @@ int cmd_run(const std::vector<std::string>& args) {
     const ExperimentResult result = run_experiment(spec);
     if (!quiet) std::cout << "\n" << result.to_string();
     write_experiment_json(result, out_path);
+    if (!trace_path.empty()) {
+      VIDUR_CHECK_MSG(result.has_trace(),
+                      "run produced no trace despite --trace");
+      std::ofstream trace_out(trace_path);
+      VIDUR_CHECK_MSG(trace_out.good(), "cannot write " << trace_path);
+      trace_out << result.trace.dump();
+      trace_out.close();
+      VIDUR_CHECK_MSG(trace_out.good(), "failed writing " << trace_path);
+      std::cout << "[trace json] " << trace_path << "\n";
+    }
   } else {
     const std::vector<ExperimentResult> results = run_sweep(spec);
     for (const ExperimentResult& r : results) {
@@ -121,6 +152,42 @@ int cmd_validate(const std::vector<std::string>& args) {
             << " on " << spec.deployment.sku_name << ", "
             << spec.sweep.num_points() << " point"
             << (spec.sweep.num_points() == 1 ? "" : "s") << ")\n";
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  std::string path_a, path_b;
+  double tolerance = 0.02;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tol") {
+      VIDUR_CHECK_MSG(i + 1 < args.size(),
+                      "--tol needs a relative-delta argument (e.g. 0.02)");
+      tolerance = std::stod(args[++i]);
+      VIDUR_CHECK_MSG(tolerance >= 0, "--tol must be non-negative");
+    } else if (path_a.empty()) {
+      path_a = args[i];
+    } else if (path_b.empty()) {
+      path_b = args[i];
+    } else {
+      throw Error("unexpected argument '" + args[i] + "'");
+    }
+  }
+  VIDUR_CHECK_MSG(!path_a.empty() && !path_b.empty(),
+                  "compare needs two result-file arguments");
+  const CompareReport report = compare_json_files(path_a, path_b, tolerance);
+  std::cout << path_a << " vs " << path_b << ": " << report.to_string();
+  return report.within_tolerance() ? 0 : 1;
+}
+
+int cmd_trace_check(const std::vector<std::string>& args) {
+  VIDUR_CHECK_MSG(args.size() == 1,
+                  "trace-check needs exactly one trace file");
+  const TraceValidation v =
+      validate_chrome_trace(JsonValue::parse(read_file(args[0])));
+  std::cout << "OK: " << args[0] << " — " << v.num_events << " events ("
+            << v.num_complete_spans << " spans, " << v.num_instants
+            << " instants, " << v.num_counter_samples
+            << " counter samples), spans nest\n";
   return 0;
 }
 
@@ -192,6 +259,8 @@ int main(int argc, char** argv) {
   try {
     if (command == "run") return cmd_run(args);
     if (command == "validate") return cmd_validate(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "trace-check") return cmd_trace_check(args);
     if (command == "list") return cmd_list(args);
     if (command == "init") return cmd_init(args);
     if (command == "--help" || command == "-h" || command == "help")
