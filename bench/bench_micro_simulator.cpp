@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "obs/analysis.h"
 #include "obs/trace.h"
 #include "search/capacity.h"
 #include "workload/trace_generator.h"
@@ -129,6 +130,54 @@ bench::Json traced_chat_case(const std::string& model, SchedulerKind kind,
             << static_cast<long>(static_cast<double>(n) * reps / elapsed)
             << " requests/s, " << trace_records / reps
             << " trace records/sim\n";
+  return j;
+}
+
+/// Post-run analytics cost (`vidur analyze` / obs.analyze): the engine's
+/// wall time per record stream and per record. This is off the simulation
+/// hot path by construction — the case exists to keep the post-processing
+/// overhead honest as the analyzer grows.
+bench::Json analyze_trace_case(const std::string& model, int n) {
+  VidurSession& session = shared_session(model);
+  const DeploymentConfig config =
+      config_for(model, SchedulerKind::kSarathi);
+  const Trace trace =
+      generate_trace(trace_by_name("chat1m"),
+                     ArrivalSpec{ArrivalKind::kPoisson, 1.0, 0}, n, 1);
+
+  TraceRecorder recorder;
+  SimObs obs;
+  obs.trace = &recorder;
+  session.simulate(config, trace, {}, obs);
+  const std::vector<TraceRecord> records = recorder.records();
+
+  AnalysisOptions options;
+  options.ttft_target = 2.0;
+  options.tbt_target = 0.2;
+  AnalysisReport report = analyze_trace(records, options);  // warm, untimed
+
+  const int reps = bench::scaled(40, 3);
+  const double start = now_seconds();
+  for (int i = 0; i < reps; ++i) report = analyze_trace(records, options);
+  const double elapsed = now_seconds() - start;
+  const double render_start = now_seconds();
+  const std::string rendered = analysis_json(report).dump();
+  const double render_ms = (now_seconds() - render_start) * 1e3;
+
+  bench::Json j = bench::Json::object();
+  j.set("num_records", static_cast<std::int64_t>(records.size()));
+  j.set("reps", static_cast<std::int64_t>(reps));
+  j.set("analyze_wall_ms", elapsed / reps * 1e3);
+  j.set("records_per_sec",
+        static_cast<double>(records.size()) * reps / elapsed);
+  j.set("json_render_ms", render_ms);
+  j.set("json_bytes", static_cast<std::int64_t>(rendered.size()));
+  std::cout << "BM_AnalyzeTrace/" << model << ": "
+            << elapsed / reps * 1e3 << " ms/report over " << records.size()
+            << " records ("
+            << static_cast<long>(static_cast<double>(records.size()) * reps /
+                                 elapsed)
+            << " records/s)\n";
   return j;
 }
 
@@ -259,6 +308,7 @@ int main() {
   if (bench::model_enabled("llama2-7b")) {
     results.set("BM_SimulateChatTraced",
                 traced_chat_case("llama2-7b", SchedulerKind::kVllm, n));
+    results.set("BM_AnalyzeTrace", analyze_trace_case("llama2-7b", n));
     results.set("BM_EstimatorPredict", estimator_case());
     results.set("BM_CapacitySearch", capacity_search_case());
   }

@@ -43,8 +43,22 @@ struct Walker {
   double tolerance;
   std::vector<CompareEntry>& out;
 
+  /// A subtree present on one side only: recurse to the leaves so every
+  /// missing value is an explicit row (a whole missing section — e.g. an
+  /// "analysis" block — must not collapse into one opaque summary line).
+  /// Empty containers report themselves, or they would vanish silently.
   void only(const std::string& path, const JsonValue& v,
             CompareEntry::Kind kind) {
+    if (v.is_object() && v.size() > 0) {
+      for (const auto& [key, child] : v.members())
+        only(join_path(path, key), child, kind);
+      return;
+    }
+    if (v.is_array() && v.size() > 0) {
+      for (std::size_t i = 0; i < v.items().size(); ++i)
+        only(index_path(path, i), v.items()[i], kind);
+      return;
+    }
     CompareEntry e;
     e.path = path;
     e.kind = kind;

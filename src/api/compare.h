@@ -2,7 +2,10 @@
 // experiment/bench JSON documents leaf by leaf and report every difference
 // with its relative delta, highlighting the ones beyond a tolerance. Built
 // for eyeballing regressions between two runs of the same spec — a renamed
-// or missing key is reported as structural, numeric drift as a delta row.
+// or missing key is reported as structural (recursing into a missing
+// subtree so every absent leaf is its own row), numeric drift as a delta
+// row. Structural rows always exceed tolerance, so a document that lost a
+// whole section (e.g. "analysis") fails the comparison explicitly.
 #pragma once
 
 #include <string>

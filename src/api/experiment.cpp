@@ -712,6 +712,7 @@ JsonValue obs_json(const ObsSpec& o) {
                      o.trace_capacity);
   set_unless_default(j, "rolling_window_s", o.rolling_window_s,
                      d.rolling_window_s, o.rolling_window_s);
+  set_unless_default(j, "analyze", o.analyze, d.analyze, o.analyze);
   return j;
 }
 
@@ -1277,8 +1278,12 @@ ObsSpec obs_from_json(const JsonValue& j) {
              [&](const JsonValue& v) {
                o.trace_capacity = to_int(v, "trace_capacity");
              })
-      .field("rolling_window_s", [&](const JsonValue& v) {
-        o.rolling_window_s = to_double(v, "rolling_window_s");
+      .field("rolling_window_s",
+             [&](const JsonValue& v) {
+               o.rolling_window_s = to_double(v, "rolling_window_s");
+             })
+      .field("analyze", [&](const JsonValue& v) {
+        o.analyze = to_bool(v, "analyze");
       });
   r.finish();
   return o;

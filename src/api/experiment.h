@@ -82,6 +82,10 @@ struct ObsSpec {
   /// Rolling windowed metrics (per-tenant/per-pool TTFT/TBT/SLO/queue
   /// depth): window length in simulated seconds; 0 disables.
   double rolling_window_s = 0.0;
+  /// Run the trace analytics engine (src/obs/analysis.h) after the
+  /// simulation and attach its report to the result under "analysis".
+  /// Implies trace recording for the duration of the run.
+  bool analyze = false;
 
   bool operator==(const ObsSpec&) const = default;
 };

@@ -220,8 +220,11 @@ JsonValue ExperimentResult::to_json() const {
   }
   switch (spec.mode) {
     case ExperimentMode::kSimulate:
-    case ExperimentMode::kReference:
-      return metrics_to_json(metrics);
+    case ExperimentMode::kReference: {
+      JsonValue j = metrics_to_json(metrics);
+      if (has_analysis()) j.set("analysis", analysis);
+      return j;
+    }
     case ExperimentMode::kCapacitySearch: {
       JsonValue j = JsonValue::object();
       j.set("num_configs", search.evaluations.size());
@@ -270,6 +273,15 @@ std::string ExperimentResult::to_string() const {
       os << "deployment: " << spec.deployment.to_string() << " ($"
          << spec.deployment.cost_per_hour() << "/hr)\n"
          << metrics.to_string();
+      if (has_analysis()) {
+        os << "analysis: " << analysis.at("requests").at("completed").as_int()
+           << " request waterfalls, "
+           << analysis.at("slo").at("violations").size()
+           << " SLO violations, conservation "
+           << (analysis.at("conservation").at("ok").as_bool() ? "OK"
+                                                              : "VIOLATED")
+           << "\n";
+      }
       break;
     case ExperimentMode::kCapacitySearch: {
       os << "evaluated " << search.evaluations.size() << " configurations\n";

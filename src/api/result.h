@@ -26,6 +26,10 @@ struct ExperimentResult {
   /// (obs.trace, simulate/reference modes); JSON null otherwise. Not part
   /// of to_json() — the CLI writes it to its own file (`--trace out.json`).
   JsonValue trace;
+  /// Trace analytics report (obs.analyze, simulate/reference modes):
+  /// latency waterfalls, SLO blame, replica audits, queueing decomposition
+  /// (src/obs/analysis.h). Part of to_json() under "analysis".
+  JsonValue analysis;
   /// Non-empty when this sweep point failed (e.g. the model does not fit
   /// the deployment); the payload sections are then default-constructed.
   /// run_experiment() throws instead — only run_sweep() records errors.
@@ -33,6 +37,7 @@ struct ExperimentResult {
 
   bool failed() const { return !error.empty(); }
   bool has_trace() const { return !trace.is_null(); }
+  bool has_analysis() const { return !analysis.is_null(); }
 
   /// Human-readable report (the examples print this).
   std::string to_string() const;

@@ -6,8 +6,10 @@
 #include <thread>
 #include <utility>
 
+#include "cluster/pool.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/analysis.h"
 #include "obs/trace.h"
 #include "scenario/registry.h"
 #include "search/elastic_plan.h"
@@ -33,17 +35,46 @@ Trace build_trace(const ExperimentSpec& spec,
                         spec.seed);
 }
 
+/// Context the analysis engine cannot read off the record stream: SLO
+/// targets (global + per-tenant) and the pool name of every replica slot.
+/// Also embedded under "context" in exported trace documents so
+/// `vidur analyze trace.json` reproduces the in-process report.
+AnalysisOptions make_analysis_options(const ExperimentSpec& spec,
+                                      const std::vector<TenantInfo>& tenants) {
+  AnalysisOptions options;
+  options.ttft_target = spec.slo.ttft_target;
+  options.tbt_target = spec.slo.tbt_target;
+  for (const TenantInfo& t : tenants) {
+    TenantSloOverride ov;
+    ov.tenant = static_cast<int>(t.id);
+    ov.name = t.name;
+    ov.ttft_target = t.slo.ttft_target;
+    ov.tbt_target = t.slo.tbt_target;
+    options.tenants.push_back(std::move(ov));
+  }
+  if (!spec.deployment.pools.empty()) {
+    const std::vector<int> layout = pool_slot_layout(spec.deployment.pools);
+    options.replica_pools.reserve(layout.size());
+    for (const int pool : layout)
+      options.replica_pools.push_back(
+          spec.deployment.pools[static_cast<std::size_t>(pool)].name);
+  }
+  return options;
+}
+
 ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
   ExperimentResult result;
   result.spec = spec;
   // Observability attachments of the simulate/reference modes: the recorder
   // outlives the run (sim borrows it), then its records become the result's
-  // Chrome trace document.
+  // Chrome trace document and/or the analytics report (obs.analyze implies
+  // recording even without a trace export).
   std::unique_ptr<TraceRecorder> recorder;
   SimObs obs;
+  std::vector<TenantInfo> tenants;
   if (spec.mode == ExperimentMode::kSimulate ||
       spec.mode == ExperimentMode::kReference) {
-    if (spec.obs.trace) {
+    if (spec.obs.trace || spec.obs.analyze) {
       recorder = std::make_unique<TraceRecorder>(
           static_cast<std::size_t>(spec.obs.trace_capacity));
       obs.trace = recorder.get();
@@ -52,13 +83,11 @@ ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
   }
   switch (spec.mode) {
     case ExperimentMode::kSimulate: {
-      std::vector<TenantInfo> tenants;
       const Trace trace = build_trace(spec, &tenants);
       result.metrics = session.simulate(spec.deployment, trace, tenants, obs);
       break;
     }
     case ExperimentMode::kReference: {
-      std::vector<TenantInfo> tenants;
       const Trace trace = build_trace(spec, &tenants);
       result.metrics =
           session.simulate_reference(spec.deployment, trace, spec.seed,
@@ -103,7 +132,16 @@ ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
       break;
     }
   }
-  if (recorder != nullptr) result.trace = chrome_trace_json(recorder->records());
+  if (recorder != nullptr) {
+    const std::vector<TraceRecord> records = recorder->records();
+    const AnalysisOptions options = make_analysis_options(spec, tenants);
+    if (spec.obs.analyze)
+      result.analysis = analysis_json(analyze_trace(records, options));
+    if (spec.obs.trace) {
+      result.trace = chrome_trace_json(records);
+      result.trace.set("context", analysis_options_json(options));
+    }
+  }
   return result;
 }
 

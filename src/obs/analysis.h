@@ -1,0 +1,238 @@
+// Trace analytics engine (observability subsystem).
+//
+// Consumes the raw TraceRecord stream of a run — in memory right after the
+// simulation, or re-loaded from an exported trace document's "vidur"
+// sidecar — and produces an AnalysisReport:
+//
+//   * per-request latency waterfall: the end-to-end latency of every
+//     completed request decomposed exactly into scheduling delay, queue
+//     wait, prefill compute, preemption stall, KV-migration stall and
+//     decode time. The decomposition is a chronological walk that assigns
+//     every inter-event segment to exactly one phase, so the phases sum to
+//     the end-to-end latency up to floating-point addition error (the
+//     conservation invariant, checked against kConservationTolerance);
+//   * SLO-violation blame: for every TTFT/TBT-violating request, the
+//     dominant phase (largest contributor) and the marginal phase (the
+//     smallest phase whose removal would have met the target), aggregated
+//     into ranked bottleneck tables per tenant, pool and replica;
+//   * replica timeline audit: per-replica busy/idle accounting from the
+//     batch records, with the longest idle gaps classified by cause
+//     (warming, draining, admission-limited, no routable work);
+//   * queueing decomposition: arrival-to-first-schedule wait percentiles
+//     split by cause (parked centrally, priority inversion, pool role
+//     mismatch, replica saturation).
+//
+// The engine is deterministic: the same record stream and options produce a
+// bit-identical report (and JSON rendering) on every run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/trace.h"
+
+namespace vidur {
+
+/// Phases of the per-request latency waterfall. Every instant of a
+/// completed request's lifetime [arrival, completion] belongs to exactly
+/// one phase.
+enum class LatencyPhase : int {
+  kSchedulingDelay = 0,  ///< arrival until the request entered a replica
+                         ///< waiting queue (routing / parked centrally)
+  kQueueWait,            ///< in a replica waiting queue (before the first
+                         ///< batch, or after a migration landed)
+  kPrefillCompute,       ///< executing prefill (incl. re-prefill progress
+                         ///< after a preemption restart)
+  kPreemptionStall,      ///< preempted-and-restarted, waiting to resume
+  kKvMigration,          ///< KV-cache hand-off between pools in flight
+  kDecode,               ///< decode iterations
+};
+inline constexpr int kNumLatencyPhases = 6;
+const char* latency_phase_name(LatencyPhase phase);
+
+/// Seconds per phase; indexed by LatencyPhase.
+using PhaseBreakdown = std::array<double, kNumLatencyPhases>;
+
+/// |sum(phases) - e2e| must stay below this for every request (the
+/// waterfall is a partition of the lifetime, so any residue is FP noise).
+inline constexpr double kConservationTolerance = 1e-9;
+
+/// Exact latency decomposition of one completed request.
+struct RequestWaterfall {
+  RequestId id = -1;
+  int tenant = -1;             ///< -1: untagged
+  ReplicaId first_replica = -1;  ///< where first scheduled
+  ReplicaId last_replica = -1;   ///< where completed
+  Seconds arrival = 0.0;
+  Seconds completed = 0.0;
+  Seconds e2e = 0.0;
+  Seconds ttft = -1.0;  ///< first prefill completion - arrival
+  TokenCount prefill_tokens = 0;
+  TokenCount decode_tokens = 0;
+  int num_restarts = 0;
+  bool migrated = false;
+  PhaseBreakdown phase{};       ///< sums to e2e (conservation invariant)
+  PhaseBreakdown ttft_phase{};  ///< segments before the first prefill
+                                ///< completion; sums to ttft
+  PhaseBreakdown decode_phase{};  ///< segments after it; sums to e2e - ttft
+  double conservation_error = 0.0;  ///< |sum(phase) - e2e|
+};
+
+/// Which SLO a violation record is about.
+enum class SloMetric : int { kTtft = 0, kTbt };
+const char* slo_metric_name(SloMetric metric);
+
+/// One request exceeding one SLO target.
+struct SloViolation {
+  SloMetric metric = SloMetric::kTtft;
+  RequestId id = -1;
+  int tenant = -1;
+  ReplicaId replica = -1;  ///< first replica for TTFT, last for TBT
+  double observed = 0.0;   ///< the violating value (TTFT s or mean TBT s)
+  double target = 0.0;
+  double excess = 0.0;     ///< observed - target
+  LatencyPhase dominant = LatencyPhase::kSchedulingDelay;
+  /// Smallest phase whose complete removal would have met the target;
+  /// meaningful only when has_marginal.
+  LatencyPhase marginal = LatencyPhase::kSchedulingDelay;
+  bool has_marginal = false;
+};
+
+/// Violations aggregated over one grouping key (a tenant, pool or replica),
+/// ranked by total excess seconds.
+struct BlameBucket {
+  std::string key;
+  int violations = 0;
+  double excess_seconds = 0.0;  ///< summed (observed - target)
+  PhaseBreakdown blame{};       ///< excess attributed to the dominant phase
+  LatencyPhase top_phase = LatencyPhase::kSchedulingDelay;
+};
+
+/// Why a replica sat idle during a gap between batches.
+enum class IdleGapCause : int {
+  kNoRoutableWork = 0,  ///< nothing waiting anywhere for this replica
+  kAdmissionLimited,    ///< work was waiting here but the scheduler did
+                        ///< not (or could not) admit it into a batch
+  kWarming,             ///< replica was provisioning or warming up
+  kDraining,            ///< replica was draining toward decommission
+};
+const char* idle_gap_cause_name(IdleGapCause cause);
+
+struct IdleGap {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  IdleGapCause cause = IdleGapCause::kNoRoutableWork;
+  Seconds duration() const { return end - start; }
+};
+
+/// Busy/idle audit of one replica's timeline over the trace span.
+struct ReplicaAudit {
+  ReplicaId replica = -1;
+  std::string pool;       ///< from AnalysisOptions; empty when unknown
+  Seconds span = 0.0;     ///< audited wall-span (whole trace window)
+  Seconds busy = 0.0;     ///< union of batch execution intervals
+  Seconds idle = 0.0;     ///< span - busy - off
+  Seconds off = 0.0;      ///< decommissioned / provisioning time
+  Seconds warming = 0.0;  ///< idle time spent warming
+  Seconds draining = 0.0; ///< idle time spent draining
+  int num_batches = 0;
+  int num_gaps = 0;                ///< all idle gaps, not just retained
+  std::vector<IdleGap> top_gaps;   ///< longest first, at most top_k
+};
+
+/// Why a request waited between arrival and its first batch.
+enum class QueueWaitCause : int {
+  kReplicaSaturation = 0,  ///< its replica was busy executing other work
+  kPriorityInversion,      ///< a later-arriving request was first-scheduled
+                           ///< on the same replica during the wait
+  kPoolMismatch,           ///< an idle replica existed in a different pool
+                           ///< while this request's pool was saturated
+  kParkedCentral,          ///< routed nowhere at first (parked centrally)
+};
+const char* queue_wait_cause_name(QueueWaitCause cause);
+
+struct QueueCauseStats {
+  QueueWaitCause cause = QueueWaitCause::kReplicaSaturation;
+  Summary wait;  ///< arrival-to-first-schedule seconds
+};
+
+/// Per-tenant SLO override (falls back to the global targets when absent).
+struct TenantSloOverride {
+  int tenant = -1;
+  std::string name;             ///< display name; "tenant-N" when empty
+  Seconds ttft_target = -1.0;   ///< <= 0: inherit global
+  Seconds tbt_target = -1.0;
+};
+
+/// Context the record stream itself cannot carry: SLO targets, the
+/// pool-name-per-replica-slot mapping, display names. Embedded under
+/// "context" in exported trace documents so `vidur analyze trace.json`
+/// reproduces the in-process report exactly.
+struct AnalysisOptions {
+  Seconds ttft_target = -1.0;  ///< <= 0: TTFT SLO disabled
+  Seconds tbt_target = -1.0;   ///< <= 0: TBT SLO disabled
+  std::vector<TenantSloOverride> tenants;
+  std::vector<std::string> replica_pools;  ///< pool name by replica slot
+  int top_k = 5;  ///< rows retained in ranked tables / gap lists
+};
+
+JsonValue analysis_options_json(const AnalysisOptions& options);
+AnalysisOptions analysis_options_from_json(const JsonValue& doc);
+
+/// The full analytics report. waterfalls / violations are complete (every
+/// analyzed request); only gap lists and rendered tables honor top_k.
+struct AnalysisReport {
+  std::size_t num_records = 0;
+  int num_completed = 0;   ///< requests with both arrival and completion
+  int num_incomplete = 0;  ///< arrived but never completed (still running
+                           ///< at sim end, or completion not traced)
+  int num_truncated = 0;   ///< lifecycle visible but arrival lost to the
+                           ///< ring buffer — excluded from the waterfall
+  double max_conservation_error = 0.0;
+  bool conservation_ok = true;  ///< every request within tolerance
+
+  std::vector<RequestWaterfall> waterfalls;  ///< ascending request id
+  PhaseBreakdown phase_totals{};             ///< summed over waterfalls
+  std::array<Summary, kNumLatencyPhases> phase_summary{};
+  Summary e2e;
+  Summary ttft;
+
+  std::vector<SloViolation> violations;  ///< TTFT first, then TBT, by id
+  std::vector<BlameBucket> blame_by_tenant;   ///< ranked by excess
+  std::vector<BlameBucket> blame_by_pool;
+  std::vector<BlameBucket> blame_by_replica;
+
+  std::vector<ReplicaAudit> replicas;  ///< ascending replica id
+
+  std::vector<QueueCauseStats> queue_causes;  ///< enum order, empty
+                                              ///< causes omitted
+
+  AnalysisOptions options;  ///< the options the report was built with
+};
+
+/// Run the analytics engine over a record stream (any order-preserving
+/// export of a TraceRecorder; must be time-ordered, which emission order
+/// guarantees). Deterministic: identical inputs give identical reports.
+AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
+                             const AnalysisOptions& options = {});
+
+/// Structured rendering (the "analysis" section of result JSON and the
+/// output of `vidur analyze --json`).
+JsonValue analysis_json(const AnalysisReport& report);
+
+/// Inverse of analysis_json: reload a report from its JSON rendering
+/// (`vidur analyze` on a result document that already embeds "analysis").
+/// analysis_json(analysis_report_from_json(j)) == j for any j produced by
+/// analysis_json. Throws vidur::Error on malformed documents or a schema
+/// mismatch.
+AnalysisReport analysis_report_from_json(const JsonValue& doc);
+
+/// Human-readable ranked report (the default `vidur analyze` output).
+std::string analysis_to_string(const AnalysisReport& report);
+
+}  // namespace vidur

@@ -259,7 +259,72 @@ JsonValue chrome_trace_json(const std::vector<TraceRecord>& records) {
   JsonValue doc = JsonValue::object();
   doc.set("traceEvents", std::move(events));
   doc.set("displayTimeUnit", "ms");
+  doc.set("vidur", trace_records_json(records));
   return doc;
+}
+
+// -------------------------------------------------------- record sidecar
+
+JsonValue trace_records_json(const std::vector<TraceRecord>& records) {
+  JsonValue rows = JsonValue::array();
+  for (const TraceRecord& r : records) {
+    JsonValue row = JsonValue::array();
+    row.push(static_cast<std::int64_t>(r.kind));
+    row.push(static_cast<std::int64_t>(r.detail));
+    row.push(static_cast<std::int64_t>(r.replica));
+    row.push(r.id);
+    row.push(r.a);
+    row.push(r.b);
+    row.push(r.time);
+    rows.push(std::move(row));
+  }
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", static_cast<std::int64_t>(kTraceSchemaVersion));
+  doc.set("records", std::move(rows));
+  return doc;
+}
+
+std::vector<TraceRecord> trace_records_from_json(const JsonValue& doc) {
+  VIDUR_CHECK_MSG(doc.is_object(),
+                  "trace record sidecar must be a JSON object");
+  const JsonValue* schema = doc.find("schema");
+  VIDUR_CHECK_MSG(schema != nullptr && schema->is_number(),
+                  "trace record sidecar has no numeric 'schema' version");
+  VIDUR_CHECK_MSG(
+      schema->as_int() == kTraceSchemaVersion,
+      "trace record sidecar has schema version "
+          << schema->as_int() << "; this build reads version "
+          << kTraceSchemaVersion << " — re-export the trace with it");
+  const JsonValue* rows = doc.find("records");
+  VIDUR_CHECK_MSG(rows != nullptr && rows->is_array(),
+                  "trace record sidecar has no 'records' array");
+  std::vector<TraceRecord> out;
+  out.reserve(rows->items().size());
+  std::size_t i = 0;
+  for (const JsonValue& row : rows->items()) {
+    ++i;
+    VIDUR_CHECK_MSG(row.is_array() && row.items().size() == 7,
+                    "trace record " << i << " is not a 7-element array");
+    const auto& f = row.items();
+    for (const JsonValue& v : f)
+      VIDUR_CHECK_MSG(v.is_number(),
+                      "trace record " << i << " has a non-numeric field");
+    const std::int64_t kind = f[0].as_int();
+    VIDUR_CHECK_MSG(
+        kind >= 0 && kind <= static_cast<std::int64_t>(
+                                 TraceEventKind::kScaleDecision),
+        "trace record " << i << " has unknown kind " << kind);
+    TraceRecord r;
+    r.kind = static_cast<TraceEventKind>(kind);
+    r.detail = static_cast<std::uint8_t>(f[1].as_int());
+    r.replica = static_cast<std::int32_t>(f[2].as_int());
+    r.id = f[3].as_int();
+    r.a = f[4].as_int();
+    r.b = f[5].as_int();
+    r.time = f[6].as_double();
+    out.push_back(r);
+  }
+  return out;
 }
 
 // ------------------------------------------------------------- validator
@@ -283,6 +348,8 @@ TraceValidation validate_chrome_trace(const JsonValue& doc) {
                   "trace document must carry a 'traceEvents' array");
 
   TraceValidation v;
+  if (const JsonValue* sidecar = doc.find("vidur"); sidecar != nullptr)
+    v.num_raw_records = trace_records_from_json(*sidecar).size();
   struct Span {
     double ts = 0.0;
     double dur = 0.0;

@@ -18,19 +18,42 @@
 
 namespace vidur {
 
+/// Version of the record payload layout below. Bumped whenever a kind's
+/// field meaning changes or new records appear in the stream; exported
+/// trace documents embed it and `vidur trace-check` / the analysis engine
+/// refuse documents written under a different schema.
+///
+/// v2: kScheduled carries the queue-entry timestamp (a, nanoseconds) and a
+/// resume marker (detail=1 after a preemption restart or migration landing,
+/// re-emitted per resume);
+/// kPrefillDone carries the completing batch size (a) and re-emits on
+/// re-completion after a preemption restart (detail=1); kCompleted carries
+/// the final batch size (b); kArrival carries the tenant id (detail,
+/// tenant + 1, 0 = untagged).
+inline constexpr int kTraceSchemaVersion = 2;
+
 /// What one trace record describes. Request-lifecycle kinds carry the
 /// request id; batch kinds carry a per-run monotonic batch sequence number;
 /// cluster kinds describe replica transitions and autoscaler decisions.
 enum class TraceEventKind : std::uint8_t {
-  kArrival = 0,    ///< id=request, a=prefill_tokens, b=decode_tokens
+  kArrival = 0,    ///< id=request, a=prefill_tokens, b=decode_tokens,
+                   ///< detail=tenant+1 (0: untagged)
   kRouted,         ///< id=request, replica=target (-1: parked centrally)
-  kScheduled,      ///< id=request first entered a batch, replica=where
+  kScheduled,      ///< id=request entered a batch, replica=where.
+                   ///< detail=0: first schedule, a=queue-entry time in
+                   ///< integer nanoseconds (-1: unknown). detail=1: resumed
+                   ///< from a waiting queue after a preemption restart or a
+                   ///< KV migration landing, a=-1.
   kPreempted,      ///< id=request preempted-and-restarted, replica=where
-  kPrefillDone,    ///< id=request emitted its first token, replica=where
+  kPrefillDone,    ///< id=request completed prefill, replica=where,
+                   ///< a=batch size of the completing batch. detail=0 on
+                   ///< first completion (the TTFT edge), 1 when a restarted
+                   ///< request re-completes its prefill.
   kMigrateStart,   ///< id=request KV hand-off started, replica=source,
                    ///< a=KV tokens in flight
   kMigrateEnd,     ///< id=request landed, replica=destination
-  kCompleted,      ///< id=request, replica=where, a=restarts
+  kCompleted,      ///< id=request, replica=where, a=restarts,
+                   ///< b=batch size of the final batch
   kBatchStart,     ///< id=batch seq, replica, a=batch_size, b=q_tokens
   kBatchEnd,       ///< id=batch seq, replica, a=batch_size
   kReplicaTransition,  ///< replica lifecycle edge: detail=to-state,
@@ -116,7 +139,21 @@ inline void trace_emit(TraceRecorder* trace, TraceEventKind kind, Seconds time,
 /// thread per replica, one complete-event slice per executed batch), and
 /// cluster (lifecycle instants, scale decisions and an active-replica
 /// counter track). Timestamps are microseconds of simulated time.
+///
+/// The document additionally embeds the raw records under "vidur"
+/// (trace_records_json), so an exported trace file round-trips exactly into
+/// `vidur analyze` — the Chrome spans are a rendering, the sidecar is the
+/// data.
 JsonValue chrome_trace_json(const std::vector<TraceRecord>& records);
+
+/// Lossless record sidecar: {"schema": kTraceSchemaVersion, "records":
+/// [[kind, detail, replica, id, a, b, time], ...]}. Doubles are written
+/// shortest-round-trip, so records_from == records bit for bit.
+JsonValue trace_records_json(const std::vector<TraceRecord>& records);
+
+/// Inverse of trace_records_json. Throws vidur::Error when the document is
+/// malformed or was written under a different kTraceSchemaVersion.
+std::vector<TraceRecord> trace_records_from_json(const JsonValue& doc);
 
 /// Shape summary returned by validate_chrome_trace.
 struct TraceValidation {
@@ -124,13 +161,18 @@ struct TraceValidation {
   std::size_t num_complete_spans = 0;  ///< "X" events
   std::size_t num_instants = 0;        ///< "i" events
   std::size_t num_counter_samples = 0; ///< "C" events
+  /// Records in the embedded "vidur" sidecar (0 when the document carries
+  /// none — e.g. a hand-built Chrome document).
+  std::size_t num_raw_records = 0;
 };
 
 /// Validate a Chrome trace document: traceEvents is an array, every event
 /// carries a phase, complete events have non-negative ts/dur, and the spans
-/// of each (pid, tid) track nest properly (no partial overlap). Throws
-/// vidur::Error with the offending event on any violation; returns counts
-/// for reporting. Used by the tests and `vidur trace check`.
+/// of each (pid, tid) track nest properly (no partial overlap). When the
+/// document embeds a "vidur" record sidecar, its schema version must equal
+/// kTraceSchemaVersion. Throws vidur::Error with the offending event on any
+/// violation; returns counts for reporting. Used by the tests and
+/// `vidur trace-check`.
 TraceValidation validate_chrome_trace(const JsonValue& doc);
 
 }  // namespace vidur

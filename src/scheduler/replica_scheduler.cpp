@@ -1,6 +1,7 @@
 #include "scheduler/replica_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "obs/registry.h"
@@ -70,11 +71,15 @@ std::vector<RequestState*> ReplicaScheduler::on_batch_end(
       r->kv_context += item.q_tokens;
       if (item.completes_prefill) {
         VIDUR_CHECK(r->prefill_complete());
-        if (r->record.prefill_completed_time < 0) {
+        // Every prefill completion is traced (detail=1 marks a restarted
+        // request re-completing) so the analysis engine sees re-prefill
+        // work; the TTFT timestamp stays first-completion-only.
+        trace_emit(trace_, TraceEventKind::kPrefillDone, now, obs_self_,
+                   r->request.id,
+                   static_cast<std::int64_t>(batch.items.size()), 0,
+                   r->record.prefill_completed_time < 0 ? 0 : 1);
+        if (r->record.prefill_completed_time < 0)
           r->record.prefill_completed_time = now;
-          trace_emit(trace_, TraceEventKind::kPrefillDone, now, obs_self_,
-                     r->request.id);
-        }
         r->decode_done = 1;  // prefill emits the first output token
         r->record.token_times.push_back(now);
       }
@@ -87,7 +92,8 @@ std::vector<RequestState*> ReplicaScheduler::on_batch_end(
     if (r->finished()) {
       r->record.completed_time = now;
       trace_emit(trace_, TraceEventKind::kCompleted, now, obs_self_,
-                 r->request.id, r->record.num_restarts);
+                 r->request.id, r->record.num_restarts,
+                 static_cast<std::int64_t>(batch.items.size()));
       block_manager_.release(r->request.id);
       r->kv_capacity = 0;
       r->admitted = false;
@@ -200,11 +206,7 @@ void ReplicaScheduler::add_prefill_item(BatchSpec& batch, RequestState* r,
   item.state = r;
   batch.items.push_back(item);
   r->in_flight = true;
-  if (r->record.first_scheduled_time < 0) {
-    r->record.first_scheduled_time = now;
-    trace_emit(trace_, TraceEventKind::kScheduled, now, obs_self_,
-               r->request.id);
-  }
+  mark_scheduled(r, now);
 }
 
 void ReplicaScheduler::add_decode_item(BatchSpec& batch, RequestState* r,
@@ -218,11 +220,27 @@ void ReplicaScheduler::add_decode_item(BatchSpec& batch, RequestState* r,
   item.state = r;
   batch.items.push_back(item);
   r->in_flight = true;
+  mark_scheduled(r, now);
+}
+
+void ReplicaScheduler::mark_scheduled(RequestState* r, Seconds now) {
   if (r->record.first_scheduled_time < 0) {
     r->record.first_scheduled_time = now;
+    // The first schedule carries the queue-entry timestamp (integer
+    // nanoseconds) so queue wait is measured, not inferred from arrival.
+    const std::int64_t queued_ns =
+        r->queue_entry_time >= 0
+            ? std::llround(r->queue_entry_time * 1e9)
+            : -1;
     trace_emit(trace_, TraceEventKind::kScheduled, now, obs_self_,
-               r->request.id);
+               r->request.id, queued_ns);
+  } else if (r->resched_pending) {
+    // Resume after a preemption restart: closes the stall interval for the
+    // analysis engine (detail=1 distinguishes it from the TTFT edge).
+    trace_emit(trace_, TraceEventKind::kScheduled, now, obs_self_,
+               r->request.id, -1, 0, 1);
   }
+  r->resched_pending = false;
 }
 
 RequestState* ReplicaScheduler::preempt_one() {

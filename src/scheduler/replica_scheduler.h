@@ -115,6 +115,11 @@ class ReplicaScheduler {
   /// Append a decode item for `r`.
   void add_decode_item(BatchSpec& batch, RequestState* r, Seconds now);
 
+  /// Stamp first-schedule time and emit the kScheduled trace record (first
+  /// schedule with queue-entry payload, or a detail=1 resume record after a
+  /// preemption restart).
+  void mark_scheduled(RequestState* r, Seconds now);
+
   /// vLLM-style preempt-and-restart of the lowest-priority (latest-arrival)
   /// running request that is not in flight. Returns the victim or nullptr.
   RequestState* preempt_one();

@@ -21,6 +21,13 @@ struct RequestState {
   TokenCount kv_capacity = 0;
   bool in_flight = false;       ///< member of a batch currently executing
   bool admitted = false;        ///< holds KV-cache memory on its replica
+  /// A preemption restarted this request; the next batch membership emits a
+  /// resume trace record (kScheduled, detail=1) closing the stall interval.
+  bool resched_pending = false;
+  /// When the request last entered a replica waiting queue (simulator-
+  /// stamped at enqueue); rides on the first kScheduled trace record so
+  /// queue wait is measured, not inferred. -1 before any enqueue.
+  Seconds queue_entry_time = -1.0;
 
   RequestRecord record;  ///< metric timestamps (filled by the scheduler)
 
@@ -41,6 +48,7 @@ struct RequestState {
     kv_context = 0;
     kv_capacity = 0;
     admitted = false;
+    resched_pending = true;
     ++record.num_restarts;
   }
 };

@@ -459,9 +459,14 @@ void Simulator::dispatch(const SimEvent& event) {
 }
 
 void Simulator::on_arrival(RequestState* request) {
+  // detail carries tenant+1 so untagged (tenant -1) stays the 0 default;
+  // the analysis engine uses it for per-tenant blame attribution.
+  const int tenant = static_cast<int>(request->record.tenant);
+  const auto tenant_detail = static_cast<std::uint8_t>(
+      tenant < 0 ? 0 : std::min(tenant + 1, 255));
   trace_emit(trace_rec_, TraceEventKind::kArrival, events_.now(), -1,
        request->record.id, request->record.prefill_tokens,
-       request->record.decode_tokens);
+       request->record.decode_tokens, tenant_detail);
   ctr_arrivals_->inc();
   if (rolling_) {
     rolling_->on_arrival(0, events_.now());
@@ -498,6 +503,7 @@ void Simulator::route_request(RequestState* request) {
        request->record.id);
   if (target >= 0) {
     request->replica = target;
+    request->queue_entry_time = events_.now();
     rolling_pool_delta(target, +1);
     replicas_[static_cast<std::size_t>(target)].scheduler->enqueue(request);
     try_schedule(target);
@@ -543,6 +549,7 @@ void Simulator::pull_deferred(ReplicaId replica_id) {
   if (replica.scheduler->num_waiting() > 0) return;
   for (RequestState* r : global_.pull(replica_id, 1)) {
     r->replica = replica_id;
+    r->queue_entry_time = events_.now();
     trace_emit(trace_rec_, TraceEventKind::kRouted, events_.now(), replica_id,
          r->record.id);
     rolling_pool_delta(replica_id, +1);
@@ -751,6 +758,10 @@ void Simulator::on_migrated(RequestState* request) {
     }
   }
   request->replica = best;
+  request->queue_entry_time = events_.now();
+  // Next batch membership on the decode replica emits a resume record, so
+  // the analysis engine can separate decode-queue wait from decode proper.
+  request->resched_pending = true;
   trace_emit(trace_rec_, TraceEventKind::kMigrateEnd, events_.now(), best,
        request->record.id);
   ctr_migrations_->inc();

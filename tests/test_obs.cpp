@@ -264,6 +264,65 @@ TEST(RollingCollector, WindowAggregatesAndQueueIntegralAreExact) {
   EXPECT_DOUBLE_EQ(w1.queue_depth_time, 2.0);
 }
 
+TEST(RollingCollector, EventExactlyOnBoundaryOpensTheNextWindow) {
+  // Windows are [start, end): an event at exactly t = window lands in the
+  // second window, not the first.
+  RollingCollector rolling(10.0, {"t"});
+  rolling.on_arrival(0, 10.0);
+  const std::vector<RollingTrack> tracks = rolling.finalize(20.0);
+  ASSERT_EQ(tracks[0].windows.size(), 2u);
+  EXPECT_EQ(tracks[0].windows[0].arrivals, 0);
+  EXPECT_DOUBLE_EQ(tracks[0].windows[0].end, 10.0);
+  EXPECT_EQ(tracks[0].windows[1].arrivals, 1);
+  EXPECT_DOUBLE_EQ(tracks[0].windows[1].start, 10.0);
+}
+
+TEST(RollingCollector, QuietWindowsAreEmittedEmptyNotSkipped) {
+  // A long quiet stretch still produces every intermediate window, so the
+  // series has no time gaps; the empty windows read as all-zero.
+  RollingCollector rolling(10.0, {"t"});
+  rolling.on_arrival(0, 1.0);
+  rolling.on_arrival(0, 35.0);
+  const std::vector<RollingTrack> tracks = rolling.finalize(36.0);
+  ASSERT_EQ(tracks[0].windows.size(), 4u);
+  const WindowSample& empty = tracks[0].windows[1];
+  EXPECT_DOUBLE_EQ(empty.start, 10.0);
+  EXPECT_DOUBLE_EQ(empty.end, 20.0);
+  EXPECT_EQ(empty.arrivals, 0);
+  EXPECT_EQ(empty.completions, 0);
+  EXPECT_DOUBLE_EQ(empty.queue_depth_time, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_ttft(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.slo_attainment(), -1.0);  // nothing eligible
+  EXPECT_EQ(tracks[0].windows[3].arrivals, 1);
+  EXPECT_DOUBLE_EQ(tracks[0].windows[3].end, 36.0);  // partial final window
+}
+
+TEST(RollingCollector, FinalizeOnWindowBoundaryEmitsNoEmptyTail) {
+  RollingCollector rolling(10.0, {"t"});
+  rolling.on_arrival(0, 3.0);
+  // end_time == the open window's start: nothing to report there.
+  const std::vector<RollingTrack> tracks = rolling.finalize(10.0);
+  ASSERT_EQ(tracks[0].windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(tracks[0].windows[0].end, 10.0);
+}
+
+TEST(LatencyHistogram, QuantileInterpolationMatchesHandComputedEdges) {
+  // 99 samples of 10µs and one of 1s. 10µs lands in bucket
+  // floor(log2(10) * 4) = 13, whose edges are 2^3.25µs and 2^3.5µs.
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(1e-5);
+  h.record(1.0);
+
+  const double lo = 1e-6 * std::pow(2.0, 13.0 / 4.0);
+  const double hi = 1e-6 * std::pow(2.0, 14.0 / 4.0);
+  // p50: target rank 50 of 99 in-bucket samples, linearly interpolated.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), lo + (hi - lo) * (50.0 / 99.0));
+  // p99: rank 99 = the bucket's full width, i.e. its upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), hi);
+  // p100 falls into the 1s sample's bucket, clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
 TEST(RollingCollector, SimulationFillsClusterTrack) {
   VidurSession& session = shared_session();
   SimObs obs;
@@ -462,6 +521,109 @@ TEST(CompareJson, IntAndDoubleRepresentationsCompareAsNumbers) {
   const JsonValue a = JsonValue::parse(R"({"n": 5})");
   const JsonValue b = JsonValue::parse(R"({"n": 5.0})");
   EXPECT_TRUE(compare_json(a, b, 0.0).entries.empty());
+}
+
+TEST(CompareJson, MissingSubtreeReportsEveryAbsentLeaf) {
+  // A whole section present on one side only (e.g. a result that was run
+  // with obs.analyze against one that was not) must expand to one row per
+  // leaf — not collapse into a single "<object, N keys>" summary.
+  const JsonValue a = JsonValue::parse(R"({
+    "metrics": {"qps": 1.0},
+    "analysis": {
+      "schema": 2,
+      "requests": {"completed": 5, "incomplete": 0},
+      "waterfalls": [{"id": 0}, {"id": 1}],
+      "empty": {}
+    }
+  })");
+  const JsonValue b = JsonValue::parse(R"({"metrics": {"qps": 1.0}})");
+  const CompareReport report = compare_json(a, b, 1.0);
+
+  std::vector<std::string> paths;
+  for (const CompareEntry& e : report.entries) {
+    EXPECT_EQ(e.kind, CompareEntry::Kind::kOnlyInA) << e.path;
+    paths.push_back(e.path);
+  }
+  EXPECT_EQ(paths, (std::vector<std::string>{
+                       "analysis.schema", "analysis.requests.completed",
+                       "analysis.requests.incomplete",
+                       "analysis.waterfalls[0].id",
+                       "analysis.waterfalls[1].id", "analysis.empty"}));
+  // Structural rows always fail the comparison — `vidur compare` exits 1.
+  EXPECT_EQ(report.num_exceeding(), report.entries.size());
+  EXPECT_FALSE(report.within_tolerance());
+}
+
+// ---------------------------------------------- raw-record trace sidecar
+
+TEST(TraceSidecar, RecordsRoundTripBitForBit) {
+  VidurSession& session = shared_session();
+  TraceRecorder recorder;
+  SimObs obs;
+  obs.trace = &recorder;
+  session.simulate(autoscaled_config(), bursty_trace(40), {}, obs);
+  const std::vector<TraceRecord> records = recorder.records();
+  ASSERT_FALSE(records.empty());
+
+  // Through the sidecar encoding and a text round-trip: still identical.
+  const JsonValue sidecar =
+      JsonValue::parse(trace_records_json(records).dump());
+  const std::vector<TraceRecord> reloaded = trace_records_from_json(sidecar);
+  ASSERT_EQ(reloaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    ASSERT_EQ(reloaded[i], records[i]) << "record " << i;
+
+  // The Chrome export embeds the sidecar, and validation counts it.
+  const JsonValue doc = chrome_trace_json(records);
+  EXPECT_EQ(validate_chrome_trace(doc).num_raw_records, records.size());
+  const std::vector<TraceRecord> from_doc =
+      trace_records_from_json(doc.at("vidur"));
+  EXPECT_EQ(from_doc.size(), records.size());
+}
+
+TEST(TraceSidecar, SchemaMismatchIsRejected) {
+  JsonValue sidecar = trace_records_json({TraceRecord{}});
+  sidecar.set("schema",
+              static_cast<std::int64_t>(kTraceSchemaVersion + 1));
+  EXPECT_THROW(trace_records_from_json(sidecar), Error);
+
+  JsonValue doc = chrome_trace_json({TraceRecord{}});
+  JsonValue bad = doc.at("vidur");
+  bad.set("schema", static_cast<std::int64_t>(1));
+  doc.set("vidur", std::move(bad));
+  EXPECT_THROW(validate_chrome_trace(doc), Error);
+}
+
+TEST(TraceSidecar, ScheduledRecordsCarryQueueEntryAndResumeMarkers) {
+  // Schema v2 field contract on a real run: every first kScheduled carries
+  // a plausible queue-entry timestamp, resumes carry none; completions
+  // carry a final batch size; arrivals carry the tenant tag.
+  VidurSession& session = shared_session();
+  TraceRecorder recorder;
+  SimObs obs;
+  obs.trace = &recorder;
+  session.simulate(autoscaled_config(), bursty_trace(40), {}, obs);
+
+  std::size_t first_scheds = 0, completions = 0;
+  for (const TraceRecord& r : recorder.records()) {
+    if (r.kind == TraceEventKind::kScheduled && r.detail == 0) {
+      ++first_scheds;
+      ASSERT_GE(r.a, 0);  // queue-entry nanoseconds, always known here
+      EXPECT_LE(static_cast<double>(r.a) * 1e-9, r.time + 1e-9);
+    }
+    if (r.kind == TraceEventKind::kScheduled && r.detail == 1) {
+      EXPECT_EQ(r.a, -1);
+    }
+    if (r.kind == TraceEventKind::kCompleted) {
+      ++completions;
+      EXPECT_GT(r.b, 0);  // final batch size
+    }
+    if (r.kind == TraceEventKind::kPrefillDone && r.detail == 0) {
+      EXPECT_GT(r.a, 0);  // completing batch size
+    }
+  }
+  EXPECT_EQ(first_scheds, 40u);
+  EXPECT_EQ(completions, 40u);
 }
 
 }  // namespace

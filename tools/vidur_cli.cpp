@@ -6,6 +6,7 @@
 //
 //   vidur run spec.json [--out result.json] [--trace trace.json] [--quiet]
 //   vidur validate spec.json
+//   vidur analyze result-or-trace.json [--json] [--check] [--out file]
 //   vidur compare a.json b.json [--tol <rel>]
 //   vidur trace-check trace.json
 //   vidur list scenarios|models|skus|traces|schedulers|modes
@@ -23,6 +24,7 @@
 #include "api/compare.h"
 #include "api/run.h"
 #include "common/check.h"
+#include "obs/analysis.h"
 #include "obs/trace.h"
 #include "hardware/sku.h"
 #include "model/model_spec.h"
@@ -38,6 +40,8 @@ int usage(std::ostream& os, int exit_code) {
         "usage:\n"
         "  vidur run <spec.json> [--out <file>] [--trace <file>] [--quiet]\n"
         "  vidur validate <spec.json>\n"
+        "  vidur analyze <result-or-trace.json> [--json] [--check]\n"
+        "               [--out <file>]\n"
         "  vidur compare <a.json> <b.json> [--tol <rel>]\n"
         "  vidur trace-check <trace.json>\n"
         "  vidur list scenarios|models|skus|traces|schedulers|modes\n"
@@ -48,9 +52,17 @@ int usage(std::ostream& os, int exit_code) {
         "            --trace records a Chrome/Perfetto trace of the run\n"
         "            (simulate/reference, single point) to the given file\n"
         "validate    parse + validate the spec, reporting actionable errors\n"
+        "analyze     latency waterfalls, SLO blame, replica audits and\n"
+        "            queueing decomposition from an exported trace (its\n"
+        "            \"vidur\" sidecar) or a result with an \"analysis\"\n"
+        "            section; --json prints the structured report, --out\n"
+        "            writes it to a file, --check exits 2 when the phase\n"
+        "            conservation invariant is violated\n"
         "compare     diff the numeric leaves of two result JSONs; exits 1\n"
-        "            when any relative delta exceeds --tol (default 2%)\n"
-        "trace-check parse a trace file and validate its spans nest\n"
+        "            when any relative delta exceeds --tol (default 2%);\n"
+        "            a missing subtree reports every absent leaf\n"
+        "trace-check parse a trace file, validate its spans nest and its\n"
+        "            raw-record sidecar matches this build's schema\n"
         "list        print the registered names usable in spec files\n"
         "init        print a template spec for the given mode to stdout\n";
   return exit_code;
@@ -155,6 +167,83 @@ int cmd_validate(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The "analysis" section of a document: the document itself when it is a
+/// bare report, the embedded section of a single-point result file, or
+/// nullptr.
+const JsonValue* find_analysis_section(const JsonValue& doc) {
+  if (!doc.is_object()) return nullptr;
+  if (doc.find("waterfalls") != nullptr && doc.find("schema") != nullptr)
+    return &doc;
+  if (const JsonValue* a = doc.find("analysis")) return a;
+  if (const JsonValue* results = doc.find("results");
+      results != nullptr && results->is_object())
+    return results->find("analysis");
+  return nullptr;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  std::string path, out_path;
+  bool as_json = false;
+  bool check = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      as_json = true;
+    } else if (args[i] == "--check") {
+      check = true;
+    } else if (args[i] == "--out") {
+      VIDUR_CHECK_MSG(i + 1 < args.size(), "--out needs a file argument");
+      out_path = args[++i];
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      throw Error("unexpected argument '" + args[i] + "'");
+    }
+  }
+  VIDUR_CHECK_MSG(!path.empty(),
+                  "analyze needs a result or trace file argument");
+
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  AnalysisReport report;
+  if (const JsonValue* sidecar =
+          doc.is_object() ? doc.find("vidur") : nullptr) {
+    // Exported trace document: re-run the engine on the raw records, with
+    // the run's embedded context (SLO targets, pool names) when present.
+    AnalysisOptions options;
+    if (const JsonValue* ctx = doc.find("context"))
+      options = analysis_options_from_json(*ctx);
+    report = analyze_trace(trace_records_from_json(*sidecar), options);
+  } else if (const JsonValue* analysis = find_analysis_section(doc)) {
+    report = analysis_report_from_json(*analysis);
+  } else {
+    throw Error(
+        "'" + path +
+        "' carries neither a \"vidur\" trace sidecar nor an \"analysis\" "
+        "section; produce one with `vidur run --trace <file>` or a spec "
+        "with \"obs\": {\"analyze\": true}");
+  }
+
+  if (as_json)
+    std::cout << analysis_json(report).dump();
+  else
+    std::cout << analysis_to_string(report);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    VIDUR_CHECK_MSG(out.good(), "cannot write " << out_path);
+    out << analysis_json(report).dump();
+    out.close();
+    VIDUR_CHECK_MSG(out.good(), "failed writing " << out_path);
+    std::cout << "[analysis json] " << out_path << "\n";
+  }
+  if (check && !report.conservation_ok) {
+    std::cerr << "error: phase conservation violated: max |sum(phases) - "
+                 "e2e| = "
+              << report.max_conservation_error << " exceeds "
+              << kConservationTolerance << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_compare(const std::vector<std::string>& args) {
   std::string path_a, path_b;
   double tolerance = 0.02;
@@ -176,6 +265,15 @@ int cmd_compare(const std::vector<std::string>& args) {
                   "compare needs two result-file arguments");
   const CompareReport report = compare_json_files(path_a, path_b, tolerance);
   std::cout << path_a << " vs " << path_b << ": " << report.to_string();
+  // Result documents may embed trace-analytics sections; call out drift
+  // there separately, since it usually means behavior (not just noise).
+  std::size_t analysis_diffs = 0;
+  for (const CompareEntry& e : report.entries)
+    if (e.path.find("analysis") != std::string::npos) ++analysis_diffs;
+  if (analysis_diffs > 0)
+    std::cout << analysis_diffs << " difference"
+              << (analysis_diffs == 1 ? "" : "s")
+              << " inside \"analysis\" sections\n";
   return report.within_tolerance() ? 0 : 1;
 }
 
@@ -187,7 +285,13 @@ int cmd_trace_check(const std::vector<std::string>& args) {
   std::cout << "OK: " << args[0] << " — " << v.num_events << " events ("
             << v.num_complete_spans << " spans, " << v.num_instants
             << " instants, " << v.num_counter_samples
-            << " counter samples), spans nest\n";
+            << " counter samples), spans nest";
+  if (v.num_raw_records > 0)
+    std::cout << "; sidecar schema " << kTraceSchemaVersion << " ("
+              << v.num_raw_records << " raw records)";
+  else
+    std::cout << "; no raw-record sidecar (analyze unavailable)";
+  std::cout << "\n";
   return 0;
 }
 
@@ -259,6 +363,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "run") return cmd_run(args);
     if (command == "validate") return cmd_validate(args);
+    if (command == "analyze") return cmd_analyze(args);
     if (command == "compare") return cmd_compare(args);
     if (command == "trace-check") return cmd_trace_check(args);
     if (command == "list") return cmd_list(args);
