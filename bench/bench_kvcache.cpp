@@ -1,0 +1,155 @@
+// Prefix-cache end-to-end bench: plays the session-structured scenarios
+// (multi-turn chat over a shared system prompt, mixed shared-prefix
+// tenants) cold and cached on the fidelity deployment, reports hit rate,
+// prefill-tokens-saved and cached-vs-cold throughput, and gates on the
+// subsystem's acceptance bar: with cache-aware routing, >= 30% of the
+// session-chat workload's prefill tokens must come from the cache. Emits
+// BENCH_kvcache.json.
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "scenario/registry.h"
+
+namespace {
+
+using namespace vidur;
+using namespace vidur::bench;
+
+constexpr std::uint64_t kSeed = 42;
+
+DeploymentConfig deployment(bool cache_on, GlobalSchedulerKind global) {
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{1, 1, 2};
+  config.scheduler.kind = SchedulerKind::kSarathi;
+  config.scheduler.max_batch_size = 128;
+  config.scheduler.chunk_size = 512;
+  config.global_scheduler = global;
+  config.prefix_cache.enabled = cache_on;
+  return config;
+}
+
+struct Variant {
+  std::string name;
+  bool cache_on;
+  GlobalSchedulerKind global;
+};
+
+const std::vector<Variant>& variants() {
+  static const std::vector<Variant> v = {
+      {"cold", false, GlobalSchedulerKind::kRoundRobin},
+      {"cached-rr", true, GlobalSchedulerKind::kRoundRobin},
+      {"cached-aware", true, GlobalSchedulerKind::kCacheAware},
+  };
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  VidurSession session(model_by_name("llama2-7b"));
+  session.onboard("a100");
+
+  std::cout << "=== prefix cache: session scenarios, cold vs cached, on "
+            << deployment(true, GlobalSchedulerKind::kCacheAware).to_string()
+            << " ===\n\n";
+
+  Json scenarios_json = Json::array();
+  ConsoleTable table({"scenario", "variant", "hit rate", "prefill saved",
+                      "saved frac", "makespan", "tok/s"});
+  double gate_saved_fraction = -1.0;
+
+  for (const char* name : {"session-chat", "shared-prefix-mix"}) {
+    Scenario scenario = scenario_by_name(name);
+    scenario.num_requests = scaled(scenario.num_requests, 200);
+    const Trace trace = generate_scenario_trace(scenario, kSeed);
+    TokenCount total_prefill = 0;
+    for (const Request& r : trace) total_prefill += r.prefill_tokens;
+
+    Json row = Json::object();
+    row.set("scenario", std::string(name));
+    row.set("num_requests", trace.size());
+    row.set("total_prefill_tokens", total_prefill);
+    double cold_tok_per_s = 0.0;
+    for (const Variant& v : variants()) {
+      const SimulationMetrics m = session.simulate(
+          deployment(v.cache_on, v.global), trace, scenario.tenant_infos());
+      VIDUR_CHECK_MSG(m.num_completed == trace.size(),
+                      "scenario '" << name << "' variant '" << v.name
+                                   << "' lost requests");
+      const double saved_fraction =
+          static_cast<double>(m.prefix_cache.tokens_saved) /
+          static_cast<double>(total_prefill);
+      if (v.cache_on) {
+        VIDUR_CHECK_MSG(m.prefix_cache.hits + m.prefix_cache.misses ==
+                            m.prefix_cache.lookups,
+                        "scenario '" << name << "' variant '" << v.name
+                                     << "': hit/miss accounting leaked");
+      }
+      if (!v.cache_on) cold_tok_per_s = m.output_tokens_per_sec;
+
+      table.add_row({name, v.name,
+                     v.cache_on ? fmt_percent(m.prefix_cache.hit_rate())
+                                : std::string("-"),
+                     std::to_string(m.prefix_cache.tokens_saved),
+                     v.cache_on ? fmt_percent(saved_fraction)
+                                : std::string("-"),
+                     fmt_double(m.makespan, 1) + "s",
+                     fmt_double(m.output_tokens_per_sec, 0)});
+
+      Json vj = Json::object();
+      vj.set("cache_enabled", v.cache_on);
+      vj.set("global_scheduler", global_scheduler_name(v.global));
+      vj.set("makespan_s", m.makespan);
+      vj.set("throughput_qps", m.throughput_qps);
+      vj.set("output_tokens_per_sec", m.output_tokens_per_sec);
+      if (v.cache_on) {
+        vj.set("lookups", m.prefix_cache.lookups);
+        vj.set("hits", m.prefix_cache.hits);
+        vj.set("hit_rate", m.prefix_cache.hit_rate());
+        vj.set("prefill_tokens_saved", m.prefix_cache.tokens_saved);
+        vj.set("prefill_tokens_saved_fraction", saved_fraction);
+        vj.set("kv_bytes_saved", m.prefix_cache.bytes_saved);
+        vj.set("speedup_tokens_per_sec",
+               cold_tok_per_s > 0 ? m.output_tokens_per_sec / cold_tok_per_s
+                                  : 0.0);
+        Json tenants = Json::array();
+        for (const auto& t : m.prefix_cache.by_tenant) {
+          Json tj = Json::object();
+          tj.set("tenant", t.name);
+          tj.set("lookups", t.lookups);
+          tj.set("hits", t.hits);
+          tj.set("hit_rate", t.hit_rate());
+          tj.set("prefill_tokens_saved", t.tokens_saved);
+          tenants.push(tj);
+        }
+        vj.set("by_tenant", tenants);
+      }
+      row.set(v.name, vj);
+
+      if (std::string(name) == "session-chat" && v.name == "cached-aware")
+        gate_saved_fraction = saved_fraction;
+    }
+    scenarios_json.push(row);
+  }
+  std::cout << table.str() << "\n";
+
+  // ---- acceptance gate -------------------------------------------------
+  std::cout << "session-chat prefill tokens served from cache "
+               "(cache-aware routing): "
+            << fmt_percent(gate_saved_fraction) << " (gate: >= 30%)\n";
+  VIDUR_CHECK_MSG(gate_saved_fraction >= 0.30,
+                  "prefix cache saved only "
+                      << gate_saved_fraction * 100.0
+                      << "% of session-chat prefill tokens; the subsystem's "
+                         "acceptance bar is 30%");
+
+  Json doc = Json::object();
+  doc.set("scenarios", scenarios_json);
+  doc.set("gate_prefill_saved_fraction", gate_saved_fraction);
+  write_bench_json("kvcache", doc);
+  return 0;
+}

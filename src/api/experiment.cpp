@@ -199,6 +199,12 @@ ExperimentSpec& ExperimentSpec::with_pool(PoolSpec pool) {
   return *this;
 }
 
+ExperimentSpec& ExperimentSpec::with_prefix_cache(double capacity_fraction) {
+  deployment.prefix_cache.enabled = true;
+  deployment.prefix_cache.capacity_fraction = capacity_fraction;
+  return *this;
+}
+
 // -------------------------------------------------------------- validate
 
 void ExperimentSpec::validate() const {
@@ -229,6 +235,15 @@ void ExperimentSpec::validate() const {
       "which scale independently); disable deployment.disagg or "
       "deployment.autoscale");
   if (deployment.autoscale.enabled()) deployment.autoscale.validate();
+
+  // ---- prefix cache ----
+  deployment.prefix_cache.validate();
+  VIDUR_CHECK_MSG(
+      deployment.global_scheduler != GlobalSchedulerKind::kCacheAware ||
+          deployment.prefix_cache.enabled,
+      "global_scheduler 'cache_aware' routes on prefix-cache residency; "
+      "set deployment.prefix_cache.enabled = true (or pick another "
+      "routing policy)");
 
   // ---- heterogeneous pools ----
   if (!deployment.pools.empty()) {
@@ -596,6 +611,15 @@ JsonValue autoscale_json(const AutoscalerConfig& c) {
   return j;
 }
 
+JsonValue prefix_cache_json(const PrefixCacheConfig& c) {
+  const PrefixCacheConfig d;
+  JsonValue j = JsonValue::object();
+  j.set("enabled", c.enabled);
+  set_unless_default(j, "capacity_fraction", c.capacity_fraction,
+                     d.capacity_fraction, c.capacity_fraction);
+  return j;
+}
+
 JsonValue pool_json(const PoolSpec& p) {
   const PoolSpec d;
   JsonValue j = JsonValue::object();
@@ -635,6 +659,8 @@ JsonValue deployment_json(const DeploymentConfig& c) {
                        d.async_pipeline_comm, c.async_pipeline_comm);
     set_unless_default(j, "disagg", c.disagg, d.disagg,
                        disagg_json(c.disagg));
+    set_unless_default(j, "prefix_cache", c.prefix_cache, d.prefix_cache,
+                       prefix_cache_json(c.prefix_cache));
     return j;
   }
   j.set("sku", c.sku_name);
@@ -651,6 +677,8 @@ JsonValue deployment_json(const DeploymentConfig& c) {
   set_unless_default(j, "disagg", c.disagg, d.disagg, disagg_json(c.disagg));
   set_unless_default(j, "autoscale", c.autoscale, d.autoscale,
                      autoscale_json(c.autoscale));
+  set_unless_default(j, "prefix_cache", c.prefix_cache, d.prefix_cache,
+                     prefix_cache_json(c.prefix_cache));
   return j;
 }
 
@@ -1096,6 +1124,18 @@ AutoscalerConfig autoscale_from_json(const JsonValue& j,
   return c;
 }
 
+PrefixCacheConfig prefix_cache_from_json(const JsonValue& j) {
+  PrefixCacheConfig c;
+  FieldReader r(j, "deployment.prefix_cache");
+  r.field("enabled",
+          [&](const JsonValue& v) { c.enabled = to_bool(v, "enabled"); })
+      .field("capacity_fraction", [&](const JsonValue& v) {
+        c.capacity_fraction = to_double(v, "capacity_fraction");
+      });
+  r.finish();
+  return c;
+}
+
 PoolSpec pool_from_json(const JsonValue& j) {
   PoolSpec p;
   // Read the name first so field errors can cite the pool.
@@ -1173,12 +1213,16 @@ DeploymentConfig deployment_from_json(const JsonValue& j) {
              [&](const JsonValue& v) {
                c.autoscale = autoscale_from_json(v, "deployment.autoscale");
              })
-      .field("pools", [&](const JsonValue& v) {
-        VIDUR_CHECK_MSG(v.is_array(),
-                        "spec field 'deployment.pools' must be an array of "
-                        "pool objects");
-        for (const JsonValue& item : v.items())
-          c.pools.push_back(pool_from_json(item));
+      .field("pools",
+             [&](const JsonValue& v) {
+               VIDUR_CHECK_MSG(v.is_array(),
+                               "spec field 'deployment.pools' must be an "
+                               "array of pool objects");
+               for (const JsonValue& item : v.items())
+                 c.pools.push_back(pool_from_json(item));
+             })
+      .field("prefix_cache", [&](const JsonValue& v) {
+        c.prefix_cache = prefix_cache_from_json(v);
       });
   r.finish();
   return c;

@@ -155,6 +155,9 @@ struct ExperimentSpec {
   /// Append a named pool (heterogeneous / disaggregated deployments; see
   /// DeploymentConfig::pools).
   ExperimentSpec& with_pool(PoolSpec pool);
+  /// Enable the per-replica prefix cache (deployment.prefix_cache), sized
+  /// to `capacity_fraction` of each replica's KV blocks.
+  ExperimentSpec& with_prefix_cache(double capacity_fraction = 0.5);
 
   /// Throws vidur::Error with an actionable message on any inconsistency:
   /// unknown model/SKU/trace/scenario/scheduler names (with a did-you-mean

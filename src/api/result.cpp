@@ -207,6 +207,40 @@ JsonValue metrics_to_json(const SimulationMetrics& m) {
                                     m.estimator_cache_misses));
     j.set("estimator", std::move(est));
   }
+  if (m.prefix_cache.enabled) {
+    const auto slice_json = [](const PrefixCacheMetrics::Slice& s) {
+      JsonValue row = JsonValue::object();
+      row.set("name", s.name);
+      row.set("lookups", s.lookups);
+      row.set("hits", s.hits);
+      row.set("misses", s.misses);
+      row.set("hit_rate", s.hit_rate());
+      row.set("prefill_tokens_saved", s.tokens_saved);
+      return row;
+    };
+    JsonValue pc = JsonValue::object();
+    pc.set("lookups", m.prefix_cache.lookups);
+    pc.set("hits", m.prefix_cache.hits);
+    pc.set("misses", m.prefix_cache.misses);
+    pc.set("hit_rate", m.prefix_cache.hit_rate());
+    pc.set("inserted_blocks", m.prefix_cache.inserted_blocks);
+    pc.set("evicted_blocks", m.prefix_cache.evicted_blocks);
+    pc.set("prefill_tokens_saved", m.prefix_cache.tokens_saved);
+    pc.set("kv_bytes_saved", m.prefix_cache.bytes_saved);
+    pc.set("resident_sessions", m.prefix_cache.resident_sessions);
+    if (!m.prefix_cache.by_tenant.empty()) {
+      JsonValue arr = JsonValue::array();
+      for (const auto& s : m.prefix_cache.by_tenant)
+        arr.push(slice_json(s));
+      pc.set("by_tenant", std::move(arr));
+    }
+    if (!m.prefix_cache.by_pool.empty()) {
+      JsonValue arr = JsonValue::array();
+      for (const auto& s : m.prefix_cache.by_pool) arr.push(slice_json(s));
+      pc.set("by_pool", std::move(arr));
+    }
+    j.set("prefix_cache", std::move(pc));
+  }
   if (!m.registry.empty()) j.set("registry", registry_json(m.registry));
   if (!m.rolling.empty()) j.set("rolling", rolling_json(m.rolling));
   return j;

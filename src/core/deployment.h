@@ -9,6 +9,7 @@
 #include "cluster/pool.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
+#include "kvcache/prefix_cache_config.h"
 #include "scheduler/global_scheduler.h"
 #include "scheduler/scheduler_config.h"
 #include "sim/disagg_config.h"
@@ -35,6 +36,10 @@ struct DeploymentConfig {
   /// and must stay at their disabled defaults; `scheduler` and
   /// `global_scheduler` still apply fleet-wide.
   std::vector<PoolSpec> pools;
+  /// Per-replica prefix cache (src/kvcache/): KV reuse across multi-turn
+  /// sessions and shared system prompts. Pair with
+  /// `global_scheduler = cache_aware` for affinity routing.
+  PrefixCacheConfig prefix_cache;
 
   int total_gpus() const {
     if (pools.empty()) return parallel.total_gpus();

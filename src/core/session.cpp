@@ -53,6 +53,7 @@ SimulationConfig VidurSession::make_sim_config(
   sim.disagg = config.disagg;
   sim.autoscale = config.autoscale;
   sim.pools = config.pools;
+  sim.prefix_cache = config.prefix_cache;
   return sim;
 }
 

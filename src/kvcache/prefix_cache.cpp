@@ -1,0 +1,253 @@
+#include "kvcache/prefix_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vidur {
+
+namespace {
+
+constexpr std::uint64_t kChainSeed = 0x56494455525f4b56ULL;  // "VIDUR_KV"
+constexpr std::uint64_t kSharedPrefixTag = 0x51;
+constexpr std::uint64_t kSessionTag = 0x52;
+
+/// splitmix64-style combiner; never returns 0 so callers can use 0 as the
+/// "not shareable" sentinel.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x | 1;
+}
+
+std::uint64_t mix3(std::uint64_t tag, std::uint64_t id, std::uint64_t depth) {
+  return mix(mix(tag, id), depth);
+}
+
+}  // namespace
+
+PrefixCache::PrefixCache(long capacity_blocks, TokenCount block_size)
+    : capacity_blocks_(capacity_blocks), block_size_(block_size) {
+  VIDUR_CHECK(capacity_blocks >= 0);
+  VIDUR_CHECK(block_size > 0);
+}
+
+std::uint64_t PrefixCache::block_content(const Request& request,
+                                         int depth) const {
+  // The block is shareable only if every token in it has a stable identity:
+  // tokens inside the tenant's shared prefix are identified by the prefix
+  // group, and tokens of a multi-turn conversation by the session (turn
+  // j+1's prompt extends turn j's full context append-only).
+  const TokenCount block_end =
+      (static_cast<TokenCount>(depth) + 1) * block_size_;
+  if (request.shared_prefix_tokens > 0 &&
+      block_end <= request.shared_prefix_tokens)
+    return mix3(kSharedPrefixTag,
+                static_cast<std::uint64_t>(request.prefix_group),
+                static_cast<std::uint64_t>(depth));
+  if (request.session >= 0)
+    return mix3(kSessionTag, static_cast<std::uint64_t>(request.session),
+                static_cast<std::uint64_t>(depth));
+  return 0;
+}
+
+long PrefixCache::match_blocks(const Request& request,
+                               std::uint64_t* last_chain) const {
+  // At least one prompt token must stay cold: the batch that "computes"
+  // the request needs a non-empty prefill to emit the first token from.
+  const long max_blocks = request.prefill_tokens <= 0
+                              ? 0
+                              : (request.prefill_tokens - 1) / block_size_;
+  std::uint64_t chain = kChainSeed;
+  long matched = 0;
+  for (long d = 0; d < max_blocks; ++d) {
+    const std::uint64_t content =
+        block_content(request, static_cast<int>(d));
+    if (content == 0) break;
+    chain = mix(chain, content);
+    if (blocks_.find(chain) == blocks_.end()) break;
+    ++matched;
+    if (last_chain != nullptr) *last_chain = chain;
+  }
+  return matched;
+}
+
+TokenCount PrefixCache::probe(const Request& request) const {
+  return match_blocks(request, nullptr) * block_size_;
+}
+
+TokenCount PrefixCache::attach(const Request& request) {
+  const long max_blocks = request.prefill_tokens <= 0
+                              ? 0
+                              : (request.prefill_tokens - 1) / block_size_;
+  std::uint64_t chain = kChainSeed;
+  std::vector<std::uint64_t> matched;
+  for (long d = 0; d < max_blocks; ++d) {
+    const std::uint64_t content =
+        block_content(request, static_cast<int>(d));
+    if (content == 0) break;
+    chain = mix(chain, content);
+    if (blocks_.find(chain) == blocks_.end()) break;
+    matched.push_back(chain);
+  }
+
+  const TokenCount tokens = static_cast<TokenCount>(matched.size()) *
+                            block_size_;
+  PrefixCacheStats& tenant = tenant_stats_[request.tenant];
+  ++stats_.lookups;
+  ++tenant.lookups;
+  if (matched.empty()) {
+    ++stats_.misses;
+    ++tenant.misses;
+    return 0;
+  }
+  ++stats_.hits;
+  ++tenant.hits;
+  stats_.tokens_saved += tokens;
+  tenant.tokens_saved += tokens;
+
+  for (const std::uint64_t c : matched) {
+    Block& block = blocks_.at(c);
+    if (block.refs == 0 && block.children == 0)
+      evictable_.erase(block.lru_seq);
+    ++block.refs;
+  }
+  pins_[request.id] = std::move(matched);
+  return tokens;
+}
+
+void PrefixCache::unpin(RequestId request) {
+  auto it = pins_.find(request);
+  if (it == pins_.end()) return;
+  for (const std::uint64_t c : it->second) {
+    auto bit = blocks_.find(c);
+    if (bit == blocks_.end()) continue;  // pinned blocks are never evicted
+    Block& block = bit->second;
+    --block.refs;
+    if (block.refs == 0 && block.children == 0) make_evictable(block);
+  }
+  pins_.erase(it);
+}
+
+long PrefixCache::retain(const Request& request, TokenCount kv_end,
+                         TokenCount kv_cached, BlockManager& bm) {
+  if (capacity_blocks_ <= 0) return 0;
+  const TokenCount shareable_end =
+      request.session >= 0
+          ? kv_end
+          : std::min<TokenCount>(request.shared_prefix_tokens, kv_end);
+  const long first = kv_cached / block_size_;  // cached prefix: block-aligned
+  const long last = shareable_end / block_size_;  // whole blocks only
+  if (last <= first) return 0;
+
+  // Rebuild the chain hash up to the donation start.
+  std::uint64_t parent_chain = kChainSeed;
+  for (long d = 0; d < first; ++d) {
+    const std::uint64_t content =
+        block_content(request, static_cast<int>(d));
+    if (content == 0) return 0;  // cached prefix must be shareable
+    parent_chain = mix(parent_chain, content);
+  }
+
+  const std::uint64_t call_start_seq = next_seq_;
+  long inserted = 0;
+  for (long d = first; d < last; ++d) {
+    const std::uint64_t content =
+        block_content(request, static_cast<int>(d));
+    if (content == 0) break;
+    const std::uint64_t child = mix(parent_chain, content);
+    auto it = blocks_.find(child);
+    if (it != blocks_.end()) {
+      // Already resident (another request of the same group/session beat
+      // us to it); the caller still owns — and will release — its copy.
+      parent_chain = child;
+      continue;
+    }
+    // Make room, but never by evicting a block this call just inserted.
+    bool room = true;
+    while (resident_blocks() >= capacity_blocks_) {
+      if (evictable_.empty() ||
+          evictable_.begin()->first >= call_start_seq) {
+        room = false;
+        break;
+      }
+      evict_block(evictable_.begin()->second);
+      bm.release_cached(1);
+    }
+    if (!room) break;
+
+    Block block;
+    block.chain = child;
+    block.parent = parent_chain;
+    block.depth = static_cast<int>(d);
+    block.session = request.session;
+    if (d > 0) {
+      auto pit = blocks_.find(parent_chain);
+      if (pit != blocks_.end()) {
+        Block& parent = pit->second;
+        if (parent.refs == 0 && parent.children == 0)
+          evictable_.erase(parent.lru_seq);
+        ++parent.children;
+      }
+    }
+    make_evictable(blocks_.emplace(child, block).first->second);
+    note_session_delta(request.session, +1);
+    ++stats_.inserted_blocks;
+    ++inserted;
+    parent_chain = child;
+  }
+  if (inserted > 0) bm.transfer_to_cache(request.id, inserted);
+  return inserted;
+}
+
+long PrefixCache::reclaim(long want, BlockManager& bm) {
+  long evicted = 0;
+  while (evicted < want && !evictable_.empty()) {
+    evict_block(evictable_.begin()->second);
+    bm.release_cached(1);
+    ++evicted;
+  }
+  return evicted;
+}
+
+void PrefixCache::make_evictable(Block& block) {
+  block.lru_seq = next_seq_++;
+  evictable_[block.lru_seq] = block.chain;
+}
+
+void PrefixCache::evict_block(std::uint64_t chain) {
+  auto it = blocks_.find(chain);
+  VIDUR_CHECK_MSG(it != blocks_.end(), "evicting a non-resident block");
+  const Block block = it->second;
+  VIDUR_CHECK_MSG(block.refs == 0 && block.children == 0,
+                  "evicting a pinned or interior block");
+  evictable_.erase(block.lru_seq);
+  blocks_.erase(it);
+  if (block.depth > 0) {
+    auto pit = blocks_.find(block.parent);
+    if (pit != blocks_.end()) {
+      Block& parent = pit->second;
+      --parent.children;
+      if (parent.refs == 0 && parent.children == 0) make_evictable(parent);
+    }
+  }
+  note_session_delta(block.session, -1);
+  ++stats_.evicted_blocks;
+}
+
+void PrefixCache::note_session_delta(std::int64_t session, long delta) {
+  if (session < 0) return;
+  auto it = session_blocks_.find(session);
+  if (it == session_blocks_.end()) {
+    if (delta > 0) session_blocks_[session] = delta;
+    return;
+  }
+  it->second += delta;
+  if (it->second <= 0) session_blocks_.erase(it);
+}
+
+}  // namespace vidur

@@ -1,0 +1,122 @@
+// Per-replica prefix cache: block-granular KV reuse over the BlockManager.
+//
+// Completed requests donate their shareable KV blocks (shared system
+// prompts, multi-turn conversation context) into a per-replica pool keyed
+// by token-hash chains. A later request whose prefix hashes to a resident
+// chain skips the matched tokens' prefill compute entirely; the scheduler
+// charges only the cold suffix. Retained blocks live inside the replica's
+// BlockManager accounting (the KV-pressure signal sees them), are pinned
+// while any request reads them, and are evicted LRU-leaf-first when the
+// pool exceeds its capacity or an active request needs the memory back.
+//
+// Determinism: eviction order is a strict LRU sequence number (no clocks,
+// no pointers), so same-seed replays are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "kvcache/prefix_cache_config.h"
+#include "scheduler/memory.h"
+#include "workload/request.h"
+
+namespace vidur {
+
+/// Exact cache accounting. hits + misses == lookups always; tokens_saved
+/// is the sum of matched prefix tokens across all hits.
+struct PrefixCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserted_blocks = 0;
+  std::uint64_t evicted_blocks = 0;
+  TokenCount tokens_saved = 0;
+};
+
+class PrefixCache {
+ public:
+  /// `capacity_blocks` caps the retained (unpinned + pinned) pool size;
+  /// `block_size` must match the replica's BlockManager.
+  PrefixCache(long capacity_blocks, TokenCount block_size);
+
+  /// Longest resident prefix of `request`, in tokens. Read-only: no stats,
+  /// no pins, no LRU touch — safe for routing probes.
+  TokenCount probe(const Request& request) const;
+
+  /// Like probe, but records the lookup (hit/miss, tokens saved, tenant
+  /// slice) and pins every matched block until unpin(request.id). The
+  /// scheduler performs at most one attach per (re-)admission. Returns the
+  /// matched token count.
+  TokenCount attach(const Request& request);
+
+  /// Drop `request`'s pins. Blocks whose last pin leaves become LRU
+  /// eviction candidates (leaves only; interior chain blocks stay until
+  /// their children go). No-op for unknown ids.
+  void unpin(RequestId request);
+
+  /// Donate `request`'s shareable KV blocks in [kv_cached, kv_end) to the
+  /// cache. Whole blocks only; already-resident blocks are skipped. Evicts
+  /// LRU leaves when over capacity, but never blocks donated by this call.
+  /// Ownership of the inserted blocks moves from the request's allocation
+  /// to the cache pool inside `bm` (used_blocks is unchanged). Returns the
+  /// number of blocks inserted.
+  long retain(const Request& request, TokenCount kv_end, TokenCount kv_cached,
+              BlockManager& bm);
+
+  /// Evict up to `want` LRU leaf blocks, freeing their memory in `bm`.
+  /// Returns the number actually evicted (may be less when everything
+  /// left is pinned or interior).
+  long reclaim(long want, BlockManager& bm);
+
+  long capacity_blocks() const { return capacity_blocks_; }
+  long resident_blocks() const { return static_cast<long>(blocks_.size()); }
+  long evictable_blocks() const { return static_cast<long>(evictable_.size()); }
+  /// Sessions with at least one resident block on this replica.
+  long resident_sessions() const {
+    return static_cast<long>(session_blocks_.size());
+  }
+
+  const PrefixCacheStats& stats() const { return stats_; }
+  /// Per-tenant slices, keyed by tenant id (ordered for determinism).
+  const std::map<TenantId, PrefixCacheStats>& tenant_stats() const {
+    return tenant_stats_;
+  }
+
+ private:
+  struct Block {
+    std::uint64_t chain = 0;   ///< hash of the full prefix through this block
+    std::uint64_t parent = 0;  ///< chain of the previous block (depth > 0)
+    int depth = 0;             ///< block index within the prefix
+    std::int64_t session = -1;
+    int refs = 0;      ///< active requests reading this block
+    int children = 0;  ///< resident blocks whose parent is this block
+    std::uint64_t lru_seq = 0;  ///< meaningful only while evictable
+  };
+
+  /// Content identity of `request`'s block `depth`, or 0 if that block is
+  /// not shareable (past the shared prefix of a sessionless request).
+  std::uint64_t block_content(const Request& request, int depth) const;
+  /// Walks the chain; returns matched block count and the final chain hash.
+  long match_blocks(const Request& request, std::uint64_t* last_chain) const;
+  void make_evictable(Block& block);
+  /// Evicts the block `chain` (must be a leaf in evictable_).
+  void evict_block(std::uint64_t chain);
+  void note_session_delta(std::int64_t session, long delta);
+
+  long capacity_blocks_;
+  TokenCount block_size_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, Block> blocks_;
+  /// LRU order over unpinned leaves: lru_seq -> chain. std::map keeps the
+  /// eviction order deterministic and O(log n) per touch.
+  std::map<std::uint64_t, std::uint64_t> evictable_;
+  std::unordered_map<RequestId, std::vector<std::uint64_t>> pins_;
+  std::map<std::int64_t, long> session_blocks_;
+  PrefixCacheStats stats_;
+  std::map<TenantId, PrefixCacheStats> tenant_stats_;
+};
+
+}  // namespace vidur

@@ -1,0 +1,29 @@
+// Deployment-level prefix-cache knob. Kept dependency-free so the core
+// deployment config can embed it without pulling in the cache itself.
+#pragma once
+
+#include "common/check.h"
+
+namespace vidur {
+
+/// Per-replica prefix cache over the paged KV pool. When enabled, each
+/// replica retains the KV of completed requests whose prefixes are
+/// shareable (common system prompts, multi-turn conversations) and serves
+/// later prefills from the resident blocks, charging only the cold suffix.
+struct PrefixCacheConfig {
+  bool enabled = false;
+  /// Fraction of the replica's KV blocks the retained (unpinned) prefix
+  /// pool may occupy. Active requests always win: the scheduler reclaims
+  /// cached blocks on demand before failing an allocation.
+  double capacity_fraction = 0.5;
+
+  bool operator==(const PrefixCacheConfig&) const = default;
+
+  void validate() const {
+    VIDUR_CHECK_MSG(capacity_fraction > 0 && capacity_fraction <= 1.0,
+                    "prefix_cache.capacity_fraction must be in (0, 1], got "
+                        << capacity_fraction);
+  }
+};
+
+}  // namespace vidur

@@ -110,6 +110,44 @@ struct PoolResources {
   double peak_watts_per_gpu = 0.0;
 };
 
+/// Exact prefix-cache accounting aggregated across a run's replicas
+/// (src/kvcache/). Conservation invariants: hits + misses == lookups, and
+/// tokens_saved is exactly the prefill compute the schedulers skipped.
+struct PrefixCacheMetrics {
+  bool enabled = false;
+  std::int64_t lookups = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t inserted_blocks = 0;
+  std::int64_t evicted_blocks = 0;
+  TokenCount tokens_saved = 0;       ///< prefill tokens served from cache
+  double bytes_saved = 0.0;          ///< KV bytes not recomputed (replica-wide)
+  std::int64_t resident_sessions = 0;  ///< sessions with resident KV at end
+
+  double hit_rate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  /// Per-tenant / per-pool slice of the cache traffic.
+  struct Slice {
+    std::string name;
+    std::int64_t lookups = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    TokenCount tokens_saved = 0;
+
+    double hit_rate() const {
+      return lookups == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+  };
+  std::vector<Slice> by_tenant;  ///< sorted by tenant id
+  std::vector<Slice> by_pool;    ///< pool order (pool deployments only)
+};
+
 /// Aggregated output of one simulation.
 struct SimulationMetrics {
   // Request-level.
@@ -188,6 +226,10 @@ struct SimulationMetrics {
   /// threads.
   std::int64_t estimator_cache_hits = 0;
   std::int64_t estimator_cache_misses = 0;
+
+  /// Prefix-cache traffic (KV reuse); enabled=false when the deployment
+  /// ran without a prefix cache.
+  PrefixCacheMetrics prefix_cache;
 
   /// Cluster-wide SLO attainment: the fraction of all requests (across
   /// every SLO-carrying tenant, weighted by traffic) that met their

@@ -67,6 +67,7 @@ struct ReqTrack {
   TokenCount decode_tokens = 0;
   bool parked = false;       ///< first route left it centrally parked
   bool seen_lifecycle = false;
+  TokenCount cached_tokens = 0;  ///< prefix tokens served from cache
   std::vector<const TraceRecord*> events;  ///< post-arrival, stream order
 };
 
@@ -246,6 +247,7 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
   std::map<ReplicaId, std::vector<std::pair<Seconds, ReplicaState>>>
       transitions;
   std::map<ReplicaId, std::vector<WaitStep>> wait_steps;
+  std::vector<const TraceRecord*> cache_lookups;  ///< stream order
 
   // Location of each request, for the waiting-count step functions.
   enum class Loc { kNone, kCentral, kWaiting, kRunning, kMigrating };
@@ -352,6 +354,13 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
         break;
       case TraceEventKind::kScaleDecision:
         break;
+      case TraceEventKind::kCacheLookup:
+        // Cache consultations sit outside the lifecycle walk (they are
+        // instantaneous and never own a latency segment), so they must not
+        // enter `events` — the conservation invariant is untouched.
+        tracks[r.id].cached_tokens += r.a;
+        cache_lookups.push_back(&r);
+        break;
     }
   }
 
@@ -392,6 +401,7 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
     wf.arrival = t.arrival;
     wf.prefill_tokens = t.prefill_tokens;
     wf.decode_tokens = t.decode_tokens;
+    wf.cached_tokens = t.cached_tokens;
 
     Seconds cursor = t.arrival;
     Phase state = Phase::kSchedulingDelay;
@@ -792,6 +802,39 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
   report.blame_by_pool = rank(std::move(by_pool));
   report.blame_by_replica = rank(std::move(by_replica));
 
+  // ---- prefix-cache usage ---------------------------------------------
+
+  if (!cache_lookups.empty()) {
+    std::map<std::string, CacheUsage> cache_by_tenant, cache_by_pool;
+    const auto count = [](CacheUsage& u, const TraceRecord& r) {
+      u.lookups += 1;
+      (r.detail != 0 ? u.hits : u.misses) += 1;
+      u.cached_tokens += r.a;
+      u.prefill_tokens += r.b;
+    };
+    for (const TraceRecord* rp : cache_lookups) {
+      const TraceRecord& r = *rp;
+      count(report.cache, r);
+      const auto it = tracks.find(r.id);
+      const int tenant =
+          it != tracks.end() && it->second.has_arrival ? it->second.tenant
+                                                       : -1;
+      count(cache_by_tenant[tenant_key(options, tenant)], r);
+      count(cache_by_pool[pool_key(options, r.replica)], r);
+    }
+    const auto flatten = [](std::map<std::string, CacheUsage> m) {
+      std::vector<CacheUsage> out;
+      out.reserve(m.size());
+      for (auto& [key, u] : m) {
+        u.key = key;
+        out.push_back(std::move(u));
+      }
+      return out;
+    };
+    report.cache_by_tenant = flatten(std::move(cache_by_tenant));
+    report.cache_by_pool = flatten(std::move(cache_by_pool));
+  }
+
   return report;
 }
 
@@ -890,6 +933,7 @@ JsonValue analysis_json(const AnalysisReport& r) {
     w.set("ttft", wf.ttft);
     w.set("prefill_tokens", wf.prefill_tokens);
     w.set("decode_tokens", wf.decode_tokens);
+    if (wf.cached_tokens > 0) w.set("cached_tokens", wf.cached_tokens);
     if (wf.num_restarts > 0) w.set("restarts", wf.num_restarts);
     if (wf.migrated) w.set("migrated", true);
     w.set("phases", phases_json(wf.phase));
@@ -980,6 +1024,33 @@ JsonValue analysis_json(const AnalysisReport& r) {
   }
   j.set("queueing", std::move(queueing));
 
+  // Emitted only when the stream carried cache lookups, so reports of
+  // cache-off runs stay byte-identical to pre-v3 renderings.
+  if (r.cache.lookups > 0) {
+    const auto usage_json = [](const CacheUsage& u) {
+      JsonValue c = JsonValue::object();
+      if (!u.key.empty()) c.set("key", u.key);
+      c.set("lookups", u.lookups);
+      c.set("hits", u.hits);
+      c.set("misses", u.misses);
+      c.set("hit_rate", u.hit_rate());
+      c.set("cached_tokens", u.cached_tokens);
+      c.set("prefill_tokens", u.prefill_tokens);
+      return c;
+    };
+    JsonValue cache = usage_json(r.cache);
+    const auto slices_json = [&](const std::vector<CacheUsage>& v) {
+      JsonValue arr = JsonValue::array();
+      for (const CacheUsage& u : v) arr.push(usage_json(u));
+      return arr;
+    };
+    if (!r.cache_by_tenant.empty())
+      cache.set("by_tenant", slices_json(r.cache_by_tenant));
+    if (!r.cache_by_pool.empty())
+      cache.set("by_pool", slices_json(r.cache_by_pool));
+    j.set("cache", std::move(cache));
+  }
+
   j.set("context", analysis_options_json(r.options));
   return j;
 }
@@ -1034,6 +1105,8 @@ AnalysisReport analysis_report_from_json(const JsonValue& doc) {
     wf.ttft = w.at("ttft").as_double();
     wf.prefill_tokens = w.at("prefill_tokens").as_int();
     wf.decode_tokens = w.at("decode_tokens").as_int();
+    if (const JsonValue* v = w.find("cached_tokens"))
+      wf.cached_tokens = v->as_int();
     if (const JsonValue* v = w.find("restarts"))
       wf.num_restarts = static_cast<int>(v->as_int());
     if (const JsonValue* v = w.find("migrated"))
@@ -1120,6 +1193,26 @@ AnalysisReport analysis_report_from_json(const JsonValue& doc) {
     r.queue_causes.push_back(q);
   }
 
+  if (const JsonValue* cj = doc.find("cache")) {
+    const auto usage_from = [](const JsonValue& c) {
+      CacheUsage u;
+      if (const JsonValue* k = c.find("key")) u.key = k->as_string();
+      u.lookups = c.at("lookups").as_int();
+      u.hits = c.at("hits").as_int();
+      u.misses = c.at("misses").as_int();
+      u.cached_tokens = c.at("cached_tokens").as_int();
+      u.prefill_tokens = c.at("prefill_tokens").as_int();
+      return u;
+    };
+    r.cache = usage_from(*cj);
+    if (const JsonValue* v = cj->find("by_tenant"))
+      for (const JsonValue& u : v->items())
+        r.cache_by_tenant.push_back(usage_from(u));
+    if (const JsonValue* v = cj->find("by_pool"))
+      for (const JsonValue& u : v->items())
+        r.cache_by_pool.push_back(usage_from(u));
+  }
+
   return r;
 }
 
@@ -1182,6 +1275,10 @@ std::string analysis_to_string(const AnalysisReport& r) {
       notes += std::to_string(wf->num_restarts) + " restart" +
                (wf->num_restarts > 1 ? "s" : "");
     if (wf->migrated) notes += notes.empty() ? "migrated" : ", migrated";
+    if (wf->cached_tokens > 0)
+      notes += (notes.empty() ? "" : ", ") + std::string("cached ") +
+               std::to_string(static_cast<long long>(wf->cached_tokens)) +
+               " tok";
     std::snprintf(
         buf, sizeof(buf),
         "  %-8lld %9.4f %9.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f  %s\n",
@@ -1258,6 +1355,37 @@ std::string analysis_to_string(const AnalysisReport& r) {
         out << buf;
       }
     }
+  }
+
+  // Prefix-cache usage.
+  if (r.cache.lookups > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nprefix cache: %lld lookups, %lld hits (%.1f%%), "
+                  "%lld / %lld prefill tokens served from cache\n",
+                  static_cast<long long>(r.cache.lookups),
+                  static_cast<long long>(r.cache.hits),
+                  100.0 * r.cache.hit_rate(),
+                  static_cast<long long>(r.cache.cached_tokens),
+                  static_cast<long long>(r.cache.prefill_tokens));
+    out << buf;
+    const auto cache_table = [&](const char* title,
+                                 const std::vector<CacheUsage>& v) {
+      if (v.empty()) return;
+      out << "  by " << title << "\n";
+      std::snprintf(buf, sizeof(buf), "    %-20s %8s %8s %7s %14s\n", "key",
+                    "lookups", "hits", "rate", "cached-tokens");
+      out << buf;
+      for (const CacheUsage& u : v) {
+        std::snprintf(buf, sizeof(buf),
+                      "    %-20s %8lld %8lld %6.1f%% %14lld\n",
+                      u.key.c_str(), static_cast<long long>(u.lookups),
+                      static_cast<long long>(u.hits), 100.0 * u.hit_rate(),
+                      static_cast<long long>(u.cached_tokens));
+        out << buf;
+      }
+    };
+    cache_table("tenant", r.cache_by_tenant);
+    cache_table("pool", r.cache_by_pool);
   }
 
   // Queueing decomposition.

@@ -74,6 +74,9 @@ struct RequestWaterfall {
   Seconds ttft = -1.0;  ///< first prefill completion - arrival
   TokenCount prefill_tokens = 0;
   TokenCount decode_tokens = 0;
+  /// Prefill tokens served from the replica's prefix cache (0 when the
+  /// request missed, or when prefix caching was off).
+  TokenCount cached_tokens = 0;
   int num_restarts = 0;
   bool migrated = false;
   PhaseBreakdown phase{};       ///< sums to e2e (conservation invariant)
@@ -161,6 +164,23 @@ struct QueueCauseStats {
   Summary wait;  ///< arrival-to-first-schedule seconds
 };
 
+/// Prefix-cache consultation totals over one grouping key (a tenant or a
+/// pool), or the whole run. Built from kCacheLookup records;
+/// hits + misses == lookups by construction.
+struct CacheUsage {
+  std::string key;                  ///< tenant/pool name; empty for totals
+  std::int64_t lookups = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t cached_tokens = 0;   ///< prefill tokens served from cache
+  std::int64_t prefill_tokens = 0;  ///< prompt tokens across lookups
+  double hit_rate() const {
+    return lookups > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  }
+};
+
 /// Per-tenant SLO override (falls back to the global targets when absent).
 struct TenantSloOverride {
   int tenant = -1;
@@ -211,6 +231,11 @@ struct AnalysisReport {
 
   std::vector<QueueCauseStats> queue_causes;  ///< enum order, empty
                                               ///< causes omitted
+
+  CacheUsage cache;  ///< run-wide prefix-cache totals (lookups == 0 when
+                     ///< caching was off or the trace predates schema v3)
+  std::vector<CacheUsage> cache_by_tenant;  ///< ascending key
+  std::vector<CacheUsage> cache_by_pool;    ///< ascending key
 
   AnalysisOptions options;  ///< the options the report was built with
 };

@@ -22,6 +22,7 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kBatchEnd: return "batch-end";
     case TraceEventKind::kReplicaTransition: return "replica-transition";
     case TraceEventKind::kScaleDecision: return "scale-decision";
+    case TraceEventKind::kCacheLookup: return "cache-lookup";
   }
   return "unknown";
 }
@@ -222,6 +223,17 @@ JsonValue chrome_trace_json(const std::vector<TraceRecord>& records) {
         events.push(std::move(e));
         break;
       }
+      case TraceEventKind::kCacheLookup: {
+        JsonValue e = instant_event(
+            r.detail != 0 ? "cache-hit" : "cache-miss", kRequestsPid, r.id,
+            r.time);
+        JsonValue args = JsonValue::object();
+        args.set("cached_tokens", r.a);
+        args.set("prefill_tokens", r.b);
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+        break;
+      }
     }
   }
 
@@ -312,7 +324,7 @@ std::vector<TraceRecord> trace_records_from_json(const JsonValue& doc) {
     const std::int64_t kind = f[0].as_int();
     VIDUR_CHECK_MSG(
         kind >= 0 && kind <= static_cast<std::int64_t>(
-                                 TraceEventKind::kScaleDecision),
+                                 TraceEventKind::kCacheLookup),
         "trace record " << i << " has unknown kind " << kind);
     TraceRecord r;
     r.kind = static_cast<TraceEventKind>(kind);

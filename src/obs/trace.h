@@ -30,7 +30,11 @@ namespace vidur {
 /// re-completion after a preemption restart (detail=1); kCompleted carries
 /// the final batch size (b); kArrival carries the tenant id (detail,
 /// tenant + 1, 0 = untagged).
-inline constexpr int kTraceSchemaVersion = 2;
+///
+/// v3: adds kCacheLookup — one record per prefix-cache consultation
+/// (id=request, replica=where, a=matched prefix tokens, b=prompt tokens,
+/// detail=1 hit / 0 miss).
+inline constexpr int kTraceSchemaVersion = 3;
 
 /// What one trace record describes. Request-lifecycle kinds carry the
 /// request id; batch kinds carry a per-run monotonic batch sequence number;
@@ -60,6 +64,9 @@ enum class TraceEventKind : std::uint8_t {
                        ///< a=cluster-wide active count after
   kScaleDecision,  ///< autoscaler group decision: detail=role,
                    ///< a=desired replicas, b=active replicas
+  kCacheLookup,    ///< id=request consulted the replica's prefix cache:
+                   ///< a=matched prefix tokens served from cache,
+                   ///< b=prompt tokens, detail=1 hit / 0 miss
 };
 
 const char* trace_event_kind_name(TraceEventKind kind);

@@ -129,6 +129,71 @@ Scenario make_stepload_mixed() {
   return s;
 }
 
+Scenario make_session_chat() {
+  Scenario s;
+  s.name = "session-chat";
+  s.description =
+      "Single chat tenant of multi-turn sessions (up to 6 turns, 20 s mean "
+      "think time) over a 512-token shared system prompt: each turn's "
+      "prompt replays the conversation so far, the workload prefix caching "
+      "exists for.";
+  TenantSpec chat{.name = "chat",
+                  .trace = trace_by_name("chat1m"),
+                  .share = 1.0,
+                  .priority = 0,
+                  .slo = interactive_slo()};
+  chat.session = SessionSpec{.max_turns = 6,
+                             .mean_think_time_s = 20.0,
+                             .shared_prefix_tokens = 512,
+                             .prefix_groups = 1,
+                             .max_context_tokens = 8192};
+  s.tenants = {chat};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/1.0, /*cv=*/0};
+  s.profile = RateProfile::constant();
+  s.num_requests = 600;
+  return s;
+}
+
+Scenario make_shared_prefix_mix() {
+  Scenario s;
+  s.name = "shared-prefix-mix";
+  s.description =
+      "Two agent tenants whose single-turn requests each carry a long "
+      "shared system prompt (one tenant rotates over 4 prompts), competing "
+      "with uncached background summarization: the tenant-mix case for "
+      "per-tenant hit-rate attribution.";
+  TenantSpec assistant{.name = "assistant",
+                       .trace = trace_by_name("chat1m"),
+                       .share = 0.45,
+                       .priority = 1,
+                       .slo = interactive_slo()};
+  assistant.session = SessionSpec{.max_turns = 1,
+                                  .mean_think_time_s = 0.0,
+                                  .shared_prefix_tokens = 1024,
+                                  .prefix_groups = 1,
+                                  .max_context_tokens = 8192};
+  TenantSpec agents{.name = "agents",
+                    .trace = trace_by_name("chat1m"),
+                    .share = 0.35,
+                    .priority = 0,
+                    .slo = interactive_slo()};
+  agents.session = SessionSpec{.max_turns = 1,
+                               .mean_think_time_s = 0.0,
+                               .shared_prefix_tokens = 768,
+                               .prefix_groups = 4,
+                               .max_context_tokens = 8192};
+  TenantSpec batch{.name = "batch",
+                   .trace = trace_by_name("arxiv4k"),
+                   .share = 0.2,
+                   .priority = 0,
+                   .slo = batch_slo()};
+  s.tenants = {assistant, agents, batch};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/2.0, /*cv=*/0};
+  s.profile = RateProfile::constant();
+  s.num_requests = 600;
+  return s;
+}
+
 std::vector<Scenario> make_builtins() {
   std::vector<Scenario> scenarios;
   scenarios.push_back(make_diurnal_chat());
@@ -136,6 +201,8 @@ std::vector<Scenario> make_builtins() {
   scenarios.push_back(make_flash_crowd_mixed());
   scenarios.push_back(make_batch_over_interactive());
   scenarios.push_back(make_stepload_mixed());
+  scenarios.push_back(make_session_chat());
+  scenarios.push_back(make_shared_prefix_mix());
   return scenarios;
 }
 

@@ -1,5 +1,6 @@
 #include "scenario/scenario.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -27,6 +28,25 @@ void Scenario::validate() const {
                     "scenario '" << name << "': tenant '" << t.name
                                  << "' share must be > 0");
     t.trace.validate();
+    const SessionSpec& s = t.session;
+    VIDUR_CHECK_MSG(s.max_turns >= 1,
+                    "scenario '" << name << "': tenant '" << t.name
+                                 << "' session.max_turns must be >= 1");
+    VIDUR_CHECK_MSG(
+        std::isfinite(s.mean_think_time_s) && s.mean_think_time_s >= 0,
+        "scenario '" << name << "': tenant '" << t.name
+                     << "' session.mean_think_time_s must be >= 0");
+    VIDUR_CHECK_MSG(s.shared_prefix_tokens >= 0,
+                    "scenario '" << name << "': tenant '" << t.name
+                                 << "' session.shared_prefix_tokens must be "
+                                    ">= 0");
+    VIDUR_CHECK_MSG(s.prefix_groups >= 1,
+                    "scenario '" << name << "': tenant '" << t.name
+                                 << "' session.prefix_groups must be >= 1");
+    VIDUR_CHECK_MSG(s.max_context_tokens > s.shared_prefix_tokens,
+                    "scenario '" << name << "': tenant '" << t.name
+                                 << "' session.max_context_tokens must "
+                                    "exceed session.shared_prefix_tokens");
   }
   arrival.validate();
   profile.validate();
@@ -61,6 +81,15 @@ std::string Scenario::to_string() const {
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     if (i > 0) os << ", ";
     os << tenants[i].name << " " << tenants[i].trace.name;
+    const SessionSpec& sess = tenants[i].session;
+    if (sess.enabled()) {
+      os << " [sessions:";
+      if (sess.max_turns > 1) os << " <=" << sess.max_turns << " turns";
+      if (sess.shared_prefix_tokens > 0)
+        os << " shared-prefix " << sess.shared_prefix_tokens;
+      if (sess.prefix_groups > 1) os << " x" << sess.prefix_groups;
+      os << "]";
+    }
   }
   os << "), ";
   switch (arrival.kind) {
@@ -118,19 +147,88 @@ Trace generate_scenario_trace(const Scenario& scenario, std::uint64_t seed) {
   Trace out;
   out.reserve(static_cast<std::size_t>(scenario.num_requests));
 
+  bool any_sessions = false;
+  for (const TenantSpec& t : scenario.tenants)
+    any_sessions |= t.session.enabled();
+  std::int64_t next_session = 0;
+
   const auto emit = [&](Seconds arrival_time) {
     const std::size_t i = pick_tenant();
-    Request r = sample_request(scenario.tenants[i].trace, tenant_rngs[i]);
+    const TenantSpec& tenant = scenario.tenants[i];
+    Rng& rng = tenant_rngs[i];
+    Request r = sample_request(tenant.trace, rng);
     r.id = static_cast<RequestId>(out.size());
     r.arrival_time = arrival_time;
     r.tenant = static_cast<TenantId>(i);
-    r.priority = scenario.tenants[i].priority;
+    r.priority = tenant.priority;
+    const SessionSpec& session = tenant.session;
+    if (!session.enabled()) {
+      out.push_back(r);
+      return;
+    }
+
+    // Expand the arrival into a session: tag turn 0, then chain follow-up
+    // turns whose prompts carry the whole preceding context.
+    r.session = next_session++;
+    r.shared_prefix_tokens = session.shared_prefix_tokens;
+    if (session.shared_prefix_tokens > 0) {
+      // Group ids are disjoint across tenants (stride > any group count),
+      // so two tenants' prompts never alias in the prefix cache.
+      const std::int64_t group =
+          session.prefix_groups > 1
+              ? rng.uniform_int(0, session.prefix_groups - 1)
+              : 0;
+      r.prefix_group = static_cast<std::int64_t>(i) * 65536 + group;
+      r.prefill_tokens += session.shared_prefix_tokens;
+    }
+    r.prefill_tokens =
+        std::min(r.prefill_tokens, session.max_context_tokens);
+    const int turns =
+        session.max_turns > 1
+            ? static_cast<int>(rng.uniform_int(1, session.max_turns))
+            : 1;
     out.push_back(r);
+    Request prev = r;
+    for (int turn = 1; turn < turns; ++turn) {
+      Request next = sample_request(tenant.trace, rng);
+      const Seconds gap =
+          session.mean_think_time_s > 0
+              ? rng.exponential(1.0 / session.mean_think_time_s)
+              : 0.0;
+      next.arrival_time = prev.arrival_time + gap;
+      next.id = static_cast<RequestId>(out.size());
+      next.tenant = prev.tenant;
+      next.priority = prev.priority;
+      next.session = prev.session;
+      next.turn = turn;
+      next.shared_prefix_tokens = prev.shared_prefix_tokens;
+      next.prefix_group = prev.prefix_group;
+      next.prefill_tokens = std::min(
+          prev.prefill_tokens + prev.decode_tokens + next.prefill_tokens,
+          session.max_context_tokens);
+      out.push_back(next);
+      prev = next;
+    }
+  };
+
+  // Session expansion appends follow-up turns out of arrival order and may
+  // overshoot num_requests; restore both invariants at the end.
+  const auto finalize = [&](Trace trace) {
+    if (!any_sessions) return trace;
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request& a, const Request& b) {
+                       return a.arrival_time < b.arrival_time;
+                     });
+    if (static_cast<int>(trace.size()) > scenario.num_requests)
+      trace.resize(static_cast<std::size_t>(scenario.num_requests));
+    for (std::size_t k = 0; k < trace.size(); ++k)
+      trace[k].id = static_cast<RequestId>(k);
+    return trace;
   };
 
   if (scenario.arrival.kind == ArrivalKind::kStatic) {
-    for (int n = 0; n < scenario.num_requests; ++n) emit(0.0);
-    return out;
+    while (static_cast<int>(out.size()) < scenario.num_requests) emit(0.0);
+    return finalize(std::move(out));
   }
 
   // Thinning: candidates from the baseline process at the profile's peak
@@ -160,7 +258,7 @@ Trace generate_scenario_trace(const Scenario& scenario, std::uint64_t seed) {
     const double accept = scenario.profile.factor_at(clock) / peak;
     if (master.bernoulli(accept)) emit(clock);
   }
-  return out;
+  return finalize(std::move(out));
 }
 
 }  // namespace vidur

@@ -20,6 +20,33 @@
 
 namespace vidur {
 
+/// Multi-turn session structure of one tenant's traffic (the prefix-cache
+/// workload shape: conversations that reuse their own growing context, and
+/// fleets of sessions sharing a system prompt). Disabled by default: every
+/// arrival is an independent single-turn request, and generation is
+/// bit-identical to the pre-session engine.
+struct SessionSpec {
+  /// Turns per session, drawn uniformly from [1, max_turns]. 1 disables
+  /// multi-turn structure (but shared_prefix_tokens still applies).
+  int max_turns = 1;
+  /// Mean think-time gap between a turn's arrival and the next turn's
+  /// (exponential); 0 makes follow-up turns arrive immediately.
+  Seconds mean_think_time_s = 0.0;
+  /// Leading prompt tokens shared across this tenant's sessions (a system
+  /// prompt). Added on top of each first turn's sampled input length.
+  TokenCount shared_prefix_tokens = 0;
+  /// Distinct shared prompts the tenant rotates over (each session picks
+  /// one uniformly); > 1 models a mixed-prompt tenant.
+  int prefix_groups = 1;
+  /// Context-window cap: a turn's grown prompt (previous context + new
+  /// input) is truncated to this many tokens.
+  TokenCount max_context_tokens = 16384;
+
+  bool enabled() const { return max_turns > 1 || shared_prefix_tokens > 0; }
+
+  bool operator==(const SessionSpec&) const = default;
+};
+
 /// One tenant's contribution to a scenario.
 struct TenantSpec {
   std::string name;
@@ -29,6 +56,8 @@ struct TenantSpec {
   /// Higher is more important (GlobalSchedulerKind::kPriority routing).
   int priority = 0;
   SloSpec slo;
+  /// Session structure (multi-turn, shared prefixes); default single-turn.
+  SessionSpec session;
 };
 
 struct Scenario {
@@ -71,6 +100,14 @@ struct Scenario {
 /// assigned a tenant by share, and its lengths are drawn from that tenant's
 /// TraceSpec using a per-tenant forked RNG stream, so one tenant's length
 /// sequence does not depend on the other tenants' sampling.
+///
+/// Tenants with an enabled SessionSpec expand each accepted arrival into a
+/// whole session: turn j+1 arrives a think-time gap after turn j, its
+/// prompt is turn j's full context (prompt + decoded tokens) plus a fresh
+/// sampled input (capped at max_context_tokens), and every turn carries the
+/// session id / turn index / shared-prefix tagging the prefix cache keys
+/// on. The merged trace is re-sorted by arrival time and truncated to
+/// num_requests.
 Trace generate_scenario_trace(const Scenario& scenario, std::uint64_t seed);
 
 }  // namespace vidur

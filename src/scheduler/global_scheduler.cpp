@@ -15,6 +15,7 @@ const std::vector<std::pair<GlobalSchedulerKind, std::string>>& names() {
           {GlobalSchedulerKind::kLeastOutstanding, "least_outstanding"},
           {GlobalSchedulerKind::kDeferred, "deferred"},
           {GlobalSchedulerKind::kPriority, "priority"},
+          {GlobalSchedulerKind::kCacheAware, "cache_aware"},
       };
   return table;
 }
@@ -66,6 +67,27 @@ ReplicaId GlobalScheduler::route(RequestState* request,
         if (best < 0 || outstanding[static_cast<std::size_t>(r)] <
                             outstanding[static_cast<std::size_t>(best)])
           best = r;
+      }
+      if (best < 0) throw Error("global scheduler: no routable replica");
+      return best;
+    }
+    case GlobalSchedulerKind::kCacheAware: {
+      // Longest resident prefix wins; ties break to fewer outstanding,
+      // then to the lowest replica id (strictly-better wins throughout,
+      // so the scan order fixes every tie deterministically).
+      ReplicaId best = -1;
+      TokenCount best_match = 0;
+      for (int r = 0; r < num_replicas_; ++r) {
+        if (!ok(r)) continue;
+        const TokenCount match =
+            cache_probe_ ? cache_probe_(request->request, r) : 0;
+        if (best < 0 || match > best_match ||
+            (match == best_match &&
+             outstanding[static_cast<std::size_t>(r)] <
+                 outstanding[static_cast<std::size_t>(best)])) {
+          best = r;
+          best_match = match;
+        }
       }
       if (best < 0) throw Error("global scheduler: no routable replica");
       return best;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,12 @@ enum class GlobalSchedulerKind {
   /// highest-priority parked request first (FIFO within a priority level),
   /// so high-priority tenants jump the queue under overload.
   kPriority,
+  /// Prefix-cache affinity: route to the replica whose prefix cache holds
+  /// the longest resident prefix of the request (session KV, shared system
+  /// prompts). Ties — including the no-hit case — fall back to least
+  /// outstanding with deterministic lowest-id tie-breaks, so same-seed
+  /// replay stays bit-identical.
+  kCacheAware,
 };
 
 const std::string& global_scheduler_name(GlobalSchedulerKind kind);
@@ -50,11 +57,21 @@ class GlobalScheduler {
   std::size_t num_parked() const { return central_queue_.size(); }
   GlobalSchedulerKind kind() const { return kind_; }
 
+  /// Cache-aware routing probe: resident prefix length (tokens) of
+  /// `request` on a replica. Read-only — the probe must not touch cache
+  /// stats or LRU state. Unset (or kind != kCacheAware) routes purely on
+  /// load.
+  void set_cache_probe(
+      std::function<TokenCount(const Request&, ReplicaId)> probe) {
+    cache_probe_ = std::move(probe);
+  }
+
  private:
   GlobalSchedulerKind kind_;
   int num_replicas_;
   int next_replica_ = 0;  // round-robin cursor
   std::deque<RequestState*> central_queue_;
+  std::function<TokenCount(const Request&, ReplicaId)> cache_probe_;
 };
 
 }  // namespace vidur

@@ -51,7 +51,7 @@ MemoryPlan plan_memory(const ModelSpec& model, const NodeSpec& node,
 
 BlockManager::BlockManager(long total_blocks, TokenCount block_size)
     : total_blocks_(total_blocks), block_size_(block_size) {
-  VIDUR_CHECK(total_blocks > 0);
+  VIDUR_CHECK(total_blocks >= 0);
   VIDUR_CHECK(block_size > 0);
 }
 
@@ -81,6 +81,24 @@ void BlockManager::release(RequestId request) {
 long BlockManager::allocated_to(RequestId request) const {
   auto it = allocations_.find(request);
   return it == allocations_.end() ? 0 : it->second;
+}
+
+void BlockManager::transfer_to_cache(RequestId request, long blocks) {
+  auto it = allocations_.find(request);
+  VIDUR_CHECK_MSG(it != allocations_.end() && it->second >= blocks,
+                  "transfer_to_cache of " << blocks
+                                          << " blocks exceeds the request's "
+                                             "allocation");
+  it->second -= blocks;
+  if (it->second == 0) allocations_.erase(it);
+  cached_blocks_ += blocks;
+}
+
+void BlockManager::release_cached(long blocks) {
+  VIDUR_CHECK_MSG(blocks <= cached_blocks_,
+                  "release_cached beyond the cached pool");
+  cached_blocks_ -= blocks;
+  used_blocks_ -= blocks;
 }
 
 }  // namespace vidur

@@ -39,6 +39,7 @@ class BlockManager {
   long free_blocks() const { return total_blocks_ - used_blocks_; }
   long used_blocks() const { return used_blocks_; }
   double utilization() const {
+    if (total_blocks_ == 0) return 0.0;
     return static_cast<double>(used_blocks_) /
            static_cast<double>(total_blocks_);
   }
@@ -57,10 +58,24 @@ class BlockManager {
 
   long allocated_to(RequestId request) const;
 
+  /// Blocks held by the prefix cache rather than any live request. They
+  /// count as used (the KV-pressure signal sees retained prefixes) until
+  /// the cache evicts them via release_cached.
+  long cached_blocks() const { return cached_blocks_; }
+
+  /// Move `blocks` of `request`'s allocation into the cached pool (the
+  /// request completed but its prefix KV stays resident). used_blocks is
+  /// unchanged; the request's allocation shrinks.
+  void transfer_to_cache(RequestId request, long blocks);
+
+  /// Free `blocks` from the cached pool (prefix-cache eviction).
+  void release_cached(long blocks);
+
  private:
   long total_blocks_;
   TokenCount block_size_;
   long used_blocks_ = 0;
+  long cached_blocks_ = 0;
   std::unordered_map<RequestId, long> allocations_;
 };
 

@@ -131,7 +131,11 @@ void SarathiScheduler::fill_batch(BatchSpec& batch, Seconds now) {
     RequestState* r = peek_waiting();
     if (r == nullptr) break;
     const TokenCount chunk = std::min<TokenCount>(budget, r->remaining_prefill());
-    if (admit_front(chunk, /*respect_watermark=*/true) == nullptr) break;
+    // Absolute KV target: a cache-hit request already holds kv_context
+    // resident tokens and only allocates its first cold chunk.
+    if (admit_front(r->kv_context + chunk, /*respect_watermark=*/true) ==
+        nullptr)
+      break;
     add_prefill_item(batch, r, chunk, now);
     budget -= chunk;
   }

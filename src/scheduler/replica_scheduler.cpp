@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "kvcache/prefix_cache.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -33,6 +34,7 @@ void ReplicaScheduler::enqueue(RequestState* request) {
 
 BatchSpec ReplicaScheduler::schedule(Seconds now) {
   obs_now_ = now;
+  attach_prefix_cache();
   BatchSpec batch;
   fill_batch(batch, now);
   return batch;
@@ -40,8 +42,31 @@ BatchSpec ReplicaScheduler::schedule(Seconds now) {
 
 void ReplicaScheduler::schedule_into(BatchSpec& out, Seconds now) {
   obs_now_ = now;
+  attach_prefix_cache();
   out.items.clear();
   fill_batch(out, now);
+}
+
+void ReplicaScheduler::attach_prefix_cache() {
+  if (cache_ == nullptr) return;
+  for (RequestState* r : waiting_) {
+    if (r->prefix_checked || r->in_flight) continue;
+    r->prefix_checked = true;
+    // Requests arriving with prior progress (disaggregated hand-off of a
+    // completed prefill) keep it; the cache only serves cold prefills.
+    if (r->prefill_done > 0 || r->kv_context > 0) continue;
+    const TokenCount matched = cache_->attach(r->request);
+    trace_emit(trace_, TraceEventKind::kCacheLookup, obs_now_, obs_self_,
+               r->request.id, matched, r->request.prefill_tokens,
+               matched > 0 ? 1 : 0);
+    if (matched <= 0) continue;
+    // The matched prefix is resident in the cache pool: it is prefilled
+    // KV context the request never allocates or computes itself.
+    r->prefill_done = matched;
+    r->kv_context = matched;
+    r->kv_cached = matched;
+    r->kv_capacity = matched;
+  }
 }
 
 void ReplicaScheduler::set_obs(ReplicaId self, TraceRecorder* trace,
@@ -94,8 +119,17 @@ std::vector<RequestState*> ReplicaScheduler::on_batch_end(
       trace_emit(trace_, TraceEventKind::kCompleted, now, obs_self_,
                  r->request.id, r->record.num_restarts,
                  static_cast<std::int64_t>(batch.items.size()));
+      if (cache_ != nullptr) {
+        // Donate the shareable prefix KV before dropping pins (so the
+        // matched parent chain cannot be evicted mid-donation), then free
+        // whatever the cache did not take.
+        cache_->retain(r->request, r->kv_context, r->kv_cached,
+                       block_manager_);
+        cache_->unpin(r->request.id);
+      }
       block_manager_.release(r->request.id);
       r->kv_capacity = 0;
+      r->kv_cached = 0;
       r->admitted = false;
       running_.erase(std::find(running_.begin(), running_.end(), r));
       by_id_.erase(r->request.id);
@@ -110,8 +144,18 @@ void ReplicaScheduler::extract(RequestState* request) {
   VIDUR_CHECK_MSG(request->admitted && !request->in_flight,
                   "extract() requires an admitted request that is not "
                   "currently executing");
+  if (cache_ != nullptr) {
+    // The prefill replica keeps the conversation's prefix KV resident for
+    // future turns; the extracted request re-allocates everything on its
+    // decode replica (kv_cached resets — that cache is a different pool).
+    cache_->retain(request->request, request->kv_context, request->kv_cached,
+                   block_manager_);
+    cache_->unpin(request->request.id);
+  }
   block_manager_.release(request->request.id);
   request->kv_capacity = 0;
+  request->kv_cached = 0;
+  request->prefix_checked = false;
   request->admitted = false;
   running_.erase(std::find(running_.begin(), running_.end(), request));
   by_id_.erase(request->request.id);
@@ -126,6 +170,17 @@ std::vector<RequestState*> ReplicaScheduler::take_waiting() {
       continue;
     }
     by_id_.erase(r->request.id);
+    // Cache-served progress does not travel: the matched blocks live in
+    // THIS replica's pool. Prefilled hand-offs (decode re-homing) keep
+    // their context — that KV migrates with them.
+    if (!r->prefill_complete()) {
+      if (cache_ != nullptr) cache_->unpin(r->request.id);
+      r->prefill_done = 0;
+      r->kv_context = 0;
+      r->kv_cached = 0;
+      r->kv_capacity = 0;
+      r->prefix_checked = false;
+    }
     out.push_back(r);
   }
   waiting_.swap(keep);
@@ -136,11 +191,13 @@ RequestState* ReplicaScheduler::admit_front(TokenCount tokens,
                                             bool respect_watermark) {
   RequestState* r = peek_waiting();
   if (r == nullptr) return nullptr;
-  const long needed = block_manager_.blocks_for_tokens(tokens) -
+  // `tokens` is an absolute KV target; the request only allocates the cold
+  // suffix beyond its cache-resident prefix.
+  const TokenCount cold = std::max<TokenCount>(0, tokens - r->kv_cached);
+  const long needed = block_manager_.blocks_for_tokens(cold) -
                       block_manager_.allocated_to(r->request.id);
-  if (!block_manager_.can_allocate(needed)) return nullptr;
-  if (respect_watermark && !watermark_ok(needed)) return nullptr;
-  VIDUR_CHECK(block_manager_.grow_to(r->request.id, tokens));
+  if (!make_room(needed, respect_watermark)) return nullptr;
+  VIDUR_CHECK(block_manager_.grow_to(r->request.id, cold));
   sync_kv_capacity(r, tokens);
   waiting_.pop_front();
   running_.push_back(r);
@@ -150,8 +207,9 @@ RequestState* ReplicaScheduler::admit_front(TokenCount tokens,
 }
 
 void ReplicaScheduler::sync_kv_capacity(RequestState* r, TokenCount tokens) {
+  const TokenCount cold = std::max<TokenCount>(0, tokens - r->kv_cached);
   const TokenCount capacity =
-      block_manager_.blocks_for_tokens(tokens) * plan_.block_size;
+      r->kv_cached + block_manager_.blocks_for_tokens(cold) * plan_.block_size;
   if (capacity > r->kv_capacity) r->kv_capacity = capacity;
 }
 
@@ -162,6 +220,18 @@ bool ReplicaScheduler::watermark_ok(long blocks_needed) const {
   return block_manager_.free_blocks() - blocks_needed >= watermark;
 }
 
+bool ReplicaScheduler::make_room(long blocks, bool respect_watermark) {
+  while (true) {
+    if (block_manager_.can_allocate(blocks) &&
+        (!respect_watermark || watermark_ok(blocks)))
+      return true;
+    // Active work beats retained prefixes: evict LRU cached blocks until
+    // the allocation fits or the cache runs dry.
+    if (cache_ == nullptr || cache_->reclaim(1, block_manager_) == 0)
+      return false;
+  }
+}
+
 bool ReplicaScheduler::ensure_decode_memory(RequestState* r,
                                             bool allow_preemption) {
   const TokenCount target = r->kv_context + 1;
@@ -169,7 +239,11 @@ bool ReplicaScheduler::ensure_decode_memory(RequestState* r,
   // Steady-state decodes only cross a block boundary every block_size
   // iterations.
   if (target <= r->kv_capacity) return true;
-  if (block_manager_.grow_to(r->request.id, target)) {
+  const TokenCount cold = target - r->kv_cached;
+  const long needed = block_manager_.blocks_for_tokens(cold) -
+                      block_manager_.allocated_to(r->request.id);
+  if (make_room(needed, false) &&
+      block_manager_.grow_to(r->request.id, cold)) {
     sync_kv_capacity(r, target);
     return true;
   }
@@ -178,7 +252,7 @@ bool ReplicaScheduler::ensure_decode_memory(RequestState* r,
     // The victim released its blocks; it may have been `r` itself, in which
     // case `r` no longer runs this iteration.
     if (victim == r) return false;
-    if (block_manager_.grow_to(r->request.id, target)) {
+    if (block_manager_.grow_to(r->request.id, target - r->kv_cached)) {
       sync_kv_capacity(r, target);
       return true;
     }
@@ -189,7 +263,12 @@ bool ReplicaScheduler::ensure_decode_memory(RequestState* r,
 bool ReplicaScheduler::ensure_prefill_memory(RequestState* r,
                                              TokenCount target_tokens) {
   if (target_tokens <= r->kv_capacity) return true;
-  if (!block_manager_.grow_to(r->request.id, target_tokens)) return false;
+  const TokenCount cold =
+      std::max<TokenCount>(0, target_tokens - r->kv_cached);
+  const long needed = block_manager_.blocks_for_tokens(cold) -
+                      block_manager_.allocated_to(r->request.id);
+  if (!make_room(needed, false)) return false;
+  if (!block_manager_.grow_to(r->request.id, cold)) return false;
   sync_kv_capacity(r, target_tokens);
   return true;
 }
@@ -256,6 +335,7 @@ RequestState* ReplicaScheduler::preempt_one() {
              victim->request.id);
   if (ctr_preemptions_ != nullptr) ctr_preemptions_->inc();
   block_manager_.release(victim->request.id);
+  if (cache_ != nullptr) cache_->unpin(victim->request.id);
   victim->restart();
   running_.erase(std::find(running_.begin(), running_.end(), victim));
   // Recomputed from scratch, at the head of the queue (vLLM semantics).

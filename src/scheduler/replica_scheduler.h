@@ -18,6 +18,7 @@
 namespace vidur {
 
 class TraceRecorder;
+class PrefixCache;
 struct Counter;
 
 class ReplicaScheduler {
@@ -82,6 +83,13 @@ class ReplicaScheduler {
   void set_obs(ReplicaId self, TraceRecorder* trace, Counter* preemptions,
                Counter* admissions);
 
+  /// Attach this replica's prefix cache (simulator-owned, borrowed; null
+  /// disables KV reuse). Every schedule() consults it for newly queued
+  /// requests, charges only the cold prefill suffix on hits, retains
+  /// completed requests' shareable KV, and reclaims cached blocks on
+  /// demand before failing an allocation.
+  void set_prefix_cache(PrefixCache* cache) { cache_ = cache; }
+
  protected:
   /// Policy hook: append items to `batch` (and perform allocations).
   virtual void fill_batch(BatchSpec& batch, Seconds now) = 0;
@@ -93,8 +101,10 @@ class ReplicaScheduler {
     return waiting_.empty() ? nullptr : waiting_.front();
   }
 
-  /// Admit the front waiting request with KV space for `tokens` entries,
-  /// honoring an optional watermark. Returns nullptr when blocked.
+  /// Admit the front waiting request with KV space for `tokens` total
+  /// entries (an absolute KV target; cached prefix tokens are already
+  /// resident and not re-allocated), honoring an optional watermark.
+  /// Returns nullptr when blocked.
   RequestState* admit_front(TokenCount tokens, bool respect_watermark);
 
   /// Grow `r`'s KV allocation for its next decode token, preempting
@@ -126,9 +136,20 @@ class ReplicaScheduler {
 
   bool watermark_ok(long blocks_needed) const;
 
+  /// True once `blocks` can be allocated (within the optional watermark),
+  /// evicting LRU prefix-cache blocks on demand to get there.
+  bool make_room(long blocks, bool respect_watermark);
+
+  /// Consult the prefix cache for queued requests that have not been
+  /// checked this admission: on a hit the matched prefix is marked as done
+  /// prefill resident in the cache pool, so only the cold suffix is
+  /// computed and allocated. Emits one kCacheLookup record per lookup.
+  void attach_prefix_cache();
+
   SchedulerConfig config_;
   MemoryPlan plan_;
   BlockManager block_manager_;
+  PrefixCache* cache_ = nullptr;  ///< borrowed; null = prefix caching off
   std::deque<RequestState*> waiting_;
   std::vector<RequestState*> running_;  ///< admitted, unfinished
   std::unordered_map<RequestId, RequestState*> by_id_;

@@ -19,6 +19,14 @@ struct RequestState {
   /// mirror of the BlockManager's per-request allocation): decode-memory
   /// checks only consult the allocator when a block boundary is crossed.
   TokenCount kv_capacity = 0;
+  /// Leading tokens served from the replica's prefix cache: they count in
+  /// kv_context/prefill_done but their blocks live in the cache pool (the
+  /// request's own allocation covers only the cold suffix) and their
+  /// prefill compute is skipped.
+  TokenCount kv_cached = 0;
+  /// The prefix cache was consulted for this enqueue (one lookup per
+  /// (re-)admission; reset by restart and re-routing).
+  bool prefix_checked = false;
   bool in_flight = false;       ///< member of a batch currently executing
   bool admitted = false;        ///< holds KV-cache memory on its replica
   /// A preemption restarted this request; the next batch membership emits a
@@ -47,6 +55,8 @@ struct RequestState {
     decode_done = 0;
     kv_context = 0;
     kv_capacity = 0;
+    kv_cached = 0;
+    prefix_checked = false;  // the next schedule may re-attach to the cache
     admitted = false;
     resched_pending = true;
     ++record.num_restarts;

@@ -147,11 +147,29 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
       replica.scheduler = std::make_unique<DisaggDecodeScheduler>(
           config_.scheduler, plan);
     }
+    if (config_.prefix_cache.enabled) {
+      config_.prefix_cache.validate();
+      const long capacity = static_cast<long>(
+          config_.prefix_cache.capacity_fraction *
+          static_cast<double>(plan.num_kv_blocks));
+      replica.cache = std::make_unique<PrefixCache>(capacity, plan.block_size);
+      replica.scheduler->set_prefix_cache(replica.cache.get());
+    }
     replica.backend = factory(r);
     VIDUR_CHECK(replica.backend != nullptr);
     replica.stages.resize(
         static_cast<std::size_t>(parallel_of(r).pipeline_parallel));
     replicas_.push_back(std::move(replica));
+  }
+
+  if (config_.global_scheduler == GlobalSchedulerKind::kCacheAware &&
+      config_.prefix_cache.enabled) {
+    // Read-only probe: routing must not perturb cache stats or LRU order.
+    global_.set_cache_probe([this](const Request& req, ReplicaId r) {
+      const PrefixCache* cache =
+          replicas_[static_cast<std::size_t>(r)].cache.get();
+      return cache == nullptr ? TokenCount{0} : cache->probe(req);
+    });
   }
 
   metrics_.set_tenants(config_.tenants);
@@ -433,6 +451,8 @@ SimulationMetrics Simulator::run() {
   registry_->gauge("sim.makespan_s")->set(end_time);
 
   SimulationMetrics metrics = metrics_.finalize(end_time, report);
+  if (config_.prefix_cache.enabled)
+    aggregate_prefix_cache(metrics.prefix_cache);
   metrics.num_sim_events = events_.num_processed();
   metrics.registry = registry_->snapshot();
   if (rolling_) metrics.rolling = rolling_->finalize(end_time);
@@ -775,6 +795,74 @@ Seconds Simulator::kv_transfer_time(const RequestState& request) const {
                      static_cast<double>(config_.model.kv_bytes_per_token());
   return bytes / (config_.disagg.transfer_bandwidth_gbps * 1e9) +
          config_.disagg.transfer_latency;
+}
+
+void Simulator::aggregate_prefix_cache(PrefixCacheMetrics& out) const {
+  out.enabled = true;
+  std::map<TenantId, PrefixCacheMetrics::Slice> by_tenant;
+  std::vector<PrefixCacheMetrics::Slice> by_pool;
+  if (pool_mode()) {
+    by_pool.resize(config_.pools.size());
+    for (std::size_t p = 0; p < config_.pools.size(); ++p)
+      by_pool[p].name = config_.pools[p].name;
+  }
+  for (ReplicaId r = 0; r < num_slots_; ++r) {
+    const PrefixCache* cache = replicas_[static_cast<std::size_t>(r)].cache.get();
+    if (cache == nullptr) continue;
+    const PrefixCacheStats& s = cache->stats();
+    out.lookups += static_cast<std::int64_t>(s.lookups);
+    out.hits += static_cast<std::int64_t>(s.hits);
+    out.misses += static_cast<std::int64_t>(s.misses);
+    out.inserted_blocks += static_cast<std::int64_t>(s.inserted_blocks);
+    out.evicted_blocks += static_cast<std::int64_t>(s.evicted_blocks);
+    out.tokens_saved += s.tokens_saved;
+    out.resident_sessions += cache->resident_sessions();
+    // Replica-wide KV bytes the hit prefills did not recompute, at the
+    // slot's own memory plan (heterogeneous pools differ per slot).
+    const MemoryPlan& plan =
+        pool_mode() ? pool_plans_[static_cast<std::size_t>(
+                          pool_of_slot_[static_cast<std::size_t>(r)])]
+                    : memory_plan_;
+    out.bytes_saved += static_cast<double>(s.tokens_saved) *
+                       static_cast<double>(plan.kv_bytes_per_token_per_gpu) *
+                       static_cast<double>(parallel_of(r).gpus_per_replica());
+    for (const auto& [tenant, ts] : cache->tenant_stats()) {
+      PrefixCacheMetrics::Slice& slice = by_tenant[tenant];
+      slice.lookups += static_cast<std::int64_t>(ts.lookups);
+      slice.hits += static_cast<std::int64_t>(ts.hits);
+      slice.misses += static_cast<std::int64_t>(ts.misses);
+      slice.tokens_saved += ts.tokens_saved;
+    }
+    if (pool_mode()) {
+      PrefixCacheMetrics::Slice& slice =
+          by_pool[static_cast<std::size_t>(
+              pool_of_slot_[static_cast<std::size_t>(r)])];
+      slice.lookups += static_cast<std::int64_t>(s.lookups);
+      slice.hits += static_cast<std::int64_t>(s.hits);
+      slice.misses += static_cast<std::int64_t>(s.misses);
+      slice.tokens_saved += s.tokens_saved;
+    }
+  }
+  for (auto& [tenant, slice] : by_tenant) {
+    slice.name = "tenant-" + std::to_string(tenant);
+    for (const TenantInfo& info : config_.tenants)
+      if (info.id == tenant) slice.name = info.name;
+    out.by_tenant.push_back(std::move(slice));
+  }
+  out.by_pool = std::move(by_pool);
+  // The registry snapshot carries the same totals for dashboards.
+  registry_->counter("kvcache.lookups")->value =
+      static_cast<std::uint64_t>(out.lookups);
+  registry_->counter("kvcache.hits")->value =
+      static_cast<std::uint64_t>(out.hits);
+  registry_->counter("kvcache.misses")->value =
+      static_cast<std::uint64_t>(out.misses);
+  registry_->counter("kvcache.inserted_blocks")->value =
+      static_cast<std::uint64_t>(out.inserted_blocks);
+  registry_->counter("kvcache.evicted_blocks")->value =
+      static_cast<std::uint64_t>(out.evicted_blocks);
+  registry_->counter("kvcache.prefill_tokens_saved")->value =
+      static_cast<std::uint64_t>(out.tokens_saved);
 }
 
 const std::vector<int>& Simulator::outstanding_counts(int count) const {

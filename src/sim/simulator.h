@@ -14,6 +14,8 @@
 #include "execution/execution_backend.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
+#include "kvcache/prefix_cache.h"
+#include "kvcache/prefix_cache_config.h"
 #include "metrics/metrics.h"
 #include "model/model_spec.h"
 #include "scheduler/global_scheduler.h"
@@ -87,6 +89,11 @@ struct SimulationConfig {
   /// breakout in the scaling report carries exact attribution from each
   /// pool's own batch records (and GPU-hours/cost are always exact).
   std::vector<PoolSpec> pools;
+  /// Per-replica prefix cache (KV reuse across sessions and shared system
+  /// prompts). Each replica gets its own cache sized to capacity_fraction
+  /// of its pool's KV blocks; retained blocks count in the KV-pressure
+  /// signal and are reclaimed on demand by active work.
+  PrefixCacheConfig prefix_cache;
   /// Observability: trace recorder, shared registry, rolling windows.
   SimObs obs;
 };
@@ -130,6 +137,7 @@ class Simulator {
     std::unique_ptr<ReplicaScheduler> scheduler;
     std::unique_ptr<ExecutionBackend> backend;
     std::vector<StageScheduler> stages;
+    std::unique_ptr<PrefixCache> cache;  ///< null when prefix caching off
     int batches_in_flight = 0;
   };
 
@@ -201,6 +209,9 @@ class Simulator {
   /// Completion accounting across cluster, tenant and pool tracks.
   void rolling_completions(ReplicaId replica_id,
                            const std::vector<RequestState*>& finished);
+  /// Merge every replica's prefix-cache stats into `out` (totals,
+  /// per-tenant and per-pool slices) and mirror them into the registry.
+  void aggregate_prefix_cache(PrefixCacheMetrics& out) const;
 
   SimulationConfig config_;
   Trace trace_;

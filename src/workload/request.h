@@ -17,6 +17,16 @@ struct Request {
   TenantId tenant = 0;
   int priority = 0;  ///< higher is more important (priority-aware routing)
 
+  /// Multi-turn conversation this request belongs to (-1: single-shot).
+  /// Turn j+1's prompt extends turn j's full context append-only, so a
+  /// prefix cache can reuse the conversation's resident KV across turns.
+  std::int64_t session = -1;
+  int turn = 0;  ///< 0-based turn index within the session
+  /// Leading tokens shared verbatim with other requests of the same
+  /// prefix_group (e.g. a tenant's system prompt). 0: nothing shared.
+  TokenCount shared_prefix_tokens = 0;
+  std::int64_t prefix_group = -1;  ///< identity of the shared prefix
+
   TokenCount total_tokens() const { return prefill_tokens + decode_tokens; }
 };
 

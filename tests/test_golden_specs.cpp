@@ -15,6 +15,8 @@
 #include <string>
 
 #include "api/run.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
 
 namespace vidur {
 namespace {
@@ -118,10 +120,54 @@ TEST(GoldenSpecs, DisaggAutoscaleSimulationMatchesGoldens) {
               1e-9);
 }
 
+TEST(GoldenSpecs, SessionChatPrefixCacheSavesPrefillWork) {
+  // The committed prefix-cache spec: multi-turn sessions over a shared
+  // system prompt, cache-aware routing across two replicas. The golden
+  // fact is the subsystem's reason to exist — a large, exactly-accounted
+  // fraction of prefill work served from cache.
+  const ExperimentSpec spec = load_spec("session-chat.json");
+  EXPECT_NO_THROW(spec.validate());
+  const ExperimentResult result = run_experiment(spec);
+  ASSERT_FALSE(result.failed()) << result.error;
+  const SimulationMetrics& m = result.metrics;
+
+  EXPECT_EQ(m.num_requests, 300u);
+  EXPECT_EQ(m.num_completed, 300u);
+  ASSERT_TRUE(m.prefix_cache.enabled);
+  EXPECT_EQ(m.prefix_cache.lookups, 300);
+  EXPECT_EQ(m.prefix_cache.hits + m.prefix_cache.misses,
+            m.prefix_cache.lookups);
+  EXPECT_GT(m.prefix_cache.hits, 0);
+
+  // >= 30% of the workload's total prefill tokens come from the cache
+  // (the acceptance gate bench_kvcache enforces, replayed here exactly).
+  const Scenario scenario = [&] {
+    Scenario s = scenario_by_name("session-chat");
+    s.num_requests = spec.workload.num_requests;
+    return s;
+  }();
+  TokenCount total_prefill = 0;
+  for (const Request& r : generate_scenario_trace(scenario, spec.seed))
+    total_prefill += r.prefill_tokens;
+  ASSERT_GT(total_prefill, 0);
+  EXPECT_GE(static_cast<double>(m.prefix_cache.tokens_saved),
+            0.30 * static_cast<double>(total_prefill));
+
+  // The result JSON carries the cache section with the same numbers.
+  const JsonValue j = result.to_json();
+  const JsonValue* pc = j.find("prefix_cache");
+  ASSERT_NE(pc, nullptr);
+  EXPECT_EQ(pc->at("lookups").as_int(), m.prefix_cache.lookups);
+  EXPECT_EQ(pc->at("prefill_tokens_saved").as_int(),
+            m.prefix_cache.tokens_saved);
+  ASSERT_NE(pc->find("by_tenant"), nullptr);
+}
+
 TEST(GoldenSpecs, GoldenSpecsAreCanonicallySerialized) {
   // The committed files must be the exact fixed point of the serializer,
   // so hand edits that survive a round trip cannot drift the formatting.
-  for (const char* name : {"elastic-hetero.json", "disagg-autoscale.json"}) {
+  for (const char* name : {"elastic-hetero.json", "disagg-autoscale.json",
+                           "session-chat.json"}) {
     const std::string path = std::string(VIDUR_SPEC_DIR) + "/" + name;
     std::ifstream in(path);
     ASSERT_TRUE(in.good()) << path;

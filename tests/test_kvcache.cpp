@@ -1,0 +1,502 @@
+// Tests for the prefix-cache subsystem (src/kvcache/ and its wiring):
+// hand-computed hit/miss/evict accounting on the cache itself, pinned LRU
+// eviction order, end-to-end prefill-tokens-saved conservation against a
+// cold run, cache-aware routing, same-seed bit-identical replay, spec
+// round-trips with did-you-mean, and session-structured scenario traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/run.h"
+#include "common/check.h"
+#include "kvcache/prefix_cache.h"
+#include "obs/trace.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "scheduler/memory.h"
+
+namespace vidur {
+namespace {
+
+// ------------------------------------------------- hand-computed fixture
+
+/// A turn of a multi-turn conversation.
+Request session_turn(RequestId id, std::int64_t session, int turn,
+                     TokenCount prefill, TokenCount decode = 8) {
+  Request r;
+  r.id = id;
+  r.session = session;
+  r.turn = turn;
+  r.prefill_tokens = prefill;
+  r.decode_tokens = decode;
+  return r;
+}
+
+/// A single-shot request carrying a shared system prompt.
+Request shared_prefix_request(RequestId id, std::int64_t group,
+                              TokenCount shared, TokenCount prefill) {
+  Request r;
+  r.id = id;
+  r.prefix_group = group;
+  r.shared_prefix_tokens = shared;
+  r.prefill_tokens = prefill;
+  r.decode_tokens = 8;
+  return r;
+}
+
+TEST(PrefixCache, ExactHitMissAccountingAcrossTurns) {
+  BlockManager bm(64, 16);
+  PrefixCache cache(16, 16);
+
+  // Turn 0: nothing resident -> miss.
+  const Request r0 = session_turn(0, /*session=*/7, /*turn=*/0,
+                                  /*prefill=*/64, /*decode=*/8);
+  EXPECT_EQ(cache.probe(r0), 0);
+  EXPECT_EQ(cache.attach(r0), 0);
+  EXPECT_EQ(cache.stats().lookups, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Completion: the request's 72 KV tokens donate 4 whole blocks (64 of
+  // 72 tokens); the fractional fifth block is not shareable.
+  ASSERT_TRUE(bm.grow_to(0, 72));
+  EXPECT_EQ(cache.retain(r0, /*kv_end=*/72, /*kv_cached=*/0, bm), 4);
+  cache.unpin(0);
+  bm.release(0);
+  EXPECT_EQ(cache.resident_blocks(), 4);
+  EXPECT_EQ(cache.resident_sessions(), 1);
+  EXPECT_EQ(bm.cached_blocks(), 4);
+  EXPECT_EQ(bm.used_blocks(), 4);  // retained KV still occupies the pool
+
+  // Turn 1 replays the conversation: all 4 donated blocks match. The
+  // match never covers the whole prompt (at least one token stays cold).
+  const Request r1 = session_turn(1, 7, 1, /*prefill=*/88);
+  EXPECT_EQ(cache.probe(r1), 64);
+  EXPECT_EQ(cache.attach(r1), 64);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().tokens_saved, 64);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses,
+            cache.stats().lookups);
+
+  // While pinned nothing is evictable; after unpin only the chain's leaf
+  // is (interior blocks stay until their children go).
+  EXPECT_EQ(cache.evictable_blocks(), 0);
+  cache.unpin(1);
+  EXPECT_EQ(cache.evictable_blocks(), 1);
+
+  // A different session shares nothing.
+  const Request other = session_turn(2, 8, 1, 88);
+  EXPECT_EQ(cache.probe(other), 0);
+
+  // The single-tenant slice carries the same exact numbers.
+  ASSERT_EQ(cache.tenant_stats().size(), 1u);
+  const PrefixCacheStats& t = cache.tenant_stats().at(0);
+  EXPECT_EQ(t.lookups, 2u);
+  EXPECT_EQ(t.hits, 1u);
+  EXPECT_EQ(t.misses, 1u);
+  EXPECT_EQ(t.tokens_saved, 64);
+}
+
+TEST(PrefixCache, SharedPrefixMatchesAcrossSessionsAndGroups) {
+  BlockManager bm(64, 16);
+  PrefixCache cache(16, 16);
+
+  // Session 0 donates its whole context: 3 shared-prefix blocks (48
+  // tokens of group 5) then 2 session-private blocks.
+  Request r0 = session_turn(0, 0, 0, /*prefill=*/80);
+  r0.shared_prefix_tokens = 48;
+  r0.prefix_group = 5;
+  ASSERT_TRUE(bm.grow_to(0, 80));
+  EXPECT_EQ(cache.retain(r0, /*kv_end=*/80, /*kv_cached=*/0, bm), 5);
+  bm.release(0);
+
+  // A different session of the same group reuses exactly the shared part.
+  Request r1 = session_turn(1, 1, 0, /*prefill=*/64);
+  r1.shared_prefix_tokens = 48;
+  r1.prefix_group = 5;
+  EXPECT_EQ(cache.probe(r1), 48);
+
+  // So does a sessionless request of the group (system-prompt-only reuse).
+  EXPECT_EQ(cache.probe(shared_prefix_request(2, 5, 48, 64)), 48);
+  // A different prompt group shares nothing.
+  EXPECT_EQ(cache.probe(shared_prefix_request(3, 6, 48, 64)), 0);
+  // Plain sessionless requests have no shareable identity at all.
+  Request plain;
+  plain.id = 4;
+  plain.prefill_tokens = 64;
+  EXPECT_EQ(cache.probe(plain), 0);
+}
+
+TEST(PrefixCache, LruEvictionOrderIsDeterministicLeafFirst) {
+  BlockManager bm(64, 16);
+  PrefixCache cache(/*capacity_blocks=*/4, 16);
+
+  // Three 2-block sessions into a 4-block pool. Insertion makes each
+  // chain's leaf the evictable candidate; eviction is strictly
+  // oldest-leaf-first, and an evicted leaf's parent re-enters the LRU at
+  // the back (it only just became a leaf).
+  for (std::int64_t s = 1; s <= 3; ++s) {
+    const Request r = session_turn(/*id=*/s, /*session=*/s, 0,
+                                   /*prefill=*/33);
+    ASSERT_TRUE(bm.grow_to(r.id, 33));
+    EXPECT_EQ(cache.retain(r, /*kv_end=*/32, /*kv_cached=*/0, bm), 2);
+    bm.release(r.id);
+  }
+  // Session 3's retain evicted session 1's leaf first, then session 2's.
+  EXPECT_EQ(cache.stats().inserted_blocks, 6u);
+  EXPECT_EQ(cache.stats().evicted_blocks, 2u);
+  EXPECT_EQ(cache.resident_blocks(), 4);
+  EXPECT_EQ(cache.resident_sessions(), 3);
+  EXPECT_EQ(bm.cached_blocks(), 4);
+
+  const auto resident_tokens = [&](std::int64_t session) {
+    return cache.probe(session_turn(99, session, 1, 33));
+  };
+  EXPECT_EQ(resident_tokens(1), 16);  // trimmed to its first block
+  EXPECT_EQ(resident_tokens(2), 16);
+  EXPECT_EQ(resident_tokens(3), 32);  // the newest chain is whole
+
+  // Reclaim drains everything, leaf before parent, and the BlockManager's
+  // cached pool returns to zero.
+  EXPECT_EQ(cache.reclaim(10, bm), 4);
+  EXPECT_EQ(cache.stats().evicted_blocks, 6u);
+  EXPECT_EQ(cache.resident_blocks(), 0);
+  EXPECT_EQ(cache.resident_sessions(), 0);
+  EXPECT_EQ(bm.cached_blocks(), 0);
+  EXPECT_EQ(bm.used_blocks(), 0);
+}
+
+TEST(PrefixCache, PinnedBlocksSurviveReclaim) {
+  BlockManager bm(64, 16);
+  PrefixCache cache(16, 16);
+  const Request r0 = session_turn(0, 7, 0, 64);
+  ASSERT_TRUE(bm.grow_to(0, 64));
+  cache.retain(r0, 64, 0, bm);
+  bm.release(0);
+
+  const Request r1 = session_turn(1, 7, 1, 80);
+  EXPECT_EQ(cache.attach(r1), 64);  // pins all 4 blocks
+  EXPECT_EQ(cache.reclaim(10, bm), 0);
+  EXPECT_EQ(cache.resident_blocks(), 4);
+  cache.unpin(1);
+  EXPECT_EQ(cache.reclaim(10, bm), 4);
+}
+
+TEST(PrefixCache, RetainSkipsAlreadyResidentBlocks) {
+  BlockManager bm(64, 16);
+  PrefixCache cache(16, 16);
+  const Request a = shared_prefix_request(0, 5, 64, 80);
+  ASSERT_TRUE(bm.grow_to(0, 80));
+  EXPECT_EQ(cache.retain(a, 80, 0, bm), 4);  // the 4 shared blocks
+  bm.release(0);
+
+  // A second request of the same group re-donates the same prefix: no
+  // new blocks, no double-counted insertions, its own KV fully released.
+  const Request b = shared_prefix_request(1, 5, 64, 80);
+  ASSERT_TRUE(bm.grow_to(1, 80));
+  EXPECT_EQ(cache.retain(b, 80, 0, bm), 0);
+  bm.release(1);
+  EXPECT_EQ(cache.stats().inserted_blocks, 4u);
+  EXPECT_EQ(cache.resident_blocks(), 4);
+  EXPECT_EQ(bm.used_blocks(), 4);
+}
+
+// ----------------------------------------------- end-to-end conservation
+
+VidurSession& shared_session() {
+  static VidurSession session(model_by_name("llama2-7b"));
+  return session;
+}
+
+DeploymentConfig cached_config(int replicas, bool cache_on) {
+  DeploymentConfig config;
+  config.sku_name = "a100";
+  config.parallel = ParallelConfig{1, 1, replicas};
+  config.scheduler.kind = SchedulerKind::kSarathi;
+  config.scheduler.max_batch_size = 64;
+  config.prefix_cache.enabled = cache_on;
+  return config;
+}
+
+Trace session_trace(int n, std::uint64_t seed) {
+  Scenario s = scenario_by_name("session-chat");
+  s.num_requests = n;
+  return generate_scenario_trace(s, seed);
+}
+
+TEST(PrefixCacheSim, TokensSavedMatchesColdRunExactly) {
+  VidurSession& session = shared_session();
+  const Trace trace = session_trace(60, 11);
+  const std::vector<TenantInfo> tenants =
+      scenario_by_name("session-chat").tenant_infos();
+
+  TraceRecorder cold_rec, cached_rec;
+  SimObs obs;
+  obs.trace = &cold_rec;
+  const SimulationMetrics cold =
+      session.simulate(cached_config(1, false), trace, tenants, obs);
+  obs.trace = &cached_rec;
+  const SimulationMetrics cached =
+      session.simulate(cached_config(1, true), trace, tenants, obs);
+
+  ASSERT_EQ(cold.num_completed, trace.size());
+  ASSERT_EQ(cached.num_completed, trace.size());
+  EXPECT_FALSE(cold.prefix_cache.enabled);
+  EXPECT_EQ(cold.prefix_cache.lookups, 0);
+  ASSERT_TRUE(cached.prefix_cache.enabled);
+
+  // Exact accounting: one lookup per request, hits + misses == lookups,
+  // and the trace's per-lookup records reproduce the aggregate numbers.
+  EXPECT_EQ(cached.prefix_cache.lookups,
+            static_cast<std::int64_t>(trace.size()));
+  EXPECT_EQ(cached.prefix_cache.hits + cached.prefix_cache.misses,
+            cached.prefix_cache.lookups);
+  EXPECT_GT(cached.prefix_cache.hits, 0);
+  EXPECT_GT(cached.prefix_cache.tokens_saved, 0);
+  std::int64_t rec_lookups = 0, rec_hits = 0;
+  TokenCount rec_saved = 0;
+  for (const TraceRecord& r : cached_rec.records()) {
+    if (r.kind != TraceEventKind::kCacheLookup) continue;
+    ++rec_lookups;
+    if (r.detail == 1) {
+      ++rec_hits;
+      rec_saved += r.a;
+    } else {
+      EXPECT_EQ(r.a, 0);
+    }
+  }
+  EXPECT_EQ(rec_lookups, cached.prefix_cache.lookups);
+  EXPECT_EQ(rec_hits, cached.prefix_cache.hits);
+  EXPECT_EQ(rec_saved, cached.prefix_cache.tokens_saved);
+
+  // Conservation against the cold run: with no preemptions in either run
+  // (asserted), the only difference in processed tokens is the prefill
+  // work served from cache — the batch streams' q_token totals must
+  // differ by exactly tokens_saved.
+  const auto batch_tokens = [](const TraceRecorder& rec, bool* preempted) {
+    std::int64_t total = 0;
+    for (const TraceRecord& r : rec.records()) {
+      if (r.kind == TraceEventKind::kBatchStart) total += r.b;
+      if (r.kind == TraceEventKind::kPreempted) *preempted = true;
+    }
+    return total;
+  };
+  bool cold_preempted = false, cached_preempted = false;
+  const std::int64_t cold_tokens = batch_tokens(cold_rec, &cold_preempted);
+  const std::int64_t cached_tokens =
+      batch_tokens(cached_rec, &cached_preempted);
+  ASSERT_FALSE(cold_preempted);
+  ASSERT_FALSE(cached_preempted);
+  EXPECT_EQ(cold_tokens - cached_tokens, cached.prefix_cache.tokens_saved);
+
+  // Reuse is strictly a speedup here: serving the same trace with fewer
+  // prefill tokens cannot lengthen the run.
+  EXPECT_LE(cached.makespan, cold.makespan + 1e-9);
+
+  // Per-tenant slices sum to the totals (single tenant: equal).
+  ASSERT_EQ(cached.prefix_cache.by_tenant.size(), 1u);
+  EXPECT_EQ(cached.prefix_cache.by_tenant[0].name, "chat");
+  EXPECT_EQ(cached.prefix_cache.by_tenant[0].tokens_saved,
+            cached.prefix_cache.tokens_saved);
+}
+
+TEST(PrefixCacheSim, CacheAwareRoutingBeatsRoundRobinOnSessions) {
+  VidurSession& session = shared_session();
+  const Trace trace = session_trace(80, 5);
+  const std::vector<TenantInfo> tenants =
+      scenario_by_name("session-chat").tenant_infos();
+
+  DeploymentConfig rr = cached_config(2, true);
+  rr.global_scheduler = GlobalSchedulerKind::kRoundRobin;
+  DeploymentConfig aware = cached_config(2, true);
+  aware.global_scheduler = GlobalSchedulerKind::kCacheAware;
+
+  const SimulationMetrics m_rr = session.simulate(rr, trace, tenants);
+  const SimulationMetrics m_aware = session.simulate(aware, trace, tenants);
+
+  // Round-robin scatters a session's turns across replicas, where only
+  // the tenant-wide shared system prompt is resident; affinity routing
+  // sends a turn to the replica holding the whole conversation. The
+  // difference shows up in how many tokens each hit serves.
+  EXPECT_GT(m_aware.prefix_cache.hits, 0);
+  EXPECT_GE(m_aware.prefix_cache.hit_rate(), m_rr.prefix_cache.hit_rate());
+  EXPECT_GT(m_aware.prefix_cache.tokens_saved,
+            m_rr.prefix_cache.tokens_saved);
+}
+
+TEST(PrefixCacheSim, SameSeedReplayIsBitIdenticalWithEverythingOn) {
+  // The paranoid determinism case: cache-aware routing + autoscaling +
+  // prefix cache + tracing, twice, must agree record for record.
+  VidurSession& session = shared_session();
+  DeploymentConfig config = cached_config(4, true);
+  config.global_scheduler = GlobalSchedulerKind::kCacheAware;
+  config.autoscale.kind = AutoscalerKind::kReactive;
+  config.autoscale.min_replicas = 1;
+  config.autoscale.initial_replicas = 1;
+  config.autoscale.decision_interval = 2.0;
+  config.autoscale.provision_delay = 1.0;
+  config.autoscale.warmup_delay = 0.5;
+  config.autoscale.scale_down_cooldown = 10.0;
+  const Trace trace = session_trace(80, 23);
+
+  TraceRecorder first, second;
+  SimObs obs;
+  obs.trace = &first;
+  const SimulationMetrics m1 = session.simulate(config, trace, {}, obs);
+  obs.trace = &second;
+  const SimulationMetrics m2 = session.simulate(config, trace, {}, obs);
+
+  ASSERT_GT(first.records().size(), 0u);
+  ASSERT_EQ(first.records().size(), second.records().size());
+  for (std::size_t i = 0; i < first.records().size(); ++i)
+    ASSERT_EQ(first.records()[i], second.records()[i]) << "record " << i;
+  EXPECT_EQ(m1.prefix_cache.hits, m2.prefix_cache.hits);
+  EXPECT_EQ(m1.prefix_cache.tokens_saved, m2.prefix_cache.tokens_saved);
+  EXPECT_GT(m1.prefix_cache.hits, 0);
+
+  bool saw_lookup = false, saw_scale = false;
+  for (const TraceRecord& r : first.records()) {
+    saw_lookup |= r.kind == TraceEventKind::kCacheLookup;
+    saw_scale |= r.kind == TraceEventKind::kScaleDecision;
+  }
+  EXPECT_TRUE(saw_lookup);
+  EXPECT_TRUE(saw_scale);
+}
+
+// --------------------------------------------------- spec & scenario API
+
+TEST(PrefixCacheSpec, RoundTripsAndDefaultsAreOmitted) {
+  ExperimentSpec spec;
+  spec.with_scenario("session-chat")
+      .with_routing(GlobalSchedulerKind::kCacheAware)
+      .with_prefix_cache(0.4);
+  const ExperimentSpec reparsed = ExperimentSpec::from_json(spec.to_json());
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_TRUE(reparsed.deployment.prefix_cache.enabled);
+  EXPECT_DOUBLE_EQ(reparsed.deployment.prefix_cache.capacity_fraction, 0.4);
+  EXPECT_NO_THROW(spec.validate());
+
+  // A default spec keeps the section out of the canonical serialization.
+  EXPECT_EQ(ExperimentSpec{}.to_json_string().find("prefix_cache"),
+            std::string::npos);
+}
+
+TEST(PrefixCacheSpec, TypoedKeyGetsDidYouMean) {
+  const std::string json = R"({
+    "name": "x", "model": "llama2-7b",
+    "deployment": {"prefix_cach": {"enabled": true}},
+    "workload": {"scenario": "session-chat"}
+  })";
+  try {
+    ExperimentSpec::from_json_string(json);
+    FAIL() << "expected a did-you-mean error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'prefix_cache'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PrefixCacheSpec, CacheAwareRoutingRequiresTheCache) {
+  ExperimentSpec spec;
+  spec.with_scenario("session-chat")
+      .with_routing(GlobalSchedulerKind::kCacheAware);
+  try {
+    spec.validate();
+    FAIL() << "expected validate() to reject cache_aware without the cache";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("prefix_cache"), std::string::npos)
+        << e.what();
+  }
+  spec.with_prefix_cache();
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(PrefixCacheSpec, InvalidCapacityFractionIsRejected) {
+  ExperimentSpec spec;
+  spec.with_scenario("session-chat").with_prefix_cache(0.0);
+  EXPECT_THROW(spec.validate(), Error);
+  spec.with_prefix_cache(1.5);
+  EXPECT_THROW(spec.validate(), Error);
+  spec.with_prefix_cache(1.0);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SessionScenarios, BuiltinsAreRegistered) {
+  const std::vector<std::string>& names = builtin_scenario_names();
+  const auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("session-chat"));
+  EXPECT_TRUE(has("shared-prefix-mix"));
+  // The one-liner `vidur list` prints advertises the session structure.
+  const std::string line = scenario_by_name("session-chat").to_string();
+  EXPECT_NE(line.find("sessions"), std::string::npos) << line;
+  EXPECT_NE(line.find("shared-prefix 512"), std::string::npos) << line;
+}
+
+TEST(SessionScenarios, TraceIsSessionStructuredAndDeterministic) {
+  Scenario s = scenario_by_name("session-chat");
+  s.num_requests = 120;
+  const Trace trace = generate_scenario_trace(s, 3);
+  ASSERT_EQ(trace.size(), 120u);
+
+  // Ids are dense and arrivals sorted after the session expansion.
+  std::map<std::int64_t, const Request*> last_turn;
+  int multi_turn = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& r = trace[i];
+    EXPECT_EQ(r.id, static_cast<RequestId>(i));
+    if (i > 0) EXPECT_GE(r.arrival_time, trace[i - 1].arrival_time);
+    ASSERT_GE(r.session, 0);  // every request of this scenario is tagged
+    EXPECT_EQ(r.shared_prefix_tokens, 512);
+    EXPECT_GT(r.prefill_tokens, 512);  // system prompt + non-empty input
+    EXPECT_LE(r.prefill_tokens, 8192);
+    const auto prev = last_turn.find(r.session);
+    if (prev != last_turn.end()) {
+      ++multi_turn;
+      // Turns of one session: later turn, later arrival, grown context.
+      EXPECT_EQ(r.turn, prev->second->turn + 1);
+      EXPECT_GE(r.arrival_time, prev->second->arrival_time);
+      // Strictly grown context unless both turns sit at the window cap.
+      if (r.prefill_tokens < 8192)
+        EXPECT_GT(r.prefill_tokens, prev->second->prefill_tokens);
+      EXPECT_EQ(r.prefix_group, prev->second->prefix_group);
+    } else {
+      EXPECT_EQ(r.turn, 0);
+    }
+    last_turn[r.session] = &r;
+  }
+  EXPECT_GT(multi_turn, 0);  // max_turns = 6 must yield follow-ups
+
+  const Trace replay = generate_scenario_trace(s, 3);
+  ASSERT_EQ(replay.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(replay[i].id, trace[i].id);
+    EXPECT_EQ(replay[i].session, trace[i].session);
+    EXPECT_EQ(replay[i].turn, trace[i].turn);
+    EXPECT_EQ(replay[i].prefill_tokens, trace[i].prefill_tokens);
+    EXPECT_DOUBLE_EQ(replay[i].arrival_time, trace[i].arrival_time);
+  }
+}
+
+TEST(SessionScenarios, SessionSpecValidationCatchesDegenerateValues) {
+  Scenario s = scenario_by_name("session-chat");
+  s.tenants[0].session.max_turns = 0;
+  EXPECT_THROW(s.validate(), Error);
+  s = scenario_by_name("session-chat");
+  s.tenants[0].session.mean_think_time_s = -1.0;
+  EXPECT_THROW(s.validate(), Error);
+  s = scenario_by_name("session-chat");
+  s.tenants[0].session.max_context_tokens =
+      s.tenants[0].session.shared_prefix_tokens;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+}  // namespace
+}  // namespace vidur

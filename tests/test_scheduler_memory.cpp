@@ -136,8 +136,53 @@ TEST(BlockManager, MultipleRequestsShareThePool) {
 }
 
 TEST(BlockManager, InvalidConstructionThrows) {
-  EXPECT_THROW(BlockManager(0, 16), Error);
+  EXPECT_THROW(BlockManager(-1, 16), Error);
   EXPECT_THROW(BlockManager(10, 0), Error);
+}
+
+TEST(BlockManager, ZeroBlockManagerIsValidAndIdle) {
+  // A replica with no KV pool (e.g. a degenerate plan) is representable:
+  // utilization is 0, not NaN, and nothing can be allocated.
+  BlockManager mgr(0, 16);
+  EXPECT_DOUBLE_EQ(mgr.utilization(), 0.0);
+  EXPECT_EQ(mgr.total_blocks(), 0);
+  EXPECT_EQ(mgr.free_blocks(), 0);
+  EXPECT_FALSE(mgr.grow_to(1, 16));
+  EXPECT_EQ(mgr.allocated_to(1), 0);
+  mgr.release(1);  // no-op
+  EXPECT_DOUBLE_EQ(mgr.utilization(), 0.0);
+}
+
+TEST(BlockManager, GrowToExactBlockBoundary) {
+  // Exactly filling the last block must not allocate a spare block, and
+  // one token past the boundary must take a fresh block.
+  BlockManager mgr(10, 16);
+  EXPECT_TRUE(mgr.grow_to(1, 32));  // exactly 2 blocks
+  EXPECT_EQ(mgr.allocated_to(1), 2);
+  EXPECT_TRUE(mgr.grow_to(1, 33));  // boundary + 1 -> 3 blocks
+  EXPECT_EQ(mgr.allocated_to(1), 3);
+  EXPECT_TRUE(mgr.grow_to(1, 48));  // back on a boundary, still 3
+  EXPECT_EQ(mgr.allocated_to(1), 3);
+  EXPECT_EQ(mgr.used_blocks(), 3);
+}
+
+TEST(BlockManager, CachedPoolAccounting) {
+  BlockManager mgr(10, 16);
+  EXPECT_TRUE(mgr.grow_to(1, 64));  // 4 blocks
+  mgr.transfer_to_cache(1, 3);
+  // The cached pool still counts as used (KV pressure sees retained KV).
+  EXPECT_EQ(mgr.cached_blocks(), 3);
+  EXPECT_EQ(mgr.used_blocks(), 4);
+  EXPECT_EQ(mgr.allocated_to(1), 1);
+  mgr.release(1);  // frees only the request's remaining block
+  EXPECT_EQ(mgr.used_blocks(), 3);
+  EXPECT_EQ(mgr.cached_blocks(), 3);
+  mgr.release_cached(2);
+  EXPECT_EQ(mgr.cached_blocks(), 1);
+  EXPECT_EQ(mgr.used_blocks(), 1);
+  mgr.release_cached(1);
+  EXPECT_EQ(mgr.used_blocks(), 0);
+  EXPECT_DOUBLE_EQ(mgr.utilization(), 0.0);
 }
 
 }  // namespace
