@@ -1,0 +1,174 @@
+// Fault-injection bench: recovery overhead and MTTR at fixed churn
+// (src/fault/ + the recovery engine in src/sim/).
+//
+// Replays the identical spot-churn trace twice on a sticky elastic fleet:
+// once clean, once with a fixed chaos profile (crashes + two spot windows
+// + shed floor). The delta is what resilience costs: makespan overhead,
+// re-prefilled tokens, retries, and the SLO attainment gap, plus the
+// repair-side MTTR the autoscaler achieves when closing capacity holes.
+// Gates: zero lost requests, at least one repair with MTTR > 0, and chaos
+// never finishing faster than clean. Emits BENCH_faults.json.
+#include <iostream>
+
+#include "api/run.h"
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "scenario/registry.h"
+
+namespace {
+
+using namespace vidur;
+using namespace vidur::bench;
+
+constexpr std::uint64_t kSeed = 42;
+
+/// Shared deployment: cache-aware routing over an elastic a100 fleet with
+/// a floor of two, so fault-driven capacity loss (not load shrinkage) is
+/// the only thing the chaos run adds.
+ExperimentSpec base_spec(int num_requests) {
+  AutoscalerConfig autoscale;
+  autoscale.kind = AutoscalerKind::kReactive;
+  autoscale.min_replicas = 2;
+  autoscale.decision_interval = 2.0;
+  autoscale.provision_delay = 2.0;
+  autoscale.warmup_delay = 1.0;
+  autoscale.scale_down_cooldown = 60.0;
+  autoscale.target_load_per_replica = 3.0;
+  autoscale.scale_up_load = 5.0;
+  autoscale.scale_down_load = 0.5;
+
+  ExperimentSpec spec;
+  spec.with_name("faults")
+      .with_model("llama2-7b")
+      .with_sku("a100")
+      .with_parallelism(1, 1, 4)
+      .with_scheduler(SchedulerKind::kSarathi, /*max_batch_size=*/32,
+                      /*chunk_size=*/512)
+      .with_routing(GlobalSchedulerKind::kCacheAware)
+      .with_prefix_cache()
+      .with_autoscale(autoscale)
+      .with_scenario("spot-churn", num_requests)
+      .with_seed(kSeed);
+  return spec;
+}
+
+/// The fixed churn: one abrupt two-replica reclaim, one noticed single
+/// reclaim, and a background crash process, all well inside the horizon
+/// even at VIDUR_BENCH_SCALE=0.25 (~130 s of trace).
+FaultConfig churn_profile() {
+  FaultConfig faults;
+  faults.seed = 7;
+  FaultProfile p;
+  p.crash_mtbf_s = 240.0;
+  p.spot_windows = {SpotWindow{30.0, 45.0, 2, 0.0},
+                    SpotWindow{90.0, 30.0, 1, 5.0}};
+  faults.profiles = {p};
+  faults.recovery.max_attempts = 5;
+  faults.recovery.backoff_base_s = 0.25;
+  faults.shed.min_active_replicas = 1;
+  return faults;
+}
+
+Json resilience_json(const ResilienceMetrics& r) {
+  Json j = Json::object();
+  j.set("num_crashes", r.num_crashes);
+  j.set("num_spot_reclaims", r.num_spot_reclaims);
+  j.set("num_retries", r.num_retries);
+  j.set("num_handoffs", r.num_handoffs);
+  j.set("num_shed", r.num_shed);
+  j.set("num_lost", r.num_lost);
+  j.set("tokens_reprefilled", r.tokens_reprefilled);
+  j.set("decode_tokens_discarded", r.decode_tokens_discarded);
+  j.set("num_repairs", r.num_repairs);
+  j.set("mttr_s", r.mttr_s);
+  j.set("slo_attainment_clean", r.slo_attainment_clean);
+  j.set("slo_attainment_impacted", r.slo_attainment_impacted);
+  return j;
+}
+
+Json run_json(const SimulationMetrics& m) {
+  Json j = Json::object();
+  j.set("num_completed", m.num_completed);
+  j.set("makespan_s", m.makespan);
+  j.set("throughput_qps", m.throughput_qps);
+  j.set("slo_attainment", m.aggregate_slo_attainment());
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  VidurSession session(model_by_name("llama2-7b"));
+  session.onboard("a100");
+
+  const int num_requests = scaled(800, 200);
+
+  ExperimentSpec clean_spec = base_spec(num_requests);
+  std::cout << "=== fault recovery overhead: "
+            << clean_spec.workload.scenario << " on "
+            << clean_spec.deployment.to_string() << " ===\n\n";
+  const SimulationMetrics clean =
+      run_experiment(session, clean_spec).metrics;
+
+  ExperimentSpec chaos_spec = base_spec(num_requests);
+  chaos_spec.with_name("faults-chaos").with_faults(churn_profile());
+  const SimulationMetrics chaos =
+      run_experiment(session, chaos_spec).metrics;
+  const ResilienceMetrics& r = chaos.resilience;
+
+  const double overhead_pct =
+      (chaos.makespan - clean.makespan) / clean.makespan * 100.0;
+  const double slo_delta = clean.aggregate_slo_attainment() -
+                           chaos.aggregate_slo_attainment();
+  std::cout << "clean:  " << clean.num_completed << " completed, makespan "
+            << fmt_double(clean.makespan, 2) << " s, SLO "
+            << fmt_percent(clean.aggregate_slo_attainment()) << "\n"
+            << "chaos:  " << chaos.num_completed << " completed, makespan "
+            << fmt_double(chaos.makespan, 2) << " s, SLO "
+            << fmt_percent(chaos.aggregate_slo_attainment()) << "\n"
+            << "faults: " << r.num_crashes << " crashes, "
+            << r.num_spot_reclaims << " spot reclaims, " << r.num_retries
+            << " retries, " << r.num_shed << " shed, " << r.num_lost
+            << " lost, " << r.tokens_reprefilled
+            << " tokens re-prefilled\n"
+            << "repair: " << r.num_repairs << " replacements, MTTR "
+            << fmt_double(r.mttr_s, 2) << " s\n"
+            << "cost:   " << fmt_double(overhead_pct, 1)
+            << "% makespan overhead, " << fmt_double(slo_delta * 100.0, 2)
+            << " points SLO attainment given up\n\n";
+
+  // ---- acceptance: recover everything, and repair the capacity hole ----
+  VIDUR_CHECK_MSG(r.num_spot_reclaims > 0,
+                  "chaos run injected no spot reclaims (windows at 30 s / "
+                  "90 s, makespan " << fmt_double(chaos.makespan, 2)
+                                    << " s) — churn did not land");
+  VIDUR_CHECK_MSG(r.num_lost == 0,
+                  "recovery lost " << r.num_lost << " requests (budget "
+                                   << "max_attempts=5); expected zero");
+  VIDUR_CHECK_MSG(
+      static_cast<std::int64_t>(chaos.num_completed) + r.num_shed ==
+          static_cast<std::int64_t>(num_requests),
+      "conservation broke: " << chaos.num_completed << " completed + "
+                             << r.num_shed << " shed != " << num_requests);
+  VIDUR_CHECK_MSG(r.num_repairs > 0 && r.mttr_s > 0.0,
+                  "autoscaler closed no capacity holes (repairs "
+                      << r.num_repairs << ", MTTR "
+                      << fmt_double(r.mttr_s, 2) << " s)");
+  VIDUR_CHECK_MSG(overhead_pct >= -0.01,
+                  "chaos run finished faster than clean ("
+                      << fmt_double(chaos.makespan, 2) << " s vs "
+                      << fmt_double(clean.makespan, 2)
+                      << " s) — injector is not costing anything");
+
+  Json doc = Json::object();
+  doc.set("scenario", clean_spec.workload.scenario);
+  doc.set("num_requests", num_requests);
+  doc.set("clean", run_json(clean));
+  doc.set("chaos", run_json(chaos));
+  doc.set("resilience", resilience_json(r));
+  doc.set("makespan_overhead_pct", overhead_pct);
+  doc.set("slo_delta_points", slo_delta * 100.0);
+  write_bench_json("faults", doc);
+  return 0;
+}

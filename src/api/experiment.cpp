@@ -205,6 +205,11 @@ ExperimentSpec& ExperimentSpec::with_prefix_cache(double capacity_fraction) {
   return *this;
 }
 
+ExperimentSpec& ExperimentSpec::with_faults(FaultConfig faults) {
+  deployment.faults = std::move(faults);
+  return *this;
+}
+
 // -------------------------------------------------------------- validate
 
 void ExperimentSpec::validate() const {
@@ -278,6 +283,52 @@ void ExperimentSpec::validate() const {
                     "deployment.pools sets capacity_qps on some pools but "
                     "not others; set it on every pool or on none (unset "
                     "capacities are derived from the estimator)");
+  }
+
+  // ---- fault injection ----
+  deployment.faults.validate();
+  if (deployment.faults.enabled()) {
+    // Profiles must aim at pools that exist. "" (or "fleet") targets the
+    // homogeneous fleet and is only meaningful without named pools.
+    std::vector<std::string> pool_names;
+    for (const PoolSpec& pool : deployment.pools)
+      pool_names.push_back(pool.name);
+    for (const FaultProfile& p : deployment.faults.profiles) {
+      if (deployment.pools.empty()) {
+        VIDUR_CHECK_MSG(p.pool.empty() || p.pool == "fleet",
+                        "faults profile targets pool '"
+                            << p.pool
+                            << "' but the deployment has no named pools; "
+                               "leave the profile's pool empty to target "
+                               "the homogeneous fleet");
+      } else {
+        check_name("faults profile pool", p.pool, pool_names);
+      }
+    }
+    // Kill-type faults remove capacity; without an autoscaler there is
+    // nothing to provision replacements, so the what-if is degenerate.
+    if (deployment.faults.any_kills()) {
+      const bool elastic = deployment.pools.empty()
+                               ? deployment.autoscale.enabled()
+                               : any_pool_autoscaled(deployment.pools);
+      VIDUR_CHECK_MSG(
+          elastic,
+          "faults include crashes or spot preemption, which permanently "
+          "remove replicas; enable autoscaling (deployment.autoscale or a "
+          "pool autoscale section) so the fleet can provision replacements "
+          "(degrade-only profiles work on static fleets)");
+    }
+    switch (mode) {
+      case ExperimentMode::kSimulate:
+      case ExperimentMode::kReference:
+        break;
+      case ExperimentMode::kCapacitySearch:
+      case ExperimentMode::kElasticPlan:
+        throw Error(
+            "deployment.faults applies to simulate/reference runs; "
+            "capacity_search and elastic_plan evaluate fault-free "
+            "deployments (remove the faults section)");
+    }
   }
 
   // ---- workload ----
@@ -620,6 +671,68 @@ JsonValue prefix_cache_json(const PrefixCacheConfig& c) {
   return j;
 }
 
+JsonValue fault_profile_json(const FaultProfile& p) {
+  const FaultProfile d;
+  JsonValue j = JsonValue::object();
+  set_unless_default(j, "pool", p.pool, d.pool, p.pool);
+  set_unless_default(j, "crash_mtbf_s", p.crash_mtbf_s, d.crash_mtbf_s,
+                     p.crash_mtbf_s);
+  if (!p.spot_windows.empty()) {
+    JsonValue windows = JsonValue::array();
+    for (const SpotWindow& w : p.spot_windows) {
+      const SpotWindow wd;
+      JsonValue wj = JsonValue::object();
+      wj.set("start_s", w.start);
+      wj.set("duration_s", w.duration);
+      set_unless_default(wj, "replicas", w.replicas, wd.replicas, w.replicas);
+      set_unless_default(wj, "notice_s", w.notice, wd.notice, w.notice);
+      windows.push(std::move(wj));
+    }
+    j.set("spot_windows", std::move(windows));
+  }
+  set_unless_default(j, "degrade_mtbf_s", p.degrade_mtbf_s, d.degrade_mtbf_s,
+                     p.degrade_mtbf_s);
+  set_unless_default(j, "degrade_factor", p.degrade_factor, d.degrade_factor,
+                     p.degrade_factor);
+  set_unless_default(j, "degrade_duration_s", p.degrade_duration_s,
+                     d.degrade_duration_s, p.degrade_duration_s);
+  return j;
+}
+
+JsonValue faults_json(const FaultConfig& c) {
+  const FaultConfig d;
+  JsonValue j = JsonValue::object();
+  set_unless_default(j, "seed", c.seed, d.seed,
+                     static_cast<std::int64_t>(c.seed));
+  JsonValue profiles = JsonValue::array();
+  for (const FaultProfile& p : c.profiles)
+    profiles.push(fault_profile_json(p));
+  j.set("profiles", std::move(profiles));
+  if (!(c.recovery == d.recovery)) {
+    const RecoveryPolicy rd;
+    JsonValue rj = JsonValue::object();
+    set_unless_default(rj, "max_attempts", c.recovery.max_attempts,
+                       rd.max_attempts, c.recovery.max_attempts);
+    set_unless_default(rj, "backoff_base_s", c.recovery.backoff_base_s,
+                       rd.backoff_base_s, c.recovery.backoff_base_s);
+    set_unless_default(rj, "backoff_multiplier",
+                       c.recovery.backoff_multiplier, rd.backoff_multiplier,
+                       c.recovery.backoff_multiplier);
+    set_unless_default(rj, "jitter", c.recovery.jitter, rd.jitter,
+                       c.recovery.jitter);
+    j.set("recovery", std::move(rj));
+  }
+  if (!(c.shed == d.shed)) {
+    const ShedPolicy sd;
+    JsonValue sj = JsonValue::object();
+    sj.set("min_active_replicas", c.shed.min_active_replicas);
+    set_unless_default(sj, "max_shed_priority", c.shed.max_shed_priority,
+                       sd.max_shed_priority, c.shed.max_shed_priority);
+    j.set("shed", std::move(sj));
+  }
+  return j;
+}
+
 JsonValue pool_json(const PoolSpec& p) {
   const PoolSpec d;
   JsonValue j = JsonValue::object();
@@ -661,6 +774,8 @@ JsonValue deployment_json(const DeploymentConfig& c) {
                        disagg_json(c.disagg));
     set_unless_default(j, "prefix_cache", c.prefix_cache, d.prefix_cache,
                        prefix_cache_json(c.prefix_cache));
+    set_unless_default(j, "faults", c.faults, d.faults,
+                       faults_json(c.faults));
     return j;
   }
   j.set("sku", c.sku_name);
@@ -679,6 +794,7 @@ JsonValue deployment_json(const DeploymentConfig& c) {
                      autoscale_json(c.autoscale));
   set_unless_default(j, "prefix_cache", c.prefix_cache, d.prefix_cache,
                      prefix_cache_json(c.prefix_cache));
+  set_unless_default(j, "faults", c.faults, d.faults, faults_json(c.faults));
   return j;
 }
 
@@ -1136,6 +1252,112 @@ PrefixCacheConfig prefix_cache_from_json(const JsonValue& j) {
   return c;
 }
 
+FaultProfile fault_profile_from_json(const JsonValue& j) {
+  FaultProfile p;
+  std::string context = "deployment.faults.profiles[]";
+  if (const JsonValue* n = j.find("pool"); n != nullptr && n->is_string())
+    context = "deployment.faults.profiles['" + n->as_string() + "']";
+  FieldReader r(j, context);
+  r.field("pool", [&](const JsonValue& v) { p.pool = to_str(v, "pool"); })
+      .field("crash_mtbf_s",
+             [&](const JsonValue& v) {
+               p.crash_mtbf_s = to_double(v, "crash_mtbf_s");
+             })
+      .field("spot_windows",
+             [&](const JsonValue& v) {
+               VIDUR_CHECK_MSG(v.is_array(),
+                               "spec field 'spot_windows' must be an array "
+                               "of window objects");
+               for (const JsonValue& item : v.items()) {
+                 SpotWindow w;
+                 FieldReader wr(item, context + ".spot_windows[]");
+                 wr.field("start_s",
+                          [&](const JsonValue& x) {
+                            w.start = to_double(x, "start_s");
+                          })
+                     .field("duration_s",
+                            [&](const JsonValue& x) {
+                              w.duration = to_double(x, "duration_s");
+                            })
+                     .field("replicas",
+                            [&](const JsonValue& x) {
+                              w.replicas = to_int(x, "replicas");
+                            })
+                     .field("notice_s", [&](const JsonValue& x) {
+                       w.notice = to_double(x, "notice_s");
+                     });
+                 wr.finish();
+                 p.spot_windows.push_back(w);
+               }
+             })
+      .field("degrade_mtbf_s",
+             [&](const JsonValue& v) {
+               p.degrade_mtbf_s = to_double(v, "degrade_mtbf_s");
+             })
+      .field("degrade_factor",
+             [&](const JsonValue& v) {
+               p.degrade_factor = to_double(v, "degrade_factor");
+             })
+      .field("degrade_duration_s", [&](const JsonValue& v) {
+        p.degrade_duration_s = to_double(v, "degrade_duration_s");
+      });
+  r.finish();
+  return p;
+}
+
+FaultConfig faults_from_json(const JsonValue& j) {
+  FaultConfig c;
+  FieldReader r(j, "deployment.faults");
+  r.field("seed",
+          [&](const JsonValue& v) {
+            c.seed = static_cast<std::uint64_t>(v.as_int());
+          })
+      .field("profiles",
+             [&](const JsonValue& v) {
+               VIDUR_CHECK_MSG(v.is_array(),
+                               "spec field 'deployment.faults.profiles' must "
+                               "be an array of profile objects");
+               for (const JsonValue& item : v.items())
+                 c.profiles.push_back(fault_profile_from_json(item));
+             })
+      .field("recovery",
+             [&](const JsonValue& v) {
+               FieldReader rr(v, "deployment.faults.recovery");
+               rr.field("max_attempts",
+                        [&](const JsonValue& x) {
+                          c.recovery.max_attempts = to_int(x, "max_attempts");
+                        })
+                   .field("backoff_base_s",
+                          [&](const JsonValue& x) {
+                            c.recovery.backoff_base_s =
+                                to_double(x, "backoff_base_s");
+                          })
+                   .field("backoff_multiplier",
+                          [&](const JsonValue& x) {
+                            c.recovery.backoff_multiplier =
+                                to_double(x, "backoff_multiplier");
+                          })
+                   .field("jitter", [&](const JsonValue& x) {
+                     c.recovery.jitter = to_double(x, "jitter");
+                   });
+               rr.finish();
+             })
+      .field("shed", [&](const JsonValue& v) {
+        FieldReader sr(v, "deployment.faults.shed");
+        sr.field("min_active_replicas",
+                 [&](const JsonValue& x) {
+                   c.shed.min_active_replicas =
+                       to_int(x, "min_active_replicas");
+                 })
+            .field("max_shed_priority", [&](const JsonValue& x) {
+              c.shed.max_shed_priority = to_int(x, "max_shed_priority");
+            });
+        sr.finish();
+      });
+  r.finish();
+  return c;
+}
+
 PoolSpec pool_from_json(const JsonValue& j) {
   PoolSpec p;
   // Read the name first so field errors can cite the pool.
@@ -1221,9 +1443,12 @@ DeploymentConfig deployment_from_json(const JsonValue& j) {
                for (const JsonValue& item : v.items())
                  c.pools.push_back(pool_from_json(item));
              })
-      .field("prefix_cache", [&](const JsonValue& v) {
-        c.prefix_cache = prefix_cache_from_json(v);
-      });
+      .field("prefix_cache",
+             [&](const JsonValue& v) {
+               c.prefix_cache = prefix_cache_from_json(v);
+             })
+      .field("faults",
+             [&](const JsonValue& v) { c.faults = faults_from_json(v); });
   r.finish();
   return c;
 }

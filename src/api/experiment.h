@@ -158,6 +158,9 @@ struct ExperimentSpec {
   /// Enable the per-replica prefix cache (deployment.prefix_cache), sized
   /// to `capacity_fraction` of each replica's KV blocks.
   ExperimentSpec& with_prefix_cache(double capacity_fraction = 0.5);
+  /// Install the fault-injection block (deployment.faults): per-pool
+  /// crash/spot/straggler profiles plus recovery and shed policies.
+  ExperimentSpec& with_faults(FaultConfig faults);
 
   /// Throws vidur::Error with an actionable message on any inconsistency:
   /// unknown model/SKU/trace/scenario/scheduler names (with a did-you-mean

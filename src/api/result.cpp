@@ -241,6 +241,26 @@ JsonValue metrics_to_json(const SimulationMetrics& m) {
     }
     j.set("prefix_cache", std::move(pc));
   }
+  if (m.resilience.enabled) {
+    const ResilienceMetrics& r = m.resilience;
+    JsonValue res = JsonValue::object();
+    res.set("crashes", r.num_crashes);
+    res.set("spot_reclaims", r.num_spot_reclaims);
+    res.set("degrade_events", r.num_degrade_events);
+    res.set("retries", r.num_retries);
+    res.set("handoffs", r.num_handoffs);
+    res.set("shed", r.num_shed);
+    res.set("lost", r.num_lost);
+    res.set("repairs", r.num_repairs);
+    res.set("mttr_s", r.mttr_s);
+    res.set("prefill_tokens_reprefilled", r.tokens_reprefilled);
+    res.set("decode_tokens_discarded", r.decode_tokens_discarded);
+    if (r.slo_attainment_clean >= 0)
+      res.set("slo_attainment_clean", r.slo_attainment_clean);
+    if (r.slo_attainment_impacted >= 0)
+      res.set("slo_attainment_impacted", r.slo_attainment_impacted);
+    j.set("resilience", std::move(res));
+  }
   if (!m.registry.empty()) j.set("registry", registry_json(m.registry));
   if (!m.rolling.empty()) j.set("rolling", rolling_json(m.rolling));
   return j;

@@ -81,16 +81,27 @@ ExperimentResult dispatch(VidurSession& session, const ExperimentSpec& spec) {
     }
     obs.rolling_window_s = spec.obs.rolling_window_s;
   }
+  // The fault injector's RNG streams default to a stream derived from the
+  // experiment seed (splitmix64 finalizer, so faults never correlate with
+  // trace generation). Resolved here, on a copy, so result.spec round-trips
+  // the user's `seed: 0` losslessly.
+  DeploymentConfig deployment = spec.deployment;
+  if (deployment.faults.enabled() && deployment.faults.seed == 0) {
+    std::uint64_t z = spec.seed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    deployment.faults.seed = z ^ (z >> 31);
+  }
   switch (spec.mode) {
     case ExperimentMode::kSimulate: {
       const Trace trace = build_trace(spec, &tenants);
-      result.metrics = session.simulate(spec.deployment, trace, tenants, obs);
+      result.metrics = session.simulate(deployment, trace, tenants, obs);
       break;
     }
     case ExperimentMode::kReference: {
       const Trace trace = build_trace(spec, &tenants);
       result.metrics =
-          session.simulate_reference(spec.deployment, trace, spec.seed,
+          session.simulate_reference(deployment, trace, spec.seed,
                                      tenants, obs);
       break;
     }

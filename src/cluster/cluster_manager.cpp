@@ -70,6 +70,7 @@ ClusterManager::ClusterManager(std::vector<ManagedPool> pools,
                  ReplicaState::kDecommissioned);
   routable_.assign(static_cast<std::size_t>(fleet_size_), false);
   up_since_.assign(static_cast<std::size_t>(fleet_size_), -1.0);
+  hold_until_.assign(static_cast<std::size_t>(fleet_size_), -kInfiniteTime);
   pool_of_.resize(static_cast<std::size_t>(fleet_size_));
   for (std::size_t i = 0; i < pools_.size(); ++i)
     for (ReplicaId r = pools_[i].begin; r < pools_[i].end; ++r)
@@ -158,6 +159,15 @@ int ClusterManager::count_in(const Pool& pool, ReplicaState s) const {
   int n = 0;
   for (ReplicaId r = pool.begin; r < pool.end; ++r)
     if (state(r) == s) ++n;
+  return n;
+}
+
+int ClusterManager::available_slots(const Pool& pool, Seconds now) const {
+  int n = 0;
+  for (ReplicaId r = pool.begin; r < pool.end; ++r)
+    if (state(r) == ReplicaState::kDecommissioned &&
+        hold_until_[static_cast<std::size_t>(r)] <= now)
+      ++n;
   return n;
 }
 
@@ -251,7 +261,9 @@ void ClusterManager::scale_up_group(Group& group, int n, Seconds now) {
     double best_cost = 0.0;
     for (const int pi : group.elastic) {
       const Pool& pool = pools_[static_cast<std::size_t>(pi)];
-      if (count_in(pool, ReplicaState::kDecommissioned) == 0) continue;
+      // A spot-reclaimed slot is decommissioned but held for the window's
+      // remainder; only unheld slots count as headroom.
+      if (available_slots(pool, now) == 0) continue;
       const double cost = cost_per_slo_point(pool);
       if (best < 0 || cost < best_cost) {
         best = pi;
@@ -261,7 +273,9 @@ void ClusterManager::scale_up_group(Group& group, int n, Seconds now) {
     if (best < 0) return;  // every elastic pool is at its ceiling
     Pool& pool = pools_[static_cast<std::size_t>(best)];
     for (ReplicaId r = pool.begin; r < pool.end; ++r) {
-      if (state(r) != ReplicaState::kDecommissioned) continue;
+      if (state(r) != ReplicaState::kDecommissioned ||
+          hold_until_[static_cast<std::size_t>(r)] > now)
+        continue;
       --n;
       ++pool.num_ups;
       if (ctr_scale_ups_ != nullptr) ctr_scale_ups_->inc();
@@ -334,6 +348,31 @@ void ClusterManager::notify_idle(ReplicaId replica) {
                                                                        now);
   since = -1.0;
   transition(replica, ReplicaState::kDecommissioned, now);
+  if (hooks_.on_decommissioned) hooks_.on_decommissioned(replica);
+}
+
+void ClusterManager::fail_replica(ReplicaId replica, Seconds hold_until) {
+  const ReplicaState s = state(replica);
+  VIDUR_CHECK_MSG(
+      s == ReplicaState::kActive || s == ReplicaState::kDraining,
+      "fail_replica(" << replica << "): replica is " << replica_state_name(s)
+                      << ", not active or draining");
+  const Seconds now = events_->now();
+  auto& since = up_since_[static_cast<std::size_t>(replica)];
+  // A failed replica was still paid for until the failure instant.
+  pools_[static_cast<std::size_t>(pool_of(replica))].paid.emplace_back(since,
+                                                                       now);
+  since = -1.0;
+  hold_until_[static_cast<std::size_t>(replica)] = hold_until;
+  transition(replica, ReplicaState::kDecommissioned, now);
+  if (hooks_.on_decommissioned) hooks_.on_decommissioned(replica);
+}
+
+void ClusterManager::drain_replica(ReplicaId replica) {
+  if (state(replica) != ReplicaState::kActive) return;
+  transition(replica, ReplicaState::kDraining, events_->now());
+  hooks_.on_draining(replica);
+  if (hooks_.replica_load(replica) == 0) notify_idle(replica);
 }
 
 void ClusterManager::transition(ReplicaId replica, ReplicaState to,

@@ -58,6 +58,10 @@ class ClusterManager {
     /// KV-cache block utilization (0..1) of a replica — the decode-pool
     /// scaling signal.
     std::function<double(ReplicaId)> replica_kv_utilization;
+    /// Optional: a replica's slot was released (drain completed or the
+    /// replica was failed). The simulator tears down per-replica state the
+    /// lifecycle does not own — the prefix-cache pool in particular.
+    std::function<void(ReplicaId)> on_decommissioned;
   };
 
   /// One pool as the manager runs it: a PoolSpec boiled down to scaling
@@ -135,6 +139,19 @@ class ClusterManager {
   /// in flight. Completes a pending drain; a no-op in any other state.
   void notify_idle(ReplicaId replica);
 
+  /// Fault-injection entry points (src/fault/). Both act on the lifecycle
+  /// only — the simulator tears down scheduler/KV state around them.
+  ///
+  /// Abruptly remove an active or draining replica: the slot goes straight
+  /// to kDecommissioned (no drain), its paid interval closes at the current
+  /// event time, and — when `hold_until` >= 0 — the slot cannot be
+  /// re-provisioned before that time (spot reclaims hold capacity for the
+  /// window's remainder; crashes pass -1 and free the slot immediately).
+  void fail_replica(ReplicaId replica, Seconds hold_until = -1.0);
+  /// Begin draining an active replica outside any scaling decision (spot
+  /// reclaim notice). No-op unless the replica is kActive.
+  void drain_replica(ReplicaId replica);
+
   /// Attach observability (src/obs/): the trace records every replica
   /// lifecycle transition and autoscaler decision; the registry carries
   /// tick/scale counters. Borrowed pointers; call before start() so the
@@ -186,6 +203,9 @@ class ClusterManager {
   void transition(ReplicaId replica, ReplicaState to, Seconds now);
   int count(ReplicaState s) const;
   int count_in(const Pool& pool, ReplicaState s) const;
+  /// Decommissioned slots of `pool` whose re-provision hold has expired —
+  /// the slots scale_up_group may actually take at `now`.
+  int available_slots(const Pool& pool, Seconds now) const;
   ClusterScalingReport report_impl(Seconds end_time, int gpus_override,
                                    double cost_override) const;
 
@@ -200,6 +220,9 @@ class ClusterManager {
   std::vector<int> pool_of_;     ///< slot -> owning pool index
   /// Provisioning start of the current paid up-interval; -1 when down.
   std::vector<Seconds> up_since_;
+  /// Earliest time a decommissioned slot may be re-provisioned (spot
+  /// reclaim holds); -infinity when unheld.
+  std::vector<Seconds> hold_until_;
 
   std::vector<ScalingEvent> log_;
   std::vector<ReplicaCountSample> timeline_;  ///< fleet-wide active counts

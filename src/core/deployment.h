@@ -7,6 +7,7 @@
 
 #include "cluster/autoscaler.h"
 #include "cluster/pool.h"
+#include "fault/fault_config.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
 #include "kvcache/prefix_cache_config.h"
@@ -40,6 +41,10 @@ struct DeploymentConfig {
   /// sessions and shared system prompts. Pair with
   /// `global_scheduler = cache_aware` for affinity routing.
   PrefixCacheConfig prefix_cache;
+  /// Fault injection (src/fault/): per-pool crash / spot-preemption /
+  /// straggler profiles plus the retry and shed policies the fleet answers
+  /// them with. Disabled by default (no profiles = immortal replicas).
+  FaultConfig faults;
 
   int total_gpus() const {
     if (pools.empty()) return parallel.total_gpus();

@@ -54,6 +54,7 @@ SimulationConfig VidurSession::make_sim_config(
   sim.autoscale = config.autoscale;
   sim.pools = config.pools;
   sim.prefix_cache = config.prefix_cache;
+  sim.faults = config.faults;
   return sim;
 }
 

@@ -1,0 +1,65 @@
+#include "fault/fault_config.h"
+
+#include "common/check.h"
+
+namespace vidur {
+
+void FaultConfig::validate() const {
+  for (const FaultProfile& p : profiles) {
+    VIDUR_CHECK_MSG(p.crash_mtbf_s >= 0.0,
+                    "faults: crash_mtbf_s must be >= 0, got "
+                        << p.crash_mtbf_s << " (pool '" << p.pool << "')");
+    VIDUR_CHECK_MSG(p.degrade_mtbf_s >= 0.0,
+                    "faults: degrade_mtbf_s must be >= 0, got "
+                        << p.degrade_mtbf_s << " (pool '" << p.pool << "')");
+    if (p.degrades()) {
+      VIDUR_CHECK_MSG(p.degrade_factor > 1.0,
+                      "faults: degrade_factor must be > 1 when degrade "
+                      "events are enabled, got "
+                          << p.degrade_factor << " (pool '" << p.pool
+                          << "')");
+      VIDUR_CHECK_MSG(p.degrade_duration_s > 0.0,
+                      "faults: degrade_duration_s must be > 0 when degrade "
+                      "events are enabled, got "
+                          << p.degrade_duration_s << " (pool '" << p.pool
+                          << "')");
+    }
+    for (const SpotWindow& w : p.spot_windows) {
+      VIDUR_CHECK_MSG(w.start >= 0.0, "faults: spot window start must be "
+                                      ">= 0, got "
+                                          << w.start << " (pool '" << p.pool
+                                          << "')");
+      VIDUR_CHECK_MSG(w.duration > 0.0,
+                      "faults: spot window duration must be > 0, got "
+                          << w.duration << " (pool '" << p.pool << "')");
+      VIDUR_CHECK_MSG(w.replicas > 0,
+                      "faults: spot window replicas must be > 0, got "
+                          << w.replicas << " (pool '" << p.pool << "')");
+      VIDUR_CHECK_MSG(w.notice >= 0.0 && w.notice <= w.duration,
+                      "faults: spot window notice must be in [0, duration], "
+                      "got "
+                          << w.notice << " with duration " << w.duration
+                          << " (pool '" << p.pool << "')");
+    }
+  }
+  VIDUR_CHECK_MSG(recovery.max_attempts >= 1,
+                  "faults: recovery.max_attempts must be >= 1, got "
+                      << recovery.max_attempts);
+  VIDUR_CHECK_MSG(recovery.backoff_base_s > 0.0,
+                  "faults: recovery.backoff_base_s must be > 0, got "
+                      << recovery.backoff_base_s);
+  VIDUR_CHECK_MSG(recovery.backoff_multiplier >= 1.0,
+                  "faults: recovery.backoff_multiplier must be >= 1, got "
+                      << recovery.backoff_multiplier);
+  VIDUR_CHECK_MSG(recovery.jitter >= 0.0 && recovery.jitter < 1.0,
+                  "faults: recovery.jitter must be in [0, 1), got "
+                      << recovery.jitter);
+  VIDUR_CHECK_MSG(shed.min_active_replicas >= 0,
+                  "faults: shed.min_active_replicas must be >= 0, got "
+                      << shed.min_active_replicas);
+  VIDUR_CHECK_MSG(shed.max_shed_priority >= 0,
+                  "faults: shed.max_shed_priority must be >= 0, got "
+                      << shed.max_shed_priority);
+}
+
+}  // namespace vidur

@@ -1,0 +1,128 @@
+// Fault-injection configuration (src/fault/): the deployment-level knobs
+// describing how a simulated fleet loses capacity.
+//
+// Three fault sources, each per pool:
+//   - crashes: exponential MTBF replica failures (abrupt; all KV on the
+//     victim is lost and its in-flight work restarts elsewhere),
+//   - spot-preemption windows: scheduled capacity reclaims with a drain
+//     notice — the victim stops taking work at the notice and is hard-killed
+//     when the notice expires; the reclaimed slot cannot be re-provisioned
+//     until the window ends,
+//   - degraded/straggler mode: a replica's execution-time predictions are
+//     scaled by a factor for a duration (the replica stays up, just slow).
+//
+// Failed requests enter the RecoveryPolicy (exponential backoff + jitter,
+// bounded attempts, re-routed through the GlobalScheduler), and an optional
+// ShedPolicy drops the lowest-priority tenants while surviving capacity sits
+// below a floor. Kept dependency-free so the core deployment config can
+// embed it without pulling in the injector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vidur {
+
+/// One scheduled spot-capacity reclaim against a pool.
+struct SpotWindow {
+  /// When the reclaim notice lands.
+  Seconds start = 0.0;
+  /// How long the reclaimed slots stay unavailable after `start`; the
+  /// autoscaler cannot re-provision them before `start + duration`.
+  Seconds duration = 0.0;
+  /// Replicas reclaimed (the pool's highest-id active slots; the injector
+  /// never takes a pool's last active replica).
+  int replicas = 1;
+  /// Grace period between the notice (the victim starts draining) and the
+  /// hard kill. 0 = immediate kill.
+  Seconds notice = 0.0;
+
+  bool operator==(const SpotWindow&) const = default;
+};
+
+/// Fault sources aimed at one pool ("" or "fleet" = the homogeneous fleet).
+struct FaultProfile {
+  std::string pool;
+  /// Mean time between crash failures across the pool's active replicas;
+  /// 0 disables crashes. Inter-failure gaps are exponential (seeded).
+  Seconds crash_mtbf_s = 0.0;
+  /// Scheduled spot-preemption windows.
+  std::vector<SpotWindow> spot_windows;
+  /// Mean time between degraded-mode (straggler) events; 0 disables.
+  Seconds degrade_mtbf_s = 0.0;
+  /// Execution-time multiplier while degraded (> 1 = slower).
+  double degrade_factor = 1.0;
+  /// How long one degraded episode lasts.
+  Seconds degrade_duration_s = 0.0;
+
+  bool crashes() const { return crash_mtbf_s > 0.0; }
+  bool degrades() const { return degrade_mtbf_s > 0.0; }
+  /// Any fault source that removes capacity (crash or spot reclaim)?
+  bool kills() const { return crashes() || !spot_windows.empty(); }
+  bool any() const { return kills() || degrades(); }
+
+  bool operator==(const FaultProfile&) const = default;
+};
+
+/// What a failed request does next: retry with exponential backoff and
+/// jitter, re-routed through the GlobalScheduler, for at most max_attempts
+/// tries; a request that exhausts its attempts is lost (terminal).
+/// Queued-but-unstarted requests on a dead replica lost nothing and are
+/// handed off immediately instead of backing off.
+struct RecoveryPolicy {
+  int max_attempts = 3;
+  Seconds backoff_base_s = 0.5;
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter fraction on top of the deterministic backoff: the delay
+  /// is base * multiplier^attempt * (1 + jitter * u), u ~ U[0, 1).
+  double jitter = 0.1;
+
+  bool operator==(const RecoveryPolicy&) const = default;
+};
+
+/// Graceful degradation: while the cluster's active replica count sits
+/// below `min_active_replicas`, arriving (and retrying) requests of tenants
+/// with priority <= `max_shed_priority` are shed instead of queued.
+/// min_active_replicas = 0 disables shedding.
+struct ShedPolicy {
+  int min_active_replicas = 0;
+  int max_shed_priority = 0;
+
+  bool enabled() const { return min_active_replicas > 0; }
+
+  bool operator==(const ShedPolicy&) const = default;
+};
+
+struct FaultConfig {
+  /// Seed of the injector's RNG streams (crash/degrade sampling, retry
+  /// jitter). 0 = derive from the experiment seed, so same-seed runs
+  /// replay bit-identically by default.
+  std::uint64_t seed = 0;
+  std::vector<FaultProfile> profiles;
+  RecoveryPolicy recovery;
+  ShedPolicy shed;
+
+  bool enabled() const {
+    for (const FaultProfile& p : profiles)
+      if (p.any()) return true;
+    return false;
+  }
+  /// Any profile that removes capacity (needs an elastic deployment to
+  /// provision replacements)?
+  bool any_kills() const {
+    for (const FaultProfile& p : profiles)
+      if (p.kills()) return true;
+    return false;
+  }
+
+  /// Throws vidur::Error on nonsensical parameters (non-positive MTBFs,
+  /// degenerate windows, a degrade factor <= 0, backoff misconfig, ...).
+  void validate() const;
+
+  bool operator==(const FaultConfig&) const = default;
+};
+
+}  // namespace vidur

@@ -1,0 +1,124 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace vidur {
+
+FaultInjector::FaultInjector(const FaultConfig& config, EventQueue* events,
+                             Hooks hooks)
+    : config_(config), events_(events), hooks_(std::move(hooks)) {
+  VIDUR_CHECK(events_ != nullptr);
+  VIDUR_CHECK(hooks_.active_replicas && hooks_.kill && hooks_.drain &&
+              hooks_.set_slow_factor && hooks_.work_remaining);
+  // One RNG lineage per profile, forked in profile order off the config
+  // seed: a profile's draws never depend on another profile's activity.
+  Rng root(config_.seed);
+  for (const FaultProfile& p : config_.profiles) {
+    Stream s;
+    s.profile = &p;
+    s.crash_rng = root.fork();
+    s.degrade_rng = root.fork();
+    s.victim_rng = root.fork();
+    streams_.push_back(std::move(s));
+  }
+}
+
+void FaultInjector::start() {
+  // streams_ holds pointers into config_.profiles; both live here, so the
+  // references stay stable.
+  for (Stream& s : streams_) {
+    for (const SpotWindow& w : s.profile->spot_windows)
+      events_->schedule(w.start,
+                        [this, &s, &w] { open_spot_window(*s.profile, w); });
+    if (s.profile->crashes()) schedule_next_crash(s);
+    if (s.profile->degrades()) schedule_next_degrade(s);
+  }
+}
+
+void FaultInjector::schedule_next_crash(Stream& s) {
+  const Seconds gap =
+      s.crash_rng.exponential(1.0 / s.profile->crash_mtbf_s);
+  events_->schedule(events_->now() + gap, [this, &s] { fire_crash(s); });
+}
+
+void FaultInjector::schedule_next_degrade(Stream& s) {
+  const Seconds gap =
+      s.degrade_rng.exponential(1.0 / s.profile->degrade_mtbf_s);
+  events_->schedule(events_->now() + gap, [this, &s] { fire_degrade(s); });
+}
+
+void FaultInjector::fire_crash(Stream& s) {
+  const std::vector<ReplicaId> active =
+      hooks_.active_replicas(s.profile->pool);
+  // Never the last active replica: a skipped failure is "the fault landed
+  // on capacity we don't model" — the renewal stream keeps going.
+  if (active.size() > 1) {
+    const ReplicaId victim = active[static_cast<std::size_t>(
+        s.victim_rng.uniform_int(0, static_cast<std::int64_t>(active.size()) -
+                                        1))];
+    ++log_.crashes;
+    hooks_.kill(victim, /*hold_until=*/-1.0, /*spot=*/false);
+  }
+  if (hooks_.work_remaining()) schedule_next_crash(s);
+}
+
+void FaultInjector::fire_degrade(Stream& s) {
+  const std::vector<ReplicaId> active =
+      hooks_.active_replicas(s.profile->pool);
+  if (!active.empty()) {
+    const ReplicaId victim = active[static_cast<std::size_t>(
+        s.victim_rng.uniform_int(0, static_cast<std::int64_t>(active.size()) -
+                                        1))];
+    ++log_.degrade_events;
+    const auto permille =
+        static_cast<std::int64_t>(s.profile->degrade_factor * 1000.0);
+    trace_emit(trace_, TraceEventKind::kReplicaFault, events_->now(), victim,
+               -1, permille, 0, 3);
+    hooks_.set_slow_factor(victim, s.profile->degrade_factor);
+    // Restore unconditionally: if the victim died (or its slot was
+    // re-provisioned) meanwhile, the kill path already reset the factor
+    // and this re-asserts healthy — never leaves a slot slow forever.
+    events_->schedule(events_->now() + s.profile->degrade_duration_s,
+                      [this, victim] {
+                        trace_emit(trace_, TraceEventKind::kReplicaFault,
+                                   events_->now(), victim, -1, 1000, 0, 4);
+                        hooks_.set_slow_factor(victim, 1.0);
+                      });
+  }
+  if (hooks_.work_remaining()) schedule_next_degrade(s);
+}
+
+void FaultInjector::open_spot_window(const FaultProfile& profile,
+                                     const SpotWindow& w) {
+  std::vector<ReplicaId> active = hooks_.active_replicas(profile.pool);
+  // Reclaim the highest-id active replicas (mirroring scale-down order, so
+  // survivors stay packed at the low ids), never the pool's last one.
+  const int take = std::min<int>(
+      w.replicas, static_cast<int>(active.size()) - 1);
+  if (take <= 0) return;
+  std::sort(active.begin(), active.end());
+  const Seconds now = events_->now();
+  const Seconds hold_until = w.start + w.duration;
+  for (int i = 0; i < take; ++i) {
+    const ReplicaId victim = active[active.size() - 1 - static_cast<std::size_t>(i)];
+    ++log_.spot_reclaims;
+    if (w.notice > 0.0) {
+      // Notice period: the victim drains; whatever is still running when
+      // the notice expires dies with the hard kill.
+      trace_emit(trace_, TraceEventKind::kReplicaFault, now, victim, -1, 0,
+                 0, 1);
+      hooks_.drain(victim);
+      events_->schedule(now + w.notice, [this, victim, hold_until] {
+        hooks_.kill(victim, hold_until, /*spot=*/true);
+      });
+    } else {
+      hooks_.kill(victim, hold_until, /*spot=*/true);
+    }
+  }
+}
+
+}  // namespace vidur

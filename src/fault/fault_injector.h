@@ -1,0 +1,107 @@
+// FaultInjector: deterministic fault scheduling over the simulation's
+// EventQueue (the tentpole of src/fault/).
+//
+// Each FaultProfile aims three independent event streams at one pool's
+// replica slots:
+//   - crashes: a renewal process with exponential inter-failure gaps
+//     (mean crash_mtbf_s), each firing killing one uniformly-chosen active
+//     replica of the pool,
+//   - spot windows: scheduled up front; at each window's start the injector
+//     drains the pool's highest-id active replicas (the reclaim notice) and
+//     hard-kills whichever are still up when the notice expires, holding
+//     the reclaimed slots until the window closes,
+//   - degraded mode: a renewal process like crashes, but the victim stays
+//     up with its execution-time predictions scaled by degrade_factor for
+//     degrade_duration_s.
+//
+// Two invariants keep chaos runs well-posed: the injector never removes a
+// pool's last active replica (the fleet stays routable; disaggregated
+// decode pools keep a migration target), and every random draw comes from
+// Rng streams forked per profile off FaultConfig::seed — same seed, same
+// faults, bit for bit.
+//
+// The injector only *selects and times* faults; the mechanics (tearing
+// down scheduler/KV state, the ClusterManager lifecycle, recovery routing)
+// stay in the simulator behind the Hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "fault/fault_config.h"
+#include "sim/event_queue.h"
+
+namespace vidur {
+
+class TraceRecorder;
+
+class FaultInjector {
+ public:
+  /// Callbacks into the simulator. All are required.
+  struct Hooks {
+    /// Active replica ids of the profile's target pool, ascending ("" =
+    /// the whole fleet). The injector picks victims from this list only.
+    std::function<std::vector<ReplicaId>(const std::string& pool)>
+        active_replicas;
+    /// Abruptly remove `replica` (crash or expired spot notice): tear down
+    /// its work, fail it through the cluster lifecycle, start recovery.
+    /// `hold_until` >= 0 keeps the slot unprovisionable until then; must
+    /// tolerate a replica that already left the active/draining states
+    /// (a drained spot victim finishing before its notice expires).
+    std::function<void(ReplicaId, Seconds hold_until, bool spot)> kill;
+    /// Spot reclaim notice: stop routing to `replica`, let it drain.
+    std::function<void(ReplicaId)> drain;
+    /// Scale `replica`'s execution-time predictions (1.0 = healthy).
+    std::function<void(ReplicaId, double factor)> set_slow_factor;
+    /// Renewal streams stop rescheduling once this turns false, so the
+    /// event queue can drain at end of run.
+    std::function<bool()> work_remaining;
+  };
+
+  /// Fault events injected, by source (the resilience section reads these).
+  struct Log {
+    std::int64_t crashes = 0;
+    std::int64_t spot_reclaims = 0;
+    std::int64_t degrade_events = 0;
+  };
+
+  /// `config` must be validated; seed 0 is accepted (a degenerate but
+  /// deterministic stream). Borrowed pointers must outlive the injector.
+  FaultInjector(const FaultConfig& config, EventQueue* events, Hooks hooks);
+
+  /// Schedule every spot window and the first crash/degrade samples.
+  /// Call once, after ClusterManager::start().
+  void start();
+
+  /// Trace kReplicaFault notice/degrade records (borrowed; may be null).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  const Log& log() const { return log_; }
+
+ private:
+  /// Per-profile renewal streams with forked, stream-stable RNGs.
+  struct Stream {
+    const FaultProfile* profile = nullptr;
+    Rng crash_rng;
+    Rng degrade_rng;
+    Rng victim_rng;
+  };
+
+  void schedule_next_crash(Stream& s);
+  void schedule_next_degrade(Stream& s);
+  void fire_crash(Stream& s);
+  void fire_degrade(Stream& s);
+  void open_spot_window(const FaultProfile& profile, const SpotWindow& w);
+
+  FaultConfig config_;
+  EventQueue* events_;
+  Hooks hooks_;
+  TraceRecorder* trace_ = nullptr;
+  std::vector<Stream> streams_;
+  Log log_;
+};
+
+}  // namespace vidur

@@ -51,9 +51,17 @@ struct RequestRecord {
   TokenCount prefill_tokens = 0;
   TokenCount decode_tokens = 0;
   int num_restarts = 0;  ///< vLLM-style preempt-and-restart events
+  int num_retries = 0;   ///< replica-failure retries (backoff + re-route)
+  int num_handoffs = 0;  ///< queued-on-a-dead-replica immediate re-routes
+  bool shed = false;     ///< dropped by the graceful-degradation floor
+  bool lost = false;     ///< recovery attempts exhausted (terminal)
   std::vector<Seconds> token_times;  ///< decode-token emission times (TBT)
 
   bool completed() const { return completed_time >= 0.0; }
+  /// Touched by a fault: displaced, handed off, shed or lost.
+  bool fault_impacted() const {
+    return num_retries > 0 || num_handoffs > 0 || shed || lost;
+  }
   Seconds scheduling_delay() const {
     return first_scheduled_time - arrival_time;
   }
@@ -148,6 +156,33 @@ struct PrefixCacheMetrics {
   std::vector<Slice> by_pool;    ///< pool order (pool deployments only)
 };
 
+/// Resilience accounting of a faulted run (src/fault/): what the injected
+/// failures cost and how recovery answered. Conservation invariant over the
+/// workload: arrived == completed + shed + lost (every arrival terminal in
+/// exactly one bucket).
+struct ResilienceMetrics {
+  bool enabled = false;
+  // Fault events injected.
+  std::int64_t num_crashes = 0;
+  std::int64_t num_spot_reclaims = 0;   ///< replicas reclaimed by spot windows
+  std::int64_t num_degrade_events = 0;  ///< straggler episodes started
+  // Recovery traffic.
+  std::int64_t num_retries = 0;     ///< backoff-and-re-route events
+  std::int64_t num_handoffs = 0;    ///< queued casualties re-routed at once
+  std::int64_t num_shed = 0;        ///< requests dropped by the shed floor
+  std::int64_t num_lost = 0;        ///< requests out of recovery attempts
+  TokenCount tokens_reprefilled = 0;   ///< prefill work redone after failures
+  TokenCount decode_tokens_discarded = 0;  ///< decode progress thrown away
+  // Repair: capacity-hole close-out by the autoscaler.
+  std::int64_t num_repairs = 0;  ///< replacement activations after kills
+  Seconds mttr_s = 0.0;          ///< mean kill -> replacement-active time
+  // SLO attainment, fault-blame split: `clean` counts only requests no
+  // fault touched; `impacted` counts only touched ones (shed/lost = miss).
+  // -1 when the slice is empty or no tenant carries an SLO.
+  double slo_attainment_clean = -1.0;
+  double slo_attainment_impacted = -1.0;
+};
+
 /// Aggregated output of one simulation.
 struct SimulationMetrics {
   // Request-level.
@@ -230,6 +265,10 @@ struct SimulationMetrics {
   /// Prefix-cache traffic (KV reuse); enabled=false when the deployment
   /// ran without a prefix cache.
   PrefixCacheMetrics prefix_cache;
+
+  /// Fault-injection and recovery accounting; enabled=false when the
+  /// deployment ran without a faults block.
+  ResilienceMetrics resilience;
 
   /// Cluster-wide SLO attainment: the fraction of all requests (across
   /// every SLO-carrying tenant, weighted by traffic) that met their

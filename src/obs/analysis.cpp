@@ -68,6 +68,10 @@ struct ReqTrack {
   bool parked = false;       ///< first route left it centrally parked
   bool seen_lifecycle = false;
   TokenCount cached_tokens = 0;  ///< prefix tokens served from cache
+  int retries = 0;   ///< fault-recovery retries (kRequestRetry detail 0)
+  int handoffs = 0;  ///< queued-work handoffs (kRequestRetry detail 2)
+  bool shed = false;
+  bool lost = false;
   std::vector<const TraceRecord*> events;  ///< post-arrival, stream order
 };
 
@@ -361,6 +365,46 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
         tracks[r.id].cached_tokens += r.a;
         cache_lookups.push_back(&r);
         break;
+      case TraceEventKind::kReplicaFault:
+        switch (r.detail) {
+          case 0: report.faults.crashes += 1; break;
+          case 1: report.faults.spot_notices += 1; break;
+          case 2: report.faults.spot_kills += 1; break;
+          case 3: report.faults.degrade_windows += 1; break;
+          default: break;  // detail 4 (degrade end) carries no new fact
+        }
+        break;
+      case TraceEventKind::kRequestRetry: {
+        ReqTrack& t = tracks[r.id];
+        t.seen_lifecycle = true;
+        // The failure evicts the request from its replica: it owns a
+        // latency segment (the restart stall), so it joins the walk.
+        t.events.push_back(&r);
+        if (r.detail == 0) {
+          t.retries += 1;
+          report.faults.retries += 1;
+        } else if (r.detail == 2) {
+          t.handoffs += 1;
+          report.faults.handoffs += 1;
+        } else {
+          t.lost = true;
+          report.faults.lost += 1;
+        }
+        ReqLoc& l = locs[r.id];
+        if (l.loc == Loc::kWaiting) step(l.replica, r.time, -1);
+        l = ReqLoc{Loc::kNone, -1};
+        break;
+      }
+      case TraceEventKind::kRequestShed: {
+        ReqTrack& t = tracks[r.id];
+        t.seen_lifecycle = true;
+        t.shed = true;
+        report.faults.shed += 1;
+        ReqLoc& l = locs[r.id];
+        if (l.loc == Loc::kWaiting) step(l.replica, r.time, -1);
+        l = ReqLoc{Loc::kNone, -1};
+        break;
+      }
     }
   }
 
@@ -402,6 +446,8 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
     wf.prefill_tokens = t.prefill_tokens;
     wf.decode_tokens = t.decode_tokens;
     wf.cached_tokens = t.cached_tokens;
+    wf.num_retries = t.retries;
+    wf.num_handoffs = t.handoffs;
 
     Seconds cursor = t.arrival;
     Phase state = Phase::kSchedulingDelay;
@@ -476,6 +522,15 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
           attribute(r.time, Phase::kKvMigration);
           state = Phase::kQueueWait;  // waiting at the decode replica
           break;
+        case TraceEventKind::kRequestRetry:
+          // The replica failure ends whatever the request was doing; the
+          // span until it is next scheduled (backoff, re-route, re-queue)
+          // is a restart stall. A true retry recomputes prefill from
+          // scratch; a handoff keeps whatever progress travels with it.
+          attribute(r.time, state);
+          state = Phase::kPreemptionStall;
+          if (r.detail == 0) prefill_pending = true;
+          break;
         case TraceEventKind::kCompleted:
           attribute(r.time, state);
           wf.completed = r.time;
@@ -510,6 +565,8 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
     e2e_series.add(wf.e2e);
     if (wf.ttft >= 0) ttft_series.add(wf.ttft);
     report.num_completed += 1;
+    if (wf.num_retries > 0 || wf.num_handoffs > 0)
+      report.faults.impacted_completed += 1;
     report.waterfalls.push_back(std::move(wf));
   }
 
@@ -732,6 +789,7 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
         ov != nullptr && ov->tbt_target > 0 ? ov->tbt_target
                                             : options.tbt_target;
 
+    const bool impacted = wf.num_retries > 0 || wf.num_handoffs > 0;
     if (ttft_target > 0 && wf.ttft > ttft_target) {
       SloViolation v;
       v.metric = SloMetric::kTtft;
@@ -741,6 +799,7 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
       v.observed = wf.ttft;
       v.target = ttft_target;
       v.excess = wf.ttft - ttft_target;
+      v.fault_impacted = impacted;
       v.dominant = arg_max_phase(wf.ttft_phase);
       v.has_marginal = find_marginal(
           wf.ttft_phase, wf.ttft,
@@ -761,6 +820,7 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
         v.observed = mean_tbt;
         v.target = tbt_target;
         v.excess = mean_tbt - tbt_target;
+        v.fault_impacted = impacted;
         v.dominant = arg_max_phase(wf.decode_phase);
         v.has_marginal = find_marginal(
             wf.decode_phase, decode_span,
@@ -776,12 +836,20 @@ AnalysisReport analyze_trace(const std::vector<TraceRecord>& records,
     blame(by_tenant, tenant_key(options, v.tenant), v);
     blame(by_pool, pool_key(options, v.replica), v);
     blame(by_replica, "replica-" + std::to_string(v.replica), v);
+    if (v.fault_impacted) {
+      report.faults.impacted_violations += 1;
+      report.faults.impacted_excess_seconds += v.excess;
+    }
     report.violations.push_back(v);
   }
   for (const SloViolation& v : tbt_violations) {
     blame(by_tenant, tenant_key(options, v.tenant), v);
     blame(by_pool, pool_key(options, v.replica), v);
     blame(by_replica, "replica-" + std::to_string(v.replica), v);
+    if (v.fault_impacted) {
+      report.faults.impacted_violations += 1;
+      report.faults.impacted_excess_seconds += v.excess;
+    }
     report.violations.push_back(v);
   }
 
@@ -935,6 +1003,8 @@ JsonValue analysis_json(const AnalysisReport& r) {
     w.set("decode_tokens", wf.decode_tokens);
     if (wf.cached_tokens > 0) w.set("cached_tokens", wf.cached_tokens);
     if (wf.num_restarts > 0) w.set("restarts", wf.num_restarts);
+    if (wf.num_retries > 0) w.set("retries", wf.num_retries);
+    if (wf.num_handoffs > 0) w.set("handoffs", wf.num_handoffs);
     if (wf.migrated) w.set("migrated", true);
     w.set("phases", phases_json(wf.phase));
     w.set("ttft_phases", phases_json(wf.ttft_phase));
@@ -959,6 +1029,7 @@ JsonValue analysis_json(const AnalysisReport& r) {
     vj.set("dominant_phase", latency_phase_name(v.dominant));
     if (v.has_marginal)
       vj.set("marginal_phase", latency_phase_name(v.marginal));
+    if (v.fault_impacted) vj.set("fault_impacted", true);
     viols.push(std::move(vj));
   }
   slo.set("violations", std::move(viols));
@@ -1051,6 +1122,24 @@ JsonValue analysis_json(const AnalysisReport& r) {
     j.set("cache", std::move(cache));
   }
 
+  // Emitted only when the stream carried fault records, so reports of
+  // fault-free runs stay byte-identical to pre-v4 renderings.
+  if (r.faults.any()) {
+    JsonValue fj = JsonValue::object();
+    fj.set("crashes", r.faults.crashes);
+    fj.set("spot_kills", r.faults.spot_kills);
+    fj.set("spot_notices", r.faults.spot_notices);
+    fj.set("degrade_windows", r.faults.degrade_windows);
+    fj.set("retries", r.faults.retries);
+    fj.set("handoffs", r.faults.handoffs);
+    fj.set("lost", r.faults.lost);
+    fj.set("shed", r.faults.shed);
+    fj.set("impacted_completed", r.faults.impacted_completed);
+    fj.set("impacted_violations", r.faults.impacted_violations);
+    fj.set("impacted_excess_seconds", r.faults.impacted_excess_seconds);
+    j.set("faults", std::move(fj));
+  }
+
   j.set("context", analysis_options_json(r.options));
   return j;
 }
@@ -1109,6 +1198,10 @@ AnalysisReport analysis_report_from_json(const JsonValue& doc) {
       wf.cached_tokens = v->as_int();
     if (const JsonValue* v = w.find("restarts"))
       wf.num_restarts = static_cast<int>(v->as_int());
+    if (const JsonValue* v = w.find("retries"))
+      wf.num_retries = static_cast<int>(v->as_int());
+    if (const JsonValue* v = w.find("handoffs"))
+      wf.num_handoffs = static_cast<int>(v->as_int());
     if (const JsonValue* v = w.find("migrated"))
       wf.migrated = v->as_bool();
     wf.phase = phases_from_json(w.at("phases"));
@@ -1142,6 +1235,8 @@ AnalysisReport analysis_report_from_json(const JsonValue& doc) {
       v.marginal = phase_from_name(m->as_string());
       v.has_marginal = true;
     }
+    if (const JsonValue* f = vj.find("fault_impacted"))
+      v.fault_impacted = f->as_bool();
     r.violations.push_back(v);
   }
   const JsonValue& blame = slo.at("blame");
@@ -1213,6 +1308,25 @@ AnalysisReport analysis_report_from_json(const JsonValue& doc) {
         r.cache_by_pool.push_back(usage_from(u));
   }
 
+  if (const JsonValue* fj = doc.find("faults")) {
+    r.faults.crashes = static_cast<int>(fj->at("crashes").as_int());
+    r.faults.spot_kills = static_cast<int>(fj->at("spot_kills").as_int());
+    r.faults.spot_notices =
+        static_cast<int>(fj->at("spot_notices").as_int());
+    r.faults.degrade_windows =
+        static_cast<int>(fj->at("degrade_windows").as_int());
+    r.faults.retries = static_cast<int>(fj->at("retries").as_int());
+    r.faults.handoffs = static_cast<int>(fj->at("handoffs").as_int());
+    r.faults.lost = static_cast<int>(fj->at("lost").as_int());
+    r.faults.shed = static_cast<int>(fj->at("shed").as_int());
+    r.faults.impacted_completed =
+        static_cast<int>(fj->at("impacted_completed").as_int());
+    r.faults.impacted_violations =
+        static_cast<int>(fj->at("impacted_violations").as_int());
+    r.faults.impacted_excess_seconds =
+        fj->at("impacted_excess_seconds").as_double();
+  }
+
   return r;
 }
 
@@ -1274,6 +1388,14 @@ std::string analysis_to_string(const AnalysisReport& r) {
     if (wf->num_restarts > 0)
       notes += std::to_string(wf->num_restarts) + " restart" +
                (wf->num_restarts > 1 ? "s" : "");
+    if (wf->num_retries > 0)
+      notes += (notes.empty() ? "" : ", ") +
+               std::to_string(wf->num_retries) + " retr" +
+               (wf->num_retries > 1 ? "ies" : "y");
+    if (wf->num_handoffs > 0)
+      notes += (notes.empty() ? "" : ", ") +
+               std::to_string(wf->num_handoffs) + " handoff" +
+               (wf->num_handoffs > 1 ? "s" : "");
     if (wf->migrated) notes += notes.empty() ? "migrated" : ", migrated";
     if (wf->cached_tokens > 0)
       notes += (notes.empty() ? "" : ", ") + std::string("cached ") +
@@ -1325,6 +1447,28 @@ std::string analysis_to_string(const AnalysisReport& r) {
     blame_table("tenant", r.blame_by_tenant);
     blame_table("pool", r.blame_by_pool);
     blame_table("replica", r.blame_by_replica);
+  }
+
+  // Fault impact.
+  if (r.faults.any()) {
+    out << "\nfault impact\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  injected: %d crashes, %d spot kills (%d notices), "
+                  "%d degrade windows\n",
+                  r.faults.crashes, r.faults.spot_kills,
+                  r.faults.spot_notices, r.faults.degrade_windows);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  recovery: %d retries, %d handoffs, %d lost, %d shed\n",
+                  r.faults.retries, r.faults.handoffs, r.faults.lost,
+                  r.faults.shed);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  impacted: %d completed despite faults, %d slo "
+                  "violations (%.4f s excess)\n",
+                  r.faults.impacted_completed, r.faults.impacted_violations,
+                  r.faults.impacted_excess_seconds);
+    out << buf;
   }
 
   // Replica audit.

@@ -78,6 +78,10 @@ struct RequestWaterfall {
   /// request missed, or when prefix caching was off).
   TokenCount cached_tokens = 0;
   int num_restarts = 0;
+  /// Fault recovery (schema v4): replica failures this request survived by
+  /// a backoff retry, and by an immediate queued-work handoff.
+  int num_retries = 0;
+  int num_handoffs = 0;
   bool migrated = false;
   PhaseBreakdown phase{};       ///< sums to e2e (conservation invariant)
   PhaseBreakdown ttft_phase{};  ///< segments before the first prefill
@@ -104,6 +108,9 @@ struct SloViolation {
   /// meaningful only when has_marginal.
   LatencyPhase marginal = LatencyPhase::kSchedulingDelay;
   bool has_marginal = false;
+  /// The violating request survived a replica failure (retried or handed
+  /// off) — its excess is blamed on the fault, not the steady state.
+  bool fault_impacted = false;
 };
 
 /// Violations aggregated over one grouping key (a tenant, pool or replica),
@@ -181,6 +188,31 @@ struct CacheUsage {
   }
 };
 
+/// Fault-injection activity visible in the record stream (schema v4), and
+/// the share of SLO damage attributable to it. Requests that retried or
+/// handed off after a replica failure are "impacted"; their violations and
+/// excess seconds are broken out so steady-state bottlenecks are not
+/// conflated with fault recovery cost.
+struct FaultStats {
+  int crashes = 0;          ///< kReplicaFault kills, detail 0
+  int spot_kills = 0;       ///< kReplicaFault kills, detail 2
+  int spot_notices = 0;     ///< reclaim notices, detail 1
+  int degrade_windows = 0;  ///< degrade starts, detail 3
+  int retries = 0;          ///< kRequestRetry scheduled (detail 0)
+  int handoffs = 0;         ///< kRequestRetry handoffs (detail 2)
+  int lost = 0;             ///< retries exhausted (detail 1)
+  int shed = 0;             ///< kRequestShed admissions refused
+  int impacted_completed = 0;    ///< completed requests that retried/handed
+                                 ///< off at least once
+  int impacted_violations = 0;   ///< SLO violations among those requests
+  double impacted_excess_seconds = 0.0;  ///< their summed SLO excess
+  bool any() const {
+    return crashes + spot_kills + spot_notices + degrade_windows + retries +
+               handoffs + lost + shed >
+           0;
+  }
+};
+
 /// Per-tenant SLO override (falls back to the global targets when absent).
 struct TenantSloOverride {
   int tenant = -1;
@@ -236,6 +268,9 @@ struct AnalysisReport {
                      ///< caching was off or the trace predates schema v3)
   std::vector<CacheUsage> cache_by_tenant;  ///< ascending key
   std::vector<CacheUsage> cache_by_pool;    ///< ascending key
+
+  FaultStats faults;  ///< all-zero when the run injected no faults (or the
+                      ///< trace predates schema v4)
 
   AnalysisOptions options;  ///< the options the report was built with
 };

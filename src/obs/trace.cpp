@@ -23,6 +23,9 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kReplicaTransition: return "replica-transition";
     case TraceEventKind::kScaleDecision: return "scale-decision";
     case TraceEventKind::kCacheLookup: return "cache-lookup";
+    case TraceEventKind::kReplicaFault: return "replica-fault";
+    case TraceEventKind::kRequestRetry: return "request-retry";
+    case TraceEventKind::kRequestShed: return "request-shed";
   }
   return "unknown";
 }
@@ -234,6 +237,42 @@ JsonValue chrome_trace_json(const std::vector<TraceRecord>& records) {
         events.push(std::move(e));
         break;
       }
+      case TraceEventKind::kReplicaFault: {
+        static constexpr const char* kFaultNames[] = {
+            "fault: crash", "fault: spot notice", "fault: spot kill",
+            "fault: degrade start", "fault: degrade end"};
+        const char* name =
+            r.detail < 5 ? kFaultNames[r.detail] : "fault: unknown";
+        JsonValue e = instant_event(name, kClusterPid, r.replica, r.time);
+        JsonValue args = JsonValue::object();
+        args.set(r.detail >= 3 ? "factor_permille" : "requests_torn_down",
+                 r.a);
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+        break;
+      }
+      case TraceEventKind::kRequestRetry: {
+        const char* name = r.detail == 1   ? "retry: exhausted"
+                           : r.detail == 2 ? "retry: handoff"
+                                           : "retry: scheduled";
+        JsonValue e = instant_event(name, kRequestsPid, r.id, r.time);
+        JsonValue args = JsonValue::object();
+        args.set("attempt", r.a);
+        if (r.detail == 0) args.set("backoff_ns", r.b);
+        args.set("failed_replica", static_cast<std::int64_t>(r.replica));
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+        break;
+      }
+      case TraceEventKind::kRequestShed: {
+        JsonValue e = instant_event("shed", kRequestsPid, r.id, r.time);
+        JsonValue args = JsonValue::object();
+        args.set("priority", r.a);
+        args.set("active_replicas", r.b);
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+        break;
+      }
     }
   }
 
@@ -324,7 +363,7 @@ std::vector<TraceRecord> trace_records_from_json(const JsonValue& doc) {
     const std::int64_t kind = f[0].as_int();
     VIDUR_CHECK_MSG(
         kind >= 0 && kind <= static_cast<std::int64_t>(
-                                 TraceEventKind::kCacheLookup),
+                                 TraceEventKind::kRequestShed),
         "trace record " << i << " has unknown kind " << kind);
     TraceRecord r;
     r.kind = static_cast<TraceEventKind>(kind);

@@ -34,7 +34,16 @@ namespace vidur {
 /// v3: adds kCacheLookup — one record per prefix-cache consultation
 /// (id=request, replica=where, a=matched prefix tokens, b=prompt tokens,
 /// detail=1 hit / 0 miss).
-inline constexpr int kTraceSchemaVersion = 3;
+///
+/// v4: adds the fault-injection records. kReplicaFault (replica=victim,
+/// detail distinguishes crash / spot notice / spot kill / degrade edges,
+/// a=requests torn down on kills or the slowdown factor in permille on
+/// degrade edges); kRequestRetry (id=request, replica=the failed replica,
+/// a=attempt number, b=backoff delay in integer nanoseconds, detail=0
+/// retry scheduled / 1 attempts exhausted / 2 immediate handoff);
+/// kRequestShed (id=request dropped by the admission floor, a=tenant
+/// priority, b=active replicas at the decision).
+inline constexpr int kTraceSchemaVersion = 4;
 
 /// What one trace record describes. Request-lifecycle kinds carry the
 /// request id; batch kinds carry a per-run monotonic batch sequence number;
@@ -67,6 +76,19 @@ enum class TraceEventKind : std::uint8_t {
   kCacheLookup,    ///< id=request consulted the replica's prefix cache:
                    ///< a=matched prefix tokens served from cache,
                    ///< b=prompt tokens, detail=1 hit / 0 miss
+  kReplicaFault,   ///< replica=victim. detail=0 crash, 1 spot reclaim
+                   ///< notice (drain begins), 2 spot hard kill, 3 degrade
+                   ///< start, 4 degrade end. a=requests torn down
+                   ///< (detail 0/2) or slowdown factor in permille
+                   ///< (detail 3/4).
+  kRequestRetry,   ///< id=request displaced by a replica failure,
+                   ///< replica=the failed replica. detail=0: retry
+                   ///< scheduled, a=attempt number, b=backoff delay in
+                   ///< integer nanoseconds. detail=1: attempts exhausted,
+                   ///< request lost, a=attempts used. detail=2: immediate
+                   ///< handoff (no work lost), a=handoff count.
+  kRequestShed,    ///< id=request shed by the graceful-degradation floor:
+                   ///< a=tenant priority, b=active replicas at decision
 };
 
 const char* trace_event_kind_name(TraceEventKind kind);

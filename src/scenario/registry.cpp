@@ -194,6 +194,56 @@ Scenario make_shared_prefix_mix() {
   return s;
 }
 
+Scenario make_spot_churn() {
+  Scenario s;
+  s.name = "spot-churn";
+  s.description =
+      "Chaos workload for spot-instance churn: interactive multi-turn chat "
+      "(priority 1, shared system prompt, so a reclaimed replica tears down "
+      "live sessions' cached prefixes) over sheddable background "
+      "summarization. Pair with a faults block of scheduled spot windows on "
+      "an elastic fleet.";
+  TenantSpec chat{.name = "chat",
+                  .trace = trace_by_name("chat1m"),
+                  .share = 0.7,
+                  .priority = 1,
+                  .slo = interactive_slo()};
+  chat.session = SessionSpec{.max_turns = 4,
+                             .mean_think_time_s = 10.0,
+                             .shared_prefix_tokens = 512,
+                             .prefix_groups = 1,
+                             .max_context_tokens = 8192};
+  TenantSpec batch{.name = "batch",
+                   .trace = trace_by_name("arxiv4k"),
+                   .share = 0.3,
+                   .priority = 0,
+                   .slo = batch_slo()};
+  s.tenants = {chat, batch};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/1.5, /*cv=*/0};
+  s.profile = RateProfile::constant();
+  s.num_requests = 500;
+  return s;
+}
+
+Scenario make_straggler_tail() {
+  Scenario s;
+  s.name = "straggler-tail";
+  s.description =
+      "Chaos workload for degraded-replica tail latency: a single "
+      "interactive chat tenant at steady load near capacity, where any "
+      "slowed replica shows up directly in TBT p99. Pair with a faults "
+      "block of degrade windows (no kills needed).";
+  s.tenants = {TenantSpec{.name = "chat",
+                          .trace = trace_by_name("chat1m"),
+                          .share = 1.0,
+                          .priority = 0,
+                          .slo = interactive_slo()}};
+  s.arrival = ArrivalSpec{ArrivalKind::kPoisson, /*qps=*/2.5, /*cv=*/0};
+  s.profile = RateProfile::constant();
+  s.num_requests = 600;
+  return s;
+}
+
 std::vector<Scenario> make_builtins() {
   std::vector<Scenario> scenarios;
   scenarios.push_back(make_diurnal_chat());
@@ -203,6 +253,8 @@ std::vector<Scenario> make_builtins() {
   scenarios.push_back(make_stepload_mixed());
   scenarios.push_back(make_session_chat());
   scenarios.push_back(make_shared_prefix_mix());
+  scenarios.push_back(make_spot_churn());
+  scenarios.push_back(make_straggler_tail());
   return scenarios;
 }
 

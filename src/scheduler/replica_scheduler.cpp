@@ -50,23 +50,28 @@ void ReplicaScheduler::schedule_into(BatchSpec& out, Seconds now) {
 void ReplicaScheduler::attach_prefix_cache() {
   if (cache_ == nullptr) return;
   for (RequestState* r : waiting_) {
-    if (r->prefix_checked || r->in_flight) continue;
-    r->prefix_checked = true;
-    // Requests arriving with prior progress (disaggregated hand-off of a
-    // completed prefill) keep it; the cache only serves cold prefills.
-    if (r->prefill_done > 0 || r->kv_context > 0) continue;
-    const TokenCount matched = cache_->attach(r->request);
-    trace_emit(trace_, TraceEventKind::kCacheLookup, obs_now_, obs_self_,
-               r->request.id, matched, r->request.prefill_tokens,
-               matched > 0 ? 1 : 0);
-    if (matched <= 0) continue;
-    // The matched prefix is resident in the cache pool: it is prefilled
-    // KV context the request never allocates or computes itself.
-    r->prefill_done = matched;
-    r->kv_context = matched;
-    r->kv_cached = matched;
-    r->kv_capacity = matched;
+    if (r->in_flight) continue;
+    attach_one(r);
   }
+}
+
+void ReplicaScheduler::attach_one(RequestState* r) {
+  if (cache_ == nullptr || r->prefix_checked) return;
+  r->prefix_checked = true;
+  // Requests arriving with prior progress (disaggregated hand-off of a
+  // completed prefill) keep it; the cache only serves cold prefills.
+  if (r->prefill_done > 0 || r->kv_context > 0) return;
+  const TokenCount matched = cache_->attach(r->request);
+  trace_emit(trace_, TraceEventKind::kCacheLookup, obs_now_, obs_self_,
+             r->request.id, matched, r->request.prefill_tokens,
+             matched > 0 ? 1 : 0);
+  if (matched <= 0) return;
+  // The matched prefix is resident in the cache pool: it is prefilled
+  // KV context the request never allocates or computes itself.
+  r->prefill_done = matched;
+  r->kv_context = matched;
+  r->kv_cached = matched;
+  r->kv_capacity = matched;
 }
 
 void ReplicaScheduler::set_obs(ReplicaId self, TraceRecorder* trace,
@@ -159,6 +164,34 @@ void ReplicaScheduler::extract(RequestState* request) {
   request->admitted = false;
   running_.erase(std::find(running_.begin(), running_.end(), request));
   by_id_.erase(request->request.id);
+}
+
+std::vector<RequestState*> ReplicaScheduler::fail_all() {
+  std::vector<RequestState*> out;
+  out.reserve(running_.size() + waiting_.size());
+  // Running first (admission order), then the queue front to back: the
+  // deterministic casualty order every same-seed replay reproduces.
+  for (RequestState* r : running_) out.push_back(r);
+  for (RequestState* r : waiting_) out.push_back(r);
+  for (RequestState* r : out) {
+    if (cache_ != nullptr) cache_->unpin(r->request.id);
+    block_manager_.release(r->request.id);
+    by_id_.erase(r->request.id);
+    // Progress flags (admitted, prefill_done, ...) are intentionally left
+    // as they were: the simulator classifies each casualty — queued handoff
+    // vs. lost work — before resetting it for recovery.
+  }
+  running_.clear();
+  waiting_.clear();
+  return out;
+}
+
+void ReplicaScheduler::release_cached() {
+  if (cache_ == nullptr) return;
+  // fail_all()/drain left nothing pinned, so every resident block is a
+  // reclaimable leaf eventually: evict until the pool reads empty.
+  while (cache_->reclaim(1, block_manager_) > 0) {
+  }
 }
 
 std::vector<RequestState*> ReplicaScheduler::take_waiting() {
@@ -340,6 +373,11 @@ RequestState* ReplicaScheduler::preempt_one() {
   running_.erase(std::find(running_.begin(), running_.end(), victim));
   // Recomputed from scratch, at the head of the queue (vLLM semantics).
   waiting_.push_front(victim);
+  // If the victim's prefix blocks are still resident (its own donation or a
+  // session sibling's), re-attach them now — the admission pass that
+  // triggered this preemption already ran attach_prefix_cache, and without
+  // this the restart would re-charge the full prefill.
+  attach_one(victim);
   return victim;
 }
 

@@ -61,6 +61,20 @@ class ReplicaScheduler {
   /// kept (they must stay findable for the batch-end bookkeeping).
   std::vector<RequestState*> take_waiting();
 
+  /// Replica failure (src/fault/): remove and return EVERY request bound to
+  /// this replica — waiting and running alike, in deterministic order
+  /// (running by admission, then waiting front to back). All KV blocks are
+  /// released and cache pins dropped; per-request progress flags are left
+  /// untouched so the simulator can classify each casualty (admitted work
+  /// lost vs. queued handoff) before restarting it. The scheduler is empty
+  /// afterwards.
+  std::vector<RequestState*> fail_all();
+
+  /// Tear down the replica's prefix-cache pool (decommission/failure): every
+  /// resident cached block is evicted and returned to the BlockManager, so
+  /// cluster-wide cached_blocks accounting cannot leak across scale-downs.
+  void release_cached();
+
   /// Request currently enqueued or running here, or nullptr.
   RequestState* find(RequestId id) const {
     const auto it = by_id_.find(id);
@@ -145,6 +159,12 @@ class ReplicaScheduler {
   /// prefill resident in the cache pool, so only the cold suffix is
   /// computed and allocated. Emits one kCacheLookup record per lookup.
   void attach_prefix_cache();
+
+  /// Single-request form of attach_prefix_cache, used on the preemption
+  /// restart path: a victim whose prefix blocks are still resident re-enters
+  /// the queue with the cached prefix already attached instead of
+  /// re-charging its full prefill.
+  void attach_one(RequestState* r);
 
   SchedulerConfig config_;
   MemoryPlan plan_;

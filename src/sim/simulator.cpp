@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "obs/rolling.h"
@@ -188,8 +189,23 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
       return static_cast<int>(global_.num_parked());
     };
     hooks.work_remaining = [this] { return remaining_requests_ > 0; };
-    hooks.on_activated = [this](ReplicaId r) { try_schedule(r); };
+    // Every activation after a fault closes the oldest open capacity hole
+    // (FIFO): MTTR is the mean open->close interval. Load-driven scale-ups
+    // count too — any new capacity repairs the hole.
+    hooks.on_activated = [this](ReplicaId r) {
+      if (!pending_repairs_.empty()) {
+        mttr_sum_ += events_.now() - pending_repairs_.front();
+        pending_repairs_.pop_front();
+        ++num_repairs_;
+      }
+      try_schedule(r);
+    };
     hooks.on_draining = [this](ReplicaId r) { reroute_waiting(r); };
+    // Slot released (drain completed or failed): tear down the replica's
+    // prefix-cache pool so cached blocks never leak across scale-downs.
+    hooks.on_decommissioned = [this](ReplicaId r) {
+      replicas_[static_cast<std::size_t>(r)].scheduler->release_cached();
+    };
     hooks.replica_kv_utilization = [this](ReplicaId r) {
       return replicas_[static_cast<std::size_t>(r)]
           .scheduler->blocks()
@@ -254,6 +270,175 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
   }
 
   setup_observability();
+  setup_faults();
+}
+
+void Simulator::setup_faults() {
+  if (!config_.faults.enabled()) return;
+  config_.faults.validate();
+  VIDUR_CHECK_MSG(!config_.faults.any_kills() || cluster_ != nullptr,
+                  "fault profiles with crashes or spot preemption require an "
+                  "elastic fleet (the autoscaler repairs the capacity hole); "
+                  "degrade-only profiles work on static fleets");
+  // Distinct lineage from the injector's per-profile streams (which fork
+  // off the seed directly): recovery jitter draws never perturb fault
+  // timing, and vice versa.
+  retry_rng_ = Rng(config_.faults.seed ^ 0x7265747279ULL);
+  TenantId max_id = -1;
+  for (const TenantInfo& t : config_.tenants) max_id = std::max(max_id, t.id);
+  if (max_id >= 0)
+    tenant_priority_by_id_.assign(static_cast<std::size_t>(max_id) + 1, 0);
+  for (const TenantInfo& t : config_.tenants)
+    if (t.id >= 0)
+      tenant_priority_by_id_[static_cast<std::size_t>(t.id)] = t.priority;
+
+  FaultInjector::Hooks hooks;
+  hooks.active_replicas = [this](const std::string& pool) {
+    std::vector<ReplicaId> out;
+    const bool fleet = pool.empty() || pool == "fleet";
+    for (ReplicaId r = 0; r < num_slots_; ++r) {
+      if (!fleet && (!pool_mode() || pool_of(r).name != pool)) continue;
+      if (cluster_ && !cluster_->is_routable(r)) continue;
+      out.push_back(r);
+    }
+    return out;
+  };
+  hooks.kill = [this](ReplicaId r, Seconds hold_until, bool spot) {
+    kill_replica(r, hold_until, spot);
+  };
+  hooks.drain = [this](ReplicaId r) {
+    if (cluster_) cluster_->drain_replica(r);
+  };
+  hooks.set_slow_factor = [this](ReplicaId r, double factor) {
+    replicas_[static_cast<std::size_t>(r)].slow_factor = factor;
+  };
+  hooks.work_remaining = [this] { return remaining_requests_ > 0; };
+  injector_ = std::make_unique<FaultInjector>(config_.faults, &events_,
+                                              std::move(hooks));
+  injector_->set_trace(trace_rec_);
+}
+
+void Simulator::kill_replica(ReplicaId replica_id, Seconds hold_until,
+                             bool spot) {
+  VIDUR_CHECK(cluster_ != nullptr);
+  const ReplicaState st = cluster_->state(replica_id);
+  // A drained-out spot victim (its slot already released before the notice
+  // expired) has nothing left to kill; the hold is forfeited with it.
+  if (st != ReplicaState::kActive && st != ReplicaState::kDraining) return;
+  Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
+  // Cancel live batches first: their pipeline events still drain (the
+  // stage queues must advance) but produce no metrics and no progress.
+  for (InFlightBatch& b : in_flight_) {
+    if (!b.live || b.replica != replica_id || b.cancelled) continue;
+    b.cancelled = true;
+    if (b.trace_seq >= 0) {
+      trace_emit(trace_rec_, TraceEventKind::kBatchEnd, events_.now(),
+                 replica_id, b.trace_seq, b.spec.size());
+      b.trace_seq = -1;
+    }
+  }
+  std::vector<RequestState*> victims = replica.scheduler->fail_all();
+  replica.slow_factor = 1.0;
+  // fail_replica's on_decommissioned hook tears down the prefix-cache pool
+  // (the replica's cached KV dies with it), after fail_all dropped pins.
+  cluster_->fail_replica(replica_id, hold_until);
+  trace_emit(trace_rec_, TraceEventKind::kReplicaFault, events_.now(),
+             replica_id, -1, static_cast<std::int64_t>(victims.size()), 0,
+             spot ? 2 : 0);
+  pending_repairs_.push_back(events_.now());
+  for (RequestState* r : victims) {
+    rolling_pool_delta(replica_id, -1);
+    recover_request(r, replica_id);
+  }
+}
+
+void Simulator::recover_request(RequestState* request, ReplicaId replica_id) {
+  request->in_flight = false;
+  request->replica = -1;
+  RequestRecord& rec = request->record;
+  if (!request->admitted) {
+    // Queued casualty: nothing this replica computed is lost. A prefilled
+    // hand-off waiting at a dead decode replica keeps its context (the KV
+    // travels with it, paying the transfer again); anything else re-enters
+    // cold — cache-served progress lived in the dead replica's pool.
+    ++rec.num_handoffs;
+    ++num_handoffs_;
+    trace_emit(trace_rec_, TraceEventKind::kRequestRetry, events_.now(),
+               replica_id, rec.id, rec.num_handoffs, 0, 2);
+    if (pool_mode() && pool_of(replica_id).role == PoolRole::kDecode &&
+        request->prefill_complete()) {
+      trace_emit(trace_rec_, TraceEventKind::kMigrateStart, events_.now(),
+                 replica_id, rec.id, request->kv_context);
+      SimEvent ev;
+      ev.kind = EventKind::kMigrated;
+      ev.request = request;
+      events_.schedule_event(events_.now() + kv_transfer_time(*request), ev);
+      return;
+    }
+    request->prefill_done = 0;
+    request->kv_context = 0;
+    request->kv_cached = 0;
+    request->kv_capacity = 0;
+    request->prefix_checked = false;
+    reenter_request(request);
+    return;
+  }
+  // Started casualty: computed work dies with the replica's KV. The cached
+  // prefix (kv_cached) was never computed here, so the re-prefill bill is
+  // the cold part only; produced decode tokens are discarded outright.
+  tokens_reprefilled_ += request->prefill_done - request->kv_cached;
+  decode_tokens_discarded_ += request->decode_done;
+  request->restart();
+  request->in_flight = false;
+  const RecoveryPolicy& policy = config_.faults.recovery;
+  if (rec.num_retries >= policy.max_attempts) {
+    trace_emit(trace_rec_, TraceEventKind::kRequestRetry, events_.now(),
+               replica_id, rec.id, rec.num_retries, 0, 1);
+    rec.lost = true;
+    --remaining_requests_;
+    ++num_lost_;
+    rolling_request_delta(*request, -1);
+    return;
+  }
+  ++rec.num_retries;
+  ++num_retries_;
+  const double exponent = static_cast<double>(rec.num_retries - 1);
+  const Seconds delay =
+      policy.backoff_base_s * std::pow(policy.backoff_multiplier, exponent) *
+      (1.0 + policy.jitter * retry_rng_.uniform());
+  trace_emit(trace_rec_, TraceEventKind::kRequestRetry, events_.now(),
+             replica_id, rec.id, rec.num_retries,
+             static_cast<std::int64_t>(delay * 1e9), 0);
+  events_.schedule(events_.now() + delay,
+                   [this, request] { reenter_request(request); });
+}
+
+void Simulator::reenter_request(RequestState* request) {
+  if (maybe_shed(request)) return;
+  route_request(request);
+}
+
+bool Simulator::maybe_shed(RequestState* request) {
+  const ShedPolicy& shed = config_.faults.shed;
+  if (!shed.enabled() || cluster_ == nullptr) return false;
+  const int active = cluster_->num_active();
+  if (active >= shed.min_active_replicas) return false;
+  const int priority = tenant_priority(request->record.tenant);
+  if (priority > shed.max_shed_priority) return false;
+  trace_emit(trace_rec_, TraceEventKind::kRequestShed, events_.now(), -1,
+             request->record.id, priority, active, 0);
+  request->record.shed = true;
+  --remaining_requests_;
+  ++num_shed_;
+  rolling_request_delta(*request, -1);
+  return true;
+}
+
+int Simulator::tenant_priority(TenantId tenant) const {
+  if (tenant < 0 ||
+      static_cast<std::size_t>(tenant) >= tenant_priority_by_id_.size())
+    return 0;
+  return tenant_priority_by_id_[static_cast<std::size_t>(tenant)];
 }
 
 void Simulator::setup_observability() {
@@ -310,21 +495,30 @@ void Simulator::setup_observability() {
         std::vector<int>(static_cast<std::size_t>(num_slots_), 0));
   }
 
+  // The tenant -> SLO map serves both the rolling windows and the
+  // resilience SLO-attainment split, so it is built unconditionally.
+  {
+    TenantId max_id = -1;
+    for (const TenantInfo& t : config_.tenants)
+      max_id = std::max(max_id, t.id);
+    if (max_id >= 0)
+      tenant_slo_by_id_.assign(static_cast<std::size_t>(max_id) + 1, nullptr);
+    for (const TenantInfo& t : config_.tenants)
+      if (t.id >= 0) tenant_slo_by_id_[static_cast<std::size_t>(t.id)] = &t.slo;
+  }
+
   if (config_.obs.rolling_window_s > 0) {
     std::vector<std::string> names;
     names.push_back("cluster");
     TenantId max_id = -1;
     for (const TenantInfo& t : config_.tenants)
       max_id = std::max(max_id, t.id);
-    if (max_id >= 0) {
+    if (max_id >= 0)
       tenant_track_by_id_.assign(static_cast<std::size_t>(max_id) + 1, -1);
-      tenant_slo_by_id_.assign(static_cast<std::size_t>(max_id) + 1, nullptr);
-    }
     for (const TenantInfo& t : config_.tenants) {
       if (t.id < 0) continue;
       tenant_track_by_id_[static_cast<std::size_t>(t.id)] =
           static_cast<int>(names.size());
-      tenant_slo_by_id_[static_cast<std::size_t>(t.id)] = &t.slo;
       names.push_back("tenant:" + t.name);
     }
     if (pool_mode()) {
@@ -399,6 +593,7 @@ SimulationMetrics Simulator::run() {
 
   remaining_requests_ = states_.size();
   if (cluster_) cluster_->start();
+  if (injector_) injector_->start();
 
   for (RequestState& state : states_) {
     SimEvent ev;
@@ -453,6 +648,7 @@ SimulationMetrics Simulator::run() {
   SimulationMetrics metrics = metrics_.finalize(end_time, report);
   if (config_.prefix_cache.enabled)
     aggregate_prefix_cache(metrics.prefix_cache);
+  if (config_.faults.enabled()) aggregate_resilience(metrics.resilience);
   metrics.num_sim_events = events_.num_processed();
   metrics.registry = registry_->snapshot();
   if (rolling_) metrics.rolling = rolling_->finalize(end_time);
@@ -494,6 +690,9 @@ void Simulator::on_arrival(RequestState* request) {
     if (track >= 0) rolling_->on_arrival(track, events_.now());
     rolling_request_delta(*request, +1);
   }
+  // Graceful degradation: under a fault-induced capacity floor breach the
+  // admission controller sheds the lowest-priority tenants at the door.
+  if (maybe_shed(request)) return;
   route_request(request);
 }
 
@@ -603,6 +802,7 @@ void Simulator::try_schedule(ReplicaId replica_id) {
     record.flops = batch_flops(config_.model, record.agg);
     record.kv_utilization = replica.scheduler->blocks().utilization();
     record.live = true;
+    record.cancelled = false;
     if (trace_rec_ != nullptr) {
       record.trace_seq = next_batch_seq_++;
       trace_emit(trace_rec_, TraceEventKind::kBatchStart, events_.now(), replica_id,
@@ -619,6 +819,18 @@ void Simulator::start_stage(ReplicaId replica_id, StageId stage,
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
   const InFlightBatch& batch = in_flight_[static_cast<std::size_t>(handle)];
   VIDUR_CHECK_MSG(batch.live, "stage started for a retired batch handle");
+  if (batch.cancelled) {
+    // Dead replica's pipeline: the stage queues still advance (events that
+    // were already scheduled must drain) but no backend time is modeled.
+    SimEvent ev;
+    ev.kind = EventKind::kStageEnd;
+    ev.replica = replica_id;
+    ev.stage = stage;
+    ev.handle = handle;
+    ev.comm_time = 0.0;
+    events_.schedule_event(events_.now(), ev);
+    return;
+  }
   const StageTiming timing =
       replica.backend->stage_timing(batch.spec, batch.agg, stage);
   VIDUR_CHECK(timing.compute >= 0 && timing.comm >= 0);
@@ -627,6 +839,8 @@ void Simulator::start_stage(ReplicaId replica_id, StageId stage,
   Seconds busy = config_.async_pipeline_comm ? timing.compute : timing.total();
   const Seconds handoff_lag = config_.async_pipeline_comm ? timing.comm : 0.0;
   if (stage == 0) busy += replica.backend->cpu_overhead(batch.spec);
+  // Straggler mode (src/fault/): a degraded replica runs everything slower.
+  busy *= replica.slow_factor;
   if (config_.collect_operator_metrics)
     metrics_.record_operators(
         replica.backend->stage_breakdown(batch.spec, stage).per_op);
@@ -682,6 +896,16 @@ void Simulator::finish_batch(ReplicaId replica_id,
               static_cast<std::size_t>(handle) < in_flight_.size());
   InFlightBatch& batch = in_flight_[static_cast<std::size_t>(handle)];
   VIDUR_CHECK_MSG(batch.live, "batch finished twice for one handle");
+
+  if (batch.cancelled) {
+    // The kill already emitted this batch's end record and recovered its
+    // requests; just retire the slot (no metrics, no request progress).
+    --replica.batches_in_flight;
+    batch.live = false;
+    batch.cancelled = false;
+    free_handles_.push_back(handle);
+    return;
+  }
 
   BatchRecord record;
   record.replica = replica_id;
@@ -863,6 +1087,87 @@ void Simulator::aggregate_prefix_cache(PrefixCacheMetrics& out) const {
       static_cast<std::uint64_t>(out.evicted_blocks);
   registry_->counter("kvcache.prefill_tokens_saved")->value =
       static_cast<std::uint64_t>(out.tokens_saved);
+}
+
+void Simulator::aggregate_resilience(ResilienceMetrics& out) const {
+  out.enabled = true;
+  const FaultInjector::Log& log = injector_->log();
+  out.num_crashes = log.crashes;
+  out.num_spot_reclaims = log.spot_reclaims;
+  out.num_degrade_events = log.degrade_events;
+  out.num_retries = num_retries_;
+  out.num_handoffs = num_handoffs_;
+  out.num_shed = num_shed_;
+  out.num_lost = num_lost_;
+  out.tokens_reprefilled = tokens_reprefilled_;
+  out.decode_tokens_discarded = decode_tokens_discarded_;
+  out.num_repairs = num_repairs_;
+  out.mttr_s =
+      num_repairs_ > 0 ? mttr_sum_ / static_cast<double>(num_repairs_) : 0.0;
+  // SLO attainment split: requests of SLO-carrying tenants, fault-impacted
+  // (retried / handed off / shed / lost) vs clean. Shed and lost requests
+  // never completed — they count as missed on the impacted side, which is
+  // what makes the with-vs-without-faults delta honest.
+  std::int64_t clean_total = 0, clean_met = 0, impacted_total = 0,
+               impacted_met = 0;
+  for (const RequestState& state : states_) {
+    const RequestRecord& rec = state.record;
+    const SloSpec* slo =
+        rec.tenant >= 0 &&
+                static_cast<std::size_t>(rec.tenant) < tenant_slo_by_id_.size()
+            ? tenant_slo_by_id_[static_cast<std::size_t>(rec.tenant)]
+            : nullptr;
+    if (slo == nullptr || !slo->enabled()) continue;
+    bool met = false;
+    if (rec.completed()) {
+      met = true;
+      Seconds worst_tbt = -1.0;
+      for (std::size_t i = 1; i < rec.token_times.size(); ++i)
+        worst_tbt =
+            std::max(worst_tbt, rec.token_times[i] - rec.token_times[i - 1]);
+      if (slo->ttft_target > 0 && rec.ttft() > slo->ttft_target) met = false;
+      if (slo->tbt_target > 0 && worst_tbt > slo->tbt_target) met = false;
+    } else if (!rec.shed && !rec.lost) {
+      continue;  // never finished for another reason (max_sim_time cutoff)
+    }
+    if (rec.fault_impacted()) {
+      ++impacted_total;
+      impacted_met += met ? 1 : 0;
+    } else {
+      ++clean_total;
+      clean_met += met ? 1 : 0;
+    }
+  }
+  out.slo_attainment_clean =
+      clean_total > 0
+          ? static_cast<double>(clean_met) / static_cast<double>(clean_total)
+          : -1.0;
+  out.slo_attainment_impacted =
+      impacted_total > 0 ? static_cast<double>(impacted_met) /
+                               static_cast<double>(impacted_total)
+                         : -1.0;
+  // The registry snapshot carries the same tallies for dashboards.
+  registry_->counter("faults.crashes")->value =
+      static_cast<std::uint64_t>(out.num_crashes);
+  registry_->counter("faults.spot_reclaims")->value =
+      static_cast<std::uint64_t>(out.num_spot_reclaims);
+  registry_->counter("faults.degrade_events")->value =
+      static_cast<std::uint64_t>(out.num_degrade_events);
+  registry_->counter("faults.retries")->value =
+      static_cast<std::uint64_t>(out.num_retries);
+  registry_->counter("faults.handoffs")->value =
+      static_cast<std::uint64_t>(out.num_handoffs);
+  registry_->counter("faults.shed")->value =
+      static_cast<std::uint64_t>(out.num_shed);
+  registry_->counter("faults.lost")->value =
+      static_cast<std::uint64_t>(out.num_lost);
+  registry_->counter("faults.repairs")->value =
+      static_cast<std::uint64_t>(out.num_repairs);
+  registry_->counter("faults.tokens_reprefilled")->value =
+      static_cast<std::uint64_t>(out.tokens_reprefilled);
+  registry_->counter("faults.decode_tokens_discarded")->value =
+      static_cast<std::uint64_t>(out.decode_tokens_discarded);
+  registry_->gauge("faults.mttr_s")->set(out.mttr_s);
 }
 
 const std::vector<int>& Simulator::outstanding_counts(int count) const {

@@ -5,6 +5,7 @@
 // metric collection, then plays a request trace to completion.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "cluster/cluster_manager.h"
 #include "cluster/pool.h"
 #include "execution/execution_backend.h"
+#include "fault/fault_config.h"
+#include "fault/fault_injector.h"
 #include "hardware/parallel_config.h"
 #include "hardware/sku.h"
 #include "kvcache/prefix_cache.h"
@@ -94,6 +97,11 @@ struct SimulationConfig {
   /// of its pool's KV blocks; retained blocks count in the KV-pressure
   /// signal and are reclaimed on demand by active work.
   PrefixCacheConfig prefix_cache;
+  /// Fault injection (src/fault/): crash/spot/degrade profiles plus the
+  /// recovery and load-shedding policies. Profiles that kill replicas
+  /// require an elastic fleet (autoscaling repairs the capacity hole);
+  /// degrade-only profiles work anywhere.
+  FaultConfig faults;
   /// Observability: trace recorder, shared registry, rolling windows.
   SimObs obs;
 };
@@ -116,6 +124,12 @@ class Simulator {
   const MemoryPlan& memory_plan() const { return memory_plan_; }
   /// The elastic-fleet manager, or nullptr for fixed-fleet runs.
   const ClusterManager* cluster() const { return cluster_.get(); }
+  /// Fleet slot count (fixed fleets: the configured replica count).
+  int num_slots() const { return num_slots_; }
+  /// One slot's prefix-cache pool, or nullptr when caching is off.
+  const PrefixCache* prefix_cache(ReplicaId r) const {
+    return replicas_[static_cast<std::size_t>(r)].cache.get();
+  }
 
  private:
   struct InFlightBatch {
@@ -131,6 +145,10 @@ class Simulator {
     /// Slot-liveness guard: a stale/duplicated handle reaching the stage
     /// machinery fails fast instead of silently reading a recycled slot.
     bool live = false;
+    /// The batch's replica died mid-flight: the pipeline events still
+    /// drain (they were already scheduled), but the batch produces no
+    /// metrics, no request progress and no follow-on scheduling.
+    bool cancelled = false;
   };
 
   struct Replica {
@@ -139,6 +157,9 @@ class Simulator {
     std::vector<StageScheduler> stages;
     std::unique_ptr<PrefixCache> cache;  ///< null when prefix caching off
     int batches_in_flight = 0;
+    /// Straggler mode (src/fault/): execution-time predictions are scaled
+    /// by this factor while > 1.0. Reset to 1.0 when the replica dies.
+    double slow_factor = 1.0;
   };
 
   /// Typed-event switch: the single dispatch point of the hot loop.
@@ -196,6 +217,30 @@ class Simulator {
   void on_migrated(RequestState* request);
   Seconds kv_transfer_time(const RequestState& request) const;
 
+  // ---- fault injection & recovery (src/fault/) ----
+  /// Construct the FaultInjector and its hooks (constructor helper).
+  void setup_faults();
+  /// Abrupt replica failure (crash or expired spot notice): cancel its
+  /// in-flight batches, tear down scheduler + KV + prefix-cache state,
+  /// fail the slot through the cluster lifecycle (held until `hold_until`
+  /// for spot reclaims), then classify and recover every casualty.
+  /// Tolerates replicas that already left the active/draining states.
+  void kill_replica(ReplicaId replica_id, Seconds hold_until, bool spot);
+  /// Recovery classification of one casualty of `replica_id`'s failure:
+  /// queued-but-unstarted work hands off immediately; started work retries
+  /// with exponential backoff + jitter until max_attempts, then is lost.
+  void recover_request(RequestState* request, ReplicaId replica_id);
+  /// Re-entry point of a backoff retry; applies the shed gate, then routes.
+  void reenter_request(RequestState* request);
+  /// Graceful degradation: true when the admission controller sheds this
+  /// request (capacity below the floor and priority at/below the cutoff).
+  bool maybe_shed(RequestState* request);
+  /// Priority of a request's tenant (untagged tenants are priority 0).
+  int tenant_priority(TenantId tenant) const;
+  /// Fill metrics.resilience from the injector log + recovery tallies and
+  /// mirror it into the `faults.*` registry counters.
+  void aggregate_resilience(ResilienceMetrics& out) const;
+
   // ---- observability (src/obs/) ----
   /// Wire the registry/trace/rolling attachments; called once from the
   /// constructor after replicas and cluster manager exist.
@@ -236,6 +281,22 @@ class Simulator {
   std::size_t remaining_requests_ = 0;       ///< not yet completed
   Seconds last_batch_end_ = 0.0;             ///< time of the last batch end
   bool ran_ = false;
+
+  // ---- fault injection state ----
+  std::unique_ptr<FaultInjector> injector_;  ///< null = faults off
+  Rng retry_rng_;  ///< backoff jitter draws (seeded off faults.seed)
+  /// Kill times awaiting repair, FIFO: each autoscaler activation after a
+  /// kill closes the oldest hole (MTTR = mean close - open).
+  std::deque<Seconds> pending_repairs_;
+  Seconds mttr_sum_ = 0.0;
+  std::int64_t num_repairs_ = 0;
+  std::int64_t num_retries_ = 0;
+  std::int64_t num_handoffs_ = 0;
+  std::int64_t num_shed_ = 0;
+  std::int64_t num_lost_ = 0;
+  TokenCount tokens_reprefilled_ = 0;
+  TokenCount decode_tokens_discarded_ = 0;
+  std::vector<int> tenant_priority_by_id_;  ///< tenant id -> priority
 
   // ---- observability state ----
   TraceRecorder* trace_rec_ = nullptr;  ///< nullptr = tracing off

@@ -163,11 +163,69 @@ TEST(GoldenSpecs, SessionChatPrefixCacheSavesPrefillWork) {
   ASSERT_NE(pc->find("by_tenant"), nullptr);
 }
 
+TEST(GoldenSpecs, SpotChurnSurvivesPreemptionWithoutLosingRequests) {
+  // The committed chaos spec: multi-turn chat + background batch over an
+  // elastic 3-replica pool that loses capacity to two spot-preemption
+  // windows (one abrupt 2-replica reclaim, one with a drain notice). The
+  // golden facts are the resilience story: every reclaim is repaired by
+  // the autoscaler (MTTR > 0), failed work retries instead of vanishing,
+  // the shed floor drops only low-priority traffic, and no request is
+  // ever lost or double-completed.
+  const ExperimentSpec spec = load_spec("spot-churn.json");
+  EXPECT_NO_THROW(spec.validate());
+  const ExperimentResult result = run_experiment(spec);
+  ASSERT_FALSE(result.failed()) << result.error;
+  const SimulationMetrics& m = result.metrics;
+
+  EXPECT_EQ(m.num_requests, 400u);
+  ASSERT_TRUE(m.resilience.enabled);
+  // Request conservation: every arrival either completed or was shed by
+  // the capacity floor; nothing lost, nothing duplicated.
+  EXPECT_EQ(m.resilience.num_lost, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(m.num_completed) +
+                m.resilience.num_shed,
+            static_cast<std::int64_t>(m.num_requests));
+  EXPECT_EQ(m.num_completed, 372u);
+
+  // Fault + recovery structure: three replicas reclaimed across the two
+  // windows, the abrupt kill forced at least one restart-with-backoff
+  // (re-prefilling the tokens it lost), and the autoscaler closed both
+  // first-window capacity holes.
+  EXPECT_EQ(m.resilience.num_crashes, 0);
+  EXPECT_EQ(m.resilience.num_spot_reclaims, 3);
+  EXPECT_GE(m.resilience.num_retries, 1);
+  EXPECT_GT(m.resilience.tokens_reprefilled, 0);
+  EXPECT_EQ(m.resilience.num_repairs, 2);
+  EXPECT_GT(m.resilience.mttr_s, 0.0);
+  expect_near_rel(m.resilience.mttr_s, 53.5, "MTTR");
+
+  // SLO attainment stays in the pinned band despite the churn, and the
+  // blame split shows untouched requests were unharmed.
+  expect_near_rel(m.aggregate_slo_attainment(), 0.93, "SLO attainment");
+  EXPECT_GE(m.aggregate_slo_attainment(), 0.90);
+  EXPECT_EQ(m.resilience.slo_attainment_clean, 1.0);
+
+  // Headline throughput numbers hold.
+  expect_near_rel(m.makespan, 219.9553, "makespan");
+  EXPECT_TRUE(m.prefix_cache.enabled);
+  EXPECT_GT(m.prefix_cache.hits, 0);
+
+  // The result JSON carries the resilience section with the same numbers.
+  const JsonValue j = result.to_json();
+  const JsonValue* res = j.find("resilience");
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->at("spot_reclaims").as_int(),
+            m.resilience.num_spot_reclaims);
+  EXPECT_EQ(res->at("lost").as_int(), 0);
+  EXPECT_EQ(res->at("repairs").as_int(), m.resilience.num_repairs);
+  ASSERT_NE(res->find("mttr_s"), nullptr);
+}
+
 TEST(GoldenSpecs, GoldenSpecsAreCanonicallySerialized) {
   // The committed files must be the exact fixed point of the serializer,
   // so hand edits that survive a round trip cannot drift the formatting.
   for (const char* name : {"elastic-hetero.json", "disagg-autoscale.json",
-                           "session-chat.json"}) {
+                           "session-chat.json", "spot-churn.json"}) {
     const std::string path = std::string(VIDUR_SPEC_DIR) + "/" + name;
     std::ifstream in(path);
     ASSERT_TRUE(in.good()) << path;
