@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "search/capacity.h"
 
 // Build provenance injected by CMake onto this target; fall back so the
@@ -33,8 +34,9 @@ Json bench_meta() {
   Json meta = Json::object();
   meta.set("git_sha", std::string(VIDUR_GIT_SHA));
   meta.set("build_type", std::string(VIDUR_BUILD_TYPE));
-  meta.set("hardware_threads",
-           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  // hardware_threads() (not raw hardware_concurrency()) so an unknowable
+  // core count stamps 1, never a nonsense 0.
+  meta.set("hardware_threads", static_cast<std::int64_t>(hardware_threads()));
   meta.set("bench_scale", bench_scale());
   return meta;
 }

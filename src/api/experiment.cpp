@@ -331,6 +331,19 @@ void ExperimentSpec::validate() const {
     }
   }
 
+  // ---- execution ----
+  VIDUR_CHECK_MSG(deployment.threads >= 1,
+                  "deployment.execution.threads must be >= 1 (got "
+                      << deployment.threads << ")");
+  if (deployment.threads > 1) {
+    VIDUR_CHECK_MSG(
+        !deployment.disagg.enabled() &&
+            !pools_disaggregated(deployment.pools),
+        "deployment.execution.threads > 1 cannot shard disaggregated "
+        "serving (prefill->decode KV hand-offs have zero lookahead); set "
+        "threads = 1 or drop the disaggregation");
+  }
+
   // ---- workload ----
   if (workload.synthetic()) {
     check_name("trace", workload.trace, builtin_trace_names());
@@ -776,6 +789,11 @@ JsonValue deployment_json(const DeploymentConfig& c) {
                        prefix_cache_json(c.prefix_cache));
     set_unless_default(j, "faults", c.faults, d.faults,
                        faults_json(c.faults));
+    if (c.threads != d.threads) {
+      JsonValue e = JsonValue::object();
+      e.set("threads", c.threads);
+      j.set("execution", std::move(e));
+    }
     return j;
   }
   j.set("sku", c.sku_name);
@@ -795,6 +813,13 @@ JsonValue deployment_json(const DeploymentConfig& c) {
   set_unless_default(j, "prefix_cache", c.prefix_cache, d.prefix_cache,
                      prefix_cache_json(c.prefix_cache));
   set_unless_default(j, "faults", c.faults, d.faults, faults_json(c.faults));
+  // Default-omitted like every other knob, so committed specs stay exact
+  // serializer fixed points.
+  if (c.threads != d.threads) {
+    JsonValue e = JsonValue::object();
+    e.set("threads", c.threads);
+    j.set("execution", std::move(e));
+  }
   return j;
 }
 
@@ -1448,7 +1473,13 @@ DeploymentConfig deployment_from_json(const JsonValue& j) {
                c.prefix_cache = prefix_cache_from_json(v);
              })
       .field("faults",
-             [&](const JsonValue& v) { c.faults = faults_from_json(v); });
+             [&](const JsonValue& v) { c.faults = faults_from_json(v); })
+      .field("execution", [&](const JsonValue& v) {
+        FieldReader e(v, "deployment.execution");
+        e.field("threads",
+                [&](const JsonValue& t) { c.threads = to_int(t, "threads"); });
+        e.finish();
+      });
   r.finish();
   return c;
 }

@@ -238,8 +238,7 @@ std::vector<ExperimentResult> run_sweep(VidurSession& session,
   for (const ExperimentSpec& p : points) skus.insert(p.deployment.sku_name);
   for (const std::string& sku : skus) session.onboard(sku);
 
-  const std::size_t hardware =
-      std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t hardware = hardware_threads();
   const std::size_t threads = std::min<std::size_t>(
       points.size(),
       spec.num_threads > 0 ? static_cast<std::size_t>(spec.num_threads)

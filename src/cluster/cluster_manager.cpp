@@ -341,8 +341,11 @@ void ClusterManager::scale_down_group(Group& group, int n, Seconds now) {
 }
 
 void ClusterManager::notify_idle(ReplicaId replica) {
+  notify_idle(replica, events_->now());
+}
+
+void ClusterManager::notify_idle(ReplicaId replica, Seconds now) {
   if (state(replica) != ReplicaState::kDraining) return;
-  const Seconds now = events_->now();
   auto& since = up_since_[static_cast<std::size_t>(replica)];
   pools_[static_cast<std::size_t>(pool_of(replica))].paid.emplace_back(since,
                                                                        now);

@@ -138,6 +138,11 @@ class ClusterManager {
   /// Simulator notification: `replica` has no outstanding work and no batch
   /// in flight. Completes a pending drain; a no-op in any other state.
   void notify_idle(ReplicaId replica);
+  /// Same, at an explicit timestamp. The sharded simulator defers idle
+  /// notifications discovered inside a window round and replays them at the
+  /// merge barrier, when the central clock has not yet advanced to the
+  /// shard-local time the drain actually completed.
+  void notify_idle(ReplicaId replica, Seconds now);
 
   /// Fault-injection entry points (src/fault/). Both act on the lifecycle
   /// only — the simulator tears down scheduler/KV state around them.

@@ -45,6 +45,12 @@ struct DeploymentConfig {
   /// straggler profiles plus the retry and shed policies the fleet answers
   /// them with. Disabled by default (no profiles = immortal replicas).
   FaultConfig faults;
+  /// Worker threads of the sharded simulation core (spec: `execution.
+  /// threads`). Results are bit-identical at every value; > 1 parallelizes
+  /// the replica timelines between scheduler/cluster/fault synchronization
+  /// points. Must stay 1 for disaggregated deployments and operator-metric
+  /// collection (validated).
+  int threads = 1;
 
   int total_gpus() const {
     if (pools.empty()) return parallel.total_gpus();

@@ -55,6 +55,7 @@ SimulationConfig VidurSession::make_sim_config(
   sim.pools = config.pools;
   sim.prefix_cache = config.prefix_cache;
   sim.faults = config.faults;
+  sim.threads = config.threads;
   return sim;
 }
 

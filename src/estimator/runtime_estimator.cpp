@@ -113,12 +113,15 @@ double RuntimeEstimator::predict(OpType op, int shard,
                                  const OpInput& in) const {
   const OpInput q = quantize(op, in);
   const std::uint64_t key = cache_key(op, shard, q);
+  // One lookup per call, counted unconditionally; misses are derived as
+  // lookups - hits so hits + misses == lookups is an identity rather than
+  // an invariant two racing counters could drift away from.
+  cache_lookups_.fetch_add(1, std::memory_order_relaxed);
   double value;
   if (cache_lookup(key, &value)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return value;
   }
-  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   value = predict_uncached(op, shard, q);
   cache_insert(key, value);
   return value;

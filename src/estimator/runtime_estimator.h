@@ -65,11 +65,23 @@ class RuntimeEstimator {
   std::size_t cache_size() const {
     return cache_used_.load(std::memory_order_relaxed);
   }
+  /// Calls into predict() — exactly one per call, hit or miss.
+  std::size_t cache_lookups() const {
+    return cache_lookups_.load(std::memory_order_relaxed);
+  }
   std::size_t cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
   }
+  /// Derived as lookups - hits, so cache_hits() + cache_misses() ==
+  /// cache_lookups() holds exactly even while other threads are inside
+  /// predict(). Hits are loaded first: a hit increment always follows its
+  /// lookup increment, so the difference can never go negative for a given
+  /// interleaving; the clamp guards the relaxed-ordering edge case.
   std::size_t cache_misses() const {
-    return cache_misses_.load(std::memory_order_relaxed);
+    const std::size_t hits = cache_hits_.load(std::memory_order_relaxed);
+    const std::size_t lookups =
+        cache_lookups_.load(std::memory_order_relaxed);
+    return lookups > hits ? lookups - hits : 0;
   }
 
  private:
@@ -106,8 +118,8 @@ class RuntimeEstimator {
   std::unique_ptr<Slot[]> slots_;
   std::size_t slot_mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
   mutable std::atomic<std::size_t> cache_used_{0};
+  mutable std::atomic<std::size_t> cache_lookups_{0};
   mutable std::atomic<std::size_t> cache_hits_{0};
-  mutable std::atomic<std::size_t> cache_misses_{0};
 };
 
 }  // namespace vidur

@@ -97,8 +97,7 @@ SearchResult run_search(VidurSession& session, const SearchSpace& space,
 
   const int threads = options.num_threads > 0
                           ? options.num_threads
-                          : static_cast<int>(std::max(
-                                1u, std::thread::hardware_concurrency()));
+                          : static_cast<int>(hardware_threads());
   ThreadPool pool(static_cast<std::size_t>(threads));
 
   // Phase 1: cheap offline-throughput probe for every config (one static

@@ -79,6 +79,22 @@ ClusterResources cluster_resources(const SimulationConfig& c) {
 
 }  // namespace
 
+thread_local Simulator::SimShard* Simulator::tls_shard_ = nullptr;
+
+Seconds Simulator::sim_now() const {
+  return tls_shard_ != nullptr ? tls_shard_->events.now() : events_.now();
+}
+
+EventQueue& Simulator::local_events() {
+  return tls_shard_ != nullptr ? tls_shard_->events : events_;
+}
+
+TraceRecorder* Simulator::local_trace() {
+  if (tls_shard_ != nullptr)
+    return trace_rec_ != nullptr ? &tls_shard_->staging : nullptr;
+  return trace_rec_;
+}
+
 Simulator::Simulator(SimulationConfig config, Trace trace,
                      BackendFactory factory)
     : config_(std::move(config)),
@@ -117,6 +133,24 @@ Simulator::Simulator(SimulationConfig config, Trace trace,
       VIDUR_CHECK(config_.disagg.transfer_bandwidth_gbps > 0);
       VIDUR_CHECK(config_.disagg.transfer_latency >= 0);
     }
+  }
+
+  VIDUR_CHECK_MSG(config_.threads >= 1,
+                  "execution.threads must be >= 1 (got " << config_.threads
+                                                         << ")");
+  if (config_.threads > 1) {
+    // KV hand-offs between roles have zero lookahead (a prefill's end is
+    // the decode's input), so disaggregated serving cannot shard; operator
+    // metrics aggregate into one collector from every stage execution.
+    VIDUR_CHECK_MSG(!config_.disagg.enabled(),
+                    "execution.threads > 1 is not supported with legacy "
+                    "disaggregated serving; run with threads = 1");
+    VIDUR_CHECK_MSG(!(pool_mode() && pools_disaggregated(config_.pools)),
+                    "execution.threads > 1 is not supported with "
+                    "role-disaggregated pools; run with threads = 1");
+    VIDUR_CHECK_MSG(!config_.collect_operator_metrics,
+                    "execution.threads > 1 is not supported with operator "
+                    "metrics collection; run with threads = 1");
   }
 
   if (pool_mode()) {
@@ -328,8 +362,8 @@ void Simulator::kill_replica(ReplicaId replica_id, Seconds hold_until,
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
   // Cancel live batches first: their pipeline events still drain (the
   // stage queues must advance) but produce no metrics and no progress.
-  for (InFlightBatch& b : in_flight_) {
-    if (!b.live || b.replica != replica_id || b.cancelled) continue;
+  for (InFlightBatch& b : replica.in_flight) {
+    if (!b.live || b.cancelled) continue;
     b.cancelled = true;
     if (b.trace_seq >= 0) {
       trace_emit(trace_rec_, TraceEventKind::kBatchEnd, events_.now(),
@@ -455,11 +489,17 @@ void Simulator::setup_observability() {
   ctr_migrations_ = registry_->counter("sim.migrations");
   ctr_reroutes_ = registry_->counter("sim.reroutes");
 
-  Counter* preemptions = registry_->counter("scheduler.preemptions");
-  Counter* admissions = registry_->counter("scheduler.admissions");
-  for (ReplicaId r = 0; r < num_slots_; ++r)
-    replicas_[static_cast<std::size_t>(r)].scheduler->set_obs(
-        r, trace_rec_, preemptions, admissions);
+  // The registry entries exist up front (snapshots always carry the keys),
+  // but each scheduler counts into its own replica's tallies — shard
+  // threads then never race on the shared counters; run() folds the
+  // tallies in after the last event.
+  registry_->counter("scheduler.preemptions");
+  registry_->counter("scheduler.admissions");
+  for (ReplicaId r = 0; r < num_slots_; ++r) {
+    Replica& replica = replicas_[static_cast<std::size_t>(r)];
+    replica.scheduler->set_obs(r, trace_rec_, &replica.preemptions,
+                               &replica.admissions);
+  }
   if (cluster_) cluster_->set_obs(trace_rec_, registry_);
 
   // Exact per-pool attribution: each pool's batches accumulate against its
@@ -595,26 +635,111 @@ SimulationMetrics Simulator::run() {
   if (cluster_) cluster_->start();
   if (injector_) injector_->start();
 
-  for (RequestState& state : states_) {
-    SimEvent ev;
-    ev.kind = EventKind::kArrival;
-    ev.request = &state;
-    events_.schedule_event(state.request.arrival_time, ev);
+  // Sharded windowed engine eligibility: round-robin routing over a static
+  // fleet is a pure counter, so every arrival's target is known up front.
+  // Arrivals then seed per-replica shard queues and the stretches between
+  // central events (fault edges here; routing decisions, autoscaler ticks
+  // and KV migrations in general) advance shard-parallel. Any policy that
+  // consults shared state at event time — elastic fleets, rolling windows,
+  // cache/load-aware routing, disaggregation, operator metrics — keeps
+  // every arrival central, and the run replays the legacy single-queue
+  // order exactly.
+  preroute_ = config_.global_scheduler == GlobalSchedulerKind::kRoundRobin &&
+              cluster_ == nullptr && rolling_ == nullptr &&
+              !config_.disagg.enabled() &&
+              !(pool_mode() && pools_disaggregated(config_.pools)) &&
+              !config_.collect_operator_metrics && num_slots_ > 0;
+  if (preroute_) {
+    shards_.resize(static_cast<std::size_t>(num_slots_));
+    shard_batch_seq_.resize(static_cast<std::size_t>(num_slots_));
+    for (ReplicaId r = 0; r < num_slots_; ++r) {
+      SimShard& shard = shards_[static_cast<std::size_t>(r)];
+      shard.replica = r;
+      // Scheduler-level records (kScheduled, kCacheLookup, ...) follow the
+      // batch records into the shard's staging stream; restored below.
+      if (trace_rec_ != nullptr)
+        replicas_[static_cast<std::size_t>(r)].scheduler->set_trace(
+            &shard.staging);
+    }
+    // Arrivals are routed in the exact order the legacy queue would pop
+    // them — (arrival_time, trace position) — so the round-robin counter
+    // assigns every request the same target it always did.
+    std::vector<std::size_t> order(states_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return states_[a].request.arrival_time <
+                              states_[b].request.arrival_time;
+                     });
+    static const std::vector<bool> kEveryReplica;  // empty mask: all routable
+    for (const std::size_t i : order) {
+      RequestState& state = states_[i];
+      const ReplicaId target = global_.route(
+          &state, outstanding_counts(num_slots_), kEveryReplica);
+      VIDUR_CHECK(target >= 0);
+      SimEvent ev;
+      ev.kind = EventKind::kArrival;
+      ev.request = &state;
+      shards_[static_cast<std::size_t>(target)].events.schedule_event(
+          state.request.arrival_time, ev);
+    }
+    if (config_.threads > 1 && num_slots_ > 1)
+      team_ = std::make_unique<SpinTeam>(static_cast<std::size_t>(
+          std::min(config_.threads, num_slots_)));
+  } else {
+    for (RequestState& state : states_) {
+      SimEvent ev;
+      ev.kind = EventKind::kArrival;
+      ev.request = &state;
+      events_.schedule_event(state.request.arrival_time, ev);
+    }
   }
 
-  while (!events_.empty()) {
-    if (events_.next_time() > config_.max_sim_time) break;
-    events_.run_next([this](const SimEvent& ev) { dispatch(ev); });
+  // One conservative round per central timestamp: every shard first
+  // advances privately to (not including) the next central event's time,
+  // the staged effects merge in global order, then the central events at
+  // that time run. Without pre-routed shards the shard phase is empty and
+  // this is exactly the legacy single-queue loop.
+  for (;;) {
+    const Seconds window =
+        events_.empty() ? kInfiniteTime : events_.next_time();
+    if (preroute_) shard_round(window);
+    if (events_.empty() || events_.next_time() > config_.max_sim_time) break;
+    do {
+      events_.run_next([this](const SimEvent& ev) { dispatch(ev); });
+    } while (!events_.empty() && events_.next_time() == window);
   }
+  if (preroute_ && trace_rec_ != nullptr)
+    for (Replica& replica : replicas_) replica.scheduler->set_trace(trace_rec_);
 
   for (const RequestState& state : states_)
     metrics_.record_request(state.record);
+  // Replica-private tallies fold into the shared counters once, after the
+  // last event: shard threads never touch the registry.
+  {
+    Counter* preemptions = registry_->counter("scheduler.preemptions");
+    Counter* admissions = registry_->counter("scheduler.admissions");
+    for (const Replica& replica : replicas_) {
+      preemptions->value += replica.preemptions.value;
+      admissions->value += replica.admissions.value;
+    }
+    for (const SimShard& shard : shards_)
+      ctr_arrivals_->value += static_cast<std::uint64_t>(shard.arrivals);
+  }
+  // The run's horizon is the latest clock of any timeline (sharded runs:
+  // the last shard event usually outlasts the last central one).
+  std::uint64_t num_events = events_.num_processed();
+  Seconds horizon = events_.now();
+  for (const SimShard& shard : shards_) {
+    num_events += shard.events.num_processed();
+    horizon = std::max(horizon, shard.events.now());
+  }
   // Elastic runs leave one trailing autoscaler tick behind the last batch
   // end; account the run up to the last real progress instead so the
   // static-vs-autoscaled makespan/cost comparison stays apples-to-apples.
   const Seconds end_time = cluster_ && remaining_requests_ == 0
                                ? last_batch_end_
-                               : events_.now();
+                               : horizon;
   // The scaling report feeds finalize() so idle energy is billed on the
   // fleet's actual paid GPU-time, not the static slot ceiling. Pool
   // deployments carry their per-slot rates in the manager (or the static
@@ -642,17 +767,136 @@ SimulationMetrics Simulator::run() {
           std::max(worst_tbt, rec.token_times[i] - rec.token_times[i - 1]);
     if (worst_tbt >= 0) tbt_hist->record(worst_tbt);
   }
-  registry_->counter("sim.events")->value = events_.num_processed();
+  registry_->counter("sim.events")->value = num_events;
   registry_->gauge("sim.makespan_s")->set(end_time);
 
   SimulationMetrics metrics = metrics_.finalize(end_time, report);
   if (config_.prefix_cache.enabled)
     aggregate_prefix_cache(metrics.prefix_cache);
   if (config_.faults.enabled()) aggregate_resilience(metrics.resilience);
-  metrics.num_sim_events = events_.num_processed();
+  metrics.num_sim_events = num_events;
   metrics.registry = registry_->snapshot();
   if (rolling_) metrics.rolling = rolling_->finalize(end_time);
   return metrics;
+}
+
+void Simulator::shard_round(Seconds window) {
+  dirty_scratch_.clear();
+  for (int r = 0; r < num_slots_; ++r) {
+    const EventQueue& queue = shards_[static_cast<std::size_t>(r)].events;
+    if (queue.empty()) continue;
+    const Seconds t = queue.next_time();
+    if (t < window && t <= config_.max_sim_time) dirty_scratch_.push_back(r);
+  }
+  if (dirty_scratch_.empty()) return;
+  if (team_ != nullptr && dirty_scratch_.size() > 1) {
+    // Strided assignment over the dirty list. Which worker runs which
+    // shard never affects the result: everything a shard touches is
+    // private, and merge_round imposes the global order afterwards.
+    const std::size_t stride = team_->size();
+    team_->run([this, window, stride](std::size_t worker) {
+      for (std::size_t i = worker; i < dirty_scratch_.size(); i += stride)
+        run_shard(shards_[static_cast<std::size_t>(dirty_scratch_[i])],
+                  window);
+    });
+  } else {
+    for (const int r : dirty_scratch_)
+      run_shard(shards_[static_cast<std::size_t>(r)], window);
+  }
+  merge_round();
+}
+
+void Simulator::run_shard(SimShard& shard, Seconds window) {
+  SimShard* const prev = tls_shard_;
+  tls_shard_ = &shard;
+  try {
+    // Strictly below the window: a shard event at exactly the window time
+    // must observe the central events there first (a degrade edge at t
+    // changes the slow factor for the batch starting at t, as it would in
+    // the single-queue order).
+    while (!shard.events.empty()) {
+      const Seconds t = shard.events.next_time();
+      if (t >= window || t > config_.max_sim_time) break;
+      shard.events.run_next([this](const SimEvent& ev) { dispatch(ev); });
+    }
+  } catch (...) {
+    tls_shard_ = prev;
+    throw;
+  }
+  tls_shard_ = prev;
+}
+
+void Simulator::merge_round() {
+  // k-way scan by (time, shard, stream position): with a handful of dirty
+  // shards per round a linear scan beats a heap, and the tie-break makes
+  // the merged order total — the source of the bit-identical-at-any-
+  // thread-count guarantee.
+  const std::size_t n = shards_.size();
+  merge_rec_cur_.assign(n, 0);
+  merge_done_cur_.assign(n, 0);
+  for (;;) {
+    std::size_t best = n;
+    bool best_done = false;
+    Seconds best_time = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      SimShard& shard = shards_[r];
+      const std::size_t rec = merge_rec_cur_[r];
+      const std::size_t done = merge_done_cur_[r];
+      const std::size_t num_rec = shard.staging.staged().size();
+      bool is_done;
+      Seconds t;
+      // Within one shard the two streams interleave positionally: the op
+      // staged at trace position p precedes the record at p (both streams
+      // are time-nondecreasing, so no time comparison is needed).
+      if (done < shard.done.size() && shard.done[done].trace_pos <= rec) {
+        is_done = true;
+        t = shard.done[done].record.end_time;
+      } else if (rec < num_rec) {
+        is_done = false;
+        t = shard.staging.staged()[rec].time;
+      } else if (done < shard.done.size()) {
+        is_done = true;
+        t = shard.done[done].record.end_time;
+      } else {
+        continue;
+      }
+      if (best == n || t < best_time) {
+        best = r;
+        best_done = is_done;
+        best_time = t;
+      }
+    }
+    if (best == n) break;
+    SimShard& shard = shards_[best];
+    if (best_done) {
+      const ShardDone& op = shard.done[merge_done_cur_[best]++];
+      metrics_.record_batch(op.record);
+      ctr_batches_->inc();
+      ctr_completions_->inc(static_cast<std::uint64_t>(op.completions));
+      remaining_requests_ -= static_cast<std::size_t>(op.completions);
+      last_batch_end_ = std::max(last_batch_end_, op.record.end_time);
+    } else {
+      TraceRecord record = shard.staging.staged()[merge_rec_cur_[best]++];
+      // Batch records were staged under provisional shard-local sequence
+      // numbers (-(local) - 2); the merge order assigns the globals.
+      if (record.id <= -2 && record.kind == TraceEventKind::kBatchStart) {
+        auto& seq_map = shard_batch_seq_[best];
+        const auto local = static_cast<std::size_t>(-record.id) - 2;
+        if (local >= seq_map.size()) seq_map.resize(local + 1, -1);
+        seq_map[local] = next_batch_seq_++;
+        record.id = seq_map[local];
+      } else if (record.id <= -2 &&
+                 record.kind == TraceEventKind::kBatchEnd) {
+        record.id =
+            shard_batch_seq_[best][static_cast<std::size_t>(-record.id) - 2];
+      }
+      trace_rec_->emit(record);
+    }
+  }
+  for (SimShard& shard : shards_) {
+    shard.staging.clear();
+    shard.done.clear();
+  }
 }
 
 void Simulator::dispatch(const SimEvent& event) {
@@ -680,6 +924,26 @@ void Simulator::on_arrival(RequestState* request) {
   const int tenant = static_cast<int>(request->record.tenant);
   const auto tenant_detail = static_cast<std::uint8_t>(
       tenant < 0 ? 0 : std::min(tenant + 1, 255));
+  if (tls_shard_ != nullptr) {
+    // Pre-routed arrival on the shard's own timeline: the target was fixed
+    // at run start, so routing reduces to the local enqueue. The arrival
+    // tally is shard-private (folded into the counter at end of run); both
+    // records go to the staging stream. Shedding needs an elastic fleet
+    // and never applies here.
+    SimShard& shard = *tls_shard_;
+    trace_emit(local_trace(), TraceEventKind::kArrival, sim_now(), -1,
+               request->record.id, request->record.prefill_tokens,
+               request->record.decode_tokens, tenant_detail);
+    ++shard.arrivals;
+    trace_emit(local_trace(), TraceEventKind::kRouted, sim_now(),
+               shard.replica, request->record.id);
+    request->replica = shard.replica;
+    request->queue_entry_time = sim_now();
+    replicas_[static_cast<std::size_t>(shard.replica)].scheduler->enqueue(
+        request);
+    try_schedule(shard.replica);
+    return;
+  }
   trace_emit(trace_rec_, TraceEventKind::kArrival, events_.now(), -1,
        request->record.id, request->record.prefill_tokens,
        request->record.decode_tokens, tenant_detail);
@@ -756,6 +1020,10 @@ void Simulator::reroute_waiting(ReplicaId replica_id) {
 }
 
 void Simulator::pull_deferred(ReplicaId replica_id) {
+  // Shard context: pre-routing implies round-robin, which never parks, so
+  // there is nothing to pull — and the central scheduler must not be
+  // touched from a shard thread anyway.
+  if (tls_shard_ != nullptr) return;
   if (!global_.has_parked_requests()) return;
   // Decode replicas never pull arrivals; their work comes via hand-off.
   if (!arrival_eligible(replica_id)) return;
@@ -783,29 +1051,36 @@ void Simulator::try_schedule(ReplicaId replica_id) {
   while (replica.batches_in_flight < static_cast<int>(replica.stages.size())) {
     pull_deferred(replica_id);
     StageScheduler::BatchHandle handle;
-    if (free_handles_.empty()) {
-      handle = static_cast<StageScheduler::BatchHandle>(in_flight_.size());
-      in_flight_.emplace_back();
+    if (replica.free_handles.empty()) {
+      handle =
+          static_cast<StageScheduler::BatchHandle>(replica.in_flight.size());
+      replica.in_flight.emplace_back();
     } else {
-      handle = free_handles_.back();
-      free_handles_.pop_back();
+      handle = replica.free_handles.back();
+      replica.free_handles.pop_back();
     }
-    InFlightBatch& record = in_flight_[static_cast<std::size_t>(handle)];
-    replica.scheduler->schedule_into(record.spec, events_.now());
+    InFlightBatch& record = replica.in_flight[static_cast<std::size_t>(handle)];
+    replica.scheduler->schedule_into(record.spec, sim_now());
     if (record.spec.empty()) {
-      free_handles_.push_back(handle);
+      replica.free_handles.push_back(handle);
       return;
     }
     record.agg = record.spec.aggregates();
     record.replica = replica_id;
-    record.start_time = events_.now();
+    record.start_time = sim_now();
     record.flops = batch_flops(config_.model, record.agg);
     record.kv_utilization = replica.scheduler->blocks().utilization();
     record.live = true;
     record.cancelled = false;
-    if (trace_rec_ != nullptr) {
-      record.trace_seq = next_batch_seq_++;
-      trace_emit(trace_rec_, TraceEventKind::kBatchStart, events_.now(), replica_id,
+    TraceRecorder* const trace = local_trace();
+    if (trace != nullptr) {
+      // Shard context stages under a provisional local sequence number,
+      // -(local) - 2 (never colliding with the -1 "untraced" sentinel);
+      // merge_round assigns the globals in cross-shard time order.
+      record.trace_seq = tls_shard_ != nullptr
+                             ? -(tls_shard_->next_local_batch++) - 2
+                             : next_batch_seq_++;
+      trace_emit(trace, TraceEventKind::kBatchStart, sim_now(), replica_id,
            record.trace_seq, record.spec.size(), record.agg.total_q);
     }
 
@@ -817,7 +1092,8 @@ void Simulator::try_schedule(ReplicaId replica_id) {
 void Simulator::start_stage(ReplicaId replica_id, StageId stage,
                             StageScheduler::BatchHandle handle) {
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
-  const InFlightBatch& batch = in_flight_[static_cast<std::size_t>(handle)];
+  const InFlightBatch& batch =
+      replica.in_flight[static_cast<std::size_t>(handle)];
   VIDUR_CHECK_MSG(batch.live, "stage started for a retired batch handle");
   if (batch.cancelled) {
     // Dead replica's pipeline: the stage queues still advance (events that
@@ -828,7 +1104,7 @@ void Simulator::start_stage(ReplicaId replica_id, StageId stage,
     ev.stage = stage;
     ev.handle = handle;
     ev.comm_time = 0.0;
-    events_.schedule_event(events_.now(), ev);
+    local_events().schedule_event(sim_now(), ev);
     return;
   }
   const StageTiming timing =
@@ -850,7 +1126,7 @@ void Simulator::start_stage(ReplicaId replica_id, StageId stage,
   ev.stage = stage;
   ev.handle = handle;
   ev.comm_time = handoff_lag;
-  events_.schedule_event(events_.now() + busy, ev);
+  local_events().schedule_event(sim_now() + busy, ev);
 }
 
 void Simulator::on_stage_end(ReplicaId replica_id, StageId stage,
@@ -871,7 +1147,7 @@ void Simulator::on_stage_end(ReplicaId replica_id, StageId stage,
       ev.replica = replica_id;
       ev.stage = stage + 1;
       ev.handle = handle;
-      events_.schedule_event(events_.now() + comm_time, ev);
+      local_events().schedule_event(sim_now() + comm_time, ev);
     } else {
       deliver_to_stage(replica_id, stage + 1, handle);
     }
@@ -893,8 +1169,8 @@ void Simulator::finish_batch(ReplicaId replica_id,
                              StageScheduler::BatchHandle handle) {
   Replica& replica = replicas_[static_cast<std::size_t>(replica_id)];
   VIDUR_CHECK(handle >= 0 &&
-              static_cast<std::size_t>(handle) < in_flight_.size());
-  InFlightBatch& batch = in_flight_[static_cast<std::size_t>(handle)];
+              static_cast<std::size_t>(handle) < replica.in_flight.size());
+  InFlightBatch& batch = replica.in_flight[static_cast<std::size_t>(handle)];
   VIDUR_CHECK_MSG(batch.live, "batch finished twice for one handle");
 
   if (batch.cancelled) {
@@ -903,14 +1179,14 @@ void Simulator::finish_batch(ReplicaId replica_id,
     --replica.batches_in_flight;
     batch.live = false;
     batch.cancelled = false;
-    free_handles_.push_back(handle);
+    replica.free_handles.push_back(handle);
     return;
   }
 
   BatchRecord record;
   record.replica = replica_id;
   record.start_time = batch.start_time;
-  record.end_time = events_.now();
+  record.end_time = sim_now();
   record.q_tokens = batch.agg.total_q;
   record.batch_size = batch.spec.size();
   record.flops = batch.flops;
@@ -919,24 +1195,33 @@ void Simulator::finish_batch(ReplicaId replica_id,
       config_.model, parallel.tensor_parallel, parallel.pipeline_parallel,
       batch.agg);
   record.kv_utilization = batch.kv_utilization;
-  metrics_.record_batch(record);
-  ctr_batches_->inc();
-  if (batch.trace_seq >= 0) {
-    trace_emit(trace_rec_, TraceEventKind::kBatchEnd, events_.now(), replica_id,
+  if (batch.trace_seq != -1) {
+    trace_emit(local_trace(), TraceEventKind::kBatchEnd, sim_now(), replica_id,
          batch.trace_seq, batch.spec.size());
     batch.trace_seq = -1;
   }
 
-  const auto finished = replica.scheduler->on_batch_end(batch.spec,
-                                                        events_.now());
-  ctr_completions_->inc(finished.size());
-  rolling_completions(replica_id, finished);
-  remaining_requests_ -= finished.size();
-  last_batch_end_ = events_.now();
+  const auto finished = replica.scheduler->on_batch_end(batch.spec, sim_now());
+  if (tls_shard_ != nullptr) {
+    // Shard context: the cross-shard effects (batch metrics, fleet
+    // counters, remaining-work accounting) are staged and applied at the
+    // merge barrier in global time order; trace_pos pins this op's
+    // interleave position within the shard's record stream.
+    tls_shard_->done.push_back(
+        ShardDone{record, static_cast<std::int64_t>(finished.size()),
+                  tls_shard_->staging.staged().size()});
+  } else {
+    metrics_.record_batch(record);
+    ctr_batches_->inc();
+    ctr_completions_->inc(finished.size());
+    rolling_completions(replica_id, finished);
+    remaining_requests_ -= finished.size();
+    last_batch_end_ = events_.now();
+  }
   if (is_prefill_replica(replica_id)) migrate_prefilled(replica_id, batch.spec);
   --replica.batches_in_flight;
   batch.live = false;
-  free_handles_.push_back(handle);
+  replica.free_handles.push_back(handle);
   // A draining replica that just ran dry hands its slot back.
   if (cluster_ && replica.batches_in_flight == 0 &&
       replica.scheduler->outstanding() == 0)

@@ -12,6 +12,7 @@
 
 #include "cluster/cluster_manager.h"
 #include "cluster/pool.h"
+#include "common/thread_pool.h"
 #include "execution/execution_backend.h"
 #include "fault/fault_config.h"
 #include "fault/fault_injector.h"
@@ -21,6 +22,8 @@
 #include "kvcache/prefix_cache_config.h"
 #include "metrics/metrics.h"
 #include "model/model_spec.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "scheduler/global_scheduler.h"
 #include "scheduler/replica_scheduler.h"
 #include "scheduler/stage_scheduler.h"
@@ -30,7 +33,6 @@
 
 namespace vidur {
 
-class TraceRecorder;
 class RollingCollector;
 
 /// Observability attachments of one run (src/obs/). All optional: with the
@@ -102,6 +104,16 @@ struct SimulationConfig {
   /// require an elastic fleet (autoscaling repairs the capacity hole);
   /// degrade-only profiles work anywhere.
   FaultConfig faults;
+  /// Worker threads of the sharded simulation core (spec knob
+  /// `execution.threads`, default 1). Replicas advance on private event
+  /// queues inside conservative time windows bounded by the next central
+  /// event (a routing decision, autoscaler tick, fault edge or KV
+  /// migration); the per-shard streams merge deterministically at every
+  /// window boundary, so the result is bit-identical at every thread
+  /// count. Must be 1 for configurations whose cross-shard events have
+  /// zero lookahead or whose collection is not thread-safe (legacy
+  /// disaggregation, role-disaggregated pools, operator metrics).
+  int threads = 1;
   /// Observability: trace recorder, shared registry, rolling windows.
   SimObs obs;
 };
@@ -160,6 +172,17 @@ class Simulator {
     /// Straggler mode (src/fault/): execution-time predictions are scaled
     /// by this factor while > 1.0. Reset to 1.0 when the replica dies.
     double slow_factor = 1.0;
+    /// In-flight batches live in recycled slots indexed by their handle:
+    /// lookup is a vector index, and a reused slot's BatchSpec keeps its
+    /// item capacity, so steady-state iterations form batches without
+    /// allocating. Per replica — never shared across shard threads.
+    std::vector<InFlightBatch> in_flight;
+    std::vector<StageScheduler::BatchHandle> free_handles;
+    /// Scheduler preemption/admission tallies, kept replica-private so
+    /// shard threads never race on the registry counters; summed into
+    /// `scheduler.preemptions` / `scheduler.admissions` at end of run.
+    Counter preemptions;
+    Counter admissions;
   };
 
   /// Typed-event switch: the single dispatch point of the hot loop.
@@ -185,6 +208,54 @@ class Simulator {
   /// member scratch buffer: valid until the next call, never reallocates
   /// on the routing hot path.
   const std::vector<int>& outstanding_counts(int count) const;
+
+  // ---- sharded windowed engine ----
+  /// Deferred cross-shard effect of one batch that completed inside a
+  /// window round. Shard threads only stage these; the merge barrier
+  /// applies them (batch metrics, fleet counters, remaining-work
+  /// accounting) in global (time, shard, position) order, so the shared
+  /// aggregation state is only ever touched by the driving thread.
+  struct ShardDone {
+    BatchRecord record;  ///< record.end_time orders the op globally
+    std::int64_t completions = 0;
+    /// Staged trace records emitted before this op — its interleave
+    /// position within the shard's trace stream.
+    std::uint64_t trace_pos = 0;
+  };
+  /// One replica's private simulation timeline: its own event queue plus
+  /// the staging buffers drained at every window boundary. Everything a
+  /// shard thread mutates while running events lives here or in the
+  /// matching Replica — nothing shared, no locks on the hot path.
+  struct SimShard {
+    ReplicaId replica = -1;
+    EventQueue events;
+    /// Trace records staged in shard-local order (unbounded — merged and
+    /// cleared every round, so it never grows past one window's output).
+    TraceRecorder staging{TraceRecorder::kUnbounded};
+    std::vector<ShardDone> done;
+    /// Next shard-local batch sequence number; staged records carry the
+    /// provisional id -(local)-2 until the merge assigns global seqs.
+    std::int64_t next_local_batch = 0;
+    std::int64_t arrivals = 0;  ///< summed into requests.arrivals at end
+  };
+
+  /// Shard-local clock/queue/trace of the calling thread, falling back to
+  /// the central ones outside a window round. tls_shard_ is the only
+  /// thread-local switch: every handler reads time and schedules follow-on
+  /// events through these, so one code path serves both engines.
+  Seconds sim_now() const;
+  EventQueue& local_events();
+  TraceRecorder* local_trace();
+  /// Run one shard's events strictly below `window` (and within
+  /// max_sim_time), with tls_shard_ pointing at it.
+  void run_shard(SimShard& shard, Seconds window);
+  /// One conservative round: advance every shard with pending work below
+  /// `window` (in parallel when a team exists), then merge.
+  void shard_round(Seconds window);
+  /// Deterministic k-way merge of the round's staged trace records and
+  /// completion ops by (time, shard, position); assigns global batch
+  /// sequence numbers and applies the deferred aggregation.
+  void merge_round();
 
   // ---- heterogeneous pools ----
   bool pool_mode() const { return !config_.pools.empty(); }
@@ -271,11 +342,6 @@ class Simulator {
   std::vector<Replica> replicas_;
   std::vector<RequestState> states_;
   MetricsCollector metrics_;
-  /// In-flight batches live in recycled slots indexed by their handle:
-  /// lookup is a vector index, and a reused slot's BatchSpec keeps its item
-  /// capacity, so steady-state iterations form batches without allocating.
-  std::vector<InFlightBatch> in_flight_;
-  std::vector<StageScheduler::BatchHandle> free_handles_;
   mutable std::vector<int> outstanding_scratch_;
   std::unique_ptr<ClusterManager> cluster_;  ///< elastic fleets only
   std::size_t remaining_requests_ = 0;       ///< not yet completed
@@ -310,6 +376,27 @@ class Simulator {
   Counter* ctr_migrations_ = nullptr;
   Counter* ctr_reroutes_ = nullptr;
   std::int64_t next_batch_seq_ = 0;
+
+  // ---- sharded windowed engine state ----
+  /// Arrivals pre-routable? True exactly when routing is a pure function
+  /// of the arrival order (round-robin over a static, fault-degrade-only,
+  /// non-disaggregated fleet without rolling windows or operator
+  /// metrics): targets are then known up front, arrivals seed per-replica
+  /// shard queues, and the stretches between central events run sharded.
+  /// Otherwise every arrival stays a central event and the run degenerates
+  /// to the legacy single-queue order exactly.
+  bool preroute_ = false;
+  std::vector<SimShard> shards_;  ///< one per slot when preroute_, else empty
+  /// Per-shard local -> global batch sequence map (grown at merge time).
+  std::vector<std::vector<std::int64_t>> shard_batch_seq_;
+  std::vector<int> dirty_scratch_;  ///< shards with work this round
+  std::vector<std::size_t> merge_rec_cur_;   ///< merge cursors: records
+  std::vector<std::size_t> merge_done_cur_;  ///< merge cursors: done ops
+  std::unique_ptr<SpinTeam> team_;  ///< threads > 1 and > 1 shard only
+  /// The running thread's shard during a window round, null in central
+  /// context (and always on the legacy path).
+  static thread_local SimShard* tls_shard_;
+
   /// Rolling-track layout: 0 = cluster, then tenants, then pools.
   std::vector<int> tenant_track_by_id_;  ///< tenant id -> track (-1: none)
   std::vector<const SloSpec*> tenant_slo_by_id_;  ///< nullptr: no SLO

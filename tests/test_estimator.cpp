@@ -379,6 +379,11 @@ TEST_F(RuntimeEstimatorTest, ConcurrentPredictsAreConsistent) {
     }
   });
   EXPECT_EQ(mismatches.load(), 0);
+  // Exact conservation, not just plausibility: predict() counts one lookup
+  // per call, and misses are derived as lookups - hits, so the identity
+  // holds bit-for-bit no matter how the CAS publications interleave.
+  EXPECT_EQ(est.cache_lookups(), kWorkers * kIters);
+  EXPECT_EQ(est.cache_hits() + est.cache_misses(), est.cache_lookups());
   EXPECT_EQ(est.cache_hits() + est.cache_misses(), kWorkers * kIters);
   // Every distinct key lands in the table; racing duplicate inserts are
   // benign but bounded by the worker count.
